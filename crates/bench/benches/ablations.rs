@@ -1,0 +1,37 @@
+//! Criterion benches for the design-choice ablations of DESIGN.md §5.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qr2_bench::workloads::Scale;
+use qr2_bench::{
+    ablation_dense_delta, ablation_parallel_fanout, ablation_session_cache,
+    ablation_split_policy, ablation_system_k,
+};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("dense_delta_sweep", |b| {
+        b.iter(|| ablation_dense_delta(Scale::Small, 60).len())
+    });
+    group.bench_function("split_policy", |b| {
+        b.iter(|| ablation_split_policy(Scale::Small).len())
+    });
+    group.bench_function("system_k_sweep", |b| {
+        b.iter(|| ablation_system_k(Scale::Small).len())
+    });
+    group.bench_function("session_cache", |b| {
+        b.iter(|| ablation_session_cache(Scale::Small, 8).len())
+    });
+    group.bench_with_input(
+        BenchmarkId::new("parallel_fanout", "latency_5ms"),
+        &Duration::from_millis(5),
+        |b, &lat| b.iter(|| ablation_parallel_fanout(Scale::Small, lat).len()),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

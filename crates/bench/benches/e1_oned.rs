@@ -1,0 +1,40 @@
+//! Criterion bench for E1: the three 1D algorithms on the anti-correlated
+//! direction (hidden price-ascending ranking, user asks descending) — the
+//! regime where the algorithm choice matters most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qr2_bench::workloads::{bluenile, cold_reranker, Scale};
+use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, RerankRequest};
+use qr2_webdb::{SearchQuery, TopKInterface};
+
+fn bench_e1(c: &mut Criterion) {
+    let db = bluenile(Scale::Small);
+    let price = db.schema().expect_id("price");
+    let mut group = c.benchmark_group("e1_oned_top10_desc");
+    group.sample_size(10);
+    for algorithm in [
+        Algorithm::OneDBaseline,
+        Algorithm::OneDBinary,
+        Algorithm::OneDRerank,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.paper_name()),
+            &algorithm,
+            |b, &algorithm| {
+                b.iter(|| {
+                    let reranker = cold_reranker(db.clone(), ExecutorKind::Sequential);
+                    let mut session = reranker.query(RerankRequest {
+                        filter: SearchQuery::all(),
+                        function: OneDimFunction::desc(price).into(),
+                        algorithm,
+                    });
+                    session.next_page(10).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for E2: all four MD algorithms on the paper's 3D
+//! Blue Nile function.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qr2_bench::workloads::{bluenile, cold_reranker, f3_bluenile, Scale};
+use qr2_core::{Algorithm, ExecutorKind, RerankRequest};
+use qr2_webdb::SearchQuery;
+
+fn bench_e2(c: &mut Criterion) {
+    let db = bluenile(Scale::Small);
+    let f = f3_bluenile(&db);
+    let mut group = c.benchmark_group("e2_md_3d_top10");
+    group.sample_size(10);
+    for algorithm in [
+        Algorithm::MdBaseline,
+        Algorithm::MdBinary,
+        Algorithm::MdRerank,
+        Algorithm::MdTa,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.paper_name()),
+            &algorithm,
+            |b, &algorithm| {
+                b.iter(|| {
+                    let reranker = cold_reranker(db.clone(), ExecutorKind::Sequential);
+                    let mut session = reranker.query(RerankRequest {
+                        filter: SearchQuery::all(),
+                        function: f.clone().into(),
+                        algorithm,
+                    });
+                    session.next_page(10).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

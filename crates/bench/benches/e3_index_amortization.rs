@@ -1,0 +1,47 @@
+//! Criterion bench for E3: cold-index vs warm-index cost of the tie-heavy
+//! 1D workload (the on-the-fly indexing payoff).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr2_bench::workloads::{bluenile, cold_reranker, Scale};
+use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, Reranker, RerankRequest};
+use qr2_webdb::{SearchQuery, TopKInterface};
+
+fn run_session(reranker: &Reranker, depth: usize) -> usize {
+    let lw = reranker.schema().expect_id("lw_ratio");
+    let mut session = reranker.query(RerankRequest {
+        filter: SearchQuery::all(),
+        function: OneDimFunction::asc(lw).into(),
+        algorithm: Algorithm::OneDRerank,
+    });
+    session.next_page(depth);
+    session.stats().total_queries()
+}
+
+fn bench_e3(c: &mut Criterion) {
+    let db = bluenile(Scale::Small);
+    let lw = db.schema().expect_id("lw_ratio");
+    let ties = {
+        let t = db.ground_truth();
+        (0..t.len()).filter(|&r| t.num(r, lw) == 1.00).count()
+    };
+    let depth = ties + 20;
+
+    let mut group = c.benchmark_group("e3_index_amortization");
+    group.sample_size(10);
+    group.bench_function("cold_index", |b| {
+        b.iter(|| {
+            let reranker = cold_reranker(db.clone(), ExecutorKind::Sequential);
+            run_session(&reranker, depth)
+        })
+    });
+    group.bench_function("warm_index", |b| {
+        // Warm the shared index once; each iteration reuses it.
+        let reranker = cold_reranker(db.clone(), ExecutorKind::Sequential);
+        run_session(&reranker, depth);
+        b.iter(|| run_session(&reranker, depth))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

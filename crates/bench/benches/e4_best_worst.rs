@@ -1,0 +1,47 @@
+//! Criterion bench for E4: the paper's best case (`price + sqft` on
+//! Zillow) against the worst case (ordering by the tied `lw_ratio` on
+//! Blue Nile).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr2_bench::workloads::{bluenile, cold_reranker, zillow, Scale};
+use qr2_core::{Algorithm, ExecutorKind, LinearFunction, OneDimFunction, RerankRequest};
+use qr2_webdb::{SearchQuery, TopKInterface};
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_best_worst");
+    group.sample_size(10);
+
+    let zdb = zillow(Scale::Small);
+    let f_best = LinearFunction::from_names(zdb.schema(), &[("price", 1.0), ("sqft", 1.0)])
+        .expect("valid");
+    group.bench_function("best_zillow_price_plus_sqft", |b| {
+        b.iter(|| {
+            let reranker = cold_reranker(zdb.clone(), ExecutorKind::Sequential);
+            let mut session = reranker.query(RerankRequest {
+                filter: SearchQuery::all(),
+                function: f_best.clone().into(),
+                algorithm: Algorithm::MdRerank,
+            });
+            session.next_page(10).len()
+        })
+    });
+
+    let bdb = bluenile(Scale::Small);
+    let lw = bdb.schema().expect_id("lw_ratio");
+    group.bench_function("worst_bluenile_lw_ratio_cold", |b| {
+        b.iter(|| {
+            let reranker = cold_reranker(bdb.clone(), ExecutorKind::Sequential);
+            let mut session = reranker.query(RerankRequest {
+                filter: SearchQuery::all(),
+                function: OneDimFunction::asc(lw).into(),
+                algorithm: Algorithm::OneDRerank,
+            });
+            // Deep enough to force the tie crawl.
+            session.next_page(400).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

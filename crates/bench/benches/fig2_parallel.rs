@@ -1,0 +1,24 @@
+//! Criterion bench for Fig. 2: the MD-RERANK get-next workload behind the
+//! parallel-queries-per-iteration figure, in 2D and 3D.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qr2_bench::fig2;
+use qr2_bench::workloads::Scale;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_parallel");
+    group.sample_size(10);
+    for dims in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("bluenile_md_rerank", dims), &dims, |b, &dims| {
+            b.iter(|| {
+                let (_, summary) = fig2(Scale::Small, dims, 15);
+                assert!(summary.total_queries > 0);
+                summary.total_queries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

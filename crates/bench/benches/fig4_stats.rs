@@ -1,0 +1,23 @@
+//! Criterion bench for Fig. 4: the statistics-panel workload
+//! (`price − 0.3·sqft` on Zillow, MD-RERANK top-10), without latency so
+//! the measurement captures algorithmic work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr2_bench::fig4;
+use qr2_bench::workloads::Scale;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_stats");
+    group.sample_size(10);
+    group.bench_function("zillow_price_minus_03_sqft_top10", |b| {
+        b.iter(|| {
+            let (_, summary) = fig4(Scale::Small, None, 10);
+            assert!(summary.queries > 0);
+            summary.queries
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

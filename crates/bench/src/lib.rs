@@ -1,0 +1,19 @@
+//! # qr2-bench — the experiment harness
+//!
+//! Every figure and demonstration scenario of the QR2 paper has a
+//! regeneration function here (see `DESIGN.md` §6 for the experiment
+//! index). The `figures` binary prints the tables and writes CSVs to
+//! `target/figures/`; the Criterion benches in `benches/` time the same
+//! workloads at reduced scale.
+//!
+//! The cost metric throughout is the paper's: **queries issued to the web
+//! database**, which is deterministic given the workload seed. Wall time
+//! appears only where the paper reports it (Fig. 4) and in the parallelism
+//! ablation.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use experiments::*;
+pub use report::{write_csv, Table};

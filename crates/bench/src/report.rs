@@ -1,0 +1,128 @@
+//! Plain-text tables and CSV output for the figures binary.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple aligned text table that doubles as CSV rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "── {} ──", self.title);
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+        }
+        out.push('\n');
+        for (i, _) in self.header.iter().enumerate() {
+            let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Directory that receives CSV output (`target/figures`).
+pub fn figures_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    // Walk up to the workspace root if invoked from a member dir.
+    while !dir.join("Cargo.toml").exists() && dir.parent().is_some() {
+        dir = dir.parent().expect("checked").to_path_buf();
+    }
+    dir.join("target").join("figures")
+}
+
+/// Write a table as `target/figures/<name>.csv`; returns the path.
+pub fn write_csv(name: &str, table: &Table) -> PathBuf {
+    let dir = figures_dir();
+    fs::create_dir_all(&dir).expect("create figures dir");
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv()).expect("write csv");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = Table::new("demo", &["algo", "queries"]);
+        t.row(&["1D-RERANK".to_string(), "12".to_string()]);
+        t.row(&["1D-BINARY".to_string(), "7".to_string()]);
+        let text = t.render();
+        assert!(text.contains("── demo ──"));
+        assert!(text.contains("1D-RERANK"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "algo,queries");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".to_string()]);
+    }
+}

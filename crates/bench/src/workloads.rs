@@ -1,0 +1,148 @@
+//! Experiment databases and ranking functions, at paper scale and at
+//! bench (reduced) scale. All seeds are fixed: every number in
+//! EXPERIMENTS.md is reproducible bit for bit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qr2_core::{ExecutorKind, LinearFunction, Reranker};
+use qr2_datagen::{
+    bluenile_db, generic_db, zillow_table, Correlation, DiamondsConfig, Distribution,
+    HomesConfig, SyntheticConfig,
+};
+use qr2_webdb::{SimulatedWebDb, SystemRanking, TopKInterface};
+
+/// Scale knob: `full` for the figures binary, `small` for Criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale inventories (figures binary).
+    Full,
+    /// Reduced inventories (Criterion wall-time benches).
+    Small,
+}
+
+impl Scale {
+    /// Diamond inventory size.
+    pub fn diamonds(self) -> usize {
+        match self {
+            Scale::Full => 8_000,
+            Scale::Small => 1_500,
+        }
+    }
+
+    /// Home inventory size.
+    pub fn homes(self) -> usize {
+        match self {
+            Scale::Full => 30_000,
+            Scale::Small => 4_000,
+        }
+    }
+}
+
+/// The simulated Blue Nile used by F2/E1/E2/E3/E4 (fixed seed).
+pub fn bluenile(scale: Scale) -> Arc<SimulatedWebDb> {
+    Arc::new(bluenile_db(&DiamondsConfig {
+        n: scale.diamonds(),
+        seed: 0xB10E_9115,
+        lw_tie_fraction: 0.20,
+        system_k: 30,
+    }))
+}
+
+/// The simulated Zillow used by F4/E1/E4 (fixed seed, no latency).
+pub fn zillow(scale: Scale) -> Arc<SimulatedWebDb> {
+    let table = zillow_table(&HomesConfig {
+        n: scale.homes(),
+        seed: 0x2111_0111,
+        zip_count: 24,
+        system_k: 40,
+    });
+    Arc::new(SimulatedWebDb::new(
+        table,
+        SystemRanking::opaque(0x2111_0111 ^ 0x5EED),
+        40,
+    ))
+}
+
+/// Zillow with per-query latency reproducing a live site (F4 wall time).
+/// ~1.2 s/query matches the paper's 27-queries-in-33-seconds anecdote.
+pub fn zillow_with_latency(scale: Scale, per_query: Duration) -> Arc<SimulatedWebDb> {
+    let table = zillow_table(&HomesConfig {
+        n: scale.homes(),
+        seed: 0x2111_0111,
+        zip_count: 24,
+        system_k: 40,
+    });
+    Arc::new(
+        SimulatedWebDb::new(table, SystemRanking::opaque(0x2111_0111 ^ 0x5EED), 40)
+            .with_latency(per_query, per_query / 4, 17),
+    )
+}
+
+/// A clustered 1D workload for the dense-threshold ablation.
+pub fn clustered(scale: Scale) -> Arc<SimulatedWebDb> {
+    Arc::new(generic_db(
+        &SyntheticConfig {
+            n: match scale {
+                Scale::Full => 12_000,
+                Scale::Small => 2_000,
+            },
+            dims: 2,
+            distribution: Distribution::Clustered {
+                clusters: 6,
+                spread: 0.002,
+            },
+            correlation: Correlation::Independent,
+            quantize_step: 0.0,
+            seed: 71,
+            system_k: 20,
+        },
+        &[1.0, -0.5],
+    ))
+}
+
+/// A uniform 2D workload for the system-k ablation (rebuilt per k).
+pub fn uniform_2d(scale: Scale, system_k: usize) -> Arc<SimulatedWebDb> {
+    Arc::new(generic_db(
+        &SyntheticConfig {
+            n: match scale {
+                Scale::Full => 10_000,
+                Scale::Small => 2_000,
+            },
+            dims: 2,
+            distribution: Distribution::Uniform,
+            correlation: Correlation::Independent,
+            quantize_step: 0.0,
+            seed: 29,
+            system_k,
+        },
+        &[1.0, 0.4],
+    ))
+}
+
+/// Fresh reranker (cold dense index) over a database.
+pub fn cold_reranker(db: Arc<SimulatedWebDb>, executor: ExecutorKind) -> Reranker {
+    Reranker::builder(db).executor(executor).build()
+}
+
+/// The paper's 3D Blue Nile function: `price − 0.1·carat − 0.5·depth`
+/// (Fig. 3(b)).
+pub fn f3_bluenile(db: &SimulatedWebDb) -> LinearFunction {
+    LinearFunction::from_names(
+        db.schema(),
+        &[("price", 1.0), ("carat", -0.1), ("depth", -0.5)],
+    )
+    .expect("static function is valid")
+}
+
+/// The 2D Blue Nile function used for Fig. 2(b): `price − 0.5·carat`.
+pub fn f2_bluenile(db: &SimulatedWebDb) -> LinearFunction {
+    LinearFunction::from_names(db.schema(), &[("price", 1.0), ("carat", -0.5)])
+        .expect("static function is valid")
+}
+
+/// The Fig. 4 Zillow function: `price − 0.3·sqft`.
+pub fn f_fig4(db: &SimulatedWebDb) -> LinearFunction {
+    LinearFunction::from_names(db.schema(), &[("price", 1.0), ("sqft", -0.3)])
+        .expect("static function is valid")
+}

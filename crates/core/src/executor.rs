@@ -1,0 +1,301 @@
+//! Query execution: the single funnel between the algorithms and the web
+//! database, with sequential or parallel batch submission and per-round
+//! statistics.
+//!
+//! Parallelism is the QR2 paper's answer to per-query network latency
+//! (§II-B "Parallel processing"): verification queries covering the areas
+//! where a better tuple could hide are independent, so they are submitted
+//! together. Note the paper's caveat — parallelism can *increase* the total
+//! number of queries (a batch is built before its first response arrives) —
+//! which the ablation benches quantify.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use qr2_webdb::{SearchQuery, TopKInterface, TopKResponse};
+
+use crate::stats::QueryStats;
+
+/// How batches are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// One query at a time, in order.
+    Sequential,
+    /// Up to `fanout` queries of a batch run concurrently on worker threads.
+    Parallel {
+        /// Maximum concurrent in-flight queries.
+        fanout: usize,
+    },
+}
+
+impl ExecutorKind {
+    /// The effective concurrency bound.
+    pub fn fanout(&self) -> usize {
+        match self {
+            ExecutorKind::Sequential => 1,
+            ExecutorKind::Parallel { fanout } => (*fanout).max(1),
+        }
+    }
+}
+
+/// Execution context handed to every algorithm: database handle, executor
+/// configuration, and the round ledger. Cloning shares the ledger, so a
+/// session and its inner streams account into the same statistics.
+#[derive(Clone)]
+pub struct SearchCtx {
+    db: Arc<dyn TopKInterface>,
+    kind: ExecutorKind,
+    stats: Arc<Mutex<QueryStats>>,
+}
+
+impl SearchCtx {
+    /// New context over `db`.
+    pub fn new(db: Arc<dyn TopKInterface>, kind: ExecutorKind) -> Self {
+        SearchCtx {
+            db,
+            kind,
+            stats: Arc::new(Mutex::new(QueryStats::default())),
+        }
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &qr2_webdb::Schema {
+        self.db.schema()
+    }
+
+    /// The interface page size.
+    pub fn system_k(&self) -> usize {
+        self.db.system_k()
+    }
+
+    /// The underlying interface (for components that need raw access, e.g.
+    /// the crawler — fold their query spend back in with
+    /// [`SearchCtx::record_external_sequential`]).
+    pub fn db(&self) -> &dyn TopKInterface {
+        &*self.db
+    }
+
+    /// Executor configuration.
+    pub fn kind(&self) -> ExecutorKind {
+        self.kind
+    }
+
+    /// Execute a single query as its own (sequential) round.
+    pub fn search(&self, q: &SearchQuery) -> TopKResponse {
+        let start = Instant::now();
+        let resp = self.db.search(q);
+        self.stats.lock().record_round(1, start.elapsed());
+        resp
+    }
+
+    /// Execute a batch as one round. Responses are returned in input order.
+    /// With a parallel executor, up to `fanout` queries run concurrently.
+    pub fn search_batch(&self, qs: &[SearchQuery]) -> Vec<TopKResponse> {
+        if qs.is_empty() {
+            return Vec::new();
+        }
+        let start = Instant::now();
+        let responses = match self.kind {
+            ExecutorKind::Sequential => qs.iter().map(|q| self.db.search(q)).collect(),
+            ExecutorKind::Parallel { fanout } => {
+                let fanout = fanout.max(1).min(qs.len());
+                if fanout == 1 || qs.len() == 1 {
+                    qs.iter().map(|q| self.db.search(q)).collect()
+                } else {
+                    self.parallel_batch(qs, fanout)
+                }
+            }
+        };
+        self.stats.lock().record_round(qs.len(), start.elapsed());
+        responses
+    }
+
+    fn parallel_batch(&self, qs: &[SearchQuery], fanout: usize) -> Vec<TopKResponse> {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<TopKResponse>>> =
+            (0..qs.len()).map(|_| Mutex::new(None)).collect();
+        let db = &self.db;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..fanout {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= qs.len() {
+                        break;
+                    }
+                    let resp = db.search(&qs[i]);
+                    *slots[i].lock() = Some(resp);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every slot filled"))
+            .collect()
+    }
+
+    /// Fold externally issued queries (e.g. a crawl) into the ledger as one
+    /// round.
+    pub fn record_external_round(&self, queries: usize, elapsed: std::time::Duration) {
+        if queries > 0 {
+            self.stats.lock().record_round(queries, elapsed);
+        }
+    }
+
+    /// Fold externally issued queries in as `queries` sequential rounds of
+    /// one. Used for crawls, which probe one region at a time — counting
+    /// them as sequential keeps the parallel-fraction metric conservative.
+    pub fn record_external_sequential(&self, queries: usize, elapsed: std::time::Duration) {
+        if queries == 0 {
+            return;
+        }
+        let mut stats = self.stats.lock();
+        let per = elapsed / queries as u32;
+        for _ in 0..queries {
+            stats.record_round(1, per);
+        }
+    }
+
+    /// Snapshot of the statistics so far.
+    pub fn stats(&self) -> QueryStats {
+        self.stats.lock().clone()
+    }
+
+    /// Reset the ledger (between experiment phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = QueryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_webdb::{RangePred, Schema, SimulatedWebDb, SystemRanking, TableBuilder};
+    use std::time::Duration;
+
+    fn db() -> Arc<SimulatedWebDb> {
+        let schema = Schema::builder().numeric("x", 0.0, 100.0).build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for i in 0..100 {
+            tb.push_row(vec![i as f64]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+        Arc::new(SimulatedWebDb::new(tb.build(), ranking, 10))
+    }
+
+    fn probes(n: usize, schema: &Schema) -> Vec<SearchQuery> {
+        let x = schema.expect_id("x");
+        (0..n)
+            .map(|i| {
+                SearchQuery::all()
+                    .and_range(x, RangePred::half_open(i as f64 * 10.0, (i + 1) as f64 * 10.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_batch_preserves_order_and_counts() {
+        let d = db();
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let qs = probes(5, d.schema());
+        let rs = ctx.search_batch(&qs);
+        assert_eq!(rs.len(), 5);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(r.tuples.len(), 10, "bucket {i} has 10 tuples");
+            assert!(r
+                .tuples
+                .iter()
+                .all(|t| (t.num(0) / 10.0).floor() as usize == i));
+        }
+        let stats = ctx.stats();
+        assert_eq!(stats.rounds, vec![5]);
+        assert_eq!(stats.total_queries(), 5);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_results() {
+        let d = db();
+        let seq = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let par = SearchCtx::new(d.clone(), ExecutorKind::Parallel { fanout: 4 });
+        let qs = probes(8, d.schema());
+        let a = seq.search_batch(&qs);
+        let b = par.search_batch(&qs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_batch_is_concurrent() {
+        let schema = Schema::builder().numeric("x", 0.0, 100.0).build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for i in 0..100 {
+            tb.push_row(vec![i as f64]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+        let d = Arc::new(
+            SimulatedWebDb::new(tb.build(), ranking, 10).with_latency(
+                Duration::from_millis(25),
+                Duration::ZERO,
+                1,
+            ),
+        );
+        let ctx = SearchCtx::new(d, ExecutorKind::Parallel { fanout: 8 });
+        let qs = probes(8, &schema);
+        let start = Instant::now();
+        ctx.search_batch(&qs);
+        let elapsed = start.elapsed();
+        // Sequentially this is >= 200ms; with fanout 8 it should be ~25ms.
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "batch took {elapsed:?}, not parallel"
+        );
+    }
+
+    #[test]
+    fn single_query_rounds() {
+        let d = db();
+        let ctx = SearchCtx::new(d, ExecutorKind::Parallel { fanout: 4 });
+        ctx.search(&SearchQuery::all());
+        ctx.search(&SearchQuery::all());
+        let stats = ctx.stats();
+        assert_eq!(stats.rounds, vec![1, 1]);
+        assert_eq!(stats.parallel_rounds(), 0);
+    }
+
+    #[test]
+    fn empty_batch_records_nothing() {
+        let d = db();
+        let ctx = SearchCtx::new(d, ExecutorKind::Sequential);
+        let rs = ctx.search_batch(&[]);
+        assert!(rs.is_empty());
+        assert_eq!(ctx.stats().num_rounds(), 0);
+    }
+
+    #[test]
+    fn external_rounds_fold_in() {
+        let d = db();
+        let ctx = SearchCtx::new(d, ExecutorKind::Sequential);
+        ctx.record_external_round(7, Duration::from_millis(3));
+        ctx.record_external_round(0, Duration::ZERO); // ignored
+        ctx.record_external_sequential(3, Duration::from_millis(3));
+        assert_eq!(ctx.stats().rounds, vec![7, 1, 1, 1]);
+    }
+
+    #[test]
+    fn clones_share_the_ledger() {
+        let d = db();
+        let ctx = SearchCtx::new(d, ExecutorKind::Sequential);
+        let clone = ctx.clone();
+        clone.search(&SearchQuery::all());
+        assert_eq!(ctx.stats().total_queries(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let d = db();
+        let ctx = SearchCtx::new(d, ExecutorKind::Sequential);
+        ctx.search(&SearchQuery::all());
+        ctx.reset_stats();
+        assert_eq!(ctx.stats().num_rounds(), 0);
+    }
+}

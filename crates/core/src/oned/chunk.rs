@@ -1,0 +1,470 @@
+//! Chunk finders: retrieve a *complete prefix* of an interval — the
+//! interval's preferred end together with every matching tuple inside it.
+
+use std::time::Instant;
+
+use qr2_crawler::{Crawler, CrawlerConfig};
+use qr2_webdb::{AttrId, RangePred, SearchQuery, Tuple};
+
+use crate::dense_index::DenseIndex;
+use crate::executor::SearchCtx;
+use crate::function::SortDir;
+use crate::oned::OneDAlgo;
+
+/// A fully enumerated prefix of a searched interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// The sub-interval that is now completely known. Always a prefix of
+    /// the searched interval from its preferred end (low end for `Asc`).
+    pub complete: RangePred,
+    /// Every tuple matching the filter whose ranking value lies in
+    /// `complete`, in no particular order.
+    pub tuples: Vec<Tuple>,
+}
+
+/// Parameters shared by all chunk finders.
+pub struct ChunkParams<'a> {
+    /// Execution context.
+    pub ctx: &'a SearchCtx,
+    /// The user's filter query (may itself constrain the ranking attribute;
+    /// intervals passed to the finder are already inside that range).
+    pub filter: &'a SearchQuery,
+    /// Ranking attribute.
+    pub attr: AttrId,
+    /// Sort direction.
+    pub dir: SortDir,
+    /// Algorithm.
+    pub algo: OneDAlgo,
+    /// Shared dense index (`Rerank` only).
+    pub dense: Option<&'a DenseIndex>,
+    /// Dense-interval threshold as a fraction of the attribute's domain
+    /// width (`Rerank` only).
+    pub delta: f64,
+}
+
+impl ChunkParams<'_> {
+    fn probe_query(&self, r: RangePred) -> SearchQuery {
+        self.filter
+            .with(self.attr, qr2_webdb::Predicate::Range(r))
+    }
+
+    /// `[start-of-interval .. far-edge-of-cur]` in the preferred direction.
+    fn join_prefix(&self, interval: RangePred, cur: RangePred) -> RangePred {
+        match self.dir {
+            SortDir::Asc => RangePred {
+                lo: interval.lo,
+                lo_inc: interval.lo_inc,
+                hi: cur.hi,
+                hi_inc: cur.hi_inc,
+            },
+            SortDir::Desc => RangePred {
+                lo: cur.lo,
+                lo_inc: cur.lo_inc,
+                hi: interval.hi,
+                hi_inc: interval.hi_inc,
+            },
+        }
+    }
+
+    /// Segment of `interval` strictly better than `bound`.
+    fn before(&self, interval: RangePred, bound: f64) -> RangePred {
+        match self.dir {
+            SortDir::Asc => RangePred {
+                lo: interval.lo,
+                lo_inc: interval.lo_inc,
+                hi: bound,
+                hi_inc: false,
+            },
+            SortDir::Desc => RangePred {
+                lo: bound,
+                lo_inc: false,
+                hi: interval.hi,
+                hi_inc: interval.hi_inc,
+            },
+        }
+    }
+
+    fn best_value(&self, tuples: &[Tuple]) -> f64 {
+        let mut it = tuples.iter().map(|t| t.num_at(self.attr));
+        let first = it.next().expect("non-empty tuple list");
+        it.fold(first, |acc, v| if self.dir.better(v, acc) { v } else { acc })
+    }
+
+    fn domain_width(&self) -> f64 {
+        let (lo, hi) = self
+            .ctx
+            .schema()
+            .attr(self.attr)
+            .numeric_domain();
+        (hi - lo).max(f64::MIN_POSITIVE)
+    }
+
+    fn is_unsplittable(&self, r: RangePred) -> bool {
+        if self.ctx.schema().attr(self.attr).is_integral() {
+            r.hi - r.lo < 1.0
+        } else {
+            let mid = r.lo + (r.hi - r.lo) / 2.0;
+            mid <= r.lo || mid >= r.hi
+        }
+    }
+
+    fn is_dense(&self, r: RangePred) -> bool {
+        match self.algo {
+            OneDAlgo::Rerank => {
+                self.is_unsplittable(r) || r.width() / self.domain_width() < self.delta
+            }
+            _ => self.is_unsplittable(r),
+        }
+    }
+
+    /// Split `r` into (preferred half, other half).
+    fn split(&self, r: RangePred) -> (RangePred, RangePred) {
+        let (low, high) = if self.ctx.schema().attr(self.attr).is_integral() {
+            let m = ((r.lo + r.hi) / 2.0).floor();
+            (
+                RangePred::closed(r.lo, m),
+                RangePred::closed(m + 1.0, r.hi),
+            )
+        } else {
+            let mid = r.lo + (r.hi - r.lo) / 2.0;
+            (
+                RangePred {
+                    lo: r.lo,
+                    lo_inc: r.lo_inc,
+                    hi: mid,
+                    hi_inc: false,
+                },
+                RangePred {
+                    lo: mid,
+                    lo_inc: true,
+                    hi: r.hi,
+                    hi_inc: r.hi_inc,
+                },
+            )
+        };
+        match self.dir {
+            SortDir::Asc => (low, high),
+            SortDir::Desc => (high, low),
+        }
+    }
+
+    /// Enumerate a fully dense sub-interval. `Rerank` goes through the
+    /// shared index with an *unfiltered* region (reusable across sessions);
+    /// the others crawl the filtered region directly, paying full price
+    /// every time (the behaviour the paper contrasts against).
+    fn enumerate_dense(&self, r: RangePred) -> Vec<Tuple> {
+        match (self.algo, self.dense) {
+            (OneDAlgo::Rerank, Some(index)) => {
+                let region = SearchQuery::all()
+                    .and_range(self.attr, r);
+                let tuples = index.get_or_crawl(self.ctx, &region);
+                tuples
+                    .into_iter()
+                    .filter(|t| self.filter.matches_with(|a| t.value(a)))
+                    .collect()
+            }
+            _ => {
+                let start = Instant::now();
+                let crawler = Crawler::new(self.ctx.db(), CrawlerConfig::default());
+                let result = crawler.crawl(&self.probe_query(r));
+                self.ctx
+                    .record_external_sequential(result.queries, start.elapsed());
+                result.tuples
+            }
+        }
+    }
+}
+
+/// Find the next complete prefix of `interval` (which must be non-empty).
+pub fn find_chunk(p: &ChunkParams<'_>, interval: RangePred) -> Chunk {
+    debug_assert!(!interval.is_empty(), "chunk finder needs a live interval");
+    match p.algo {
+        OneDAlgo::Baseline => baseline_chunk(p, interval),
+        OneDAlgo::Binary | OneDAlgo::Rerank => binary_chunk(p, interval),
+    }
+}
+
+/// `1D-BASELINE`: repeatedly narrow toward the preferred end using the best
+/// returned value as an exclusive bound.
+fn baseline_chunk(p: &ChunkParams<'_>, interval: RangePred) -> Chunk {
+    let mut bound: Option<f64> = None;
+    loop {
+        let probe = match bound {
+            None => interval,
+            Some(b) => p.before(interval, b),
+        };
+        if probe.is_empty() {
+            // The bound collapsed onto the preferred endpoint: everything
+            // better is known empty; enumerate the ties at the bound value.
+            let b = bound.expect("empty probe implies a bound");
+            return value_chunk(p, interval, b, true);
+        }
+        let resp = p.ctx.search(&p.probe_query(probe));
+        if !resp.overflow {
+            if resp.tuples.is_empty() {
+                if let Some(b) = bound {
+                    // Nothing better than the bound exists: the bound value
+                    // itself is the minimum. Enumerate its ties.
+                    return value_chunk(p, interval, b, true);
+                }
+                // Whole interval empty.
+                return Chunk {
+                    complete: interval,
+                    tuples: Vec::new(),
+                };
+            }
+            return Chunk {
+                complete: probe,
+                tuples: resp.tuples,
+            };
+        }
+        bound = Some(p.best_value(&resp.tuples));
+    }
+}
+
+/// Complete prefix `[start .. v]` whose only possible occupants are the
+/// ties at `v`. When `known_empty_before` is true the sub-interval strictly
+/// better than `v` has already been proven empty.
+fn value_chunk(
+    p: &ChunkParams<'_>,
+    interval: RangePred,
+    v: f64,
+    known_empty_before: bool,
+) -> Chunk {
+    debug_assert!(known_empty_before);
+    let point = RangePred::point(v);
+    let resp = p.ctx.search(&p.probe_query(point));
+    let tuples = if resp.overflow {
+        // More ties than system-k: the paper's tie-crawl case.
+        p.enumerate_dense(point)
+    } else {
+        resp.tuples
+    };
+    Chunk {
+        complete: p.join_prefix(interval, point),
+        tuples,
+    }
+}
+
+/// `1D-BINARY` / `1D-RERANK`: preferred-first interval bisection with a
+/// stack; RERANK diverts dense intervals to the shared index.
+fn binary_chunk(p: &ChunkParams<'_>, interval: RangePred) -> Chunk {
+    let mut stack: Vec<RangePred> = vec![interval];
+    while let Some(cur) = stack.pop() {
+        if cur.is_empty() {
+            continue;
+        }
+        let resp = p.ctx.search(&p.probe_query(cur));
+        if !resp.overflow {
+            if resp.tuples.is_empty() {
+                continue; // cur proven empty: the prefix extends past it
+            }
+            return Chunk {
+                complete: p.join_prefix(interval, cur),
+                tuples: resp.tuples,
+            };
+        }
+        if p.is_dense(cur) {
+            let tuples = p.enumerate_dense(cur);
+            if tuples.is_empty() {
+                // The region holds tuples, but none match the filter
+                // (possible via the unfiltered index path): keep moving.
+                continue;
+            }
+            return Chunk {
+                complete: p.join_prefix(interval, cur),
+                tuples,
+            };
+        }
+        let (pref, other) = p.split(cur);
+        stack.push(other);
+        stack.push(pref);
+    }
+    Chunk {
+        complete: interval,
+        tuples: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExecutorKind;
+    use qr2_webdb::{Schema, SimulatedWebDb, SystemRanking, TableBuilder};
+
+    use std::sync::Arc;
+
+    /// xs values with hidden rank = x descending (anti-correlated with Asc).
+    fn db(xs: &[f64], system_k: usize) -> Arc<SimulatedWebDb> {
+        let schema = Schema::builder()
+            .numeric("x", 0.0, 100.0)
+            .numeric("y", 0.0, 100.0)
+            .build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for (i, &x) in xs.iter().enumerate() {
+            tb.push_row(vec![x, (i % 97) as f64]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+        Arc::new(SimulatedWebDb::new(tb.build(), ranking, system_k))
+    }
+
+    fn params<'a>(
+        ctx: &'a SearchCtx,
+        filter: &'a SearchQuery,
+        algo: OneDAlgo,
+        dense: Option<&'a DenseIndex>,
+        dir: SortDir,
+    ) -> ChunkParams<'a> {
+        ChunkParams {
+            ctx,
+            filter,
+            attr: AttrId(0),
+            dir,
+            algo,
+            dense,
+            delta: crate::oned::DEFAULT_DENSE_DELTA_1D,
+        }
+    }
+
+    fn full_interval() -> RangePred {
+        RangePred::closed(0.0, 100.0)
+    }
+
+    #[test]
+    fn baseline_finds_min_prefix() {
+        let d = db(&[50.0, 10.0, 30.0, 70.0, 90.0], 2);
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let filter = SearchQuery::all();
+        let p = params(&ctx, &filter, OneDAlgo::Baseline, None, SortDir::Asc);
+        let chunk = find_chunk(&p, full_interval());
+        let min_found = chunk
+            .tuples
+            .iter()
+            .map(|t| t.num(0))
+            .fold(f64::MAX, f64::min);
+        assert_eq!(min_found, 10.0);
+        assert!(chunk.complete.matches(10.0));
+    }
+
+    #[test]
+    fn binary_finds_min_prefix() {
+        let d = db(&[50.0, 10.0, 30.0, 70.0, 90.0], 2);
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let filter = SearchQuery::all();
+        let p = params(&ctx, &filter, OneDAlgo::Binary, None, SortDir::Asc);
+        let chunk = find_chunk(&p, full_interval());
+        assert!(chunk.tuples.iter().any(|t| t.num(0) == 10.0));
+        // Everything in the complete prefix is enumerated.
+        for t in &chunk.tuples {
+            assert!(chunk.complete.matches(t.num(0)));
+        }
+    }
+
+    #[test]
+    fn desc_direction_finds_max() {
+        let d = db(&[50.0, 10.0, 30.0, 70.0, 90.0], 2);
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let filter = SearchQuery::all();
+        for algo in [OneDAlgo::Baseline, OneDAlgo::Binary] {
+            let p = params(&ctx, &filter, algo, None, SortDir::Desc);
+            let chunk = find_chunk(&p, full_interval());
+            assert!(
+                chunk.tuples.iter().any(|t| t.num(0) == 90.0),
+                "{algo:?} must find the max"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_interval_chunk() {
+        let d = db(&[50.0], 2);
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let filter = SearchQuery::all();
+        let p = params(&ctx, &filter, OneDAlgo::Binary, None, SortDir::Asc);
+        let chunk = find_chunk(&p, RangePred::closed(60.0, 100.0));
+        assert!(chunk.tuples.is_empty());
+        assert_eq!(chunk.complete, RangePred::closed(60.0, 100.0));
+    }
+
+    #[test]
+    fn ties_enumerated_beyond_system_k() {
+        // 20 ties at x=25 (> system-k = 3), separable on y.
+        let xs: Vec<f64> = (0..20).map(|_| 25.0).chain([40.0, 60.0]).collect();
+        let d = db(&xs, 3);
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let filter = SearchQuery::all();
+        for algo in [OneDAlgo::Baseline, OneDAlgo::Binary] {
+            ctx.reset_stats();
+            let p = params(&ctx, &filter, algo, None, SortDir::Asc);
+            let chunk = find_chunk(&p, full_interval());
+            let ties = chunk.tuples.iter().filter(|t| t.num(0) == 25.0).count();
+            assert_eq!(ties, 20, "{algo:?} must enumerate all ties");
+        }
+    }
+
+    #[test]
+    fn rerank_uses_dense_index_for_ties() {
+        let xs: Vec<f64> = (0..30).map(|_| 25.0).chain([40.0]).collect();
+        let d = db(&xs, 3);
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let filter = SearchQuery::all();
+        let index = DenseIndex::in_memory();
+        let p = params(&ctx, &filter, OneDAlgo::Rerank, Some(&index), SortDir::Asc);
+        let chunk = find_chunk(&p, full_interval());
+        assert_eq!(
+            chunk.tuples.iter().filter(|t| t.num(0) == 25.0).count(),
+            30
+        );
+        assert_eq!(index.stats().misses, 1);
+
+        // Second run over a fresh context: the dense part is a cache hit.
+        let ctx2 = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let p2 = params(&ctx2, &filter, OneDAlgo::Rerank, Some(&index), SortDir::Asc);
+        let chunk2 = find_chunk(&p2, full_interval());
+        assert_eq!(chunk2.tuples.len(), chunk.tuples.len());
+        assert!(index.stats().hits >= 1);
+        assert!(
+            ctx2.stats().total_queries() < ctx.stats().total_queries(),
+            "cached run must be cheaper"
+        );
+    }
+
+    #[test]
+    fn baseline_cheap_when_correlated() {
+        // Hidden rank = x ascending (same as user's Asc) → first page gives
+        // the minimum immediately; baseline needs very few queries.
+        let schema = Schema::builder()
+            .numeric("x", 0.0, 100.0)
+            .numeric("y", 0.0, 100.0)
+            .build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for i in 0..200 {
+            tb.push_row(vec![(i as f64) / 2.0, 0.0]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", -1.0)]).unwrap();
+        let d = Arc::new(SimulatedWebDb::new(tb.build(), ranking, 10));
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let filter = SearchQuery::all();
+        let p = params(&ctx, &filter, OneDAlgo::Baseline, None, SortDir::Asc);
+        let chunk = find_chunk(&p, full_interval());
+        assert!(chunk.tuples.iter().any(|t| t.num(0) == 0.0));
+        assert!(
+            ctx.stats().total_queries() <= 4,
+            "correlated baseline should be cheap, used {}",
+            ctx.stats().total_queries()
+        );
+    }
+
+    #[test]
+    fn filter_is_respected() {
+        let d = db(&[10.0, 20.0, 30.0, 40.0], 2);
+        let ctx = SearchCtx::new(d.clone(), ExecutorKind::Sequential);
+        let y = AttrId(1);
+        // y values are i % 97 = 0,1,2,3; filter y >= 2 keeps x ∈ {30, 40}.
+        let filter = SearchQuery::all().and_range(y, RangePred::closed(2.0, 100.0));
+        let p = params(&ctx, &filter, OneDAlgo::Binary, None, SortDir::Asc);
+        let chunk = find_chunk(&p, full_interval());
+        assert!(chunk.tuples.iter().any(|t| t.num(0) == 30.0));
+        assert!(chunk.tuples.iter().all(|t| t.num(0) >= 30.0));
+    }
+}

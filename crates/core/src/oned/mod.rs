@@ -1,0 +1,50 @@
+//! One-dimensional reranking: `ORDER BY attr ASC|DESC` over a hidden top-k
+//! interface.
+//!
+//! All three algorithms are implemented as *chunk finders*: given the
+//! unexplored interval of the ranking attribute, they retrieve a **complete
+//! prefix** of it — an interval starting at the preferred end together with
+//! *every* matching tuple inside it. The [`OneDimStream`] then serves those
+//! tuples in order and advances the frontier, which is exactly the paper's
+//! get-next primitive (the user-level session cache is the stream's pending
+//! buffer).
+//!
+//! * [`OneDAlgo::Baseline`] — narrow `[lo, best)` with the best returned
+//!   value as the new bound; fast when the hidden ranking agrees with the
+//!   user's, linear-ish when it opposes it.
+//! * [`OneDAlgo::Binary`] — halve the interval; logarithmic except in
+//!   *dense regions* (ties/clusters), where it degenerates into a crawl
+//!   without remembering anything.
+//! * [`OneDAlgo::Rerank`] — binary plus the shared [`DenseIndex`](crate::DenseIndex): a dense
+//!   interval is crawled once and served from the index forever after.
+
+mod chunk;
+mod stream;
+
+pub use chunk::{find_chunk, Chunk};
+pub use stream::OneDimStream;
+
+/// Algorithm selector for 1D reranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneDAlgo {
+    /// `1D-BASELINE` of the paper.
+    Baseline,
+    /// `1D-BINARY` of the paper.
+    Binary,
+    /// `1D-RERANK` of the paper (binary + on-the-fly dense indexing).
+    Rerank,
+}
+
+/// Default dense-region threshold for `1D-RERANK`: an interval narrower
+/// than this fraction of the attribute's domain that still overflows is
+/// declared dense and crawled into the index.
+///
+/// The default is deliberately near-point (2⁻²⁶ of the domain): eager
+/// crawling is reserved for genuine value-mass regions — exact ties and
+/// quantization atoms — where the interface *cannot* make progress by
+/// splitting. Wider thresholds trade first-session cost for warm-session
+/// savings on clustered data; the `ablation_dense_delta` bench sweeps this
+/// knob (DESIGN.md §5.1). On heavy-tailed attributes (prices), a wide δ
+/// misfires: the bulk of the inventory sits in a narrow band near the
+/// cheap end and would be crawled wholesale on first contact.
+pub const DEFAULT_DENSE_DELTA_1D: f64 = 1.0 / (1u64 << 26) as f64;

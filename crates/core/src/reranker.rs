@@ -1,0 +1,457 @@
+//! The top-level facade: configure once, then run reranking sessions.
+
+use std::sync::Arc;
+
+use qr2_webdb::{Schema, SearchQuery, TopKInterface, Tuple};
+
+use crate::dense_index::DenseIndex;
+use crate::executor::{ExecutorKind, SearchCtx};
+use crate::function::{LinearFunction, RankingFunction, SortDir};
+use crate::md::{MdAlgo, MdReranker};
+use crate::normalize::{calibrate, Normalizer};
+use crate::oned::{OneDAlgo, OneDimStream};
+use crate::stats::QueryStats;
+
+/// Which of the paper's algorithms processes the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// `1D-BASELINE`.
+    OneDBaseline,
+    /// `1D-BINARY`.
+    OneDBinary,
+    /// `1D-RERANK`.
+    OneDRerank,
+    /// `MD-BASELINE`.
+    MdBaseline,
+    /// `MD-BINARY`.
+    MdBinary,
+    /// `MD-RERANK`.
+    MdRerank,
+    /// `MD-TA`.
+    MdTa,
+}
+
+impl Algorithm {
+    /// True for the 1D family.
+    pub fn is_one_dimensional(self) -> bool {
+        matches!(
+            self,
+            Algorithm::OneDBaseline | Algorithm::OneDBinary | Algorithm::OneDRerank
+        )
+    }
+
+    /// Display name as used in the paper.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Algorithm::OneDBaseline => "1D-BASELINE",
+            Algorithm::OneDBinary => "1D-BINARY",
+            Algorithm::OneDRerank => "1D-RERANK",
+            Algorithm::MdBaseline => "MD-BASELINE",
+            Algorithm::MdBinary => "MD-BINARY",
+            Algorithm::MdRerank => "MD-RERANK",
+            Algorithm::MdTa => "MD-TA",
+        }
+    }
+}
+
+/// A reranking request: filter + user function + algorithm.
+#[derive(Debug, Clone)]
+pub struct RerankRequest {
+    /// The user's filter (the "filtering section" of the UI).
+    pub filter: SearchQuery,
+    /// The user's ranking function (the "ranking section").
+    pub function: RankingFunction,
+    /// Algorithm choice.
+    pub algorithm: Algorithm,
+}
+
+/// Builder for [`Reranker`].
+pub struct RerankerBuilder {
+    db: Arc<dyn TopKInterface>,
+    dense: Option<Arc<DenseIndex>>,
+    executor: ExecutorKind,
+    calibrate_attrs: Vec<qr2_webdb::AttrId>,
+}
+
+impl RerankerBuilder {
+    /// Use a specific dense index (e.g. a persistent, boot-verified one).
+    /// Defaults to a fresh in-memory index.
+    #[must_use]
+    pub fn dense_index(mut self, dense: Arc<DenseIndex>) -> Self {
+        self.dense = Some(dense);
+        self
+    }
+
+    /// Configure the executor (default: parallel with fan-out 8).
+    #[must_use]
+    pub fn executor(mut self, kind: ExecutorKind) -> Self {
+        self.executor = kind;
+        self
+    }
+
+    /// Discover true min/max for these attributes at build time (costs
+    /// queries once; improves normalization fidelity). Without this the
+    /// normalizer uses the public form domains.
+    #[must_use]
+    pub fn calibrate(mut self, attrs: &[qr2_webdb::AttrId]) -> Self {
+        self.calibrate_attrs.extend_from_slice(attrs);
+        self
+    }
+
+    /// Build the reranker.
+    pub fn build(self) -> Reranker {
+        let norm = Arc::new(Normalizer::from_domains(self.db.schema()));
+        let mut calibration_queries = 0;
+        if !self.calibrate_attrs.is_empty() {
+            calibration_queries = calibrate(&*self.db, &norm, &self.calibrate_attrs);
+        }
+        Reranker {
+            db: self.db,
+            dense: self.dense.unwrap_or_else(|| Arc::new(DenseIndex::in_memory())),
+            norm,
+            executor: self.executor,
+            calibration_queries,
+        }
+    }
+}
+
+/// The QR2 reranking service core: holds the database handle, the shared
+/// dense index, the normalizer, and executor configuration. One `Reranker`
+/// serves many concurrent sessions.
+pub struct Reranker {
+    db: Arc<dyn TopKInterface>,
+    dense: Arc<DenseIndex>,
+    norm: Arc<Normalizer>,
+    executor: ExecutorKind,
+    calibration_queries: usize,
+}
+
+impl Reranker {
+    /// Start building a reranker over `db`.
+    pub fn builder(db: Arc<dyn TopKInterface>) -> RerankerBuilder {
+        RerankerBuilder {
+            db,
+            dense: None,
+            executor: ExecutorKind::Parallel { fanout: 8 },
+            calibrate_attrs: Vec::new(),
+        }
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &Schema {
+        self.db.schema()
+    }
+
+    /// The shared dense index.
+    pub fn dense_index(&self) -> &Arc<DenseIndex> {
+        &self.dense
+    }
+
+    /// The normalizer in use.
+    pub fn normalizer(&self) -> &Arc<Normalizer> {
+        &self.norm
+    }
+
+    /// Queries spent on min/max calibration at build time.
+    pub fn calibration_queries(&self) -> usize {
+        self.calibration_queries
+    }
+
+    /// Start a reranking session.
+    ///
+    /// Function/algorithm combinations are reconciled automatically:
+    /// a single-attribute linear function runs on the 1D engines and a
+    /// [`crate::OneDimFunction`] runs on the MD engines as a ±1-weight linear
+    /// function. The only rejected combination — a multi-attribute function
+    /// on a 1D algorithm — panics, since no sound conversion exists.
+    pub fn query(&self, req: RerankRequest) -> RerankSession {
+        req.function
+            .validate(self.schema())
+            .unwrap_or_else(|e| panic!("invalid ranking function: {e}"));
+        let ctx = SearchCtx::new(self.db.clone(), self.executor);
+        let inner = if req.algorithm.is_one_dimensional() {
+            let (attr, dir) = match &req.function {
+                RankingFunction::OneDim(f) => (f.attr, f.dir),
+                RankingFunction::Linear(f) => {
+                    assert!(
+                        f.dims() == 1,
+                        "algorithm {} is one-dimensional but the ranking function has {} attributes",
+                        req.algorithm.paper_name(),
+                        f.dims()
+                    );
+                    let (attr, w) = f.weights()[0];
+                    (attr, if w >= 0.0 { SortDir::Asc } else { SortDir::Desc })
+                }
+            };
+            let algo = match req.algorithm {
+                Algorithm::OneDBaseline => OneDAlgo::Baseline,
+                Algorithm::OneDBinary => OneDAlgo::Binary,
+                Algorithm::OneDRerank => OneDAlgo::Rerank,
+                _ => unreachable!("is_one_dimensional checked"),
+            };
+            let dense = (algo == OneDAlgo::Rerank).then(|| self.dense.clone());
+            SessionInner::OneD(OneDimStream::new(
+                ctx.clone(),
+                req.filter,
+                attr,
+                dir,
+                algo,
+                dense,
+            ))
+        } else {
+            let f = match &req.function {
+                RankingFunction::Linear(f) => f.clone(),
+                RankingFunction::OneDim(f) => {
+                    let w = match f.dir {
+                        SortDir::Asc => 1.0,
+                        SortDir::Desc => -1.0,
+                    };
+                    LinearFunction::new(vec![(f.attr, w)])
+                        .expect("±1 single-attribute function is valid")
+                }
+            };
+            let algo = match req.algorithm {
+                Algorithm::MdBaseline => MdAlgo::Baseline,
+                Algorithm::MdBinary => MdAlgo::Binary,
+                Algorithm::MdRerank => MdAlgo::Rerank,
+                Algorithm::MdTa => MdAlgo::Ta,
+                _ => unreachable!("non-1D checked"),
+            };
+            let dense = matches!(algo, MdAlgo::Rerank | MdAlgo::Ta).then(|| self.dense.clone());
+            SessionInner::Md(MdReranker::new(
+                ctx.clone(),
+                req.filter,
+                f,
+                self.norm.clone(),
+                algo,
+                dense,
+            ))
+        };
+        RerankSession { ctx, inner }
+    }
+}
+
+enum SessionInner {
+    OneD(OneDimStream),
+    Md(MdReranker),
+}
+
+/// A live reranking session: get-next plus its statistics panel.
+pub struct RerankSession {
+    ctx: SearchCtx,
+    inner: SessionInner,
+}
+
+impl RerankSession {
+    /// The get-next primitive.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Tuple> {
+        match &mut self.inner {
+            SessionInner::OneD(s) => s.next(),
+            SessionInner::Md(s) => s.next(),
+        }
+    }
+
+    /// Fetch the next `k` tuples (one results page).
+    pub fn next_page(&mut self, k: usize) -> Vec<Tuple> {
+        let mut page = Vec::with_capacity(k);
+        for _ in 0..k {
+            match self.next() {
+                Some(t) => page.push(t),
+                None => break,
+            }
+        }
+        page
+    }
+
+    /// Tuples served so far.
+    pub fn served(&self) -> usize {
+        match &self.inner {
+            SessionInner::OneD(s) => s.served(),
+            SessionInner::Md(s) => s.served(),
+        }
+    }
+
+    /// The statistics panel: per-round query counts, totals, wall time.
+    pub fn stats(&self) -> QueryStats {
+        self.ctx.stats()
+    }
+}
+
+impl Iterator for RerankSession {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        RerankSession::next(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::OneDimFunction;
+    use qr2_webdb::{AttrId, SimulatedWebDb, SystemRanking, TableBuilder, TopKInterface};
+
+    fn db() -> Arc<SimulatedWebDb> {
+        let schema = Schema::builder()
+            .numeric("price", 0.0, 100.0)
+            .numeric("size", 0.0, 10.0)
+            .build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for i in 0..50 {
+            let price = ((i * 13) % 50) as f64 * 2.0;
+            let size = (i % 10) as f64;
+            tb.push_row(vec![price, size]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("price", 1.0)]).unwrap();
+        Arc::new(SimulatedWebDb::new(tb.build(), ranking, 6))
+    }
+
+    fn all_algorithms() -> [Algorithm; 7] {
+        [
+            Algorithm::OneDBaseline,
+            Algorithm::OneDBinary,
+            Algorithm::OneDRerank,
+            Algorithm::MdBaseline,
+            Algorithm::MdBinary,
+            Algorithm::MdRerank,
+            Algorithm::MdTa,
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_serves_the_same_top1_for_1d_ascending() {
+        let d = db();
+        let r = Reranker::builder(d.clone())
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let price = r.schema().expect_id("price");
+        let mut tops = Vec::new();
+        for algo in all_algorithms() {
+            let mut s = r.query(RerankRequest {
+                filter: SearchQuery::all(),
+                function: OneDimFunction::asc(price).into(),
+                algorithm: algo,
+            });
+            let t = s.next().expect("tuple");
+            tops.push((algo, t.num_at(price)));
+        }
+        for (algo, v) in &tops {
+            assert_eq!(*v, 0.0, "{} found wrong top-1", algo.paper_name());
+        }
+    }
+
+    #[test]
+    fn next_page_fetches_k() {
+        let d = db();
+        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let price = r.schema().expect_id("price");
+        let mut s = r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(price).into(),
+            algorithm: Algorithm::OneDBinary,
+        });
+        let page = s.next_page(10);
+        assert_eq!(page.len(), 10);
+        // Ordered ascending by price.
+        for w in page.windows(2) {
+            assert!(w[0].num_at(price) <= w[1].num_at(price));
+        }
+        assert_eq!(s.served(), 10);
+        assert!(s.stats().total_queries() > 0);
+    }
+
+    #[test]
+    fn linear_single_attr_runs_on_1d_engines() {
+        let d = db();
+        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let schema = r.schema().clone();
+        let f = LinearFunction::from_names(&schema, &[("price", -1.0)]).unwrap();
+        let mut s = r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: f.into(),
+            algorithm: Algorithm::OneDBinary,
+        });
+        // weight -1 ⇒ descending ⇒ max price first.
+        let price = schema.expect_id("price");
+        assert_eq!(s.next().unwrap().num_at(price), 98.0);
+    }
+
+    #[test]
+    fn onedim_function_runs_on_md_engines() {
+        let d = db();
+        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let price = r.schema().expect_id("price");
+        let mut s = r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::desc(price).into(),
+            algorithm: Algorithm::MdBinary,
+        });
+        assert_eq!(s.next().unwrap().num_at(price), 98.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-dimensional")]
+    fn multi_attr_function_on_1d_algorithm_panics() {
+        let d = db();
+        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let schema = r.schema().clone();
+        let f = LinearFunction::from_names(&schema, &[("price", 1.0), ("size", 1.0)]).unwrap();
+        r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: f.into(),
+            algorithm: Algorithm::OneDBinary,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ranking function")]
+    fn out_of_schema_attr_panics() {
+        let d = db();
+        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(AttrId(42)).into(),
+            algorithm: Algorithm::OneDBinary,
+        });
+    }
+
+    #[test]
+    fn calibration_improves_normalizer_and_costs_queries() {
+        let d = db();
+        let price = d.schema().expect_id("price");
+        let r = Reranker::builder(d).calibrate(&[price]).build();
+        assert!(r.calibration_queries() > 0);
+        let stats = r.normalizer().stats(price);
+        assert_eq!((stats.min, stats.max), (0.0, 98.0));
+    }
+
+    #[test]
+    fn sessions_share_the_dense_index() {
+        let d = db();
+        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let price = r.schema().expect_id("price");
+        let req = RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(price).into(),
+            algorithm: Algorithm::OneDRerank,
+        };
+        let mut s1 = r.query(req.clone());
+        while s1.next().is_some() {}
+        let after_first = r.dense_index().stats();
+        let mut s2 = r.query(req);
+        while s2.next().is_some() {}
+        let after_second = r.dense_index().stats();
+        assert!(
+            after_second.misses == after_first.misses || after_second.hits > after_first.hits,
+            "second session must reuse the shared index"
+        );
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(Algorithm::MdTa.paper_name(), "MD-TA");
+        assert!(Algorithm::OneDRerank.is_one_dimensional());
+        assert!(!Algorithm::MdRerank.is_one_dimensional());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property test: parallel and sequential executors are observationally
+//! equivalent — same responses in the same order for any batch — and the
+//! round ledger accounts every query exactly once.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use qr2_core::{ExecutorKind, SearchCtx};
+use qr2_datagen::{generic_db, SyntheticConfig};
+use qr2_webdb::{AttrId, RangePred, SearchQuery, TopKInterface};
+
+fn batch_strategy() -> impl Strategy<Value = Vec<SearchQuery>> {
+    proptest::collection::vec(
+        (0u16..2, 0i32..90, 5i32..40).prop_map(|(attr, lo, width)| {
+            let lo = lo as f64 / 100.0;
+            let hi = (lo + width as f64 / 100.0).min(1.0);
+            SearchQuery::all().and_range(AttrId(attr), RangePred::half_open(lo, hi))
+        }),
+        0..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_equals_sequential(
+        batch in batch_strategy(),
+        seed in any::<u64>(),
+        fanout in 2usize..12,
+    ) {
+        let db = Arc::new(generic_db(
+            &SyntheticConfig {
+                n: 300,
+                dims: 2,
+                seed,
+                system_k: 7,
+                ..SyntheticConfig::default()
+            },
+            &[1.0, -1.0],
+        ));
+        let seq = SearchCtx::new(db.clone(), ExecutorKind::Sequential);
+        let par = SearchCtx::new(db.clone(), ExecutorKind::Parallel { fanout });
+        let a = seq.search_batch(&batch);
+        let b = par.search_batch(&batch);
+        prop_assert_eq!(a, b);
+
+        // Ledger invariants.
+        if batch.is_empty() {
+            prop_assert_eq!(seq.stats().num_rounds(), 0);
+        } else {
+            prop_assert_eq!(seq.stats().rounds.clone(), vec![batch.len()]);
+            prop_assert_eq!(par.stats().rounds.clone(), vec![batch.len()]);
+        }
+        // The database ledger saw every query from both contexts.
+        prop_assert_eq!(db.ledger().total() as usize, batch.len() * 2);
+    }
+
+    /// Interleaved single searches and batches account correctly.
+    #[test]
+    fn ledger_accounts_every_query(
+        batches in proptest::collection::vec(batch_strategy(), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let db = Arc::new(generic_db(
+            &SyntheticConfig {
+                n: 120,
+                dims: 2,
+                seed,
+                system_k: 5,
+                ..SyntheticConfig::default()
+            },
+            &[1.0, 1.0],
+        ));
+        let ctx = SearchCtx::new(db.clone(), ExecutorKind::Parallel { fanout: 4 });
+        let mut expected = 0usize;
+        for batch in &batches {
+            ctx.search_batch(batch);
+            expected += batch.len();
+            ctx.search(&SearchQuery::all());
+            expected += 1;
+        }
+        prop_assert_eq!(ctx.stats().total_queries(), expected);
+        prop_assert_eq!(db.ledger().total() as usize, expected);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the MD geometry: the branch-and-bound engines are
+//! only exact if (a) `min_score` really lower-bounds every point of a box,
+//! (b) splits partition exactly, and (c) `contour_bbox` never cuts off a
+//! point on the good side of the contour. These are the invariants that
+//! make pruning *safe* — a violation would silently drop tuples.
+
+use proptest::prelude::*;
+use qr2_core::{LinearFunction, NBox, Normalizer};
+use qr2_webdb::{AttrId, RangePred, Schema, SearchQuery};
+
+fn schema3() -> Schema {
+    Schema::builder()
+        .numeric("x0", -5.0, 10.0)
+        .numeric("x1", 0.0, 1.0)
+        .numeric("x2", 100.0, 900.0)
+        .build()
+}
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![(1i32..=20).prop_map(|w| w as f64 / 10.0), (1i32..=20).prop_map(|w| -w as f64 / 10.0)],
+        3,
+    )
+}
+
+fn box_strategy() -> impl Strategy<Value = NBox> {
+    let dim = |lo: f64, hi: f64| {
+        (0u32..1000, 0u32..1000, any::<bool>(), any::<bool>()).prop_map(move |(a, b, li, hi_inc)| {
+            let span = hi - lo;
+            let p = lo + span * (a.min(b) as f64 / 1000.0);
+            let q = lo + span * (a.max(b) as f64 / 1000.0);
+            RangePred {
+                lo: p,
+                hi: q,
+                lo_inc: li,
+                hi_inc,
+            }
+        })
+    };
+    (dim(-5.0, 10.0), dim(0.0, 1.0), dim(100.0, 900.0)).prop_map(|(r0, r1, r2)| {
+        NBox::from_dims(vec![(AttrId(0), r0), (AttrId(1), r1), (AttrId(2), r2)])
+    })
+}
+
+/// Sample deterministic points of a box (corners + interior grid).
+fn sample_points(b: &NBox) -> Vec<[f64; 3]> {
+    let mut pts = Vec::new();
+    let fracs = [0.0, 0.25, 0.5, 0.75, 1.0];
+    for &f0 in &fracs {
+        for &f1 in &fracs {
+            for &f2 in &fracs {
+                let p = [
+                    b.range(0).lo + f0 * b.range(0).width(),
+                    b.range(1).lo + f1 * b.range(1).width(),
+                    b.range(2).lo + f2 * b.range(2).width(),
+                ];
+                pts.push(p);
+            }
+        }
+    }
+    pts
+}
+
+fn score(f: &LinearFunction, norm: &Normalizer, p: &[f64; 3]) -> f64 {
+    f.score_point(p, norm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// `min_score` lower-bounds the score of every point in the box.
+    #[test]
+    fn min_score_is_a_lower_bound(ws in weights_strategy(), b in box_strategy()) {
+        prop_assume!(!b.is_empty());
+        let schema = schema3();
+        let norm = Normalizer::from_domains(&schema);
+        let f = LinearFunction::new(
+            ws.iter().enumerate().map(|(i, w)| (AttrId(i as u16), *w)).collect(),
+        ).unwrap();
+        let bound = b.min_score(&f, &norm);
+        for p in sample_points(&b) {
+            let s = score(&f, &norm, &p);
+            prop_assert!(
+                s >= bound - 1e-9,
+                "point {:?} scores {} below bound {}", p, s, bound
+            );
+        }
+    }
+
+    /// Splitting partitions the box exactly: every sampled point of the
+    /// parent belongs to exactly one child.
+    #[test]
+    fn split_partitions_exactly(ws in weights_strategy(), b in box_strategy(), dim in 0usize..3) {
+        prop_assume!(!b.is_empty());
+        let schema = schema3();
+        let r = b.range(dim);
+        let mid = r.lo + (r.hi - r.lo) / 2.0;
+        prop_assume!(mid > r.lo && mid < r.hi);
+        let _ = ws;
+        let (l, rr) = b.split(dim, &schema);
+        for p in sample_points(&b) {
+            let in_parent = (0..3).all(|i| b.range(i).matches(p[i]));
+            if !in_parent {
+                continue;
+            }
+            let in_l = (0..3).all(|i| l.range(i).matches(p[i]));
+            let in_r = (0..3).all(|i| rr.range(i).matches(p[i]));
+            prop_assert!(in_l ^ in_r, "point {:?} must be in exactly one half", p);
+        }
+    }
+
+    /// Contour soundness: every point of the box with `f(x) ≤ s` is inside
+    /// `contour_bbox(s)` — pruning by the bbox can never lose a winner.
+    #[test]
+    fn contour_bbox_is_sound(
+        ws in weights_strategy(),
+        b in box_strategy(),
+        s_frac in 0.0f64..1.0,
+    ) {
+        prop_assume!(!b.is_empty());
+        let schema = schema3();
+        let norm = Normalizer::from_domains(&schema);
+        let f = LinearFunction::new(
+            ws.iter().enumerate().map(|(i, w)| (AttrId(i as u16), *w)).collect(),
+        ).unwrap();
+        // Pick a contour level between the box's min and max scores.
+        let points = sample_points(&b);
+        let scores: Vec<f64> = points.iter().map(|p| score(&f, &norm, p)).collect();
+        let (lo, hi) = scores.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+        let s = lo + s_frac * (hi - lo);
+        match b.contour_bbox(&f, &norm, s) {
+            None => {
+                // Empty contour region: no sampled point may score ≤ s
+                // (allowing fp slack at the boundary).
+                for (p, sc) in points.iter().zip(&scores) {
+                    prop_assert!(
+                        *sc > s - 1e-9,
+                        "bbox claimed empty but {:?} scores {} ≤ {}", p, sc, s
+                    );
+                }
+            }
+            Some(t) => {
+                for (p, sc) in points.iter().zip(&scores) {
+                    if *sc <= s - 1e-9 {
+                        let inside = (0..3).all(|i| {
+                            let r = t.range(i);
+                            // Closed-tolerance containment: the bbox uses
+                            // exact arithmetic, samples may sit on edges.
+                            p[i] >= r.lo - 1e-9 && p[i] <= r.hi + 1e-9
+                        });
+                        prop_assert!(
+                            inside,
+                            "point {:?} (score {}) cut off by contour bbox at s={}", p, sc, s
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The contour bbox is monotone in `s`: a larger budget yields a
+    /// superset box.
+    #[test]
+    fn contour_bbox_is_monotone(ws in weights_strategy(), b in box_strategy()) {
+        prop_assume!(!b.is_empty());
+        let schema = schema3();
+        let norm = Normalizer::from_domains(&schema);
+        let f = LinearFunction::new(
+            ws.iter().enumerate().map(|(i, w)| (AttrId(i as u16), *w)).collect(),
+        ).unwrap();
+        let base = b.min_score(&f, &norm);
+        let small = b.contour_bbox(&f, &norm, base + 0.1);
+        let large = b.contour_bbox(&f, &norm, base + 0.5);
+        if let (Some(sm), Some(lg)) = (small, large) {
+            for i in 0..3 {
+                prop_assert!(lg.range(i).lo <= sm.range(i).lo + 1e-12);
+                prop_assert!(lg.range(i).hi >= sm.range(i).hi - 1e-12);
+            }
+        }
+    }
+
+    /// to_query round-trips the box's ranges onto a query.
+    #[test]
+    fn to_query_reflects_ranges(b in box_strategy()) {
+        let q = b.to_query(&SearchQuery::all());
+        for i in 0..3 {
+            prop_assert_eq!(q.range_of(AttrId(i as u16)), Some(b.range(i)));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The central exactness property of the whole system: for every algorithm,
+//! the stream of tuples returned by get-next must equal the ground-truth
+//! ordering of the filtered database under the user's ranking function.
+//!
+//! The oracle scans the simulator's hidden table directly — something the
+//! real service can never do — and sorts by (score, tuple id).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use qr2_core::{
+    Algorithm, ExecutorKind, LinearFunction, Normalizer, Reranker, RerankRequest,
+};
+use qr2_datagen::{generic_db, Correlation, Distribution, SyntheticConfig};
+use qr2_webdb::{RangePred, SearchQuery, SimulatedWebDb, TopKInterface, TupleId};
+
+fn oracle_ids(
+    db: &SimulatedWebDb,
+    f: &LinearFunction,
+    norm: &Normalizer,
+    filter: &SearchQuery,
+) -> Vec<(f64, TupleId)> {
+    let t = db.ground_truth();
+    let mut rows = t.matching_rows(filter);
+    rows.sort_by(|&a, &b| {
+        let sa = f.score(&t.tuple(a), norm);
+        let sb = f.score(&t.tuple(b), norm);
+        sa.total_cmp(&sb).then(a.cmp(&b))
+    });
+    rows.into_iter()
+        .map(|r| (f.score(&t.tuple(r), norm), TupleId(r as u32)))
+        .collect()
+}
+
+fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        40usize..250,
+        1usize..3,
+        3usize..14,
+        any::<u64>(),
+        prop_oneof![
+            3 => Just(Distribution::Uniform),
+            1 => Just(Distribution::Clustered { clusters: 4, spread: 0.01 }),
+            1 => Just(Distribution::WithTies { fraction: 0.25, value: 0.5 }),
+        ],
+        prop_oneof![
+            Just(Correlation::Independent),
+            Just(Correlation::Positive(0.7)),
+            Just(Correlation::Negative(0.7)),
+        ],
+    )
+        .prop_map(
+            |(n, extra_dims, system_k, seed, distribution, correlation)| SyntheticConfig {
+                n,
+                dims: 1 + extra_dims,
+                distribution,
+                correlation,
+                quantize_step: 0.0,
+                seed,
+                system_k,
+            },
+        )
+}
+
+fn weight_strategy(dims: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![(1i32..=10).prop_map(|w| w as f64 / 10.0), (1i32..=10).prop_map(|w| -w as f64 / 10.0)],
+        dims..=dims,
+    )
+}
+
+/// Run one algorithm's session and compare its first `h` results against
+/// the oracle. Comparison is by score sequence (bit-exact) and, within each
+/// distinct score, by tuple-id *set* — algorithms may legally order exact
+/// score-ties differently than the oracle's id rule when the tie spans a
+/// frontier boundary.
+fn check_algorithm(
+    db: &Arc<SimulatedWebDb>,
+    algorithm: Algorithm,
+    weights: &[f64],
+    filter: &SearchQuery,
+    h: usize,
+) -> Result<(), TestCaseError> {
+    let reranker = Reranker::builder(db.clone())
+        .executor(ExecutorKind::Sequential)
+        .build();
+    let schema = reranker.schema().clone();
+    let spec: Vec<(qr2_webdb::AttrId, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(d, w)| (schema.expect_id(&format!("x{d}")), *w))
+        .collect();
+    let f = LinearFunction::new(spec).expect("valid weights");
+    let norm = Normalizer::from_domains(&schema);
+    let want = oracle_ids(db, &f, &norm, filter);
+
+    let mut session = reranker.query(RerankRequest {
+        filter: filter.clone(),
+        function: f.clone().into(),
+        algorithm,
+    });
+    let mut got: Vec<(f64, TupleId)> = Vec::new();
+    for _ in 0..h.min(want.len()) {
+        match session.next() {
+            Some(t) => got.push((f.score(&t, &norm), t.id)),
+            None => break,
+        }
+    }
+    prop_assert_eq!(
+        got.len(),
+        h.min(want.len()),
+        "{} returned too few tuples",
+        algorithm.paper_name()
+    );
+    // Scores must match the oracle exactly, position by position.
+    for (i, ((gs, _), (ws, _))) in got.iter().zip(&want).enumerate() {
+        prop_assert!(
+            gs == ws,
+            "{} position {}: score {} != oracle {}",
+            algorithm.paper_name(),
+            i,
+            gs,
+            ws
+        );
+    }
+    // Within each score class, the id sets must agree.
+    let mut i = 0;
+    while i < got.len() {
+        let s = got[i].0;
+        let mut j = i;
+        while j < got.len() && got[j].0 == s {
+            j += 1;
+        }
+        // The oracle's class for this score may extend beyond `got`'s
+        // horizon; only fully contained classes are comparable as sets.
+        if j < got.len() || want.len() == got.len() {
+            let mut g: Vec<TupleId> = got[i..j].iter().map(|(_, id)| *id).collect();
+            let mut w: Vec<TupleId> = want[i..j].iter().map(|(_, id)| *id).collect();
+            g.sort();
+            w.sort();
+            prop_assert_eq!(g, w, "{} id set mismatch at score {}", algorithm.paper_name(), s);
+        }
+        i = j;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All 1D algorithms are exact on arbitrary single-attribute workloads.
+    #[test]
+    fn oned_algorithms_match_oracle(
+        cfg in config_strategy(),
+        ascending in any::<bool>(),
+    ) {
+        let mut cfg = cfg;
+        cfg.dims = 2; // one ranking attr + one free attr
+        let hidden = [1.0, -0.4];
+        let db = Arc::new(generic_db(&cfg, &hidden));
+        let w = if ascending { 1.0 } else { -1.0 };
+        for algorithm in [Algorithm::OneDBaseline, Algorithm::OneDBinary, Algorithm::OneDRerank] {
+            check_algorithm(&db, algorithm, &[w], &SearchQuery::all(), 12)?;
+        }
+    }
+
+    /// All MD algorithms are exact on arbitrary 2-3D workloads.
+    #[test]
+    fn md_algorithms_match_oracle(
+        cfg in config_strategy(),
+        weights in weight_strategy(3),
+    ) {
+        let mut cfg = cfg;
+        cfg.dims = 3;
+        let hidden = [0.5, -1.0, 0.2];
+        let db = Arc::new(generic_db(&cfg, &hidden));
+        let dims = 2 + (cfg.seed % 2) as usize; // exercise 2D and 3D
+        let ws = &weights[..dims];
+        for algorithm in [
+            Algorithm::MdBaseline,
+            Algorithm::MdBinary,
+            Algorithm::MdRerank,
+            Algorithm::MdTa,
+        ] {
+            check_algorithm(&db, algorithm, ws, &SearchQuery::all(), 8)?;
+        }
+    }
+
+    /// Exactness holds under user filters too.
+    #[test]
+    fn algorithms_match_oracle_with_filters(
+        cfg in config_strategy(),
+        lo in 0.0f64..0.5,
+        width in 0.2f64..0.6,
+    ) {
+        let mut cfg = cfg;
+        cfg.dims = 2;
+        let db = Arc::new(generic_db(&cfg, &[1.0, 1.0]));
+        let x1 = db.schema().expect_id("x1");
+        let filter = SearchQuery::all()
+            .and_range(x1, RangePred::half_open(lo, (lo + width).min(1.0)));
+        for algorithm in [Algorithm::OneDBinary, Algorithm::MdRerank, Algorithm::MdTa] {
+            check_algorithm(&db, algorithm, &[1.0], &filter, 6)?;
+        }
+    }
+}
+
+/// Deterministic end-to-end regression: same seed ⇒ same stream, twice.
+#[test]
+fn sessions_are_deterministic() {
+    let cfg = SyntheticConfig {
+        n: 150,
+        dims: 2,
+        distribution: Distribution::Uniform,
+        correlation: Correlation::Independent,
+        quantize_step: 0.0,
+        seed: 99,
+        system_k: 7,
+    };
+    let db = Arc::new(generic_db(&cfg, &[1.0, -1.0]));
+    let run = || -> Vec<TupleId> {
+        let r = Reranker::builder(db.clone())
+            .executor(ExecutorKind::Parallel { fanout: 4 })
+            .build();
+        let schema = r.schema().clone();
+        let f = LinearFunction::from_names(&schema, &[("x0", 0.8), ("x1", -0.2)]).unwrap();
+        r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: f.into(),
+            algorithm: Algorithm::MdRerank,
+        })
+        .take(20)
+        .map(|t| t.id)
+        .collect()
+    };
+    assert_eq!(run(), run());
+}
+
+/// The RERANK family must never lose to BINARY on a heavily tied workload
+/// once the index is warm (E3/E4's mechanism).
+#[test]
+fn rerank_amortizes_on_ties() {
+    let cfg = SyntheticConfig {
+        n: 400,
+        dims: 2,
+        distribution: Distribution::WithTies {
+            fraction: 0.4,
+            value: 0.3,
+        },
+        correlation: Correlation::Independent,
+        quantize_step: 0.0,
+        seed: 3,
+        system_k: 6,
+    };
+    let db = Arc::new(generic_db(&cfg, &[1.0, 1.0]));
+    let reranker = Reranker::builder(db.clone())
+        .executor(ExecutorKind::Sequential)
+        .build();
+    let schema = reranker.schema().clone();
+    let run_cost = |algorithm: Algorithm| -> usize {
+        let f = LinearFunction::from_names(&schema, &[("x0", 1.0)]).unwrap();
+        let mut s = reranker.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: f.into(),
+            algorithm,
+        });
+        for _ in 0..30 {
+            if s.next().is_none() {
+                break;
+            }
+        }
+        s.stats().total_queries()
+    };
+    // Warm the index with one full run.
+    let cold = run_cost(Algorithm::OneDRerank);
+    let warm = run_cost(Algorithm::OneDRerank);
+    assert!(
+        warm <= cold,
+        "warm rerank ({warm}) must not exceed cold rerank ({cold})"
+    );
+}

@@ -1,0 +1,323 @@
+//! The recursive crawler itself.
+
+use std::collections::HashMap;
+
+use qr2_webdb::{AttrId, SearchQuery, TopKInterface, Tuple, TupleId};
+
+use crate::splitter::{split_region, SplitPolicy};
+
+/// Configuration for a crawl.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Hard cap on queries issued by one crawl (safety valve; the paper's
+    /// algorithms always budget their probes).
+    pub max_queries: usize,
+    /// Split policy (ablation hook).
+    pub policy: SplitPolicy,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            max_queries: 100_000,
+            policy: SplitPolicy::WidestRelative,
+        }
+    }
+}
+
+/// Why a crawl stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlOutcome {
+    /// Every tuple in the region was retrieved.
+    Complete,
+    /// The query budget ran out first.
+    BudgetExhausted,
+    /// Some subregion was atomic (unsplittable) yet still overflowed: the
+    /// hidden database contains more than `system-k` tuples that are
+    /// *identical on every searchable attribute*, so the interface can never
+    /// reveal them all. The visible `system-k` of each such region are
+    /// included in the result.
+    AtomicOverflow,
+}
+
+/// Result of a crawl.
+#[derive(Debug, Clone)]
+pub struct CrawlResult {
+    /// Retrieved tuples, deduplicated, sorted by [`TupleId`] for
+    /// determinism.
+    pub tuples: Vec<Tuple>,
+    /// Queries issued by this crawl.
+    pub queries: usize,
+    /// Number of leaf (non-overflowing) regions.
+    pub leaves: usize,
+    /// Deepest recursion reached.
+    pub max_depth: usize,
+    /// Completion status.
+    pub outcome: CrawlOutcome,
+}
+
+impl CrawlResult {
+    /// True when every tuple of the region is known to have been retrieved.
+    pub fn is_complete(&self) -> bool {
+        self.outcome == CrawlOutcome::Complete
+    }
+}
+
+/// Reusable crawler bound to a database.
+pub struct Crawler<'a, D: TopKInterface + ?Sized> {
+    db: &'a D,
+    config: CrawlerConfig,
+}
+
+impl<'a, D: TopKInterface + ?Sized> Crawler<'a, D> {
+    /// New crawler with the given configuration.
+    pub fn new(db: &'a D, config: CrawlerConfig) -> Self {
+        Crawler { db, config }
+    }
+
+    /// Retrieve every tuple matching `region`.
+    ///
+    /// Work-list driven depth-first traversal; subregions created by
+    /// [`split_region`] partition their parent exactly, so `Complete`
+    /// results are exhaustive.
+    pub fn crawl(&self, region: &SearchQuery) -> CrawlResult {
+        let schema = self.db.schema();
+        let mut found: HashMap<TupleId, Tuple> = HashMap::new();
+        let mut stack: Vec<(SearchQuery, usize)> = vec![(region.clone(), 0)];
+        let mut queries = 0usize;
+        let mut leaves = 0usize;
+        let mut max_depth = 0usize;
+        let mut outcome = CrawlOutcome::Complete;
+
+        while let Some((q, depth)) = stack.pop() {
+            if queries >= self.config.max_queries {
+                outcome = CrawlOutcome::BudgetExhausted;
+                break;
+            }
+            let resp = self.db.search(&q);
+            queries += 1;
+            max_depth = max_depth.max(depth);
+            for t in &resp.tuples {
+                found.entry(t.id).or_insert_with(|| t.clone());
+            }
+            if resp.overflow {
+                match split_region(
+                    schema,
+                    &q,
+                    match self.config.policy {
+                        SplitPolicy::RoundRobin { .. } => SplitPolicy::RoundRobin { depth },
+                        p => p,
+                    },
+                ) {
+                    Some((left, right)) => {
+                        // Skip provably empty halves without spending queries.
+                        if !right.is_trivially_empty() {
+                            stack.push((right, depth + 1));
+                        }
+                        if !left.is_trivially_empty() {
+                            stack.push((left, depth + 1));
+                        }
+                    }
+                    None => {
+                        // Atomic overflow: remember, keep crawling the rest.
+                        outcome = CrawlOutcome::AtomicOverflow;
+                        leaves += 1;
+                    }
+                }
+            } else {
+                leaves += 1;
+            }
+        }
+
+        let mut tuples: Vec<Tuple> = found.into_values().collect();
+        tuples.sort_by_key(|t| t.id);
+        CrawlResult {
+            tuples,
+            queries,
+            leaves,
+            max_depth,
+            outcome,
+        }
+    }
+}
+
+/// Crawl every tuple matching `region` using the default configuration.
+pub fn crawl<D: TopKInterface + ?Sized>(db: &D, region: &SearchQuery) -> CrawlResult {
+    Crawler::new(db, CrawlerConfig::default()).crawl(region)
+}
+
+/// Enumerate the tuples with `attr = value` inside `base` — QR2's tie
+/// handler (§II-B): the point predicate pins `attr`, so the crawler is
+/// forced to separate the tied tuples on the *other* attributes.
+pub fn crawl_point<D: TopKInterface + ?Sized>(
+    db: &D,
+    base: &SearchQuery,
+    attr: AttrId,
+    value: f64,
+) -> CrawlResult {
+    let region = base.and_point(attr, value);
+    crawl(db, &region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_webdb::{
+        RangePred, Schema, SimulatedWebDb, SystemRanking, TableBuilder,
+    };
+
+    /// 64 tuples on a 8x8 grid, hidden rank = x descending.
+    fn grid_db(system_k: usize) -> SimulatedWebDb {
+        let schema = Schema::builder()
+            .numeric("x", 0.0, 8.0)
+            .numeric("y", 0.0, 8.0)
+            .build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for i in 0..8 {
+            for j in 0..8 {
+                tb.push_row(vec![i as f64, j as f64]).unwrap();
+            }
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+        SimulatedWebDb::new(tb.build(), ranking, system_k)
+    }
+
+    #[test]
+    fn crawl_retrieves_everything() {
+        let db = grid_db(5);
+        let res = crawl(&db, &SearchQuery::all());
+        assert!(res.is_complete());
+        assert_eq!(res.tuples.len(), 64);
+        // Tuples are sorted and unique.
+        for w in res.tuples.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn crawl_subregion_only() {
+        let db = grid_db(5);
+        let x = db.schema().expect_id("x");
+        let q = SearchQuery::all().and_range(x, RangePred::closed(2.0, 3.0));
+        let res = crawl(&db, &q);
+        assert!(res.is_complete());
+        assert_eq!(res.tuples.len(), 16);
+        assert!(res.tuples.iter().all(|t| {
+            let v = t.num_at(x);
+            (2.0..=3.0).contains(&v)
+        }));
+    }
+
+    #[test]
+    fn crawl_no_overflow_uses_single_query() {
+        let db = grid_db(100);
+        let res = crawl(&db, &SearchQuery::all());
+        assert_eq!(res.queries, 1);
+        assert_eq!(res.leaves, 1);
+        assert_eq!(res.tuples.len(), 64);
+    }
+
+    #[test]
+    fn crawl_point_enumerates_ties() {
+        // 40 tuples share x = 1.0; system-k = 6; y separates them.
+        let schema = Schema::builder()
+            .numeric("x", 0.0, 2.0)
+            .numeric("y", 0.0, 100.0)
+            .build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for j in 0..40 {
+            tb.push_row(vec![1.0, j as f64]).unwrap();
+        }
+        for j in 0..10 {
+            tb.push_row(vec![0.5, j as f64]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("y", 1.0)]).unwrap();
+        let db = SimulatedWebDb::new(tb.build(), ranking, 6);
+        let x = db.schema().expect_id("x");
+        let res = crawl_point(&db, &SearchQuery::all(), x, 1.0);
+        assert!(res.is_complete());
+        assert_eq!(res.tuples.len(), 40);
+        assert!(res.tuples.iter().all(|t| t.num_at(x) == 1.0));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let db = grid_db(2);
+        let res = Crawler::new(
+            &db,
+            CrawlerConfig {
+                max_queries: 3,
+                policy: SplitPolicy::WidestRelative,
+            },
+        )
+        .crawl(&SearchQuery::all());
+        assert_eq!(res.outcome, CrawlOutcome::BudgetExhausted);
+        assert_eq!(res.queries, 3);
+        assert!(res.tuples.len() < 64);
+    }
+
+    #[test]
+    fn atomic_overflow_detected() {
+        // More identical tuples than system-k on a single-attribute schema:
+        // the interface can never separate them.
+        let schema = Schema::builder().numeric("x", 0.0, 1.0).build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for _ in 0..10 {
+            tb.push_row(vec![0.5]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+        let db = SimulatedWebDb::new(tb.build(), ranking, 3);
+        let res = crawl(&db, &SearchQuery::all());
+        assert_eq!(res.outcome, CrawlOutcome::AtomicOverflow);
+        // The visible system-k tuples are still returned.
+        assert_eq!(res.tuples.len(), 3);
+    }
+
+    #[test]
+    fn categorical_regions_crawl_completely() {
+        let schema = Schema::builder()
+            .numeric("x", 0.0, 1.0)
+            .categorical("c", ["a", "b", "c", "d", "e"])
+            .build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for i in 0..50 {
+            tb.push_values(vec![
+                qr2_webdb::Value::Num(0.5), // all ties on x
+                qr2_webdb::Value::Cat(i % 5),
+            ])
+            .unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+        let db = SimulatedWebDb::new(tb.build(), ranking, 8);
+        let res = crawl(&db, &SearchQuery::all());
+        // 10 tuples per label > 8 = system-k ⇒ per-label atomic overflow.
+        assert_eq!(res.outcome, CrawlOutcome::AtomicOverflow);
+        assert!(res.tuples.len() >= 5 * 8);
+    }
+
+    #[test]
+    fn round_robin_policy_also_completes() {
+        let db = grid_db(5);
+        let res = Crawler::new(
+            &db,
+            CrawlerConfig {
+                max_queries: 10_000,
+                policy: SplitPolicy::RoundRobin { depth: 0 },
+            },
+        )
+        .crawl(&SearchQuery::all());
+        assert!(res.is_complete());
+        assert_eq!(res.tuples.len(), 64);
+    }
+
+    #[test]
+    fn crawl_empty_region() {
+        let db = grid_db(5);
+        let x = db.schema().expect_id("x");
+        let q = SearchQuery::all().and_range(x, RangePred::open(8.0, 9.0));
+        let res = crawl(&db, &q);
+        assert!(res.is_complete());
+        assert!(res.tuples.is_empty());
+        assert_eq!(res.queries, 1);
+    }
+}

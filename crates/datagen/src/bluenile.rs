@@ -1,0 +1,264 @@
+//! Synthetic Blue Nile diamond inventory.
+//!
+//! The paper chose Blue Nile because diamonds have many numeric ranking
+//! attributes (carat, depth, table, …) — good for high-dimensional
+//! experiments — and because ≈20 % of its inventory shares the exact value
+//! `1.00` on the length/width ratio, which is the paper's worst-case for the
+//! ranking function `price + LengthWidthRatio` (§III-B).
+
+use qr2_webdb::{Schema, SimulatedWebDb, SystemRanking, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::{lognormal, normal, quantize, uniform, zipf_rank};
+
+/// Configuration for the diamond generator.
+#[derive(Debug, Clone)]
+pub struct DiamondsConfig {
+    /// Number of diamonds.
+    pub n: usize,
+    /// RNG seed (all output is a pure function of the config).
+    pub seed: u64,
+    /// Fraction of diamonds with `lw_ratio` exactly `1.00` (paper: ≈0.20).
+    pub lw_tie_fraction: f64,
+    /// Result-page size of the simulated site.
+    pub system_k: usize,
+}
+
+impl Default for DiamondsConfig {
+    fn default() -> Self {
+        DiamondsConfig {
+            n: 20_000,
+            seed: 0xB10E_9115,
+            lw_tie_fraction: 0.20,
+            system_k: 30,
+        }
+    }
+}
+
+/// Cut labels (best first), mirroring Blue Nile's taxonomy.
+const CUTS: [&str; 4] = ["Astor Ideal", "Ideal", "Very Good", "Good"];
+/// Color grades D (colorless) through J.
+const COLORS: [&str; 7] = ["D", "E", "F", "G", "H", "I", "J"];
+/// Clarity grades, best first.
+const CLARITIES: [&str; 8] = ["FL", "IF", "VVS1", "VVS2", "VS1", "VS2", "SI1", "SI2"];
+/// Diamond shapes.
+const SHAPES: [&str; 10] = [
+    "Round", "Princess", "Emerald", "Asscher", "Cushion", "Marquise", "Radiant", "Oval", "Pear",
+    "Heart",
+];
+
+/// The public schema of the simulated Blue Nile search form.
+pub fn bluenile_schema() -> Schema {
+    Schema::builder()
+        .numeric("price", 200.0, 2_500_000.0)
+        .numeric("carat", 0.2, 10.0)
+        .numeric("depth", 45.0, 80.0)
+        .numeric("table", 45.0, 80.0)
+        .numeric("lw_ratio", 0.75, 2.75)
+        .categorical("cut", CUTS)
+        .categorical("color", COLORS)
+        .categorical("clarity", CLARITIES)
+        .categorical("shape", SHAPES)
+        .build()
+}
+
+/// Generate the diamond table.
+pub fn bluenile_table(cfg: &DiamondsConfig) -> Table {
+    assert!(cfg.n > 0, "need at least one diamond");
+    assert!(
+        (0.0..=1.0).contains(&cfg.lw_tie_fraction),
+        "tie fraction must be in [0, 1]"
+    );
+    let schema = bluenile_schema();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tb = TableBuilder::new(schema);
+
+    for _ in 0..cfg.n {
+        // Carat: heavy-tailed, most stones small.
+        let carat = (lognormal(&mut rng, -0.35, 0.55)).clamp(0.2, 10.0);
+        let carat = quantize(carat, 0.01);
+
+        // Quality grades are Zipf-ish: premium grades are rarer.
+        let cut = zipf_rank(&mut rng, CUTS.len(), 0.7) as u32;
+        let color = zipf_rank(&mut rng, COLORS.len(), 0.4) as u32;
+        let clarity = zipf_rank(&mut rng, CLARITIES.len(), 0.4) as u32;
+        let shape = zipf_rank(&mut rng, SHAPES.len(), 0.9) as u32;
+
+        // Proportions.
+        let depth = normal(&mut rng, 61.8, 2.2).clamp(45.0, 80.0);
+        let depth = quantize(depth, 0.1);
+        let table = normal(&mut rng, 57.5, 2.8).clamp(45.0, 80.0);
+        let table = quantize(table, 0.1);
+
+        // Length/width ratio: the paper's tie scenario. Round-ish stones
+        // report exactly 1.00; fancy shapes spread out.
+        let lw = if rng.gen::<f64>() < cfg.lw_tie_fraction {
+            1.00
+        } else {
+            quantize(uniform(&mut rng, 0.95, 2.55), 0.01)
+        };
+
+        // Price: dominated by carat (superlinear), discounted by worse
+        // grades, with multiplicative noise. This produces the strong
+        // carat–price correlation the experiments rely on.
+        let grade_factor = 1.0
+            - 0.06 * cut as f64
+            - 0.045 * color as f64
+            - 0.04 * clarity as f64;
+        let base = 3800.0 * carat.powf(1.9) * grade_factor.max(0.25);
+        let mut price = base * lognormal(&mut rng, 0.0, 0.18);
+        // Reflect at the domain floor/ceiling instead of clamping — a hard
+        // clamp would pile an artificial atom of identical prices onto the
+        // boundary (the only intended exact-tie mass is lw_ratio's).
+        if price < 200.0 {
+            price = 200.0 + (200.0 - price).min(150.0);
+        }
+        if price > 2_500_000.0 {
+            price = 2_500_000.0 - (price - 2_500_000.0).min(100_000.0);
+        }
+        let price = quantize(price, 1.0);
+
+        tb.push_values(vec![
+            Value::Num(price),
+            Value::Num(carat),
+            Value::Num(depth),
+            Value::Num(table),
+            Value::Num(lw),
+            Value::Cat(cut),
+            Value::Cat(color),
+            Value::Cat(clarity),
+            Value::Cat(shape),
+        ])
+        .expect("generated diamond must satisfy its own schema");
+    }
+    tb.build()
+}
+
+/// Build the simulated Blue Nile site: diamond table behind a top-k
+/// interface whose hidden ranking is the site's default sort (price
+/// ascending with carat as tiebreaker — what bluenile.com shows first).
+pub fn bluenile_db(cfg: &DiamondsConfig) -> SimulatedWebDb {
+    let table = bluenile_table(cfg);
+    let ranking = SystemRanking::linear(
+        table.schema(),
+        &[("price", -1.0), ("carat", 1e-7)],
+    )
+    .expect("static ranking spec is valid");
+    SimulatedWebDb::new(table, ranking, cfg.system_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_webdb::{AttrId, SearchQuery, TopKInterface};
+
+    fn small() -> DiamondsConfig {
+        DiamondsConfig {
+            n: 4000,
+            seed: 11,
+            ..DiamondsConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = bluenile_table(&small());
+        let b = bluenile_table(&small());
+        assert_eq!(a.len(), b.len());
+        for row in [0usize, 17, 399] {
+            assert_eq!(a.tuple(row), b.tuple(row));
+        }
+    }
+
+    #[test]
+    fn lw_ratio_tie_fraction_close_to_config() {
+        let cfg = small();
+        let t = bluenile_table(&cfg);
+        let lw = t.schema().expect_id("lw_ratio");
+        let ties = (0..t.len()).filter(|&r| t.num(r, lw) == 1.00).count();
+        let frac = ties as f64 / t.len() as f64;
+        assert!(
+            (frac - 0.20).abs() < 0.03,
+            "tie fraction {frac} should be near 0.20"
+        );
+    }
+
+    #[test]
+    fn all_values_in_domain() {
+        let t = bluenile_table(&small());
+        for (id, attr) in t.schema().iter() {
+            if let qr2_webdb::AttrKind::Numeric { min, max, .. } = attr.kind {
+                for r in 0..t.len() {
+                    let v = t.num(r, id);
+                    assert!(v >= min && v <= max, "{} = {v} outside [{min},{max}]", attr.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn price_carat_positively_correlated() {
+        let t = bluenile_table(&small());
+        let price = t.schema().expect_id("price");
+        let carat = t.schema().expect_id("carat");
+        let n = t.len() as f64;
+        let (mut sp, mut sc) = (0.0, 0.0);
+        for r in 0..t.len() {
+            sp += t.num(r, price);
+            sc += t.num(r, carat);
+        }
+        let (mp, mc) = (sp / n, sc / n);
+        let (mut cov, mut vp, mut vc) = (0.0, 0.0, 0.0);
+        for r in 0..t.len() {
+            let dp = t.num(r, price) - mp;
+            let dc = t.num(r, carat) - mc;
+            cov += dp * dc;
+            vp += dp * dp;
+            vc += dc * dc;
+        }
+        let pearson = cov / (vp.sqrt() * vc.sqrt());
+        assert!(pearson > 0.6, "price~carat correlation {pearson} too weak");
+    }
+
+    #[test]
+    fn db_default_sort_is_price_ascending() {
+        let db = bluenile_db(&DiamondsConfig {
+            n: 500,
+            ..small()
+        });
+        let resp = db.search(&SearchQuery::all());
+        let price = AttrId(0);
+        let prices: Vec<f64> = resp.tuples.iter().map(|t| t.num_at(price)).collect();
+        let mut sorted = prices.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(prices, sorted, "hidden default ranking is price-ascending");
+    }
+
+    #[test]
+    fn tie_fraction_zero_and_one_respected() {
+        let mut cfg = small();
+        cfg.n = 500;
+        cfg.lw_tie_fraction = 0.0;
+        let t = bluenile_table(&cfg);
+        let lw = t.schema().expect_id("lw_ratio");
+        // With fraction 0, exact 1.00 can still occur from quantization but
+        // must be rare.
+        let ties = (0..t.len()).filter(|&r| t.num(r, lw) == 1.00).count();
+        assert!(ties < t.len() / 50);
+
+        cfg.lw_tie_fraction = 1.0;
+        let t = bluenile_table(&cfg);
+        let ties = (0..t.len()).filter(|&r| t.num(r, lw) == 1.00).count();
+        assert_eq!(ties, t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one diamond")]
+    fn zero_n_rejected() {
+        bluenile_table(&DiamondsConfig {
+            n: 0,
+            ..DiamondsConfig::default()
+        });
+    }
+}

@@ -1,0 +1,218 @@
+//! Small sampling toolkit on top of `rand`'s uniform source.
+//!
+//! `rand` 0.8 ships only uniform sampling without the `rand_distr` add-on;
+//! the handful of distributions the generators need are implemented here
+//! (and tested) instead of pulling another dependency.
+
+use rand::Rng;
+
+/// Uniform sample in `[lo, hi)`.
+pub fn uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    if lo == hi {
+        return lo;
+    }
+    rng.gen_range(lo..hi)
+}
+
+/// Standard Box–Muller normal sample with the given mean and standard
+/// deviation.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0);
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Log-normal sample: `exp(N(mu, sigma))`.
+pub fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample a Zipf-distributed rank in `0..n` with exponent `s` (s > 0).
+///
+/// Uses inverse-CDF over the precomputable harmonic weights; for the small
+/// `n` used by categorical attributes a linear scan is fine.
+pub fn zipf_rank<R: Rng>(rng: &mut R, n: usize, s: f64) -> usize {
+    debug_assert!(n >= 1);
+    debug_assert!(s > 0.0);
+    let total: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+    let mut target = rng.gen::<f64>() * total;
+    for k in 1..=n {
+        target -= (k as f64).powf(-s);
+        if target <= 0.0 {
+            return k - 1;
+        }
+    }
+    n - 1
+}
+
+/// Snap `v` to the nearest multiple of `step` (used to give prices a
+/// cents/dollars resolution, which creates realistic *occasional* ties).
+pub fn quantize(v: f64, step: f64) -> f64 {
+    debug_assert!(step > 0.0);
+    (v / step).round() * step
+}
+
+/// A set of Gaussian cluster centers for generating *dense regions* — the
+/// pathological input for the BINARY algorithms that RERANK's on-the-fly
+/// indexing targets.
+#[derive(Debug, Clone)]
+pub struct Clusters {
+    centers: Vec<f64>,
+    spread: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl Clusters {
+    /// `count` cluster centers uniformly placed in `[lo, hi]`, each with the
+    /// given spread (standard deviation).
+    pub fn new<R: Rng>(rng: &mut R, count: usize, spread: f64, lo: f64, hi: f64) -> Self {
+        assert!(count >= 1);
+        assert!(lo < hi);
+        let centers = (0..count).map(|_| uniform(rng, lo, hi)).collect();
+        Clusters {
+            centers,
+            spread,
+            lo,
+            hi,
+        }
+    }
+
+    /// Fixed centers (for reproducible unit tests / figures).
+    pub fn fixed(centers: Vec<f64>, spread: f64, lo: f64, hi: f64) -> Self {
+        assert!(!centers.is_empty());
+        assert!(lo < hi);
+        Clusters {
+            centers,
+            spread,
+            lo,
+            hi,
+        }
+    }
+
+    /// Sample a value: pick a center uniformly, add Gaussian noise, and
+    /// *reflect* at the domain boundary. Reflection (rather than clamping)
+    /// avoids piling samples onto the exact boundary value, which would
+    /// manufacture spurious ties.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let c = self.centers[rng.gen_range(0..self.centers.len())];
+        let mut v = normal(rng, c, self.spread);
+        let span = self.hi - self.lo;
+        // Fold into [lo, lo + 2*span) then reflect the upper half.
+        let mut offset = (v - self.lo).rem_euclid(2.0 * span);
+        if offset > span {
+            offset = 2.0 * span - offset;
+        }
+        v = self.lo + offset;
+        v.clamp(self.lo, self.hi)
+    }
+
+    /// The cluster centers.
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = uniform(&mut r, 2.0, 5.0);
+            assert!((2.0..5.0).contains(&v));
+        }
+        assert_eq!(uniform(&mut r, 3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(lognormal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut r = rng();
+        let n = 10;
+        let mut counts = vec![0usize; n];
+        for _ in 0..20_000 {
+            counts[zipf_rank(&mut r, n, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[4], "{counts:?}");
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "support covers all ranks");
+    }
+
+    #[test]
+    fn zipf_singleton() {
+        let mut r = rng();
+        assert_eq!(zipf_rank(&mut r, 1, 1.0), 0);
+    }
+
+    #[test]
+    fn quantize_snaps() {
+        assert_eq!(quantize(10.26, 0.5), 10.5);
+        assert_eq!(quantize(10.24, 0.5), 10.0);
+        assert_eq!(quantize(-1.3, 1.0), -1.0);
+    }
+
+    #[test]
+    fn clusters_sample_within_domain_and_near_centers() {
+        let mut r = rng();
+        let c = Clusters::fixed(vec![0.25, 0.75], 0.01, 0.0, 1.0);
+        let mut near = 0;
+        for _ in 0..1000 {
+            let v = c.sample(&mut r);
+            assert!((0.0..=1.0).contains(&v));
+            if (v - 0.25).abs() < 0.05 || (v - 0.75).abs() < 0.05 {
+                near += 1;
+            }
+        }
+        assert!(near > 950, "samples cluster near centers ({near}/1000)");
+        assert_eq!(c.centers(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn clusters_random_centers_in_domain() {
+        let mut r = rng();
+        let c = Clusters::new(&mut r, 5, 0.1, 2.0, 4.0);
+        for &center in c.centers() {
+            assert!((2.0..4.0).contains(&center));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
+        }
+    }
+}

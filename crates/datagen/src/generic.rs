@@ -1,0 +1,309 @@
+//! Parametrized synthetic tables for controlled experiments and ablations.
+//!
+//! The demo scenarios vary three workload axes: correlation between the
+//! user's ranking and the hidden system ranking, value density (clusters /
+//! ties), and dimensionality. This generator exposes each axis directly so
+//! ablation benches can sweep them independently of the "realistic"
+//! Blue Nile / Zillow inventories.
+
+use qr2_webdb::{Schema, SimulatedWebDb, SystemRanking, Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::{normal, quantize, Clusters};
+
+/// Marginal distribution of each generated attribute.
+#[derive(Debug, Clone)]
+pub enum Distribution {
+    /// Uniform over `[0, 1]`.
+    Uniform,
+    /// Gaussian centered at 0.5 (clamped to `[0, 1]`).
+    Gaussian {
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Mixture of `clusters` Gaussian bumps — produces the *dense regions*
+    /// that defeat plain binary search.
+    Clustered {
+        /// Number of cluster centers.
+        clusters: usize,
+        /// Per-cluster spread.
+        spread: f64,
+    },
+    /// Uniform, but a `fraction` of rows share the exact value `value`
+    /// (models the Blue Nile lw-ratio tie pathology).
+    WithTies {
+        /// Fraction of rows pinned to `value`.
+        fraction: f64,
+        /// The shared value.
+        value: f64,
+    },
+}
+
+/// Correlation structure between attribute 0 and the remaining attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Correlation {
+    /// Attributes are independent.
+    Independent,
+    /// Attributes i>0 track attribute 0 (`rho` in `[0, 1]`).
+    Positive(f64),
+    /// Attributes i>0 track `1 - attribute 0`.
+    Negative(f64),
+}
+
+/// Configuration for [`generic_table`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of rows.
+    pub n: usize,
+    /// Number of numeric attributes (named `x0`, `x1`, …).
+    pub dims: usize,
+    /// Marginal distribution for every attribute.
+    pub distribution: Distribution,
+    /// Correlation structure.
+    pub correlation: Correlation,
+    /// Quantization step (0.0 = continuous values).
+    pub quantize_step: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Result-page size when building a [`SimulatedWebDb`].
+    pub system_k: usize,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n: 10_000,
+            dims: 2,
+            distribution: Distribution::Uniform,
+            correlation: Correlation::Independent,
+            quantize_step: 0.0,
+            seed: 1,
+            system_k: 20,
+        }
+    }
+}
+
+/// Generate a synthetic table with attributes `x0..x{dims-1}`, each in
+/// `[0, 1]`.
+pub fn generic_table(cfg: &SyntheticConfig) -> Table {
+    assert!(cfg.n > 0 && cfg.dims > 0, "need n >= 1 and dims >= 1");
+    let mut builder = Schema::builder();
+    for d in 0..cfg.dims {
+        builder = builder.numeric(format!("x{d}"), 0.0, 1.0);
+    }
+    let schema = builder.build();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let clusters = match &cfg.distribution {
+        Distribution::Clustered { clusters, spread } => {
+            Some(Clusters::new(&mut rng, *clusters, *spread, 0.0, 1.0))
+        }
+        _ => None,
+    };
+
+    let sample_marginal = |rng: &mut StdRng| -> f64 {
+        match &cfg.distribution {
+            Distribution::Uniform => rng.gen::<f64>(),
+            Distribution::Gaussian { std_dev } => normal(rng, 0.5, *std_dev).clamp(0.0, 1.0),
+            Distribution::Clustered { .. } => clusters
+                .as_ref()
+                .expect("clusters initialised for Clustered distribution")
+                .sample(rng),
+            Distribution::WithTies { fraction, value } => {
+                if rng.gen::<f64>() < *fraction {
+                    *value
+                } else {
+                    rng.gen::<f64>()
+                }
+            }
+        }
+    };
+
+    let mut tb = TableBuilder::new(schema);
+    for _ in 0..cfg.n {
+        let x0 = sample_marginal(&mut rng);
+        let mut row = Vec::with_capacity(cfg.dims);
+        row.push(x0);
+        for _ in 1..cfg.dims {
+            let fresh = sample_marginal(&mut rng);
+            let v = match cfg.correlation {
+                Correlation::Independent => fresh,
+                Correlation::Positive(rho) => (rho * x0 + (1.0 - rho) * fresh).clamp(0.0, 1.0),
+                Correlation::Negative(rho) => {
+                    (rho * (1.0 - x0) + (1.0 - rho) * fresh).clamp(0.0, 1.0)
+                }
+            };
+            row.push(v);
+        }
+        if cfg.quantize_step > 0.0 {
+            for v in &mut row {
+                *v = quantize(*v, cfg.quantize_step).clamp(0.0, 1.0);
+            }
+        }
+        tb.push_row(row).expect("generated row must fit schema");
+    }
+    tb.build()
+}
+
+/// Wrap a generic table in a simulated web database whose hidden ranking is
+/// a linear function with the given per-dimension weights.
+pub fn generic_db(cfg: &SyntheticConfig, hidden_weights: &[f64]) -> SimulatedWebDb {
+    assert_eq!(
+        hidden_weights.len(),
+        cfg.dims,
+        "one hidden weight per dimension"
+    );
+    let table = generic_table(cfg);
+    let names: Vec<String> = (0..cfg.dims).map(|d| format!("x{d}")).collect();
+    let spec: Vec<(&str, f64)> = names
+        .iter()
+        .map(String::as_str)
+        .zip(hidden_weights.iter().copied())
+        .collect();
+    let ranking =
+        SystemRanking::linear(table.schema(), &spec).expect("weights validated above");
+    SimulatedWebDb::new(table, ranking, cfg.system_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_values_span_unit_interval() {
+        let t = generic_table(&SyntheticConfig {
+            n: 2000,
+            ..SyntheticConfig::default()
+        });
+        let x0 = t.schema().expect_id("x0");
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for r in 0..t.len() {
+            let v = t.num(r, x0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.05 && hi > 0.95);
+    }
+
+    #[test]
+    fn ties_distribution_pins_fraction() {
+        let t = generic_table(&SyntheticConfig {
+            n: 5000,
+            distribution: Distribution::WithTies {
+                fraction: 0.3,
+                value: 0.5,
+            },
+            ..SyntheticConfig::default()
+        });
+        let x0 = t.schema().expect_id("x0");
+        let ties = (0..t.len()).filter(|&r| t.num(r, x0) == 0.5).count();
+        let frac = ties as f64 / t.len() as f64;
+        assert!((frac - 0.3).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn positive_correlation_is_positive() {
+        let t = generic_table(&SyntheticConfig {
+            n: 4000,
+            dims: 2,
+            correlation: Correlation::Positive(0.8),
+            ..SyntheticConfig::default()
+        });
+        assert!(pearson(&t, 0, 1) > 0.6);
+    }
+
+    #[test]
+    fn negative_correlation_is_negative() {
+        let t = generic_table(&SyntheticConfig {
+            n: 4000,
+            dims: 2,
+            correlation: Correlation::Negative(0.8),
+            ..SyntheticConfig::default()
+        });
+        assert!(pearson(&t, 0, 1) < -0.6);
+    }
+
+    #[test]
+    fn clustered_values_concentrate() {
+        let t = generic_table(&SyntheticConfig {
+            n: 4000,
+            dims: 1,
+            distribution: Distribution::Clustered {
+                clusters: 3,
+                spread: 0.005,
+            },
+            ..SyntheticConfig::default()
+        });
+        // With 3 tight clusters, a 100-bin histogram should have most mass
+        // in <= 9 bins.
+        let x0 = t.schema().expect_id("x0");
+        let mut bins = [0usize; 100];
+        for r in 0..t.len() {
+            let b = ((t.num(r, x0) * 100.0) as usize).min(99);
+            bins[b] += 1;
+        }
+        let mut sorted: Vec<usize> = bins.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top9: usize = sorted[..9].iter().sum();
+        assert!(
+            top9 as f64 > 0.9 * t.len() as f64,
+            "clusters not concentrated: top9 bins hold {top9}/{}",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn quantization_creates_discrete_grid() {
+        let t = generic_table(&SyntheticConfig {
+            n: 1000,
+            quantize_step: 0.1,
+            ..SyntheticConfig::default()
+        });
+        let x0 = t.schema().expect_id("x0");
+        for r in 0..t.len() {
+            let v = t.num(r, x0);
+            let snapped = (v * 10.0).round() / 10.0;
+            assert!((v - snapped).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generic_db_ranks_by_hidden_weights() {
+        use qr2_webdb::{SearchQuery, TopKInterface};
+        let cfg = SyntheticConfig {
+            n: 100,
+            dims: 2,
+            system_k: 5,
+            ..SyntheticConfig::default()
+        };
+        let db = generic_db(&cfg, &[1.0, 0.0]);
+        let resp = db.search(&SearchQuery::all());
+        let x0 = db.schema().expect_id("x0");
+        let vals: Vec<f64> = resp.tuples.iter().map(|t| t.num_at(x0)).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        assert_eq!(vals, sorted);
+    }
+
+    fn pearson(t: &qr2_webdb::Table, a: usize, b: usize) -> f64 {
+        let ia = t.schema().expect_id(&format!("x{a}"));
+        let ib = t.schema().expect_id(&format!("x{b}"));
+        let n = t.len() as f64;
+        let (mut sa, mut sb) = (0.0, 0.0);
+        for r in 0..t.len() {
+            sa += t.num(r, ia);
+            sb += t.num(r, ib);
+        }
+        let (ma, mb) = (sa / n, sb / n);
+        let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+        for r in 0..t.len() {
+            let da = t.num(r, ia) - ma;
+            let db = t.num(r, ib) - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}

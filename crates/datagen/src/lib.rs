@@ -1,0 +1,27 @@
+//! # qr2-datagen — synthetic web-database inventories
+//!
+//! The QR2 demonstration runs against live Blue Nile (diamonds) and Zillow
+//! (real estate) sites. A reproduction cannot query those, so this crate
+//! generates *seeded synthetic inventories* that preserve the distributional
+//! features the paper's experiments depend on (DESIGN.md §4):
+//!
+//! * **Blue Nile**: high-dimensional ranking attributes (carat, depth,
+//!   table, …); price strongly correlated with carat; ≈20 % of tuples share
+//!   the exact value `1.00` on `lw_ratio` (the paper's worst-case scenario
+//!   for `price + LengthWidthRatio`);
+//! * **Zillow**: large inventory; price positively correlated with square
+//!   feet (the paper's best-case scenario for `price + squarefeet`);
+//! * **generic tables**: parametrized uniform/gaussian/clustered/zipf
+//!   distributions for controlled ablations.
+//!
+//! Everything is deterministic given a seed.
+
+mod bluenile;
+mod distributions;
+mod generic;
+mod zillow;
+
+pub use bluenile::{bluenile_db, bluenile_schema, bluenile_table, DiamondsConfig};
+pub use distributions::{lognormal, normal, quantize, uniform, zipf_rank, Clusters};
+pub use generic::{generic_db, generic_table, Correlation, Distribution, SyntheticConfig};
+pub use zillow::{zillow_db, zillow_schema, zillow_table, HomesConfig};

@@ -1,0 +1,219 @@
+//! Synthetic Zillow real-estate inventory.
+//!
+//! Zillow is the paper's "large database" source. The feature its best-case
+//! scenario relies on is the strong *positive* correlation between `price`
+//! and `sqft`, which makes `price + squarefeet` reranking cheap (§III-B).
+
+use qr2_webdb::{Schema, SimulatedWebDb, SystemRanking, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::{lognormal, normal, quantize, uniform, zipf_rank};
+
+/// Configuration for the homes generator.
+#[derive(Debug, Clone)]
+pub struct HomesConfig {
+    /// Number of listings.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of distinct zip codes (location facets).
+    pub zip_count: usize,
+    /// Result-page size of the simulated site.
+    pub system_k: usize,
+}
+
+impl Default for HomesConfig {
+    fn default() -> Self {
+        HomesConfig {
+            n: 50_000,
+            seed: 0x2111_0111,
+            zip_count: 24,
+            system_k: 40,
+        }
+    }
+}
+
+/// Home types, common first.
+const HOME_TYPES: [&str; 5] = ["House", "Condo", "Townhouse", "Multi-family", "Lot"];
+
+/// The public schema of the simulated Zillow search form.
+pub fn zillow_schema(zip_count: usize) -> Schema {
+    let zips: Vec<String> = (0..zip_count).map(|i| format!("76{:03}", i)).collect();
+    Schema::builder()
+        .numeric("price", 10_000.0, 5_000_000.0)
+        .numeric("sqft", 200.0, 12_000.0)
+        .integral("beds", 0.0, 10.0)
+        .integral("baths", 1.0, 8.0)
+        .integral("year", 1900.0, 2018.0)
+        .numeric("lot", 0.0, 200_000.0)
+        .categorical("zip", zips)
+        .categorical("home_type", HOME_TYPES)
+        .build()
+}
+
+/// Generate the homes table.
+pub fn zillow_table(cfg: &HomesConfig) -> Table {
+    assert!(cfg.n > 0, "need at least one listing");
+    assert!(cfg.zip_count >= 1, "need at least one zip code");
+    let schema = zillow_schema(cfg.zip_count);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Per-zip price multipliers: some neighbourhoods are pricier.
+    let zip_mult: Vec<f64> = (0..cfg.zip_count)
+        .map(|_| lognormal(&mut rng, 0.0, 0.35).clamp(0.45, 3.5))
+        .collect();
+
+    let mut tb = TableBuilder::new(schema);
+    for _ in 0..cfg.n {
+        let home_type = zipf_rank(&mut rng, HOME_TYPES.len(), 1.1) as u32;
+        let zip = rng.gen_range(0..cfg.zip_count) as u32;
+
+        // Square footage: log-normal around ~1800 sqft; lots are small.
+        let sqft = if home_type == 4 {
+            uniform(&mut rng, 200.0, 1200.0)
+        } else {
+            lognormal(&mut rng, 7.45, 0.42).clamp(200.0, 12_000.0)
+        };
+        let sqft = quantize(sqft, 1.0);
+
+        let beds = ((sqft / 650.0) + normal(&mut rng, 0.0, 0.9))
+            .round()
+            .clamp(0.0, 10.0);
+        let baths = ((beds * 0.7) + normal(&mut rng, 0.6, 0.5))
+            .round()
+            .clamp(1.0, 8.0);
+        let year = (normal(&mut rng, 1985.0, 20.0)).round().clamp(1900.0, 2018.0);
+        let lot = if home_type == 1 {
+            0.0 // condos have no lot
+        } else {
+            quantize(
+                (sqft * uniform(&mut rng, 1.5, 9.0)).clamp(0.0, 200_000.0),
+                10.0,
+            )
+        };
+
+        // Price ≈ $/sqft by zip × size, newer homes dearer, noisy.
+        let age_factor = 1.0 + (year - 1950.0).max(0.0) / 300.0;
+        let base = 165.0 * zip_mult[zip as usize] * sqft * age_factor;
+        let price = (base * lognormal(&mut rng, 0.0, 0.22)).clamp(10_000.0, 5_000_000.0);
+        let price = quantize(price, 100.0);
+
+        tb.push_values(vec![
+            Value::Num(price),
+            Value::Num(sqft),
+            Value::Num(beds),
+            Value::Num(baths),
+            Value::Num(year),
+            Value::Num(lot),
+            Value::Cat(zip),
+            Value::Cat(home_type),
+        ])
+        .expect("generated listing must satisfy its own schema");
+    }
+    tb.build()
+}
+
+/// Build the simulated Zillow site. The hidden default ranking models
+/// "Homes for You": an opaque relevance blend the third party cannot see.
+pub fn zillow_db(cfg: &HomesConfig) -> SimulatedWebDb {
+    let table = zillow_table(cfg);
+    let ranking = SystemRanking::opaque(cfg.seed ^ 0x5EED);
+    SimulatedWebDb::new(table, ranking, cfg.system_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_webdb::{SearchQuery, TopKInterface};
+
+    fn small() -> HomesConfig {
+        HomesConfig {
+            n: 4000,
+            seed: 5,
+            zip_count: 8,
+            system_k: 20,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = zillow_table(&small());
+        let b = zillow_table(&small());
+        for row in [0usize, 123, 3999] {
+            assert_eq!(a.tuple(row), b.tuple(row));
+        }
+    }
+
+    #[test]
+    fn price_sqft_positively_correlated() {
+        let t = zillow_table(&small());
+        let price = t.schema().expect_id("price");
+        let sqft = t.schema().expect_id("sqft");
+        let n = t.len() as f64;
+        let (mut sp, mut ss) = (0.0, 0.0);
+        for r in 0..t.len() {
+            sp += t.num(r, price);
+            ss += t.num(r, sqft);
+        }
+        let (mp, ms) = (sp / n, ss / n);
+        let (mut cov, mut vp, mut vs) = (0.0, 0.0, 0.0);
+        for r in 0..t.len() {
+            let dp = t.num(r, price) - mp;
+            let ds = t.num(r, sqft) - ms;
+            cov += dp * ds;
+            vp += dp * dp;
+            vs += ds * ds;
+        }
+        let pearson = cov / (vp.sqrt() * vs.sqrt());
+        assert!(pearson > 0.5, "price~sqft correlation {pearson} too weak");
+    }
+
+    #[test]
+    fn integral_attributes_are_whole_numbers() {
+        let t = zillow_table(&small());
+        for name in ["beds", "baths", "year"] {
+            let id = t.schema().expect_id(name);
+            for r in 0..t.len() {
+                assert_eq!(t.num(r, id).fract(), 0.0, "{name} must be integral");
+            }
+        }
+    }
+
+    #[test]
+    fn values_in_domain() {
+        let t = zillow_table(&small());
+        for (id, attr) in t.schema().iter() {
+            if let qr2_webdb::AttrKind::Numeric { min, max, .. } = attr.kind {
+                for r in 0..t.len() {
+                    let v = t.num(r, id);
+                    assert!(v >= min && v <= max, "{} = {v}", attr.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn db_search_works_and_is_opaque_ranked() {
+        let db = zillow_db(&small());
+        let resp = db.search(&SearchQuery::all());
+        assert_eq!(resp.tuples.len(), 20);
+        assert!(resp.overflow);
+        // The hidden ranking must be deterministic across rebuilds.
+        let db2 = zillow_db(&small());
+        let resp2 = db2.search(&SearchQuery::all());
+        assert_eq!(resp.tuples, resp2.tuples);
+    }
+
+    #[test]
+    fn condos_have_zero_lot() {
+        let t = zillow_table(&small());
+        let ht = t.schema().expect_id("home_type");
+        let lot = t.schema().expect_id("lot");
+        for r in 0..t.len() {
+            if t.value(r, ht) == Value::Cat(1) {
+                assert_eq!(t.num(r, lot), 0.0);
+            }
+        }
+    }
+}

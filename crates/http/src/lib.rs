@@ -1,0 +1,23 @@
+//! # qr2-http — a minimal HTTP/1.1 + JSON substrate
+//!
+//! The QR2 demo serves its UI and API from Flask; this crate provides the
+//! same surface in ~zero dependencies: an HTTP/1.1 server over
+//! `std::net::TcpListener` with a crossbeam worker pool, a path router, and
+//! a JSON value type with parser and serializer (no serde — the format is
+//! small and fully tested, including property-based round-trips).
+//!
+//! Scope is deliberately narrow — what a demo web service needs:
+//! `GET`/`POST`/`DELETE`, `Content-Length` bodies, query strings, and
+//! connection-per-request semantics.
+
+mod json;
+mod request;
+mod response;
+mod router;
+mod server;
+
+pub use json::{parse_json, Json, JsonError};
+pub use request::{parse_request, Method, Request, RequestError};
+pub use response::{Response, Status};
+pub use router::{Params, Router};
+pub use server::{HttpServer, ServerHandle};

@@ -1,0 +1,279 @@
+//! HTTP/1.1 request parsing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::BufRead;
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// DELETE
+    Delete,
+}
+
+impl Method {
+    fn from_str(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        })
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Decoded path (no query string).
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Lower-cased header map.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// A query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+}
+
+/// Request parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// Connection closed or malformed request line/headers.
+    Malformed(String),
+    /// Method not in [`Method`].
+    UnsupportedMethod(String),
+    /// Declared body exceeds the configured limit.
+    BodyTooLarge(usize),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Malformed(m) => write!(f, "malformed request: {m}"),
+            RequestError::UnsupportedMethod(m) => write!(f, "unsupported method: {m}"),
+            RequestError::BodyTooLarge(n) => write!(f, "body too large: {n} bytes"),
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Maximum accepted body (1 MiB — plenty for the JSON API).
+const MAX_BODY: usize = 1 << 20;
+
+/// Parse one request from a buffered reader.
+pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| RequestError::Io(e.to_string()))?;
+    if line.is_empty() {
+        return Err(RequestError::Malformed("empty request".into()));
+    }
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let method_raw = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing method".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!("bad version {version}")));
+    }
+    let method = Method::from_str(method_raw)
+        .ok_or_else(|| RequestError::UnsupportedMethod(method_raw.to_string()))?;
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw)
+        .ok_or_else(|| RequestError::Malformed("bad path encoding".into()))?;
+    let mut query = HashMap::new();
+    if let Some(qs) = query_raw {
+        for pair in qs.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k)
+                .ok_or_else(|| RequestError::Malformed("bad query encoding".into()))?;
+            let v = percent_decode(v)
+                .ok_or_else(|| RequestError::Malformed("bad query encoding".into()))?;
+            query.insert(k, v);
+        }
+    }
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut hl = String::new();
+        reader
+            .read_line(&mut hl)
+            .map_err(|e| RequestError::Io(e.to_string()))?;
+        let hl = hl.trim_end();
+        if hl.is_empty() {
+            break;
+        }
+        let (name, value) = hl
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("bad header line '{hl}'")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let mut body = Vec::new();
+    if let Some(len) = headers.get("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| RequestError::Malformed("bad content-length".into()))?;
+        if len > MAX_BODY {
+            return Err(RequestError::BodyTooLarge(len));
+        }
+        body.resize(len, 0);
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| RequestError::Io(e.to_string()))?;
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Decode `%XX` sequences and `+` (as space, query-string convention).
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = (bytes.get(i + 1).copied()? as char).to_digit(16)?;
+                let lo = (bytes.get(i + 2).copied()? as char).to_digit(16)?;
+                out.push(((hi << 4) | lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        parse_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /api/search?q=blue+nile&page=2 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/api/search");
+        assert_eq!(r.query_param("q"), Some("blue nile"));
+        assert_eq!(r.query_param("page"), Some("2"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse(
+            "POST /api/query HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n{\"source\":\"z\"}",
+        );
+        // Body is 14 bytes but declared 13: read_exact takes the first 13.
+        let r = r.unwrap();
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body.len(), 13);
+        assert_eq!(r.headers.get("content-type").unwrap(), "application/json");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        let r = parse("GET /s%C3%A9arch?city=Fort%20Worth HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/séarch");
+        assert_eq!(r.query_param("city"), Some("Fort Worth"));
+    }
+
+    #[test]
+    fn rejects_unsupported_method() {
+        assert!(matches!(
+            parse("PATCH / HTTP/1.1\r\n\r\n"),
+            Err(RequestError::UnsupportedMethod(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_garbage() {
+        assert!(parse("GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse("\r\n").is_err());
+        assert!(parse("GET\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 10 << 20);
+        assert!(matches!(parse(&raw), Err(RequestError::BodyTooLarge(_))));
+    }
+
+    #[test]
+    fn rejects_bad_percent_escape() {
+        assert!(parse("GET /a%ZZ HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse("GET /a%2 HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn headers_are_case_insensitive() {
+        let r = parse("GET / HTTP/1.1\r\nX-CuStOm: Value\r\n\r\n").unwrap();
+        assert_eq!(r.headers.get("x-custom").unwrap(), "Value");
+    }
+
+    #[test]
+    fn body_str_utf8() {
+        let r = parse("POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(r.body_str(), Some("ok"));
+    }
+}

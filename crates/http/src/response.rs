@@ -1,0 +1,156 @@
+//! HTTP response construction and serialization.
+
+use std::io::Write;
+
+use crate::json::Json;
+
+/// Status codes the service uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 500
+    InternalError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::InternalError => 500,
+        }
+    }
+
+    fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::InternalError => "Internal Server Error",
+        }
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line.
+    pub status: Status,
+    /// Extra headers (`Content-Length`/`Connection` are added on write).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// JSON response with the given status.
+    pub fn json(status: Status, value: &Json) -> Response {
+        Response {
+            status,
+            headers: vec![(
+                "Content-Type".to_string(),
+                "application/json; charset=utf-8".to_string(),
+            )],
+            body: value.to_string().into_bytes(),
+        }
+    }
+
+    /// `200 OK` JSON response.
+    pub fn ok_json(value: &Json) -> Response {
+        Response::json(Status::Ok, value)
+    }
+
+    /// HTML response.
+    pub fn html(body: &str) -> Response {
+        Response {
+            status: Status::Ok,
+            headers: vec![(
+                "Content-Type".to_string(),
+                "text/html; charset=utf-8".to_string(),
+            )],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Plain-text error response.
+    pub fn error(status: Status, message: &str) -> Response {
+        Response::json(
+            status,
+            &Json::obj([("error", Json::from(message))]),
+        )
+    }
+
+    /// Serialize onto a writer (adds `Content-Length` and
+    /// `Connection: close`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_response_serializes() {
+        let r = Response::ok_json(&Json::obj([("x", Json::from(1usize))]));
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json"));
+        assert!(text.contains("Content-Length: 7"));
+        assert!(text.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn error_statuses() {
+        let r = Response::error(Status::NotFound, "no such session");
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("no such session"));
+    }
+
+    #[test]
+    fn html_response() {
+        let r = Response::html("<h1>QR2</h1>");
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("text/html"));
+        assert!(text.ends_with("<h1>QR2</h1>"));
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::BadRequest.code(), 400);
+        assert_eq!(Status::MethodNotAllowed.code(), 405);
+        assert_eq!(Status::InternalError.code(), 500);
+    }
+}

@@ -1,0 +1,173 @@
+//! Method + path routing with `:param` captures.
+
+use std::collections::HashMap;
+
+use crate::request::{Method, Request};
+use crate::response::{Response, Status};
+
+/// Captured path parameters (`/api/session/:id` → `id`).
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    map: HashMap<String, String>,
+}
+
+impl Params {
+    /// Fetch a capture by name.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+}
+
+type Handler = Box<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// A method+path router.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Empty router.
+    pub fn new() -> Router {
+        Router { routes: Vec::new() }
+    }
+
+    /// Register a route. Pattern segments starting with `:` capture.
+    pub fn route(
+        mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        let segments = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route {
+            method,
+            segments,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Dispatch a request. `404` when no pattern matches, `405` when a
+    /// pattern matches under a different method.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        let parts: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut path_matched = false;
+        for route in &self.routes {
+            if let Some(params) = match_segments(&route.segments, &parts) {
+                path_matched = true;
+                if route.method == req.method {
+                    return (route.handler)(req, &params);
+                }
+            }
+        }
+        if path_matched {
+            Response::error(Status::MethodNotAllowed, "method not allowed")
+        } else {
+            Response::error(Status::NotFound, "no such route")
+        }
+    }
+}
+
+fn match_segments(pattern: &[Segment], parts: &[&str]) -> Option<Params> {
+    if pattern.len() != parts.len() {
+        return None;
+    }
+    let mut params = Params::default();
+    for (seg, part) in pattern.iter().zip(parts) {
+        match seg {
+            Segment::Literal(lit) => {
+                if lit != part {
+                    return None;
+                }
+            }
+            Segment::Param(name) => {
+                params.map.insert(name.clone(), (*part).to_string());
+            }
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn req(method: Method, path: &str) -> Request {
+        Request {
+            method,
+            path: path.to_string(),
+            query: Default::default(),
+            headers: Default::default(),
+            body: Vec::new(),
+        }
+    }
+
+    fn router() -> Router {
+        Router::new()
+            .route(Method::Get, "/api/sources", |_, _| {
+                Response::ok_json(&Json::from("sources"))
+            })
+            .route(Method::Get, "/api/session/:id/stats", |_, p| {
+                Response::ok_json(&Json::from(p.get("id").unwrap_or("?")))
+            })
+            .route(Method::Post, "/api/query", |_, _| {
+                Response::ok_json(&Json::from("created"))
+            })
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = router().dispatch(&req(Method::Get, "/api/sources"));
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(String::from_utf8(r.body).unwrap(), "\"sources\"");
+    }
+
+    #[test]
+    fn param_capture() {
+        let r = router().dispatch(&req(Method::Get, "/api/session/s42/stats"));
+        assert_eq!(String::from_utf8(r.body).unwrap(), "\"s42\"");
+    }
+
+    #[test]
+    fn not_found_vs_method_not_allowed() {
+        let r = router().dispatch(&req(Method::Get, "/nope"));
+        assert_eq!(r.status, Status::NotFound);
+        let r = router().dispatch(&req(Method::Get, "/api/query"));
+        assert_eq!(r.status, Status::MethodNotAllowed);
+    }
+
+    #[test]
+    fn trailing_slash_equivalence() {
+        let r = router().dispatch(&req(Method::Get, "/api/sources/"));
+        assert_eq!(r.status, Status::Ok);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let r = router().dispatch(&req(Method::Get, "/api/session/s42"));
+        assert_eq!(r.status, Status::NotFound);
+    }
+}

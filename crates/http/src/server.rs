@@ -1,0 +1,272 @@
+//! The HTTP server: accept loop + crossbeam worker pool.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+
+use crate::request::parse_request;
+use crate::response::{Response, Status};
+use crate::router::Router;
+
+/// A running HTTP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Cheap handle for querying/stopping a server from elsewhere.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown (idempotent).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `router`
+    /// with `workers` handler threads.
+    pub fn start(
+        addr: &str,
+        router: Router,
+        workers: usize,
+    ) -> std::io::Result<HttpServer> {
+        assert!(workers >= 1, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(router);
+
+        let (tx, rx) = bounded::<TcpStream>(workers * 4);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = rx.clone();
+            let router = Arc::clone(&router);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("qr2-http-{i}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            handle_connection(stream, &router);
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("qr2-http-accept".to_string())
+            .spawn(move || {
+                accept_loop(listener, tx, accept_shutdown);
+            })
+            .expect("spawn accept loop");
+
+        Ok(HttpServer {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable control handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Stop accepting, drain workers, and join all threads.
+    pub fn stop(mut self) {
+        self.handle().stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Workers exit when the channel sender is dropped by the accept
+        // loop; join them so tests can't leak threads.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    // Dropping tx closes the channel and stops the workers.
+}
+
+fn handle_connection(stream: TcpStream, router: &Router) {
+    let peer = stream.peer_addr().ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    let response = match parse_request(&mut reader) {
+        Ok(req) => {
+            // Panics in handlers must not take the worker down.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                router.dispatch(&req)
+            }));
+            result.unwrap_or_else(|_| {
+                Response::error(Status::InternalError, "handler panicked")
+            })
+        }
+        Err(e) => Response::error(Status::BadRequest, &e.to_string()),
+    };
+    if response.write_to(&mut writer).is_err() {
+        // Client went away; nothing to do.
+        let _ = peer;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::request::Method;
+    use std::io::{Read, Write};
+
+    fn test_server() -> HttpServer {
+        let router = Router::new()
+            .route(Method::Get, "/ping", |_, _| {
+                Response::ok_json(&Json::from("pong"))
+            })
+            .route(Method::Post, "/echo", |req, _| {
+                Response::ok_json(&Json::from(req.body_str().unwrap_or("")))
+            })
+            .route(Method::Get, "/boom", |_, _| panic!("kaboom"));
+        HttpServer::start("127.0.0.1:0", router, 2).expect("server starts")
+    }
+
+    fn raw_request(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_requests() {
+        let server = test_server();
+        let resp = raw_request(server.addr(), "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.ends_with("\"pong\""));
+        server.stop();
+    }
+
+    #[test]
+    fn serves_concurrent_requests() {
+        let server = test_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n")
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().contains("pong"));
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn post_body_echo() {
+        let server = test_server();
+        let resp = raw_request(
+            server.addr(),
+            "POST /echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(resp.ends_with("\"hello\""), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = test_server();
+        let resp = raw_request(server.addr(), "BLARGH\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn handler_panic_gets_500_and_server_survives() {
+        let server = test_server();
+        let resp = raw_request(server.addr(), "GET /boom HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
+        // Server still works afterwards.
+        let resp = raw_request(server.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("pong"));
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_route_404() {
+        let server = test_server();
+        let resp = raw_request(server.addr(), "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+
+    #[test]
+    fn stop_is_clean_and_idempotent() {
+        let server = test_server();
+        let handle = server.handle();
+        handle.stop();
+        handle.stop();
+        server.stop();
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests: the JSON serializer and parser are mutually inverse on
+//! the full value domain.
+
+use proptest::prelude::*;
+use qr2_http::{parse_json, Json};
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite doubles only: JSON cannot carry NaN/Inf.
+        (-1.0e12f64..1.0e12).prop_map(Json::Num),
+        any::<i32>().prop_map(|n| Json::Num(n as f64)),
+        "\\PC{0,24}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            proptest::collection::btree_map("[a-z_]{1,8}", inner, 0..6).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_roundtrip(v in json_strategy()) {
+        let text = v.to_string();
+        let back = parse_json(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert!(json_eq(&v, &back), "mismatch:\n  in:  {v:?}\n  out: {back:?}");
+    }
+
+    /// Parsing arbitrary strings either fails cleanly or yields a value
+    /// that reserializes to something parseable (no panics, ever).
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        if let Ok(v) = parse_json(&s) {
+            let _ = parse_json(&v.to_string()).expect("reserialized JSON parses");
+        }
+    }
+}
+
+/// Equality modulo f64 printing round-trips (serializer prints shortest
+/// representation; parse gives back a bit-identical double for it).
+fn json_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Num(x), Json::Num(y)) => x == y || (x - y).abs() < f64::EPSILON * x.abs(),
+        (Json::Arr(x), Json::Arr(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| json_eq(p, q))
+        }
+        (Json::Obj(x), Json::Obj(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && json_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}

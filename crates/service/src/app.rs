@@ -1,0 +1,236 @@
+//! Service assembly: sources + sessions + router + boot procedure.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qr2_http::{HttpServer, Json, Method, Response, Router};
+use qr2_store::VerifyReport;
+
+use crate::api::ApiState;
+use crate::session::SessionManager;
+use crate::sources::SourceRegistry;
+use crate::ui::INDEX_HTML;
+
+/// The QR2 application.
+pub struct Qr2App {
+    state: Arc<ApiState>,
+}
+
+impl Qr2App {
+    /// Assemble the app over a source registry. Session TTL defaults to
+    /// 15 minutes.
+    pub fn new(registry: SourceRegistry) -> Self {
+        Qr2App {
+            state: Arc::new(ApiState {
+                registry: Arc::new(registry),
+                sessions: Arc::new(SessionManager::new(Duration::from_secs(15 * 60))),
+            }),
+        }
+    }
+
+    /// Override the session TTL.
+    pub fn with_session_ttl(self, ttl: Duration) -> Self {
+        Qr2App {
+            state: Arc::new(ApiState {
+                registry: self.state.registry.clone(),
+                sessions: Arc::new(SessionManager::new(ttl)),
+            }),
+        }
+    }
+
+    /// The shared state (tests drive handlers directly through this).
+    pub fn state(&self) -> &Arc<ApiState> {
+        &self.state
+    }
+
+    /// Boot procedure (paper §II-B): verify every source's dense-region
+    /// cache against the live database, dropping stale regions. Returns
+    /// one report per source.
+    pub fn verify_caches(&self) -> Vec<(String, VerifyReport)> {
+        self.state
+            .registry
+            .all()
+            .iter()
+            .map(|s| {
+                let report = s
+                    .reranker
+                    .dense_index()
+                    .verify(&*s.db)
+                    .expect("cache verification must not fail on a healthy store");
+                (s.name.clone(), report)
+            })
+            .collect()
+    }
+
+    /// Build the HTTP router.
+    pub fn router(&self) -> Router {
+        let st = |s: &Arc<ApiState>| Arc::clone(s);
+        let s1 = st(&self.state);
+        let s2 = st(&self.state);
+        let s3 = st(&self.state);
+        let s4 = st(&self.state);
+        let s5 = st(&self.state);
+        Router::new()
+            .route(Method::Get, "/", |_, _| Response::html(INDEX_HTML))
+            .route(Method::Get, "/api/sources", move |_, _| s1.handle_sources())
+            .route(Method::Post, "/api/query", move |req, _| s2.handle_query(req))
+            .route(Method::Post, "/api/getnext", move |req, _| {
+                s3.handle_getnext(req)
+            })
+            .route(Method::Get, "/api/session/:id/stats", move |_, p| {
+                s4.handle_stats(p.get("id").unwrap_or(""))
+            })
+            .route(Method::Delete, "/api/session/:id", move |_, p| {
+                s5.handle_delete(p.get("id").unwrap_or(""))
+            })
+            .route(Method::Get, "/api/health", |_, _| {
+                Response::ok_json(&Json::obj([("status", Json::from("ok"))]))
+            })
+    }
+
+    /// Verify caches, then serve on `addr` with `workers` threads.
+    ///
+    /// Also starts a janitor thread that evicts idle sessions every 30
+    /// seconds; it holds only a weak reference and exits by itself once
+    /// the app (and its session table) is gone.
+    pub fn serve(self, addr: &str, workers: usize) -> std::io::Result<HttpServer> {
+        self.verify_caches();
+        let sessions = Arc::downgrade(&self.state.sessions);
+        std::thread::Builder::new()
+            .name("qr2-session-janitor".to_string())
+            .spawn(move || {
+                while let Some(sessions) = sessions.upgrade() {
+                    sessions.evict_idle();
+                    drop(sessions);
+                    std::thread::sleep(Duration::from_secs(30));
+                }
+            })
+            .expect("spawn janitor");
+        HttpServer::start(addr, self.router(), workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_core::ExecutorKind;
+    use qr2_http::parse_json;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn app() -> Qr2App {
+        Qr2App::new(SourceRegistry::demo(300, 300, ExecutorKind::Sequential))
+    }
+
+    fn http(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn body_of(resp: &str) -> &str {
+        resp.split("\r\n\r\n").nth(1).unwrap_or("")
+    }
+
+    #[test]
+    fn boot_verification_runs_clean() {
+        let app = app();
+        let reports = app.verify_caches();
+        assert_eq!(reports.len(), 2);
+        for (_, r) in reports {
+            assert_eq!(r.dropped, 0, "fresh caches have nothing to drop");
+        }
+    }
+
+    #[test]
+    fn full_http_round_trip() {
+        let server = app().serve("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+
+        // UI.
+        let resp = http(addr, "GET / HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("QR2"));
+
+        // Health.
+        let resp = http(addr, "GET /api/health HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("\"ok\""));
+
+        // Sources.
+        let resp = http(addr, "GET /api/sources HTTP/1.1\r\n\r\n");
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert_eq!(v.get("sources").unwrap().as_arr().unwrap().len(), 2);
+
+        // Query.
+        let body = r#"{"source":"zillow","ranking":{"type":"md","weights":{"price":1.0,"sqft":-0.3}},"page_size":3}"#;
+        let raw = format!(
+            "POST /api/query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = http(addr, &raw);
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let v = parse_json(body_of(&resp)).unwrap();
+        let sid = v.get("session").unwrap().as_str().unwrap().to_string();
+        assert_eq!(v.get("results").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("MD-RERANK"));
+
+        // Stats endpoint.
+        let resp = http(
+            addr,
+            &format!("GET /api/session/{sid}/stats HTTP/1.1\r\n\r\n"),
+        );
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert!(v.get("queries").unwrap().as_usize().unwrap() > 0);
+
+        // Get-next.
+        let body = format!(r#"{{"session":"{sid}","page_size":4}}"#);
+        let raw = format!(
+            "POST /api/getnext HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = http(addr, &raw);
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert_eq!(v.get("results").unwrap().as_arr().unwrap().len(), 4);
+
+        // Delete session.
+        let resp = http(
+            addr,
+            &format!("DELETE /api/session/{sid} HTTP/1.1\r\n\r\n"),
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_users_get_independent_sessions() {
+        let server = app().serve("127.0.0.1:0", 4).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = format!(
+                        r#"{{"source":"bluenile","ranking":{{"type":"1d","attr":"price","dir":"{}"}},"page_size":2}}"#,
+                        if i % 2 == 0 { "asc" } else { "desc" }
+                    );
+                    let raw = format!(
+                        "POST /api/query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                        body.len(),
+                        body
+                    );
+                    let resp = http(addr, &raw);
+                    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                    let v = parse_json(body_of(&resp)).unwrap();
+                    v.get("session").unwrap().as_str().unwrap().to_string()
+                })
+            })
+            .collect();
+        let ids: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let unique: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(unique.len(), 4, "each user got a distinct session");
+        server.stop();
+    }
+}

@@ -1,0 +1,139 @@
+//! `qr2-server` — run the QR2 reranking service from the command line.
+//!
+//! ```sh
+//! qr2-server --addr 127.0.0.1:8080 --diamonds 20000 --homes 50000
+//! ```
+//!
+//! Boots the simulated Blue Nile and Zillow sources, verifies the dense
+//! cache, and serves the REST API plus the single-page UI.
+
+use std::time::Duration;
+
+use qr2_core::ExecutorKind;
+use qr2_service::{Qr2App, SourceRegistry};
+
+struct Args {
+    addr: String,
+    diamonds: usize,
+    homes: usize,
+    fanout: usize,
+    workers: usize,
+    latency_ms: u64,
+    session_ttl_secs: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:8080".to_string(),
+            diamonds: 20_000,
+            homes: 50_000,
+            fanout: 8,
+            workers: 4,
+            latency_ms: 0,
+            session_ttl_secs: 900,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = take("--addr")?,
+            "--diamonds" => {
+                args.diamonds = take("--diamonds")?
+                    .parse()
+                    .map_err(|e| format!("--diamonds: {e}"))?
+            }
+            "--homes" => {
+                args.homes = take("--homes")?
+                    .parse()
+                    .map_err(|e| format!("--homes: {e}"))?
+            }
+            "--fanout" => {
+                args.fanout = take("--fanout")?
+                    .parse()
+                    .map_err(|e| format!("--fanout: {e}"))?
+            }
+            "--workers" => {
+                args.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--latency-ms" => {
+                args.latency_ms = take("--latency-ms")?
+                    .parse()
+                    .map_err(|e| format!("--latency-ms: {e}"))?
+            }
+            "--session-ttl" => {
+                args.session_ttl_secs = take("--session-ttl")?
+                    .parse()
+                    .map_err(|e| format!("--session-ttl: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "qr2-server — the QR2 reranking service\n\n\
+                     USAGE: qr2-server [--addr HOST:PORT] [--diamonds N] [--homes N]\n\
+                            [--fanout N] [--workers N] [--latency-ms MS] [--session-ttl SECS]\n"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if args.fanout == 0 || args.workers == 0 {
+        return Err("--fanout and --workers must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let executor = if args.fanout == 1 {
+        ExecutorKind::Sequential
+    } else {
+        ExecutorKind::Parallel {
+            fanout: args.fanout,
+        }
+    };
+    eprintln!(
+        "booting QR2: {} diamonds, {} homes, fan-out {}…",
+        args.diamonds, args.homes, args.fanout
+    );
+    if args.latency_ms > 0 {
+        eprintln!("note: --latency-ms is advisory; demo sources run without artificial latency");
+    }
+    let registry = SourceRegistry::demo(args.diamonds, args.homes, executor);
+    let app = Qr2App::new(registry)
+        .with_session_ttl(Duration::from_secs(args.session_ttl_secs));
+    for (source, report) in app.verify_caches() {
+        eprintln!(
+            "  cache [{}]: {} checked, {} dropped",
+            source, report.checked, report.dropped
+        );
+    }
+    let server = match app.serve(&args.addr, args.workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!("QR2 listening on http://{}/  (Ctrl-C to stop)", server.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,32 @@
+//! # qr2-service — the QR2 web service
+//!
+//! The third-party reranking service of the paper's Fig. 1: users connect,
+//! pick a data source (Blue Nile / Zillow), submit a filter query plus a
+//! ranking preference, and page through reranked results via get-next. The
+//! service keeps a per-user session (seen-tuple cache), a shared persistent
+//! dense-region index (verified against the sources at boot), and a
+//! statistics panel reporting query cost and processing time.
+//!
+//! The HTTP surface (all JSON):
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `GET /api/sources` | available sources, their schemas and popular functions |
+//! | `POST /api/query` | start a session: filter + ranking + algorithm → first page |
+//! | `POST /api/getnext` | next page for a session |
+//! | `GET /api/session/:id/stats` | the statistics panel |
+//! | `DELETE /api/session/:id` | drop a session |
+//! | `GET /` | the embedded single-page UI |
+
+mod api;
+mod app;
+pub mod remote;
+mod session;
+mod sources;
+mod ui;
+
+pub use api::{parse_ranking_spec, tuple_to_json};
+pub use app::Qr2App;
+pub use remote::{RemoteWebDb, WebDbGateway};
+pub use session::{SessionId, SessionManager};
+pub use sources::{Source, SourceRegistry};

@@ -1,0 +1,196 @@
+//! User sessions: each submitted query opens a session whose reranking
+//! engine persists between get-next calls — the "session variable (user
+//! level cache)" of the paper's architecture.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use qr2_core::RerankSession;
+
+/// Opaque session identifier (`"s17"`).
+pub type SessionId = String;
+
+/// A live session and its bookkeeping.
+pub struct SessionEntry {
+    /// The reranking engine with its session cache.
+    pub session: RerankSession,
+    /// Source the session runs against.
+    pub source: String,
+    /// Results per page requested by the user.
+    pub page_size: usize,
+    /// Whether the stream has been exhausted.
+    pub done: bool,
+    created: Instant,
+    last_access: Instant,
+}
+
+/// Thread-safe session table with TTL eviction.
+pub struct SessionManager {
+    next_id: AtomicU64,
+    sessions: Mutex<HashMap<SessionId, Arc<Mutex<SessionEntry>>>>,
+    ttl: Duration,
+}
+
+impl SessionManager {
+    /// Manager with the given idle TTL.
+    pub fn new(ttl: Duration) -> Self {
+        SessionManager {
+            next_id: AtomicU64::new(1),
+            sessions: Mutex::new(HashMap::new()),
+            ttl,
+        }
+    }
+
+    /// Register a new session; returns its id.
+    pub fn create(
+        &self,
+        session: RerankSession,
+        source: impl Into<String>,
+        page_size: usize,
+    ) -> SessionId {
+        let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        let now = Instant::now();
+        let entry = SessionEntry {
+            session,
+            source: source.into(),
+            page_size,
+            done: false,
+            created: now,
+            last_access: now,
+        };
+        self.sessions
+            .lock()
+            .insert(id.clone(), Arc::new(Mutex::new(entry)));
+        id
+    }
+
+    /// Fetch a session (refreshes its idle timer).
+    pub fn get(&self, id: &str) -> Option<Arc<Mutex<SessionEntry>>> {
+        let map = self.sessions.lock();
+        let entry = map.get(id)?.clone();
+        entry.lock().last_access = Instant::now();
+        Some(entry)
+    }
+
+    /// Remove a session; true when it existed.
+    pub fn remove(&self, id: &str) -> bool {
+        self.sessions.lock().remove(id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.lock().is_empty()
+    }
+
+    /// Evict sessions idle longer than the TTL; returns how many were
+    /// dropped.
+    pub fn evict_idle(&self) -> usize {
+        let now = Instant::now();
+        let mut map = self.sessions.lock();
+        let before = map.len();
+        map.retain(|_, entry| {
+            entry
+                .try_lock()
+                .map(|e| now.duration_since(e.last_access) < self.ttl)
+                // A session locked by an in-flight request is in use.
+                .unwrap_or(true)
+        });
+        before - map.len()
+    }
+
+    /// Age of a session since creation.
+    pub fn age(&self, id: &str) -> Option<Duration> {
+        let map = self.sessions.lock();
+        map.get(id).map(|e| e.lock().created.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, Reranker, RerankRequest};
+    use qr2_datagen::{generic_db, SyntheticConfig};
+    use qr2_webdb::SearchQuery;
+
+    fn make_session() -> RerankSession {
+        let cfg = SyntheticConfig {
+            n: 50,
+            dims: 1,
+            system_k: 5,
+            ..SyntheticConfig::default()
+        };
+        let db = Arc::new(generic_db(&cfg, &[1.0]));
+        let r = Reranker::builder(db)
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let x0 = r.schema().expect_id("x0");
+        r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(x0).into(),
+            algorithm: Algorithm::OneDBinary,
+        })
+    }
+
+    #[test]
+    fn create_get_remove() {
+        let mgr = SessionManager::new(Duration::from_secs(60));
+        let id = mgr.create(make_session(), "test", 10);
+        assert_eq!(mgr.len(), 1);
+        assert!(mgr.get(&id).is_some());
+        assert!(mgr.age(&id).is_some());
+        assert!(mgr.remove(&id));
+        assert!(!mgr.remove(&id));
+        assert!(mgr.get(&id).is_none());
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mgr = SessionManager::new(Duration::from_secs(60));
+        let a = mgr.create(make_session(), "test", 10);
+        let b = mgr.create(make_session(), "test", 10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sessions_drive_get_next() {
+        let mgr = SessionManager::new(Duration::from_secs(60));
+        let id = mgr.create(make_session(), "test", 10);
+        let entry = mgr.get(&id).unwrap();
+        let mut guard = entry.lock();
+        let page = guard.session.next_page(5);
+        assert_eq!(page.len(), 5);
+        let page2 = guard.session.next_page(5);
+        assert_eq!(page2.len(), 5);
+        assert_ne!(page[0].id, page2[0].id);
+    }
+
+    #[test]
+    fn ttl_eviction() {
+        let mgr = SessionManager::new(Duration::from_millis(20));
+        let id = mgr.create(make_session(), "test", 10);
+        assert_eq!(mgr.evict_idle(), 0, "fresh session survives");
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(mgr.evict_idle(), 1);
+        assert!(mgr.get(&id).is_none());
+    }
+
+    #[test]
+    fn access_refreshes_ttl() {
+        let mgr = SessionManager::new(Duration::from_millis(60));
+        let id = mgr.create(make_session(), "test", 10);
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(mgr.get(&id).is_some(), "access keeps the session alive");
+            assert_eq!(mgr.evict_idle(), 0);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Registered web databases ("data sources" in the UI).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use qr2_core::{DenseIndex, ExecutorKind, Reranker};
+use qr2_datagen::{bluenile_db, zillow_db, DiamondsConfig, HomesConfig};
+use qr2_http::Json;
+use qr2_webdb::{AttrKind, Schema, TopKInterface};
+
+/// One reranking-enabled web database.
+pub struct Source {
+    /// Source key (`"bluenile"`, `"zillow"`).
+    pub name: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The reranker bound to the source (owns the shared dense index).
+    pub reranker: Arc<Reranker>,
+    /// Raw interface handle (for boot verification / stats).
+    pub db: Arc<dyn TopKInterface>,
+    /// Suggested "popular functions" shown in the ranking section
+    /// (paper §II-C): label → `(attr, weight)` list.
+    pub popular: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl Source {
+    /// Build a source with a fresh reranker over `db`.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        db: Arc<dyn TopKInterface>,
+        executor: ExecutorKind,
+        dense: Arc<DenseIndex>,
+        popular: Vec<(String, Vec<(String, f64)>)>,
+    ) -> Self {
+        let reranker = Arc::new(
+            Reranker::builder(db.clone())
+                .executor(executor)
+                .dense_index(dense)
+                .build(),
+        );
+        Source {
+            name: name.into(),
+            title: title.into(),
+            reranker,
+            db,
+            popular,
+        }
+    }
+
+    /// The source's schema.
+    pub fn schema(&self) -> &Schema {
+        self.db.schema()
+    }
+
+    /// JSON description for `GET /api/sources`.
+    pub fn describe(&self) -> Json {
+        let mut attrs = Vec::new();
+        for (_, attr) in self.schema().iter() {
+            let mut m = BTreeMap::new();
+            m.insert("name".to_string(), Json::from(attr.name.as_str()));
+            match &attr.kind {
+                AttrKind::Numeric { min, max, integral } => {
+                    m.insert("kind".to_string(), Json::from("numeric"));
+                    m.insert("min".to_string(), Json::Num(*min));
+                    m.insert("max".to_string(), Json::Num(*max));
+                    m.insert("integral".to_string(), Json::Bool(*integral));
+                }
+                AttrKind::Categorical { labels } => {
+                    m.insert("kind".to_string(), Json::from("categorical"));
+                    m.insert(
+                        "labels".to_string(),
+                        Json::Arr(labels.iter().map(|l| Json::from(l.as_str())).collect()),
+                    );
+                }
+            }
+            attrs.push(Json::Obj(m));
+        }
+        let popular = self
+            .popular
+            .iter()
+            .map(|(label, weights)| {
+                Json::obj([
+                    ("label", Json::from(label.as_str())),
+                    (
+                        "weights",
+                        Json::Obj(
+                            weights
+                                .iter()
+                                .map(|(a, w)| (a.clone(), Json::Num(*w)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("title", Json::from(self.title.as_str())),
+            ("system_k", Json::from(self.db.system_k())),
+            ("attributes", Json::Arr(attrs)),
+            ("popular_functions", Json::Arr(popular)),
+        ])
+    }
+}
+
+/// The set of sources a service instance exposes.
+#[derive(Default)]
+pub struct SourceRegistry {
+    sources: Vec<Arc<Source>>,
+}
+
+impl SourceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        SourceRegistry {
+            sources: Vec::new(),
+        }
+    }
+
+    /// Add a source.
+    pub fn register(&mut self, source: Source) {
+        assert!(
+            self.get(&source.name).is_none(),
+            "duplicate source '{}'",
+            source.name
+        );
+        self.sources.push(Arc::new(source));
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Source>> {
+        self.sources.iter().find(|s| s.name == name).cloned()
+    }
+
+    /// All sources.
+    pub fn all(&self) -> &[Arc<Source>] {
+        &self.sources
+    }
+
+    /// The demo registry of the paper: simulated Blue Nile and Zillow at
+    /// the given inventory scale.
+    pub fn demo(diamonds: usize, homes: usize, executor: ExecutorKind) -> Self {
+        let mut reg = SourceRegistry::new();
+        let bluenile: Arc<dyn TopKInterface> = Arc::new(bluenile_db(&DiamondsConfig {
+            n: diamonds,
+            ..DiamondsConfig::default()
+        }));
+        reg.register(Source::new(
+            "bluenile",
+            "Blue Nile (diamonds, simulated)",
+            bluenile,
+            executor,
+            Arc::new(DenseIndex::in_memory()),
+            vec![
+                (
+                    "Best value (price − 0.1·carat − 0.5·depth)".to_string(),
+                    vec![
+                        ("price".to_string(), 1.0),
+                        ("carat".to_string(), -0.1),
+                        ("depth".to_string(), -0.5),
+                    ],
+                ),
+                (
+                    "Big & cheap (price − 0.5·carat)".to_string(),
+                    vec![("price".to_string(), 1.0), ("carat".to_string(), -0.5)],
+                ),
+            ],
+        ));
+        let zillow: Arc<dyn TopKInterface> = Arc::new(zillow_db(&HomesConfig {
+            n: homes,
+            ..HomesConfig::default()
+        }));
+        reg.register(Source::new(
+            "zillow",
+            "Zillow (real estate, simulated)",
+            zillow,
+            executor,
+            Arc::new(DenseIndex::in_memory()),
+            vec![
+                (
+                    "Small & affordable (price + sqft)".to_string(),
+                    vec![("price".to_string(), 1.0), ("sqft".to_string(), 1.0)],
+                ),
+                (
+                    "Space for money (price − 0.3·sqft)".to_string(),
+                    vec![("price".to_string(), 1.0), ("sqft".to_string(), -0.3)],
+                ),
+            ],
+        ));
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> SourceRegistry {
+        SourceRegistry::demo(500, 500, ExecutorKind::Sequential)
+    }
+
+    #[test]
+    fn demo_registry_has_both_sources() {
+        let reg = registry();
+        assert_eq!(reg.all().len(), 2);
+        assert!(reg.get("bluenile").is_some());
+        assert!(reg.get("zillow").is_some());
+        assert!(reg.get("amazon").is_none());
+    }
+
+    #[test]
+    fn describe_includes_schema_and_popular() {
+        let reg = registry();
+        let d = reg.get("bluenile").unwrap().describe();
+        assert_eq!(d.get("name").unwrap().as_str(), Some("bluenile"));
+        let attrs = d.get("attributes").unwrap().as_arr().unwrap();
+        assert!(attrs.iter().any(|a| a.get("name").unwrap().as_str() == Some("carat")));
+        let pop = d.get("popular_functions").unwrap().as_arr().unwrap();
+        assert_eq!(pop.len(), 2);
+        assert!(d.get("system_k").unwrap().as_usize().unwrap() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate source")]
+    fn duplicate_names_rejected() {
+        let mut reg = registry();
+        let again = SourceRegistry::demo(100, 100, ExecutorKind::Sequential);
+        let s = again.get("zillow").unwrap();
+        reg.register(Source::new(
+            "zillow",
+            "again",
+            s.db.clone(),
+            ExecutorKind::Sequential,
+            Arc::new(DenseIndex::in_memory()),
+            vec![],
+        ));
+    }
+}

@@ -1,0 +1,256 @@
+//! The embedded single-page UI (paper §II-C): a filtering section, a
+//! ranking section with per-attribute weight sliders and a popular-function
+//! picker, a results table with a Get-Next button, and the statistics
+//! panel.
+
+/// The UI page served at `GET /`.
+pub const INDEX_HTML: &str = r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>QR2 — Query Reranking Service</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 0; background: #f6f7fb; color: #1c2330; }
+  header { background: #20304c; color: #fff; padding: 14px 24px; }
+  header h1 { margin: 0; font-size: 20px; }
+  header small { color: #9fb3d1; }
+  main { display: grid; grid-template-columns: 330px 1fr; gap: 18px; padding: 18px 24px; }
+  section { background: #fff; border-radius: 10px; padding: 14px 16px; box-shadow: 0 1px 4px rgba(20,30,60,.08); }
+  h2 { font-size: 14px; text-transform: uppercase; letter-spacing: .06em; color: #516a85; margin: 4px 0 10px; }
+  label { display: block; font-size: 13px; margin: 8px 0 2px; }
+  select, input, button { font: inherit; }
+  .row { display: flex; gap: 8px; align-items: center; }
+  .row input[type=number] { width: 90px; }
+  .slider-val { width: 46px; display: inline-block; text-align: right; font-variant-numeric: tabular-nums; }
+  button.primary { background: #2456c4; color: #fff; border: 0; border-radius: 6px; padding: 8px 16px; margin-top: 12px; cursor: pointer; }
+  button.primary:disabled { background: #9fb0d0; }
+  table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  th, td { border-bottom: 1px solid #e4e8f0; padding: 6px 8px; text-align: left; }
+  tr:hover td { background: #f0f4ff; }
+  #statsPanel { font-size: 13px; color: #3d4a63; margin-top: 10px; background: #eef2fa; border-radius: 8px; padding: 8px 12px; }
+  #statsPanel b { color: #20304c; }
+</style>
+</head>
+<body>
+<header>
+  <h1>QR2 <small>— third-party query reranking over web databases</small></h1>
+</header>
+<main>
+  <div>
+    <section id="filteringSection">
+      <h2>Filtering</h2>
+      <label>Data source</label>
+      <select id="source"></select>
+      <div id="filters"></div>
+    </section>
+    <section id="rankingSection">
+      <h2>Ranking</h2>
+      <label>Popular functions</label>
+      <select id="popular"><option value="">— custom —</option></select>
+      <div id="sliders"></div>
+      <label>Algorithm</label>
+      <select id="algorithm">
+        <option value="auto">auto (RERANK)</option>
+        <option value="1d-baseline">1D-BASELINE</option>
+        <option value="1d-binary">1D-BINARY</option>
+        <option value="1d-rerank">1D-RERANK</option>
+        <option value="md-baseline">MD-BASELINE</option>
+        <option value="md-binary">MD-BINARY</option>
+        <option value="md-rerank">MD-RERANK</option>
+        <option value="md-ta">MD-TA</option>
+      </select>
+      <label>Results per page</label>
+      <input id="pageSize" type="number" value="10" min="1" max="100">
+      <button id="go" class="primary">Search</button>
+    </section>
+  </div>
+  <section>
+    <h2>Search results</h2>
+    <div id="results"></div>
+    <button id="getnext" class="primary" disabled>Get-Next</button>
+    <div id="statsPanel">No query yet.</div>
+  </section>
+</main>
+<script>
+let sources = [], session = null;
+
+async function api(path, body) {
+  const opts = body ? {method:'POST', body: JSON.stringify(body)} : {};
+  const r = await fetch(path, opts);
+  return r.json();
+}
+
+function sourceByName(n) { return sources.find(s => s.name === n); }
+
+function renderSource() {
+  const src = sourceByName(document.getElementById('source').value);
+  const filters = document.getElementById('filters');
+  const sliders = document.getElementById('sliders');
+  filters.innerHTML = ''; sliders.innerHTML = '';
+  const popular = document.getElementById('popular');
+  popular.innerHTML = '<option value="">— custom —</option>';
+  src.popular_functions.forEach((p, i) => {
+    const o = document.createElement('option');
+    o.value = i; o.textContent = p.label; popular.appendChild(o);
+  });
+  src.attributes.forEach(a => {
+    if (a.kind === 'numeric') {
+      const div = document.createElement('div');
+      div.className = 'row';
+      div.innerHTML = `<label style="flex:1">${a.name}</label>
+        <input type="number" data-filter-min="${a.name}" placeholder="${a.min}">
+        <input type="number" data-filter-max="${a.name}" placeholder="${a.max}">`;
+      filters.appendChild(div);
+      const s = document.createElement('div');
+      s.className = 'row';
+      s.innerHTML = `<label style="flex:1">${a.name}</label>
+        <input type="range" min="-1" max="1" step="0.1" value="0" data-weight="${a.name}"
+          oninput="this.nextElementSibling.textContent = this.value">
+        <span class="slider-val">0</span>`;
+      sliders.appendChild(s);
+    } else {
+      const div = document.createElement('div');
+      div.innerHTML = `<label>${a.name}</label>
+        <select multiple size="3" data-filter-cats="${a.name}">
+          ${a.labels.map(l => `<option>${l}</option>`).join('')}
+        </select>`;
+      filters.appendChild(div);
+    }
+  });
+}
+
+function collectRequest() {
+  const srcName = document.getElementById('source').value;
+  const filters = [];
+  document.querySelectorAll('[data-filter-min]').forEach(el => {
+    const name = el.dataset.filterMin;
+    const maxEl = document.querySelector(`[data-filter-max="${name}"]`);
+    const f = {attr: name};
+    if (el.value !== '') f.min = parseFloat(el.value);
+    if (maxEl.value !== '') f.max = parseFloat(maxEl.value);
+    if ('min' in f || 'max' in f) filters.push(f);
+  });
+  document.querySelectorAll('[data-filter-cats]').forEach(el => {
+    const vals = Array.from(el.selectedOptions).map(o => o.value);
+    if (vals.length) filters.push({attr: el.dataset.filterCats, values: vals});
+  });
+  const weights = {};
+  document.querySelectorAll('[data-weight]').forEach(el => {
+    const w = parseFloat(el.value);
+    if (w !== 0) weights[el.dataset.weight] = w;
+  });
+  const names = Object.keys(weights);
+  let ranking;
+  if (names.length === 1) {
+    ranking = {type: '1d', attr: names[0], dir: weights[names[0]] > 0 ? 'asc' : 'desc'};
+  } else {
+    ranking = {type: 'md', weights};
+  }
+  return {
+    source: srcName, filters, ranking,
+    algorithm: document.getElementById('algorithm').value,
+    page_size: parseInt(document.getElementById('pageSize').value, 10) || 10,
+  };
+}
+
+function renderResults(v, append) {
+  const div = document.getElementById('results');
+  if (!append) div.innerHTML = '';
+  let table = div.querySelector('table');
+  if (!table && v.results.length) {
+    table = document.createElement('table');
+    const cols = Object.keys(v.results[0].values);
+    table.innerHTML = `<thead><tr><th>#</th>${cols.map(c => `<th>${c}</th>`).join('')}</tr></thead><tbody></tbody>`;
+    div.appendChild(table);
+  }
+  if (table) {
+    const tbody = table.querySelector('tbody');
+    const cols = Array.from(table.querySelectorAll('th')).slice(1).map(th => th.textContent);
+    v.results.forEach(r => {
+      const tr = document.createElement('tr');
+      tr.innerHTML = `<td>${r.id}</td>` + cols.map(c => `<td>${r.values[c]}</td>`).join('');
+      tbody.appendChild(tr);
+    });
+  }
+  const s = v.stats;
+  document.getElementById('statsPanel').innerHTML =
+    `<b>${s.queries}</b> queries to the web database in <b>${s.rounds}</b> rounds ` +
+    `(${(100 * s.parallel_fraction).toFixed(1)}% of queries in parallel rounds) — ` +
+    `search time <b>${s.search_time_ms.toFixed(1)} ms</b>, ${s.served} tuples served.`;
+  document.getElementById('getnext').disabled = v.done;
+}
+
+document.getElementById('popular').addEventListener('change', e => {
+  const src = sourceByName(document.getElementById('source').value);
+  const p = src.popular_functions[e.target.value];
+  document.querySelectorAll('[data-weight]').forEach(el => {
+    el.value = (p && p.weights[el.dataset.weight]) || 0;
+    el.nextElementSibling.textContent = el.value;
+  });
+});
+
+document.getElementById('go').addEventListener('click', async () => {
+  const v = await api('/api/query', collectRequest());
+  if (v.error) { alert(v.error); return; }
+  session = v.session;
+  renderResults(v, false);
+});
+
+document.getElementById('getnext').addEventListener('click', async () => {
+  if (!session) return;
+  const v = await api('/api/getnext', {session});
+  if (v.error) { alert(v.error); return; }
+  renderResults(v, true);
+});
+
+(async function init() {
+  const v = await api('/api/sources');
+  sources = v.sources;
+  const sel = document.getElementById('source');
+  sources.forEach(s => {
+    const o = document.createElement('option');
+    o.value = s.name; o.textContent = s.title; sel.appendChild(o);
+  });
+  sel.addEventListener('change', renderSource);
+  renderSource();
+})();
+</script>
+</body>
+</html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ui_mentions_required_sections() {
+        for needle in [
+            "Filtering",
+            "Ranking",
+            "Search results",
+            "Get-Next",
+            "statsPanel",
+            "/api/query",
+            "/api/getnext",
+            "/api/sources",
+        ] {
+            assert!(INDEX_HTML.contains(needle), "UI must contain {needle}");
+        }
+    }
+
+    #[test]
+    fn ui_offers_all_algorithms() {
+        for algo in [
+            "1d-baseline",
+            "1d-binary",
+            "1d-rerank",
+            "md-baseline",
+            "md-binary",
+            "md-rerank",
+            "md-ta",
+        ] {
+            assert!(INDEX_HTML.contains(algo), "UI must offer {algo}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Compact binary codec: LEB128 varints, zig-zag signed integers, IEEE-754
+//! bit patterns for floats, and length-prefixed strings/bytes.
+//!
+//! All multi-byte fixed-width values are little-endian. The codec is the
+//! foundation of the log-record, key/value, and tuple formats; it is fully
+//! round-trip tested (including property tests in `tests/codec_props.rs`).
+
+use bytes::{Buf, BufMut};
+
+use crate::{Result, StoreError};
+
+/// Append an unsigned LEB128 varint.
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+pub fn get_varint(buf: &mut impl Buf) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(StoreError::Corrupt("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(StoreError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(StoreError::Corrupt("varint too long".into()));
+        }
+    }
+}
+
+/// Zig-zag encode a signed integer (small magnitudes → small varints).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a signed varint (zig-zag + LEB128).
+pub fn put_signed(buf: &mut impl BufMut, v: i64) {
+    put_varint(buf, zigzag(v));
+}
+
+/// Read a signed varint.
+pub fn get_signed(buf: &mut impl Buf) -> Result<i64> {
+    Ok(unzigzag(get_varint(buf)?))
+}
+
+/// Append an `f64` as its little-endian bit pattern (total-order exact; NaN
+/// payloads preserved).
+pub fn put_f64(buf: &mut impl BufMut, v: f64) {
+    buf.put_u64_le(v.to_bits());
+}
+
+/// Read an `f64` bit pattern.
+pub fn get_f64(buf: &mut impl Buf) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(StoreError::Corrupt("truncated f64".into()));
+    }
+    Ok(f64::from_bits(buf.get_u64_le()))
+}
+
+/// Append a fixed-width `u32` (little-endian).
+pub fn put_u32(buf: &mut impl BufMut, v: u32) {
+    buf.put_u32_le(v);
+}
+
+/// Read a fixed-width `u32`.
+pub fn get_u32(buf: &mut impl Buf) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(StoreError::Corrupt("truncated u32".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Append length-prefixed bytes.
+pub fn put_bytes(buf: &mut impl BufMut, data: &[u8]) {
+    put_varint(buf, data.len() as u64);
+    buf.put_slice(data);
+}
+
+/// Read length-prefixed bytes.
+pub fn get_bytes(buf: &mut impl Buf) -> Result<Vec<u8>> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(StoreError::Corrupt(format!(
+            "truncated bytes: want {len}, have {}",
+            buf.remaining()
+        )));
+    }
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut impl BufMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut impl Buf) -> Result<String> {
+    let raw = get_bytes(buf)?;
+    String::from_utf8(raw).map_err(|e| StoreError::Corrupt(format!("invalid utf-8: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_varint(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        get_varint(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn varint_roundtrips_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip_varint(v), v);
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1_000_000);
+        let short = &buf[..buf.len() - 1];
+        assert!(get_varint(&mut &short[..]).is_err());
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 11 continuation bytes can never be a valid u64 varint.
+        let bad = [0xFFu8; 11];
+        assert!(get_varint(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn zigzag_symmetry() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let mut buf = Vec::new();
+        put_signed(&mut buf, -42);
+        put_signed(&mut buf, i64::MIN);
+        let mut r = &buf[..];
+        assert_eq!(get_signed(&mut r).unwrap(), -42);
+        assert_eq!(get_signed(&mut r).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn f64_bit_exact() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::MAX, f64::NEG_INFINITY] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let back = get_f64(&mut &buf[..]).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        // NaN payload preserved.
+        let nan = f64::from_bits(0x7FF8_DEAD_BEEF_0001);
+        let mut buf = Vec::new();
+        put_f64(&mut buf, nan);
+        assert_eq!(get_f64(&mut &buf[..]).unwrap().to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn str_roundtrip_and_invalid_utf8() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "héllo — dense region");
+        assert_eq!(get_str(&mut &buf[..]).unwrap(), "héllo — dense region");
+
+        let mut bad = Vec::new();
+        put_bytes(&mut bad, &[0xFF, 0xFE]);
+        assert!(get_str(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn bytes_truncation_detected() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"abcdef");
+        let short = &buf[..4];
+        assert!(get_bytes(&mut &short[..]).is_err());
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        assert_eq!(get_u32(&mut &buf[..]).unwrap(), 0xDEAD_BEEF);
+        assert!(get_u32(&mut &buf[..3]).is_err());
+    }
+}

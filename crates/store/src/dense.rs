@@ -1,0 +1,495 @@
+//! The shared dense-region cache: crawled region → its complete tuple set.
+//!
+//! `1D-RERANK` / `MD-RERANK` crawl a dense region once and answer later
+//! queries from this cache. It is shared by every user session and persists
+//! across service restarts (the paper's MySQL role). At boot the service
+//! calls [`DenseRegionStore::verify`] to re-check cached regions against the
+//! live database and drop stale entries (paper §II-B: "before the system
+//! boots up we verify the cache and update the changes from the web
+//! database").
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use qr2_webdb::{
+    AttrId, CatSet, Predicate, RangePred, SearchQuery, TopKInterface, Tuple, TupleId, Value,
+};
+
+use crate::codec::{
+    get_f64, get_str, get_u32, get_varint, put_f64, put_str, put_u32, put_varint,
+};
+use crate::kv::KvStore;
+use crate::{Result, StoreError};
+
+/// A cached dense region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseRegion {
+    /// The region descriptor (conjunctive query).
+    pub region: SearchQuery,
+    /// Every tuple of the region, sorted by id.
+    pub tuples: Vec<Tuple>,
+}
+
+/// Report from a boot-time cache verification pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Regions checked.
+    pub checked: usize,
+    /// Regions dropped because the database contents changed.
+    pub dropped: usize,
+    /// Queries spent verifying.
+    pub queries: usize,
+}
+
+/// The dense-region cache. In-memory map with optional log-structured
+/// persistence.
+pub struct DenseRegionStore {
+    regions: HashMap<SearchQuery, Vec<Tuple>>,
+    kv: Option<KvStore>,
+}
+
+impl DenseRegionStore {
+    /// Volatile store (tests, single-shot experiments).
+    pub fn in_memory() -> Self {
+        DenseRegionStore {
+            regions: HashMap::new(),
+            kv: None,
+        }
+    }
+
+    /// Persistent store backed by a log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let kv = KvStore::open(path)?;
+        let mut regions = HashMap::new();
+        for (key, value) in kv.iter() {
+            let region = decode_query(&mut &key[..])?;
+            let tuples = decode_tuples(&mut &value[..])?;
+            regions.insert(region, tuples);
+        }
+        Ok(DenseRegionStore {
+            regions,
+            kv: Some(kv),
+        })
+    }
+
+    /// Number of cached regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Store a fully crawled region (tuples are sorted by id for
+    /// determinism). Overwrites any previous entry for the same region.
+    pub fn insert(&mut self, region: SearchQuery, mut tuples: Vec<Tuple>) -> Result<()> {
+        tuples.sort_by_key(|t| t.id);
+        tuples.dedup_by_key(|t| t.id);
+        if let Some(kv) = &mut self.kv {
+            let mut key = Vec::new();
+            encode_query(&mut key, &region);
+            let mut value = Vec::new();
+            encode_tuples(&mut value, &tuples);
+            kv.put(&key, &value)?;
+        }
+        self.regions.insert(region, tuples);
+        Ok(())
+    }
+
+    /// Exact-region lookup.
+    pub fn get(&self, region: &SearchQuery) -> Option<&[Tuple]> {
+        self.regions.get(region).map(Vec::as_slice)
+    }
+
+    /// Remove a region.
+    pub fn remove(&mut self, region: &SearchQuery) -> Result<bool> {
+        let existed = self.regions.remove(region).is_some();
+        if existed {
+            if let Some(kv) = &mut self.kv {
+                let mut key = Vec::new();
+                encode_query(&mut key, region);
+                kv.delete(&key)?;
+            }
+        }
+        Ok(existed)
+    }
+
+    /// Iterate over cached regions.
+    pub fn regions(&self) -> impl Iterator<Item = (&SearchQuery, &[Tuple])> {
+        self.regions.iter().map(|(q, t)| (q, t.as_slice()))
+    }
+
+    /// Compact the backing log (no-op for in-memory stores).
+    pub fn compact(&mut self) -> Result<()> {
+        if let Some(kv) = &mut self.kv {
+            kv.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Boot-time verification: for each cached region, issue its query once
+    /// and check the visible tuples against the cached copies. A region is
+    /// dropped when (a) a returned tuple differs from the cached tuple with
+    /// the same id, (b) a returned tuple is missing from the cache, or
+    /// (c) the response underflowed relative to the cached population
+    /// (tuples were removed from the site).
+    ///
+    /// One query per region: this is a freshness check, not a re-crawl —
+    /// exactly the paper's boot procedure.
+    pub fn verify<D: TopKInterface + ?Sized>(&mut self, db: &D) -> Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        let keys: Vec<SearchQuery> = self.regions.keys().cloned().collect();
+        for region in keys {
+            report.checked += 1;
+            report.queries += 1;
+            let resp = db.search(&region);
+            let cached = &self.regions[&region];
+            let stale = {
+                let by_id: HashMap<TupleId, &Tuple> =
+                    cached.iter().map(|t| (t.id, t)).collect();
+                let mut stale = false;
+                for t in &resp.tuples {
+                    match by_id.get(&t.id) {
+                        Some(c) if *c == t => {}
+                        _ => {
+                            stale = true;
+                            break;
+                        }
+                    }
+                }
+                // Underflow check: a complete response must show exactly the
+                // cached population.
+                if !resp.overflow && resp.tuples.len() != cached.len() {
+                    stale = true;
+                }
+                // Overflow with a cache smaller than the page size means the
+                // site gained tuples inside the region.
+                if resp.overflow && cached.len() < db.system_k() {
+                    stale = true;
+                }
+                stale
+            };
+            if stale {
+                self.remove(&region)?;
+                report.dropped += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary formats (public so other crates can persist queries/tuples).
+// ---------------------------------------------------------------------------
+
+const PRED_RANGE: u64 = 1;
+const PRED_CATS: u64 = 2;
+const VAL_NUM: u64 = 0;
+const VAL_CAT: u64 = 1;
+
+/// Serialize a [`SearchQuery`] canonically (predicates are already sorted by
+/// attribute id inside the query).
+pub fn encode_query(buf: &mut Vec<u8>, q: &SearchQuery) {
+    put_varint(buf, q.num_predicates() as u64);
+    for (attr, pred) in q.predicates() {
+        put_varint(buf, attr.0 as u64);
+        match pred {
+            Predicate::Range(r) => {
+                put_varint(buf, PRED_RANGE);
+                put_f64(buf, r.lo);
+                put_f64(buf, r.hi);
+                let flags = (r.lo_inc as u8) | ((r.hi_inc as u8) << 1);
+                buf.push(flags);
+            }
+            Predicate::Cats(s) => {
+                put_varint(buf, PRED_CATS);
+                put_varint(buf, s.len() as u64);
+                for &c in s.codes() {
+                    put_varint(buf, c as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`encode_query`].
+pub fn decode_query(buf: &mut &[u8]) -> Result<SearchQuery> {
+    let count = get_varint(buf)? as usize;
+    let mut q = SearchQuery::all();
+    for _ in 0..count {
+        let attr = AttrId(get_varint(buf)? as u16);
+        match get_varint(buf)? {
+            PRED_RANGE => {
+                let lo = get_f64(buf)?;
+                let hi = get_f64(buf)?;
+                if buf.is_empty() {
+                    return Err(StoreError::Corrupt("truncated range flags".into()));
+                }
+                let flags = buf[0];
+                *buf = &buf[1..];
+                q = q.with(
+                    attr,
+                    Predicate::Range(RangePred {
+                        lo,
+                        hi,
+                        lo_inc: flags & 1 != 0,
+                        hi_inc: flags & 2 != 0,
+                    }),
+                );
+            }
+            PRED_CATS => {
+                let n = get_varint(buf)? as usize;
+                let mut codes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    codes.push(get_varint(buf)? as u32);
+                }
+                q = q.with(attr, Predicate::Cats(CatSet::new(codes)));
+            }
+            t => return Err(StoreError::Corrupt(format!("unknown predicate tag {t}"))),
+        }
+    }
+    Ok(q)
+}
+
+/// Serialize a tuple list.
+pub fn encode_tuples(buf: &mut Vec<u8>, tuples: &[Tuple]) {
+    put_varint(buf, tuples.len() as u64);
+    for t in tuples {
+        put_u32(buf, t.id.0);
+        put_varint(buf, t.values().len() as u64);
+        for v in t.values() {
+            match v {
+                Value::Num(x) => {
+                    put_varint(buf, VAL_NUM);
+                    put_f64(buf, *x);
+                }
+                Value::Cat(c) => {
+                    put_varint(buf, VAL_CAT);
+                    put_varint(buf, *c as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`encode_tuples`].
+pub fn decode_tuples(buf: &mut &[u8]) -> Result<Vec<Tuple>> {
+    let n = get_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let id = TupleId(get_u32(buf)?);
+        let arity = get_varint(buf)? as usize;
+        let mut values = Vec::with_capacity(arity.min(1 << 10));
+        for _ in 0..arity {
+            match get_varint(buf)? {
+                VAL_NUM => values.push(Value::Num(get_f64(buf)?)),
+                VAL_CAT => values.push(Value::Cat(get_varint(buf)? as u32)),
+                t => return Err(StoreError::Corrupt(format!("unknown value tag {t}"))),
+            }
+        }
+        out.push(Tuple::new(id, values));
+    }
+    Ok(out)
+}
+
+/// Serialize a string-keyed metadata record (used by the service layer for
+/// source fingerprints).
+pub fn encode_meta(buf: &mut Vec<u8>, pairs: &[(&str, &str)]) {
+    put_varint(buf, pairs.len() as u64);
+    for (k, v) in pairs {
+        put_str(buf, k);
+        put_str(buf, v);
+    }
+}
+
+/// Inverse of [`encode_meta`].
+pub fn decode_meta(buf: &mut &[u8]) -> Result<Vec<(String, String)>> {
+    let n = get_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let k = get_str(buf)?;
+        let v = get_str(buf)?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_webdb::{Schema, SimulatedWebDb, SystemRanking, TableBuilder};
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "qr2-dense-test-{}-{}-{name}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ));
+        p
+    }
+
+    fn sample_query() -> SearchQuery {
+        SearchQuery::all()
+            .and_range(AttrId(0), RangePred::half_open(1.5, 3.75))
+            .and(AttrId(2), Predicate::Cats(CatSet::new([0, 3, 7])))
+    }
+
+    fn sample_tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::new(TupleId(4), vec![Value::Num(2.0), Value::Num(-1.0), Value::Cat(3)]),
+            Tuple::new(TupleId(9), vec![Value::Num(3.5), Value::Num(0.25), Value::Cat(7)]),
+        ]
+    }
+
+    #[test]
+    fn query_codec_roundtrip() {
+        let q = sample_query();
+        let mut buf = Vec::new();
+        encode_query(&mut buf, &q);
+        let back = decode_query(&mut &buf[..]).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn empty_query_roundtrip() {
+        let mut buf = Vec::new();
+        encode_query(&mut buf, &SearchQuery::all());
+        assert_eq!(decode_query(&mut &buf[..]).unwrap(), SearchQuery::all());
+    }
+
+    #[test]
+    fn tuple_codec_roundtrip() {
+        let ts = sample_tuples();
+        let mut buf = Vec::new();
+        encode_tuples(&mut buf, &ts);
+        let back = decode_tuples(&mut &buf[..]).unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn meta_codec_roundtrip() {
+        let mut buf = Vec::new();
+        encode_meta(&mut buf, &[("schema", "bluenile"), ("epoch", "42")]);
+        let back = decode_meta(&mut &buf[..]).unwrap();
+        assert_eq!(
+            back,
+            vec![
+                ("schema".to_string(), "bluenile".to_string()),
+                ("epoch".to_string(), "42".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn in_memory_insert_get_remove() {
+        let mut s = DenseRegionStore::in_memory();
+        let q = sample_query();
+        s.insert(q.clone(), sample_tuples()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&q).unwrap().len(), 2);
+        assert!(s.remove(&q).unwrap());
+        assert!(!s.remove(&q).unwrap());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn insert_sorts_and_dedups() {
+        let mut s = DenseRegionStore::in_memory();
+        let q = sample_query();
+        let mut ts = sample_tuples();
+        ts.reverse();
+        ts.push(ts[0].clone()); // duplicate id
+        s.insert(q.clone(), ts).unwrap();
+        let stored = s.get(&q).unwrap();
+        assert_eq!(stored.len(), 2);
+        assert!(stored[0].id < stored[1].id);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let path = temp_path("persist");
+        let q = sample_query();
+        {
+            let mut s = DenseRegionStore::open(&path).unwrap();
+            s.insert(q.clone(), sample_tuples()).unwrap();
+        }
+        let s = DenseRegionStore::open(&path).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&q).unwrap(), sample_tuples().as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn small_db(xs: &[f64], system_k: usize) -> SimulatedWebDb {
+        let schema = Schema::builder().numeric("x", 0.0, 10.0).build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for &x in xs {
+            tb.push_row(vec![x]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+        SimulatedWebDb::new(tb.build(), ranking, system_k)
+    }
+
+    #[test]
+    fn verify_keeps_fresh_regions() {
+        let db = small_db(&[1.0, 2.0, 3.0, 8.0], 10);
+        let x = db.schema().expect_id("x");
+        let region = SearchQuery::all().and_range(x, RangePred::closed(0.0, 5.0));
+        // Cache the true contents of the region.
+        let resp = db.search(&region);
+        let mut s = DenseRegionStore::in_memory();
+        s.insert(region.clone(), resp.tuples).unwrap();
+
+        let report = s.verify(&db).unwrap();
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn verify_drops_stale_regions() {
+        let db_old = small_db(&[1.0, 2.0, 3.0], 10);
+        let x = db_old.schema().expect_id("x");
+        let region = SearchQuery::all().and_range(x, RangePred::closed(0.0, 5.0));
+        let resp = db_old.search(&region);
+        let mut s = DenseRegionStore::in_memory();
+        s.insert(region.clone(), resp.tuples).unwrap();
+
+        // The "site" changes: one tuple's value moves.
+        let db_new = small_db(&[1.0, 2.5, 3.0], 10);
+        let report = s.verify(&db_new).unwrap();
+        assert_eq!(report.dropped, 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn verify_detects_added_tuples_via_count() {
+        let db_old = small_db(&[1.0, 2.0], 10);
+        let x = db_old.schema().expect_id("x");
+        let region = SearchQuery::all().and_range(x, RangePred::closed(0.0, 5.0));
+        let resp = db_old.search(&region);
+        let mut s = DenseRegionStore::in_memory();
+        s.insert(region.clone(), resp.tuples).unwrap();
+
+        // A new tuple appears at x=4.0 (ids shift!). Underflow count check
+        // catches it.
+        let db_new = small_db(&[1.0, 2.0, 4.0], 10);
+        let report = s.verify(&db_new).unwrap();
+        assert_eq!(report.dropped, 1);
+    }
+
+    #[test]
+    fn corrupt_predicate_tag_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1); // one predicate
+        put_varint(&mut buf, 0); // attr 0
+        put_varint(&mut buf, 99); // bogus tag
+        assert!(decode_query(&mut &buf[..]).is_err());
+    }
+}

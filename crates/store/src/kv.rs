@@ -1,0 +1,238 @@
+//! A keyed store with compaction, layered on the record [`Log`].
+//!
+//! Records are `Put(key, value)` / `Delete(key)` entries; the in-memory map
+//! is rebuilt by replaying the log at open. When the log accumulates more
+//! dead entries than live ones, [`KvStore::compact`] rewrites it.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::codec::{get_bytes, get_varint, put_bytes, put_varint};
+use crate::log::Log;
+use crate::{Result, StoreError};
+
+const TAG_PUT: u64 = 1;
+const TAG_DELETE: u64 = 2;
+
+/// An embedded key-value store with log-structured persistence.
+pub struct KvStore {
+    log: Log,
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    /// Log records written since the last compaction (live + dead).
+    log_entries: usize,
+}
+
+impl KvStore {
+    /// Open (or create) a store at `path`, replaying the log.
+    pub fn open(path: impl AsRef<Path>) -> Result<KvStore> {
+        let (log, records) = Log::open(path)?;
+        let mut map = HashMap::new();
+        let mut log_entries = 0usize;
+        for rec in &records {
+            let mut r = rec.as_slice();
+            let tag = get_varint(&mut r)?;
+            match tag {
+                TAG_PUT => {
+                    let key = get_bytes(&mut r)?;
+                    let value = get_bytes(&mut r)?;
+                    map.insert(key, value);
+                }
+                TAG_DELETE => {
+                    let key = get_bytes(&mut r)?;
+                    map.remove(&key);
+                }
+                t => {
+                    return Err(StoreError::Corrupt(format!("unknown kv record tag {t}")));
+                }
+            }
+            log_entries += 1;
+        }
+        Ok(KvStore {
+            log,
+            map,
+            log_entries,
+        })
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fetch a value.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Insert or replace a value (durably appended; synced).
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut rec = Vec::with_capacity(key.len() + value.len() + 8);
+        put_varint(&mut rec, TAG_PUT);
+        put_bytes(&mut rec, key);
+        put_bytes(&mut rec, value);
+        self.log.append(&rec)?;
+        self.log.sync()?;
+        self.map.insert(key.to_vec(), value.to_vec());
+        self.log_entries += 1;
+        Ok(())
+    }
+
+    /// Remove a key (no-op if absent).
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        if !self.map.contains_key(key) {
+            return Ok(());
+        }
+        let mut rec = Vec::with_capacity(key.len() + 4);
+        put_varint(&mut rec, TAG_DELETE);
+        put_bytes(&mut rec, key);
+        self.log.append(&rec)?;
+        self.log.sync()?;
+        self.map.remove(key);
+        self.log_entries += 1;
+        Ok(())
+    }
+
+    /// Iterate over live `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Fraction of log entries that are dead (overwritten or deleted).
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.log_entries == 0 {
+            return 0.0;
+        }
+        1.0 - self.map.len() as f64 / self.log_entries as f64
+    }
+
+    /// Rewrite the log with only live entries.
+    pub fn compact(&mut self) -> Result<()> {
+        // Deterministic order (sorted by key) so compaction output is
+        // byte-stable across runs — makes corruption tests reproducible.
+        let mut entries: Vec<(&Vec<u8>, &Vec<u8>)> = self.map.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let records: Vec<Vec<u8>> = entries
+            .into_iter()
+            .map(|(k, v)| {
+                let mut rec = Vec::with_capacity(k.len() + v.len() + 8);
+                put_varint(&mut rec, TAG_PUT);
+                put_bytes(&mut rec, k);
+                put_bytes(&mut rec, v);
+                rec
+            })
+            .collect();
+        self.log.rewrite(&records)?;
+        self.log_entries = self.map.len();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "qr2-kv-test-{}-{}-{name}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ));
+        p
+    }
+
+    #[test]
+    fn put_get_delete_persists() {
+        let path = temp_path("basic");
+        {
+            let mut kv = KvStore::open(&path).unwrap();
+            kv.put(b"a", b"1").unwrap();
+            kv.put(b"b", b"2").unwrap();
+            kv.put(b"a", b"3").unwrap(); // overwrite
+            kv.delete(b"b").unwrap();
+            assert_eq!(kv.get(b"a"), Some(&b"3"[..]));
+            assert_eq!(kv.get(b"b"), None);
+            assert_eq!(kv.len(), 1);
+        }
+        let kv = KvStore::open(&path).unwrap();
+        assert_eq!(kv.get(b"a"), Some(&b"3"[..]));
+        assert_eq!(kv.get(b"b"), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delete_missing_is_noop() {
+        let path = temp_path("delmiss");
+        let mut kv = KvStore::open(&path).unwrap();
+        kv.delete(b"ghost").unwrap();
+        assert!(kv.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_ratio_and_compaction() {
+        let path = temp_path("compact");
+        {
+            let mut kv = KvStore::open(&path).unwrap();
+            for i in 0..50u32 {
+                kv.put(b"same-key", &i.to_le_bytes()).unwrap();
+            }
+            assert!(kv.garbage_ratio() > 0.9);
+            kv.compact().unwrap();
+            assert_eq!(kv.garbage_ratio(), 0.0);
+            assert_eq!(kv.get(b"same-key"), Some(&49u32.to_le_bytes()[..]));
+        }
+        // Compacted file must reopen correctly.
+        let kv = KvStore::open(&path).unwrap();
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.get(b"same-key"), Some(&49u32.to_le_bytes()[..]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn iter_yields_all_live_pairs() {
+        let path = temp_path("iter");
+        let mut kv = KvStore::open(&path).unwrap();
+        kv.put(b"x", b"1").unwrap();
+        kv.put(b"y", b"2").unwrap();
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = kv
+            .iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![(b"x".to_vec(), b"1".to_vec()), (b"y".to_vec(), b"2".to_vec())]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn survives_crash_mid_write() {
+        let path = temp_path("crash");
+        {
+            let mut kv = KvStore::open(&path).unwrap();
+            kv.put(b"stable", b"yes").unwrap();
+            kv.put(b"victim", b"partial").unwrap();
+        }
+        // Simulate a torn final record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let kv = KvStore::open(&path).unwrap();
+        assert_eq!(kv.get(b"stable"), Some(&b"yes"[..]));
+        assert_eq!(kv.get(b"victim"), None, "torn record must not surface");
+        std::fs::remove_file(&path).ok();
+    }
+}

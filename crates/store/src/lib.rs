@@ -1,0 +1,73 @@
+//! # qr2-store — embedded persistence for the shared dense-region cache
+//!
+//! The QR2 paper stores the on-the-fly dense-region index in MySQL because
+//! the index is "shared between all the users \[and\] may become relatively
+//! large, not to fit in the main memory", and is verified against the web
+//! database "before the system boots up" (§II-B). This crate provides the
+//! same behaviours as an embedded component:
+//!
+//! * [`codec`]: a compact hand-rolled binary codec (varints, zig-zag, f64
+//!   bit-patterns, strings) over the `bytes` buffer traits;
+//! * [`crc32`]: table-driven CRC-32 (IEEE) for record integrity;
+//! * [`Log`]: an append-only, checksummed record log with crash recovery
+//!   (a torn or corrupt tail is detected and truncated);
+//! * [`KvStore`]: a keyed store with compaction on top of the log;
+//! * [`DenseRegionStore`]: the dense-region cache itself — region
+//!   descriptor → crawled tuples — with the boot-time verification hook.
+//!
+//! No serde: the formats here are small, versioned, and fully tested,
+//! including property-based round-trips and corruption injection.
+
+pub mod codec;
+pub mod crc32;
+mod dense;
+mod kv;
+mod log;
+
+pub use dense::{DenseRegion, DenseRegionStore, VerifyReport};
+pub use kv::KvStore;
+pub use log::{Log, LogStats};
+
+/// Stable binary formats for queries, tuples and metadata records, shared
+/// by the dense-region cache and the service layer.
+pub mod dense_codec {
+    pub use crate::dense::{
+        decode_meta, decode_query, decode_tuples, encode_meta, encode_query, encode_tuples,
+    };
+}
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record or file failed structural validation.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,332 @@
+//! Append-only, checksummed record log with crash recovery.
+//!
+//! File layout:
+//!
+//! ```text
+//! +---------------------------+
+//! | magic  "QR2S"   (4 bytes) |
+//! | version u32 LE  (4 bytes) |
+//! +---------------------------+
+//! | record: len u32 LE        |
+//! |         crc32 u32 LE      |  crc over payload
+//! |         payload [len]     |
+//! +---------------------------+
+//! | ...                       |
+//! ```
+//!
+//! On open, records are scanned sequentially; the first structurally
+//! invalid or checksum-failing record ends the valid prefix and the file is
+//! truncated there (torn-write recovery — the database world calls this
+//! "recovery to the last consistent record").
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::{Result, StoreError};
+
+const MAGIC: &[u8; 4] = b"QR2S";
+const VERSION: u32 = 1;
+/// Upper bound on a single record; anything larger is treated as corruption
+/// rather than an allocation request.
+const MAX_RECORD: u32 = 64 << 20;
+
+/// Statistics from opening a log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStats {
+    /// Valid records recovered.
+    pub records: usize,
+    /// Bytes of invalid tail discarded (0 for a clean file).
+    pub truncated_bytes: u64,
+}
+
+/// An append-only record log.
+pub struct Log {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    stats: LogStats,
+}
+
+impl Log {
+    /// Open (or create) the log at `path`, recovering its valid prefix.
+    /// Returns the log handle and the recovered records.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Log, Vec<Vec<u8>>)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let mut contents = Vec::new();
+        file.read_to_end(&mut contents)?;
+
+        let mut records = Vec::new();
+        let mut valid_end: u64;
+        if contents.is_empty() {
+            // Fresh file: write the header.
+            file.write_all(MAGIC)?;
+            file.write_all(&VERSION.to_le_bytes())?;
+            file.flush()?;
+            valid_end = 8;
+        } else {
+            if contents.len() < 8 || &contents[..4] != MAGIC {
+                return Err(StoreError::Corrupt("bad magic".into()));
+            }
+            let version = u32::from_le_bytes(contents[4..8].try_into().expect("4 bytes"));
+            if version != VERSION {
+                return Err(StoreError::Corrupt(format!(
+                    "unsupported log version {version}"
+                )));
+            }
+            valid_end = 8;
+            let mut pos = 8usize;
+            loop {
+                if pos == contents.len() {
+                    break; // clean EOF
+                }
+                if contents.len() - pos < 8 {
+                    break; // torn header
+                }
+                let len =
+                    u32::from_le_bytes(contents[pos..pos + 4].try_into().expect("4 bytes"));
+                let crc =
+                    u32::from_le_bytes(contents[pos + 4..pos + 8].try_into().expect("4 bytes"));
+                if len > MAX_RECORD {
+                    break; // implausible length ⇒ corrupt
+                }
+                let start = pos + 8;
+                let end = start + len as usize;
+                if end > contents.len() {
+                    break; // torn payload
+                }
+                let payload = &contents[start..end];
+                if crc32(payload) != crc {
+                    break; // bit rot
+                }
+                records.push(payload.to_vec());
+                pos = end;
+                valid_end = end as u64;
+            }
+        }
+
+        let truncated = contents.len() as u64 - valid_end.min(contents.len() as u64);
+        if truncated > 0 {
+            file.set_len(valid_end)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let stats = LogStats {
+            records: records.len(),
+            truncated_bytes: truncated,
+        };
+        Ok((
+            Log {
+                path,
+                writer: BufWriter::new(file),
+                stats,
+            },
+            records,
+        ))
+    }
+
+    /// Statistics from the recovery pass at open time.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record (buffered; call [`Log::sync`] to force it to disk).
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        assert!(
+            payload.len() as u64 <= MAX_RECORD as u64,
+            "record exceeds MAX_RECORD"
+        );
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(payload).to_le_bytes())?;
+        self.writer.write_all(payload)?;
+        Ok(())
+    }
+
+    /// Flush buffers and fsync the file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Atomically replace the log's contents with `records` (compaction):
+    /// writes a fresh file alongside, fsyncs, then renames over the
+    /// original.
+    pub fn rewrite(&mut self, records: &[Vec<u8>]) -> Result<()> {
+        let tmp = self.path.with_extension("compact");
+        {
+            let file = File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            w.write_all(MAGIC)?;
+            w.write_all(&VERSION.to_le_bytes())?;
+            for r in records {
+                w.write_all(&(r.len() as u32).to_le_bytes())?;
+                w.write_all(&crc32(r).to_le_bytes())?;
+                w.write_all(r)?;
+            }
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "qr2-store-test-{}-{}-{name}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ));
+        p
+    }
+
+    #[test]
+    fn append_and_reopen() {
+        let path = temp_path("append");
+        {
+            let (mut log, recovered) = Log::open(&path).unwrap();
+            assert!(recovered.is_empty());
+            log.append(b"one").unwrap();
+            log.append(b"two").unwrap();
+            log.append(b"").unwrap(); // empty records are legal
+            log.sync().unwrap();
+        }
+        let (log, recovered) = Log::open(&path).unwrap();
+        assert_eq!(recovered, vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
+        assert_eq!(log.stats().records, 3);
+        assert_eq!(log.stats().truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = temp_path("torn");
+        {
+            let (mut log, _) = Log::open(&path).unwrap();
+            log.append(b"good record").unwrap();
+            log.append(b"will be torn").unwrap();
+            log.sync().unwrap();
+        }
+        // Chop 5 bytes off the end, simulating a crash mid-write.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let (log, recovered) = Log::open(&path).unwrap();
+        assert_eq!(recovered, vec![b"good record".to_vec()]);
+        assert!(log.stats().truncated_bytes > 0);
+
+        // After recovery, appending works and the file is clean again.
+        drop(log);
+        let (mut log, _) = Log::open(&path).unwrap();
+        log.append(b"after recovery").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, recovered) = Log::open(&path).unwrap();
+        assert_eq!(
+            recovered,
+            vec![b"good record".to_vec(), b"after recovery".to_vec()]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bitflip_detected_and_tail_dropped() {
+        let path = temp_path("bitflip");
+        {
+            let (mut log, _) = Log::open(&path).unwrap();
+            log.append(b"alpha").unwrap();
+            log.append(b"beta").unwrap();
+            log.sync().unwrap();
+        }
+        // Flip a byte inside the *first* record's payload.
+        let mut contents = std::fs::read(&path).unwrap();
+        contents[8 + 8] ^= 0x40; // first payload byte
+        std::fs::write(&path, &contents).unwrap();
+
+        let (log, recovered) = Log::open(&path).unwrap();
+        // First record corrupt ⇒ everything from it onward is dropped.
+        assert!(recovered.is_empty());
+        assert!(log.stats().truncated_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOPE0000").unwrap();
+        match Log::open(&path) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("magic")),
+            Err(other) => panic!("expected corrupt error, got {other:?}"),
+            Ok(_) => panic!("expected corrupt error, got Ok"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_compacts() {
+        let path = temp_path("rewrite");
+        {
+            let (mut log, _) = Log::open(&path).unwrap();
+            for i in 0..100u32 {
+                log.append(&i.to_le_bytes()).unwrap();
+            }
+            log.sync().unwrap();
+            log.rewrite(&[b"only".to_vec()]).unwrap();
+            log.append(b"appended after compact").unwrap();
+            log.sync().unwrap();
+        }
+        let (_, recovered) = Log::open(&path).unwrap();
+        assert_eq!(
+            recovered,
+            vec![b"only".to_vec(), b"appended after compact".to_vec()]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn implausible_length_treated_as_corruption() {
+        let path = temp_path("length");
+        {
+            let (mut log, _) = Log::open(&path).unwrap();
+            log.append(b"ok").unwrap();
+            log.sync().unwrap();
+        }
+        // Append garbage header claiming a 1 GiB record.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+        f.write_all(&0u32.to_le_bytes()).unwrap();
+        f.write_all(b"short").unwrap();
+        drop(f);
+
+        let (_, recovered) = Log::open(&path).unwrap();
+        assert_eq!(recovered, vec![b"ok".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+}

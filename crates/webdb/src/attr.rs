@@ -1,0 +1,194 @@
+//! Attribute metadata: names, kinds, domains.
+
+use std::fmt;
+
+/// Index of an attribute within a [`crate::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The attribute's position as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// The kind (and domain) of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrKind {
+    /// Numeric attribute with a public domain `[min, max]`.
+    ///
+    /// `integral` marks attributes whose values are whole numbers (e.g.
+    /// bedroom counts); range splitting must respect the 1-unit resolution.
+    Numeric {
+        /// Smallest value the search form accepts.
+        min: f64,
+        /// Largest value the search form accepts.
+        max: f64,
+        /// Whether values are whole numbers.
+        integral: bool,
+    },
+    /// Categorical attribute with a fixed label list; values are codes
+    /// `0..labels.len()`.
+    Categorical {
+        /// Human-readable labels, in code order.
+        labels: Vec<String>,
+    },
+}
+
+impl AttrKind {
+    /// Number of categorical labels; 0 for numeric attributes.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            AttrKind::Numeric { .. } => 0,
+            AttrKind::Categorical { labels } => labels.len(),
+        }
+    }
+
+    /// True for numeric attributes.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, AttrKind::Numeric { .. })
+    }
+}
+
+/// A named attribute of a web database schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Public name as shown on the search form (e.g. `"price"`).
+    pub name: String,
+    /// Kind and domain.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// Create a numeric attribute with the given public domain.
+    pub fn numeric(name: impl Into<String>, min: f64, max: f64) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite() && min <= max,
+            "invalid numeric domain [{min}, {max}]"
+        );
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric {
+                min,
+                max,
+                integral: false,
+            },
+        }
+    }
+
+    /// Create an integral numeric attribute (whole-number values only).
+    pub fn integral(name: impl Into<String>, min: f64, max: f64) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite() && min <= max,
+            "invalid numeric domain [{min}, {max}]"
+        );
+        assert!(
+            min.fract() == 0.0 && max.fract() == 0.0,
+            "integral domain bounds must be whole numbers"
+        );
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric {
+                min,
+                max,
+                integral: true,
+            },
+        }
+    }
+
+    /// Create a categorical attribute from its label list.
+    pub fn categorical<S: Into<String>>(
+        name: impl Into<String>,
+        labels: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        assert!(!labels.is_empty(), "categorical attribute needs >= 1 label");
+        assert!(
+            labels.len() <= u32::MAX as usize,
+            "too many categorical labels"
+        );
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Categorical { labels },
+        }
+    }
+
+    /// Numeric domain `(min, max)`; panics on categorical attributes.
+    pub fn numeric_domain(&self) -> (f64, f64) {
+        match &self.kind {
+            AttrKind::Numeric { min, max, .. } => (*min, *max),
+            AttrKind::Categorical { .. } => {
+                panic!("attribute '{}' is categorical, not numeric", self.name)
+            }
+        }
+    }
+
+    /// Whether this attribute is integral numeric.
+    pub fn is_integral(&self) -> bool {
+        matches!(
+            self.kind,
+            AttrKind::Numeric {
+                integral: true,
+                ..
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_attribute_domain() {
+        let a = Attribute::numeric("price", 0.0, 100.0);
+        assert_eq!(a.numeric_domain(), (0.0, 100.0));
+        assert!(a.kind.is_numeric());
+        assert!(!a.is_integral());
+    }
+
+    #[test]
+    fn integral_attribute() {
+        let a = Attribute::integral("beds", 0.0, 10.0);
+        assert!(a.is_integral());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole numbers")]
+    fn integral_rejects_fractional_bounds() {
+        Attribute::integral("beds", 0.5, 10.0);
+    }
+
+    #[test]
+    fn categorical_attribute() {
+        let a = Attribute::categorical("cut", ["Good", "Ideal"]);
+        assert_eq!(a.kind.cardinality(), 2);
+        assert!(!a.kind.is_numeric());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid numeric domain")]
+    fn inverted_domain_rejected() {
+        Attribute::numeric("x", 5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical, not numeric")]
+    fn numeric_domain_on_categorical_panics() {
+        Attribute::categorical("c", ["a"]).numeric_domain();
+    }
+
+    #[test]
+    fn attr_id_display_and_index() {
+        assert_eq!(AttrId(3).to_string(), "A3");
+        assert_eq!(AttrId(3).index(), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! The public top-k search interface — the *only* channel through which a
+//! third-party service can interact with a web database.
+
+use crate::metrics::QueryLedger;
+use crate::predicate::SearchQuery;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// The result of one search-form submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResponse {
+    /// At most `system-k` matching tuples, in system-ranking order (best
+    /// first).
+    pub tuples: Vec<Tuple>,
+    /// True when the query matched more than `system-k` tuples — i.e. some
+    /// matches are *invisible* to the caller.
+    pub overflow: bool,
+}
+
+impl TopKResponse {
+    /// `true` when zero tuples matched.
+    pub fn is_underflow(&self) -> bool {
+        self.tuples.is_empty() && !self.overflow
+    }
+
+    /// `true` when every match is visible (no overflow).
+    pub fn is_complete(&self) -> bool {
+        !self.overflow
+    }
+}
+
+/// A web database's public search interface.
+///
+/// Implementations must be thread-safe: QR2 issues verification and subspace
+/// queries in parallel (paper §II-B "Parallel processing").
+pub trait TopKInterface: Send + Sync {
+    /// The public schema (attribute names and domains shown on the form).
+    fn schema(&self) -> &Schema;
+
+    /// The interface's result-page size `k`.
+    fn system_k(&self) -> usize;
+
+    /// Execute a conjunctive search. Every call costs one query.
+    fn search(&self, q: &SearchQuery) -> TopKResponse;
+
+    /// The shared query ledger (cost accounting).
+    fn ledger(&self) -> &QueryLedger;
+}
+
+/// Blanket impl so `Arc<Db>` and `&Db` can be used wherever a
+/// `TopKInterface` is expected.
+impl<T: TopKInterface + ?Sized> TopKInterface for std::sync::Arc<T> {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+    fn system_k(&self) -> usize {
+        (**self).system_k()
+    }
+    fn search(&self, q: &SearchQuery) -> TopKResponse {
+        (**self).search(q)
+    }
+    fn ledger(&self) -> &QueryLedger {
+        (**self).ledger()
+    }
+}
+
+impl<T: TopKInterface + ?Sized> TopKInterface for &T {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+    fn system_k(&self) -> usize {
+        (**self).system_k()
+    }
+    fn search(&self, q: &SearchQuery) -> TopKResponse {
+        (**self).search(q)
+    }
+    fn ledger(&self) -> &QueryLedger {
+        (**self).ledger()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TupleId;
+    use crate::value::Value;
+
+    #[test]
+    fn response_flags() {
+        let empty = TopKResponse {
+            tuples: vec![],
+            overflow: false,
+        };
+        assert!(empty.is_underflow());
+        assert!(empty.is_complete());
+
+        let partial = TopKResponse {
+            tuples: vec![Tuple::new(TupleId(0), vec![Value::Num(1.0)])],
+            overflow: true,
+        };
+        assert!(!partial.is_underflow());
+        assert!(!partial.is_complete());
+    }
+}

@@ -1,0 +1,207 @@
+//! Query accounting and latency simulation.
+//!
+//! The paper's primary cost metric is the **number of queries issued to the
+//! web database**; the statistics panel (Fig. 4) also reports processing
+//! time, which on live sites is dominated by per-query network latency. The
+//! [`QueryLedger`] counts queries; the [`LatencyModel`] reproduces the
+//! wall-clock shape.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// One recorded query (for debugging and for the statistics panel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryLogEntry {
+    /// Sequence number (1-based).
+    pub seq: u64,
+    /// Display form of the query.
+    pub query: String,
+    /// Number of tuples returned.
+    pub returned: usize,
+    /// Whether the query overflowed (more matches than `system-k`).
+    pub overflow: bool,
+}
+
+/// Thread-safe ledger of queries issued against one web database.
+#[derive(Debug)]
+pub struct QueryLedger {
+    total: AtomicU64,
+    log_capacity: usize,
+    log: Mutex<VecDeque<QueryLogEntry>>,
+}
+
+impl QueryLedger {
+    /// New ledger keeping the most recent `log_capacity` query descriptions.
+    pub fn new(log_capacity: usize) -> Self {
+        QueryLedger {
+            total: AtomicU64::new(0),
+            log_capacity,
+            log: Mutex::new(VecDeque::with_capacity(log_capacity.min(1024))),
+        }
+    }
+
+    /// Record one query; returns its sequence number.
+    pub fn record(&self, query: &str, returned: usize, overflow: bool) -> u64 {
+        let seq = self.total.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.log_capacity > 0 {
+            let mut log = self.log.lock();
+            if log.len() == self.log_capacity {
+                log.pop_front();
+            }
+            log.push_back(QueryLogEntry {
+                seq,
+                query: query.to_string(),
+                returned,
+                overflow,
+            });
+        }
+        seq
+    }
+
+    /// Total number of queries recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the retained query log (most recent last).
+    pub fn recent(&self) -> Vec<QueryLogEntry> {
+        self.log.lock().iter().cloned().collect()
+    }
+
+    /// Reset the counter and log. Experiments call this between runs.
+    pub fn reset(&self) {
+        self.total.store(0, Ordering::Relaxed);
+        self.log.lock().clear();
+    }
+}
+
+impl Default for QueryLedger {
+    fn default() -> Self {
+        QueryLedger::new(0)
+    }
+}
+
+/// Deterministic per-query latency: `base + U[0, jitter)`.
+///
+/// The jitter stream is a seeded xorshift so experiment wall times are
+/// reproducible. Latency is *disabled* by default in unit tests.
+#[derive(Debug)]
+pub struct LatencyModel {
+    base: Duration,
+    jitter: Duration,
+    state: AtomicU64,
+}
+
+impl LatencyModel {
+    /// New latency model. `jitter` may be zero for a constant delay.
+    pub fn new(base: Duration, jitter: Duration, seed: u64) -> Self {
+        LatencyModel {
+            base,
+            jitter,
+            state: AtomicU64::new(seed.max(1)),
+        }
+    }
+
+    /// Sample the next delay (advances the jitter stream).
+    pub fn sample(&self) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        // xorshift64* advanced atomically; contention-tolerant.
+        let mut x = self.state.load(Ordering::Relaxed);
+        loop {
+            let mut y = x;
+            y ^= y << 13;
+            y ^= y >> 7;
+            y ^= y << 17;
+            match self
+                .state
+                .compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    let frac = (y.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                        / (1u64 << 53) as f64;
+                    return self.base + self.jitter.mul_f64(frac);
+                }
+                Err(actual) => x = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_counts_and_logs() {
+        let l = QueryLedger::new(2);
+        l.record("q1", 3, false);
+        l.record("q2", 5, true);
+        l.record("q3", 0, false);
+        assert_eq!(l.total(), 3);
+        let recent = l.recent();
+        assert_eq!(recent.len(), 2, "log capacity bounds retention");
+        assert_eq!(recent[0].query, "q2");
+        assert_eq!(recent[1].query, "q3");
+        assert_eq!(recent[1].seq, 3);
+    }
+
+    #[test]
+    fn ledger_reset() {
+        let l = QueryLedger::new(4);
+        l.record("q", 1, false);
+        l.reset();
+        assert_eq!(l.total(), 0);
+        assert!(l.recent().is_empty());
+    }
+
+    #[test]
+    fn ledger_zero_capacity_skips_log() {
+        let l = QueryLedger::new(0);
+        l.record("q", 1, false);
+        assert_eq!(l.total(), 1);
+        assert!(l.recent().is_empty());
+    }
+
+    #[test]
+    fn ledger_concurrent_counting() {
+        use std::sync::Arc;
+        let l = Arc::new(QueryLedger::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    l.record("q", 0, false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.total(), 400);
+    }
+
+    #[test]
+    fn latency_constant() {
+        let m = LatencyModel::new(Duration::from_millis(5), Duration::ZERO, 1);
+        assert_eq!(m.sample(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn latency_jitter_within_bounds_and_deterministic() {
+        let m1 = LatencyModel::new(Duration::from_millis(10), Duration::from_millis(20), 7);
+        let m2 = LatencyModel::new(Duration::from_millis(10), Duration::from_millis(20), 7);
+        for _ in 0..100 {
+            let a = m1.sample();
+            let b = m2.sample();
+            assert_eq!(a, b, "same seed, same stream");
+            assert!(a >= Duration::from_millis(10));
+            assert!(a < Duration::from_millis(30) + Duration::from_nanos(1));
+        }
+    }
+}

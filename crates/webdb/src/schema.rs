@@ -1,0 +1,204 @@
+//! Schema: the ordered attribute list of a web database.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::attr::{AttrId, Attribute};
+
+/// An immutable, cheaply cloneable schema (ordered attribute list).
+///
+/// Schemas are shared between the simulated database, the crawler, and the
+/// reranking algorithms, so they are reference-counted internally.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug)]
+struct SchemaInner {
+    attrs: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { attrs: Vec::new() }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.inner.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.attrs.is_empty()
+    }
+
+    /// Attribute metadata by id. Panics on out-of-range ids.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.inner.attrs[id.index()]
+    }
+
+    /// Look up an attribute id by public name.
+    pub fn id_of(&self, name: &str) -> Option<AttrId> {
+        self.inner.by_name.get(name).copied()
+    }
+
+    /// Look up an attribute id by name, panicking with a helpful message if
+    /// absent. Intended for workload-construction code where a typo is a
+    /// programming error.
+    pub fn expect_id(&self, name: &str) -> AttrId {
+        self.id_of(name)
+            .unwrap_or_else(|| panic!("schema has no attribute named '{name}'"))
+    }
+
+    /// Iterate over `(id, attribute)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.inner
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u16), a))
+    }
+
+    /// Ids of all numeric attributes, in schema order.
+    pub fn numeric_attrs(&self) -> Vec<AttrId> {
+        self.iter()
+            .filter(|(_, a)| a.kind.is_numeric())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all categorical attributes, in schema order.
+    pub fn categorical_attrs(&self) -> Vec<AttrId> {
+        self.iter()
+            .filter(|(_, a)| !a.kind.is_numeric())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Structural equality (same attributes in the same order). `Schema`
+    /// does not implement `PartialEq` via pointer identity on purpose — a
+    /// reopened store must be able to validate against a rebuilt schema.
+    pub fn same_structure(&self, other: &Schema) -> bool {
+        self.inner.attrs == other.inner.attrs
+    }
+}
+
+/// Builder for [`Schema`].
+pub struct SchemaBuilder {
+    attrs: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Add a continuous numeric attribute with public domain `[min, max]`.
+    pub fn numeric(mut self, name: impl Into<String>, min: f64, max: f64) -> Self {
+        self.attrs.push(Attribute::numeric(name, min, max));
+        self
+    }
+
+    /// Add an integral numeric attribute.
+    pub fn integral(mut self, name: impl Into<String>, min: f64, max: f64) -> Self {
+        self.attrs.push(Attribute::integral(name, min, max));
+        self
+    }
+
+    /// Add a categorical attribute.
+    pub fn categorical<S: Into<String>>(
+        mut self,
+        name: impl Into<String>,
+        labels: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.attrs.push(Attribute::categorical(name, labels));
+        self
+    }
+
+    /// Finalize. Panics on duplicate attribute names or an empty schema.
+    pub fn build(self) -> Schema {
+        assert!(!self.attrs.is_empty(), "schema needs >= 1 attribute");
+        assert!(
+            self.attrs.len() <= u16::MAX as usize,
+            "too many attributes"
+        );
+        let mut by_name = HashMap::with_capacity(self.attrs.len());
+        for (i, a) in self.attrs.iter().enumerate() {
+            let prev = by_name.insert(a.name.clone(), AttrId(i as u16));
+            assert!(prev.is_none(), "duplicate attribute name '{}'", a.name);
+        }
+        Schema {
+            inner: Arc::new(SchemaInner {
+                attrs: self.attrs,
+                by_name,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::builder()
+            .numeric("price", 0.0, 1000.0)
+            .integral("beds", 0.0, 10.0)
+            .categorical("cut", ["Good", "Ideal", "Astor"])
+            .build()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        let price = s.expect_id("price");
+        assert_eq!(price, AttrId(0));
+        assert_eq!(s.attr(price).name, "price");
+        assert_eq!(s.id_of("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute named 'zzz'")]
+    fn expect_id_panics_on_missing() {
+        sample().expect_id("zzz");
+    }
+
+    #[test]
+    fn numeric_and_categorical_partitions() {
+        let s = sample();
+        assert_eq!(s.numeric_attrs(), vec![AttrId(0), AttrId(1)]);
+        assert_eq!(s.categorical_attrs(), vec![AttrId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_rejected() {
+        Schema::builder()
+            .numeric("x", 0.0, 1.0)
+            .numeric("x", 0.0, 2.0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 attribute")]
+    fn empty_schema_rejected() {
+        Schema::builder().build();
+    }
+
+    #[test]
+    fn same_structure_is_structural() {
+        let a = sample();
+        let b = sample();
+        assert!(a.same_structure(&b));
+        let c = Schema::builder().numeric("price", 0.0, 999.0).build();
+        assert!(!a.same_structure(&c));
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let s = sample();
+        let names: Vec<&str> = s.iter().map(|(_, a)| a.name.as_str()).collect();
+        assert_eq!(names, vec!["price", "beds", "cut"]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Tuples returned by the search interface.
+
+use std::fmt;
+
+use crate::attr::AttrId;
+use crate::value::Value;
+
+/// Stable identifier of a tuple within one web database.
+///
+/// Real sites expose such identifiers as listing/item URLs; the reranking
+/// service uses them to deduplicate tuples seen through different queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub u32);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A fully materialized tuple as returned by a search result page.
+///
+/// Result rows on real sites show *all* attributes of an item, which is what
+/// makes Fagin-style "random access" free once a tuple has been retrieved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Stable id.
+    pub id: TupleId,
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Construct a tuple (schema-order values).
+    pub fn new(id: TupleId, values: Vec<Value>) -> Self {
+        Tuple {
+            id,
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Value of attribute `attr`.
+    #[inline]
+    pub fn value(&self, attr: AttrId) -> Value {
+        self.values[attr.index()]
+    }
+
+    /// Numeric value of attribute `attr` (panics if categorical).
+    #[inline]
+    pub fn num(&self, attr_index: usize) -> f64 {
+        self.values[attr_index].as_num()
+    }
+
+    /// Numeric value by [`AttrId`].
+    #[inline]
+    pub fn num_at(&self, attr: AttrId) -> f64 {
+        self.values[attr.index()].as_num()
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Tuple::new(TupleId(7), vec![Value::Num(1.5), Value::Cat(2)]);
+        assert_eq!(t.id, TupleId(7));
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.num(0), 1.5);
+        assert_eq!(t.num_at(AttrId(0)), 1.5);
+        assert_eq!(t.value(AttrId(1)), Value::Cat(2));
+        assert_eq!(t.values().len(), 2);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(TupleId(3).to_string(), "t3");
+    }
+}

@@ -1,0 +1,140 @@
+//! Attribute values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single attribute value of a tuple.
+///
+/// Numeric values are `f64` (integral numeric attributes store whole
+/// numbers); categorical values are dense codes into the attribute's label
+/// table (see [`crate::AttrKind::Categorical`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Numeric value. Never NaN — constructors reject NaN.
+    Num(f64),
+    /// Categorical code (index into the attribute's label list).
+    Cat(u32),
+}
+
+impl Value {
+    /// Numeric payload; panics if the value is categorical.
+    ///
+    /// Algorithms only call this on attributes validated to be numeric, so
+    /// a panic here indicates a schema-mismatch bug, not user error.
+    #[inline]
+    pub fn as_num(self) -> f64 {
+        match self {
+            Value::Num(v) => v,
+            Value::Cat(c) => panic!("expected numeric value, found categorical code {c}"),
+        }
+    }
+
+    /// Categorical code; panics if the value is numeric.
+    #[inline]
+    pub fn as_cat(self) -> u32 {
+        match self {
+            Value::Cat(c) => c,
+            Value::Num(v) => panic!("expected categorical value, found numeric {v}"),
+        }
+    }
+
+    /// True if this is a numeric value.
+    #[inline]
+    pub fn is_num(self) -> bool {
+        matches!(self, Value::Num(_))
+    }
+
+    /// Total order across values of the *same* kind.
+    ///
+    /// Numeric values use `f64::total_cmp`; categorical values compare by
+    /// code. Comparing a numeric with a categorical value is a logic error
+    /// and panics.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => a.total_cmp(b),
+            (Value::Cat(a), Value::Cat(b)) => a.cmp(b),
+            _ => panic!("cannot compare values of different kinds"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(v) => write!(f, "{v}"),
+            Value::Cat(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        assert!(!v.is_nan(), "NaN is not a valid attribute value");
+        Value::Num(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_accessors() {
+        let v = Value::Num(3.5);
+        assert_eq!(v.as_num(), 3.5);
+        assert!(v.is_num());
+    }
+
+    #[test]
+    fn cat_accessors() {
+        let v = Value::Cat(7);
+        assert_eq!(v.as_cat(), 7);
+        assert!(!v.is_num());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected numeric")]
+    fn as_num_on_cat_panics() {
+        Value::Cat(0).as_num();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected categorical")]
+    fn as_cat_on_num_panics() {
+        Value::Num(1.0).as_cat();
+    }
+
+    #[test]
+    fn total_cmp_orders_numerics() {
+        assert_eq!(Value::Num(1.0).total_cmp(&Value::Num(2.0)), Ordering::Less);
+        assert_eq!(
+            Value::Num(-0.0).total_cmp(&Value::Num(0.0)),
+            Ordering::Less,
+            "total_cmp distinguishes signed zeros"
+        );
+    }
+
+    #[test]
+    fn total_cmp_orders_categoricals() {
+        assert_eq!(Value::Cat(1).total_cmp(&Value::Cat(1)), Ordering::Equal);
+        assert_eq!(Value::Cat(2).total_cmp(&Value::Cat(1)), Ordering::Greater);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn total_cmp_mixed_panics() {
+        Value::Num(0.0).total_cmp(&Value::Cat(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Value::from(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+        assert_eq!(Value::Cat(3).to_string(), "#3");
+    }
+}

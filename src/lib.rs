@@ -1,0 +1,28 @@
+//! # QR2 — a third-party query reranking service over web databases
+//!
+//! Rust reproduction of *QR2: A Third-Party Query Reranking Service over Web
+//! Databases* (Gunasekaran et al., ICDE 2018) and the algorithms it
+//! demonstrates (*Query Reranking as a Service*, Asudeh et al., VLDB 2016).
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`webdb`] — the hidden web database abstraction and simulator,
+//! * [`datagen`] — synthetic Blue Nile / Zillow data generators,
+//! * [`crawler`] — the hidden-database region crawler (Sheng et al.),
+//! * [`store`] — the embedded persistent dense-region cache store,
+//! * [`core`] — the reranking algorithms (1D/MD × BASELINE/BINARY/RERANK,
+//!   MD-TA) and the get-next primitive,
+//! * [`http`] — the minimal HTTP/JSON substrate,
+//! * [`service`] — the QR2 web service itself.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for a minimal
+//! end-to-end program.
+
+pub use qr2_core as core;
+pub use qr2_crawler as crawler;
+pub use qr2_datagen as datagen;
+pub use qr2_http as http;
+pub use qr2_service as service;
+pub use qr2_store as store;
+pub use qr2_webdb as webdb;

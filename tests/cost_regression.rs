@@ -1,0 +1,193 @@
+//! Query-cost regression guards: loose bounds on fixed-seed workloads.
+//!
+//! A reproduction repository lives or dies by its cost claims, so these
+//! tests pin the *relationships* EXPERIMENTS.md reports (who beats whom,
+//! and by at least roughly what factor) against accidental regressions.
+//! Bounds are deliberately loose — they should only trip when an algorithm
+//! change genuinely alters behaviour.
+
+use std::sync::Arc;
+
+use qr2::core::{
+    Algorithm, ExecutorKind, LinearFunction, OneDimFunction, Reranker, RerankRequest,
+};
+use qr2::datagen::{bluenile_db, DiamondsConfig};
+use qr2::webdb::{SearchQuery, SimulatedWebDb, TopKInterface};
+
+fn diamonds() -> Arc<SimulatedWebDb> {
+    Arc::new(bluenile_db(&DiamondsConfig {
+        n: 3000,
+        seed: 0xB10E_9115,
+        ..DiamondsConfig::default()
+    }))
+}
+
+fn run_1d(
+    db: &Arc<SimulatedWebDb>,
+    attr: &str,
+    asc: bool,
+    algorithm: Algorithm,
+    depth: usize,
+) -> usize {
+    let reranker = Reranker::builder(db.clone())
+        .executor(ExecutorKind::Sequential)
+        .build();
+    let a = reranker.schema().expect_id(attr);
+    let function = if asc {
+        OneDimFunction::asc(a)
+    } else {
+        OneDimFunction::desc(a)
+    };
+    let mut session = reranker.query(RerankRequest {
+        filter: SearchQuery::all(),
+        function: function.into(),
+        algorithm,
+    });
+    session.next_page(depth);
+    session.stats().total_queries()
+}
+
+#[test]
+fn binary_beats_baseline_by_a_wide_margin_when_anticorrelated() {
+    // Hidden ranking is price-ascending; the user asks descending.
+    let db = diamonds();
+    let baseline = run_1d(&db, "price", false, Algorithm::OneDBaseline, 50);
+    let binary = run_1d(&db, "price", false, Algorithm::OneDBinary, 50);
+    assert!(
+        baseline >= 5 * binary,
+        "expected ≥5× gap, got baseline={baseline} binary={binary}"
+    );
+}
+
+#[test]
+fn baseline_is_competitive_when_correlated() {
+    // When the user's order matches the hidden ranking, BASELINE loses its
+    // pathology: it must stay within 1.5× of BINARY (it is 26-vs-61 *ahead*
+    // at the 8,000-tuple scale of EXPERIMENTS.md; at this reduced scale the
+    // two are neck-and-neck).
+    let db = diamonds();
+    let baseline = run_1d(&db, "price", true, Algorithm::OneDBaseline, 50);
+    let binary = run_1d(&db, "price", true, Algorithm::OneDBinary, 50);
+    assert!(
+        2 * baseline <= 3 * binary,
+        "correlated direction: baseline={baseline} must stay within 1.5× of binary={binary}"
+    );
+}
+
+#[test]
+fn top1_is_cheap_for_binary_regardless_of_direction() {
+    let db = diamonds();
+    for asc in [true, false] {
+        let q = run_1d(&db, "price", asc, Algorithm::OneDBinary, 1);
+        assert!(q <= 40, "top-1 via binary should take ≤40 queries, took {q}");
+    }
+}
+
+#[test]
+fn md_rerank_stays_within_budget_for_3d_top10() {
+    let db = diamonds();
+    let f = LinearFunction::from_names(
+        db.schema(),
+        &[("price", 1.0), ("carat", -0.1), ("depth", -0.5)],
+    )
+    .unwrap();
+    let reranker = Reranker::builder(db.clone())
+        .executor(ExecutorKind::Sequential)
+        .build();
+    let mut session = reranker.query(RerankRequest {
+        filter: SearchQuery::all(),
+        function: f.into(),
+        algorithm: Algorithm::MdRerank,
+    });
+    session.next_page(10);
+    let q = session.stats().total_queries();
+    assert!(q <= 150, "3D MD-RERANK top-10 took {q} queries (budget 150)");
+}
+
+#[test]
+fn md_rerank_beats_md_baseline_under_opposition() {
+    let db = diamonds();
+    let f = LinearFunction::from_names(db.schema(), &[("price", -1.0), ("carat", -0.5)])
+        .unwrap();
+    let cost = |algorithm: Algorithm| {
+        let reranker = Reranker::builder(db.clone())
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let mut session = reranker.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: f.clone().into(),
+            algorithm,
+        });
+        session.next_page(10);
+        session.stats().total_queries()
+    };
+    let baseline = cost(Algorithm::MdBaseline);
+    let rerank = cost(Algorithm::MdRerank);
+    assert!(
+        baseline >= 2 * rerank,
+        "expected ≥2× gap, got baseline={baseline} rerank={rerank}"
+    );
+}
+
+#[test]
+fn warm_index_at_most_two_thirds_of_cold_on_tie_workload() {
+    let db = diamonds();
+    let reranker = Reranker::builder(db.clone())
+        .executor(ExecutorKind::Sequential)
+        .build();
+    let lw = reranker.schema().expect_id("lw_ratio");
+    let ties = {
+        let t = db.ground_truth();
+        (0..t.len()).filter(|&r| t.num(r, lw) == 1.00).count()
+    };
+    let run = || {
+        let mut session = reranker.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(lw).into(),
+            algorithm: Algorithm::OneDRerank,
+        });
+        session.next_page(ties + 30);
+        session.stats().total_queries()
+    };
+    let cold = run();
+    let warm = run();
+    assert!(
+        3 * warm <= 2 * cold,
+        "warm ({warm}) must be ≤ 2/3 of cold ({cold})"
+    );
+}
+
+#[test]
+fn parallel_mode_trades_queries_for_rounds() {
+    let db = diamonds();
+    let f = LinearFunction::from_names(
+        db.schema(),
+        &[("price", 1.0), ("carat", -0.1), ("depth", -0.5)],
+    )
+    .unwrap();
+    let run = |executor: ExecutorKind| {
+        let reranker = Reranker::builder(db.clone()).executor(executor).build();
+        let mut session = reranker.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: f.clone().into(),
+            algorithm: Algorithm::MdRerank,
+        });
+        session.next_page(10);
+        let stats = session.stats();
+        (stats.total_queries(), stats.num_rounds())
+    };
+    let (q_seq, r_seq) = run(ExecutorKind::Sequential);
+    let (q_par, r_par) = run(ExecutorKind::Parallel { fanout: 8 });
+    assert!(
+        r_par < r_seq,
+        "parallel must reduce rounds: {r_par} vs {r_seq}"
+    );
+    assert!(
+        q_par >= q_seq,
+        "parallel spends ≥ queries (speculation): {q_par} vs {q_seq}"
+    );
+    assert!(
+        q_par <= 4 * q_seq,
+        "speculation overhead must stay bounded: {q_par} vs {q_seq}"
+    );
+}

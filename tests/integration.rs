@@ -1,0 +1,277 @@
+//! Workspace-level integration tests: the full pipeline from synthetic
+//! inventories through the reranking engines, the shared persistent dense
+//! index, and boot-time cache verification.
+
+use std::sync::Arc;
+
+use qr2::core::{
+    Algorithm, DenseIndex, ExecutorKind, LinearFunction, Normalizer, OneDimFunction, Reranker,
+    RerankRequest, SortDir,
+};
+use qr2::datagen::{bluenile_db, bluenile_table, DiamondsConfig};
+use qr2::webdb::{
+    RangePred, SearchQuery, SimulatedWebDb, SystemRanking, TopKInterface, TupleId,
+};
+
+fn diamonds(n: usize, seed: u64) -> Arc<SimulatedWebDb> {
+    Arc::new(bluenile_db(&DiamondsConfig {
+        n,
+        seed,
+        ..DiamondsConfig::default()
+    }))
+}
+
+/// Oracle: ground-truth ordering under a linear function.
+fn oracle(db: &SimulatedWebDb, f: &LinearFunction, filter: &SearchQuery) -> Vec<TupleId> {
+    let norm = Normalizer::from_domains(db.schema());
+    let t = db.ground_truth();
+    let mut rows = t.matching_rows(filter);
+    rows.sort_by(|&a, &b| {
+        f.score(&t.tuple(a), &norm)
+            .total_cmp(&f.score(&t.tuple(b), &norm))
+            .then(a.cmp(&b))
+    });
+    rows.into_iter().map(|r| TupleId(r as u32)).collect()
+}
+
+#[test]
+fn all_algorithms_agree_on_realistic_diamonds() {
+    let db = diamonds(1500, 42);
+    let schema = db.schema().clone();
+    let filter = SearchQuery::all()
+        .and_range(schema.expect_id("carat"), RangePred::closed(0.4, 3.0));
+    let f = LinearFunction::from_names(&schema, &[("price", 1.0), ("carat", -0.4)]).unwrap();
+    let want = oracle(&db, &f, &filter);
+
+    for algorithm in [
+        Algorithm::MdBaseline,
+        Algorithm::MdBinary,
+        Algorithm::MdRerank,
+        Algorithm::MdTa,
+    ] {
+        let reranker = Reranker::builder(db.clone())
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let got: Vec<TupleId> = reranker
+            .query(RerankRequest {
+                filter: filter.clone(),
+                function: f.clone().into(),
+                algorithm,
+            })
+            .take(12)
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(
+            got,
+            want[..12].to_vec(),
+            "{} disagrees with the oracle",
+            algorithm.paper_name()
+        );
+    }
+}
+
+#[test]
+fn one_d_streams_agree_with_oracle_on_tied_attribute() {
+    let db = diamonds(1200, 7);
+    let schema = db.schema().clone();
+    let lw = schema.expect_id("lw_ratio");
+    // The paper's worst case: order by the attribute with 20% exact ties.
+    let f = LinearFunction::new(vec![(lw, 1.0)]).unwrap();
+    let want = oracle(&db, &f, &SearchQuery::all());
+    for algorithm in [
+        Algorithm::OneDBaseline,
+        Algorithm::OneDBinary,
+        Algorithm::OneDRerank,
+    ] {
+        let reranker = Reranker::builder(db.clone())
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let got: Vec<TupleId> = reranker
+            .query(RerankRequest {
+                filter: SearchQuery::all(),
+                function: OneDimFunction::asc(lw).into(),
+                algorithm,
+            })
+            .take(50)
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(got, want[..50].to_vec(), "{}", algorithm.paper_name());
+    }
+}
+
+#[test]
+fn dense_index_persists_across_service_restarts() {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "qr2-integration-dense-{}-{}.log",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+
+    let db = diamonds(1000, 9);
+    let lw = db.schema().expect_id("lw_ratio");
+
+    // "First boot": run a tie-heavy workload that populates the index.
+    let cold_queries = {
+        let dense = Arc::new(DenseIndex::persistent(&path).unwrap());
+        let reranker = Reranker::builder(db.clone())
+            .executor(ExecutorKind::Sequential)
+            .dense_index(dense)
+            .build();
+        let mut session = reranker.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(lw).into(),
+            algorithm: Algorithm::OneDRerank,
+        });
+        session.next_page(300);
+        assert!(
+            !reranker.dense_index().is_empty(),
+            "tie workload must populate the index"
+        );
+        session.stats().total_queries()
+    };
+
+    // "Second boot": a brand-new reranker re-opens the same file, verifies
+    // it against the unchanged database, and serves cheaper.
+    {
+        let dense = Arc::new(DenseIndex::persistent(&path).unwrap());
+        assert!(!dense.is_empty(), "index reloaded from disk");
+        let report = dense.verify(&*db).unwrap();
+        assert_eq!(report.dropped, 0, "unchanged database keeps the cache");
+
+        let reranker = Reranker::builder(db.clone())
+            .executor(ExecutorKind::Sequential)
+            .dense_index(dense)
+            .build();
+        let mut session = reranker.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(lw).into(),
+            algorithm: Algorithm::OneDRerank,
+        });
+        session.next_page(300);
+        let warm_queries = session.stats().total_queries();
+        assert!(
+            warm_queries < cold_queries,
+            "warm boot ({warm_queries}) must beat cold boot ({cold_queries})"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn boot_verification_drops_cache_when_inventory_changes() {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "qr2-integration-stale-{}-{}.log",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+
+    let db_v1 = diamonds(800, 1);
+    let lw = db_v1.schema().expect_id("lw_ratio");
+    {
+        let dense = Arc::new(DenseIndex::persistent(&path).unwrap());
+        let reranker = Reranker::builder(db_v1.clone())
+            .executor(ExecutorKind::Sequential)
+            .dense_index(dense)
+            .build();
+        let mut session = reranker.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(lw).into(),
+            algorithm: Algorithm::OneDRerank,
+        });
+        session.next_page(250);
+        assert!(!reranker.dense_index().is_empty());
+    }
+
+    // The site's inventory changes overnight (new seed).
+    let db_v2 = diamonds(800, 2);
+    let dense = DenseIndex::persistent(&path).unwrap();
+    let before = dense.len();
+    assert!(before > 0);
+    let report = dense.verify(&*db_v2).unwrap();
+    assert!(
+        report.dropped > 0,
+        "changed inventory must invalidate cached regions"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn concurrent_sessions_share_one_reranker() {
+    let db = diamonds(1200, 3);
+    let reranker = Arc::new(
+        Reranker::builder(db.clone())
+            .executor(ExecutorKind::Parallel { fanout: 4 })
+            .build(),
+    );
+    let schema = reranker.schema().clone();
+    let price = schema.expect_id("price");
+
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let reranker = Arc::clone(&reranker);
+        handles.push(std::thread::spawn(move || {
+            let dir = if i % 2 == 0 { SortDir::Asc } else { SortDir::Desc };
+            let mut session = reranker.query(RerankRequest {
+                filter: SearchQuery::all(),
+                function: qr2::core::OneDimFunction { attr: price, dir }.into(),
+                algorithm: Algorithm::OneDRerank,
+            });
+            let page = session.next_page(8);
+            assert_eq!(page.len(), 8);
+            // Each page is sorted in the requested direction.
+            for w in page.windows(2) {
+                let (a, b) = (w[0].num_at(price), w[1].num_at(price));
+                match dir {
+                    SortDir::Asc => assert!(a <= b),
+                    SortDir::Desc => assert!(a >= b),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("session thread must not panic");
+    }
+}
+
+#[test]
+fn min_max_discovery_matches_ground_truth() {
+    let db = diamonds(900, 5);
+    let schema = db.schema().clone();
+    let carat = schema.expect_id("carat");
+    let truth_min = {
+        let t = db.ground_truth();
+        (0..t.len()).map(|r| t.num(r, carat)).fold(f64::MAX, f64::min)
+    };
+    let truth_max = {
+        let t = db.ground_truth();
+        (0..t.len()).map(|r| t.num(r, carat)).fold(f64::MIN, f64::max)
+    };
+    let (min, _) = qr2::core::discover_extremum(&*db, carat, SortDir::Asc);
+    let (max, _) = qr2::core::discover_extremum(&*db, carat, SortDir::Desc);
+    assert_eq!(min, truth_min);
+    assert_eq!(max, truth_max);
+}
+
+#[test]
+fn crawler_enumerates_entire_diamond_inventory() {
+    // Cross-crate: the crawler retrieves every tuple of a realistic table
+    // through the top-k interface alone.
+    let table = bluenile_table(&DiamondsConfig {
+        n: 600,
+        seed: 13,
+        ..DiamondsConfig::default()
+    });
+    let ranking = SystemRanking::opaque(99);
+    let db = SimulatedWebDb::new(table, ranking, 25);
+    let result = qr2::crawler::crawl(&db, &SearchQuery::all());
+    assert!(result.is_complete());
+    assert_eq!(result.tuples.len(), 600);
+}

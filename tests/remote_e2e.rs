@@ -1,0 +1,127 @@
+//! The complete architecture of the paper's Fig. 1 with *both* network
+//! hops real: a user talks HTTP to the QR2 service, and the QR2 service
+//! talks HTTP to the (simulated) web database through the gateway. Every
+//! reranking query below therefore crosses two sockets per probe.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use qr2::core::{DenseIndex, ExecutorKind};
+use qr2::datagen::{bluenile_db, DiamondsConfig};
+use qr2::http::parse_json;
+use qr2::service::{Qr2App, RemoteWebDb, Source, SourceRegistry, WebDbGateway};
+use qr2::webdb::TopKInterface;
+
+fn http(addr: SocketAddr, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, qr2::http::Json) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let resp = http(addr, &raw);
+    let code: u16 = resp
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = resp.split("\r\n\r\n").nth(1).unwrap_or("null");
+    (code, parse_json(body).unwrap_or(qr2::http::Json::Null))
+}
+
+#[test]
+fn reranking_service_over_a_remote_web_database() {
+    // 1. The "web site": a simulated Blue Nile served over HTTP.
+    let site_db = Arc::new(bluenile_db(&DiamondsConfig {
+        n: 600,
+        seed: 21,
+        ..DiamondsConfig::default()
+    }));
+    let site = WebDbGateway::serve(site_db.clone(), "127.0.0.1:0", 4).unwrap();
+
+    // 2. QR2 connects to the site like any third party would.
+    let remote: Arc<dyn TopKInterface> =
+        Arc::new(RemoteWebDb::connect(site.addr()).expect("connect to site"));
+    let mut registry = SourceRegistry::new();
+    registry.register(Source::new(
+        "bluenile-remote",
+        "Blue Nile (via HTTP gateway)",
+        remote,
+        ExecutorKind::Parallel { fanout: 4 },
+        Arc::new(DenseIndex::in_memory()),
+        vec![],
+    ));
+    let qr2 = Qr2App::new(registry).serve("127.0.0.1:0", 4).unwrap();
+
+    // 3. A user session, end to end across both hops.
+    let (code, v) = post(
+        qr2.addr(),
+        "/api/query",
+        r#"{"source":"bluenile-remote",
+            "ranking":{"type":"md","weights":{"price":1.0,"carat":-0.5}},
+            "algorithm":"md-rerank","page_size":5}"#,
+    );
+    assert_eq!(code, 200, "{v:?}");
+    let results = v.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 5);
+    let queries = v
+        .get("stats")
+        .unwrap()
+        .get("queries")
+        .unwrap()
+        .as_usize()
+        .unwrap();
+    assert!(queries > 0);
+    // Every QR2 query really crossed the wire to the site.
+    assert!(
+        site_db.ledger().total() >= queries as u64,
+        "site saw {} queries, QR2 issued {}",
+        site_db.ledger().total(),
+        queries
+    );
+
+    // 4. Get-next still works across the chain.
+    let sid = v.get("session").unwrap().as_str().unwrap();
+    let (code, v2) = post(
+        qr2.addr(),
+        "/api/getnext",
+        &format!(r#"{{"session":"{sid}"}}"#),
+    );
+    assert_eq!(code, 200);
+    assert_eq!(v2.get("results").unwrap().as_arr().unwrap().len(), 5);
+
+    // 5. The wire answers must equal what a local reranker would produce.
+    let local_ids: Vec<usize> = {
+        use qr2::core::{Algorithm, LinearFunction, Reranker, RerankRequest};
+        let reranker = Reranker::builder(site_db.clone())
+            .executor(ExecutorKind::Parallel { fanout: 4 })
+            .build();
+        let schema = reranker.schema().clone();
+        let f =
+            LinearFunction::from_names(&schema, &[("price", 1.0), ("carat", -0.5)]).unwrap();
+        reranker
+            .query(RerankRequest {
+                filter: qr2::webdb::SearchQuery::all(),
+                function: f.into(),
+                algorithm: Algorithm::MdRerank,
+            })
+            .take(5)
+            .map(|t| t.id.0 as usize)
+            .collect()
+    };
+    let wire_ids: Vec<usize> = results
+        .iter()
+        .map(|r| r.get("id").unwrap().as_usize().unwrap())
+        .collect();
+    assert_eq!(wire_ids, local_ids, "remote pipeline must match local results");
+
+    qr2.stop();
+    site.stop();
+}

@@ -1,0 +1,226 @@
+//! End-to-end service tests over real TCP sockets: the complete QR2
+//! demonstration flow, multi-user concurrency, and API error behaviour.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use qr2::core::ExecutorKind;
+use qr2::http::{parse_json, Json};
+use qr2::service::{Qr2App, SourceRegistry};
+
+fn http(addr: SocketAddr, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let resp = http(addr, &raw);
+    let code: u16 = resp
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = resp.split("\r\n\r\n").nth(1).unwrap_or("null");
+    (code, parse_json(body).unwrap_or(Json::Null))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let resp = http(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"));
+    let code: u16 = resp
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    (code, resp.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+}
+
+fn start() -> qr2::http::HttpServer {
+    Qr2App::new(SourceRegistry::demo(
+        800,
+        800,
+        ExecutorKind::Parallel { fanout: 4 },
+    ))
+    .serve("127.0.0.1:0", 4)
+    .expect("server starts")
+}
+
+#[test]
+fn demonstration_flow() {
+    let server = start();
+    let addr = server.addr();
+
+    // The UI and source list load.
+    let (code, body) = get(addr, "/");
+    assert_eq!(code, 200);
+    assert!(body.contains("Filtering") && body.contains("Ranking"));
+    let (code, body) = get(addr, "/api/sources");
+    assert_eq!(code, 200);
+    let v = parse_json(&body).unwrap();
+    let sources = v.get("sources").unwrap().as_arr().unwrap();
+    assert_eq!(sources.len(), 2);
+
+    // 1D query on Zillow (ascending price), two pages, no overlap.
+    let (code, v) = post(
+        addr,
+        "/api/query",
+        r#"{"source":"zillow","ranking":{"type":"1d","attr":"price","dir":"asc"},
+            "filters":[{"attr":"beds","min":2}],"algorithm":"1d-rerank","page_size":6}"#,
+    );
+    assert_eq!(code, 200, "{v:?}");
+    let sid = v.get("session").unwrap().as_str().unwrap().to_string();
+    let page1: Vec<f64> = v
+        .get("results")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|r| r.get("values").unwrap().get("price").unwrap().as_f64().unwrap())
+        .collect();
+    assert_eq!(page1.len(), 6);
+    assert!(page1.windows(2).all(|w| w[0] <= w[1]), "ascending prices");
+
+    let (code, v2) = post(addr, "/api/getnext", &format!(r#"{{"session":"{sid}"}}"#));
+    assert_eq!(code, 200);
+    let page2: Vec<f64> = v2
+        .get("results")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|r| r.get("values").unwrap().get("price").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(page2.first().unwrap() >= page1.last().unwrap());
+
+    // Stats reflect cumulative cost and the parallel breakdown.
+    let (code, body) = get(addr, &format!("/api/session/{sid}/stats"));
+    assert_eq!(code, 200);
+    let stats = parse_json(&body).unwrap();
+    assert!(stats.get("queries").unwrap().as_usize().unwrap() > 0);
+    assert!(stats.get("served").unwrap().as_usize().unwrap() >= 12);
+
+    server.stop();
+}
+
+#[test]
+fn error_behaviour() {
+    let server = start();
+    let addr = server.addr();
+
+    // Unknown source.
+    let (code, _) = post(
+        addr,
+        "/api/query",
+        r#"{"source":"amazon","ranking":{"type":"1d","attr":"x"}}"#,
+    );
+    assert_eq!(code, 404);
+
+    // Unknown session.
+    let (code, _) = post(addr, "/api/getnext", r#"{"session":"s999999"}"#);
+    assert_eq!(code, 404);
+
+    // Bad ranking weight (outside slider range).
+    let (code, _) = post(
+        addr,
+        "/api/query",
+        r#"{"source":"zillow","ranking":{"type":"md","weights":{"price":7.0}}}"#,
+    );
+    assert_eq!(code, 400);
+
+    // Missing ranking entirely.
+    let (code, _) = post(addr, "/api/query", r#"{"source":"zillow"}"#);
+    assert_eq!(code, 400);
+
+    // Deleting a session twice.
+    let (code, v) = post(
+        addr,
+        "/api/query",
+        r#"{"source":"bluenile","ranking":{"type":"1d","attr":"carat","dir":"desc"},"page_size":1}"#,
+    );
+    assert_eq!(code, 200);
+    let sid = v.get("session").unwrap().as_str().unwrap();
+    let resp = http(addr, &format!("DELETE /api/session/{sid} HTTP/1.1\r\n\r\n"));
+    assert!(resp.starts_with("HTTP/1.1 200"));
+    let resp = http(addr, &format!("DELETE /api/session/{sid} HTTP/1.1\r\n\r\n"));
+    assert!(resp.starts_with("HTTP/1.1 404"));
+
+    server.stop();
+}
+
+#[test]
+fn many_concurrent_users() {
+    let server = start();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let source = if i % 2 == 0 { "bluenile" } else { "zillow" };
+                let attr = if i % 2 == 0 { "price" } else { "sqft" };
+                let (code, v) = post(
+                    addr,
+                    "/api/query",
+                    &format!(
+                        r#"{{"source":"{source}","ranking":{{"type":"1d","attr":"{attr}","dir":"asc"}},"page_size":3}}"#
+                    ),
+                );
+                assert_eq!(code, 200, "{v:?}");
+                let sid = v.get("session").unwrap().as_str().unwrap().to_string();
+                // Page twice more.
+                for _ in 0..2 {
+                    let (code, _) =
+                        post(addr, "/api/getnext", &format!(r#"{{"session":"{sid}"}}"#));
+                    assert_eq!(code, 200);
+                }
+                sid
+            })
+        })
+        .collect();
+    let ids: std::collections::HashSet<String> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(ids.len(), 8, "sessions must be distinct");
+    server.stop();
+}
+
+#[test]
+fn shared_index_amortizes_across_users() {
+    let server = start();
+    let addr = server.addr();
+    // Two users run the same tie-heavy 1D query on lw_ratio; the second is
+    // cheaper thanks to the shared dense index.
+    let run = || {
+        let (code, v) = post(
+            addr,
+            "/api/query",
+            r#"{"source":"bluenile","ranking":{"type":"1d","attr":"lw_ratio","dir":"asc"},
+                "algorithm":"1d-rerank","page_size":100}"#,
+        );
+        assert_eq!(code, 200, "{v:?}");
+        let sid = v.get("session").unwrap().as_str().unwrap().to_string();
+        // Page deep enough to hit the tied group.
+        let mut total = 0usize;
+        for _ in 0..3 {
+            let (_, v) = post(addr, "/api/getnext", &format!(r#"{{"session":"{sid}"}}"#));
+            total = v
+                .get("stats")
+                .unwrap()
+                .get("queries")
+                .unwrap()
+                .as_usize()
+                .unwrap();
+        }
+        total
+    };
+    let first = run();
+    let second = run();
+    assert!(
+        second <= first,
+        "second user ({second}) must not pay more than the first ({first})"
+    );
+    server.stop();
+}
