@@ -5,8 +5,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qr2_bench::workloads::Scale;
 use qr2_bench::{
-    ablation_dense_delta, ablation_parallel_fanout, ablation_session_cache,
-    ablation_split_policy, ablation_system_k,
+    ablation_dense_delta, ablation_parallel_fanout, ablation_session_cache, ablation_split_policy,
+    ablation_system_k,
 };
 
 fn bench_ablations(c: &mut Criterion) {

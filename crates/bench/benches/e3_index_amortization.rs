@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qr2_bench::workloads::{bluenile, cold_reranker, Scale};
-use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, Reranker, RerankRequest};
+use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, RerankRequest, Reranker};
 use qr2_webdb::{SearchQuery, TopKInterface};
 
 fn run_session(reranker: &Reranker, depth: usize) -> usize {

@@ -12,8 +12,8 @@ fn bench_e4(c: &mut Criterion) {
     group.sample_size(10);
 
     let zdb = zillow(Scale::Small);
-    let f_best = LinearFunction::from_names(zdb.schema(), &[("price", 1.0), ("sqft", 1.0)])
-        .expect("valid");
+    let f_best =
+        LinearFunction::from_names(zdb.schema(), &[("price", 1.0), ("sqft", 1.0)]).expect("valid");
     group.bench_function("best_zillow_price_plus_sqft", |b| {
         b.iter(|| {
             let reranker = cold_reranker(zdb.clone(), ExecutorKind::Sequential);

@@ -9,13 +9,17 @@ fn bench_fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_parallel");
     group.sample_size(10);
     for dims in [2usize, 3] {
-        group.bench_with_input(BenchmarkId::new("bluenile_md_rerank", dims), &dims, |b, &dims| {
-            b.iter(|| {
-                let (_, summary) = fig2(Scale::Small, dims, 15);
-                assert!(summary.total_queries > 0);
-                summary.total_queries
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bluenile_md_rerank", dims),
+            &dims,
+            |b, &dims| {
+                b.iter(|| {
+                    let (_, summary) = fig2(Scale::Small, dims, 15);
+                    assert!(summary.total_queries > 0);
+                    summary.total_queries
+                })
+            },
+        );
     }
     group.finish();
 }

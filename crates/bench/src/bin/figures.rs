@@ -12,8 +12,8 @@ use std::time::Duration;
 use qr2_bench::report::write_csv;
 use qr2_bench::workloads::Scale;
 use qr2_bench::{
-    ablation_dense_delta, ablation_parallel_fanout, ablation_session_cache,
-    ablation_split_policy, ablation_system_k, e1, e2, e3, e4, fig2, fig4,
+    ablation_dense_delta, ablation_parallel_fanout, ablation_session_cache, ablation_split_policy,
+    ablation_system_k, e1, e2, e3, e4, fig2, fig4,
 };
 
 fn main() {

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use qr2_core::{
     Algorithm, DenseIndex, ExecutorKind, LinearFunction, OneDAlgo, OneDimFunction, OneDimStream,
-    Reranker, RerankRequest, SearchCtx, SortDir,
+    RerankRequest, Reranker, SearchCtx, SortDir,
 };
 use qr2_crawler::{Crawler, CrawlerConfig, SplitPolicy};
 use qr2_webdb::{SearchQuery, SimulatedWebDb, TopKInterface};
@@ -108,7 +108,10 @@ pub fn fig4(scale: Scale, latency: Option<Duration>, page: usize) -> (Table, Fig
         "Fig. 4 — statistics panel (Zillow, price − 0.3·sqft, MD-RERANK)",
         &["metric", "value"],
     );
-    table.row(&["queries to web database".into(), stats.total_queries().to_string()]);
+    table.row(&[
+        "queries to web database".into(),
+        stats.total_queries().to_string(),
+    ]);
     table.row(&["rounds".into(), stats.num_rounds().to_string()]);
     table.row(&[
         "parallel fraction".into(),
@@ -242,7 +245,9 @@ pub fn e3(scale: Scale, sessions: usize) -> Table {
     let depth = ties + 40;
 
     let mut table = Table::new(
-        format!("E3 — index amortization ({sessions} sessions, ORDER BY lw_ratio, {depth} tuples each)"),
+        format!(
+            "E3 — index amortization ({sessions} sessions, ORDER BY lw_ratio, {depth} tuples each)"
+        ),
         &["session", "1D-RERANK", "1D-BINARY"],
     );
     // One shared reranker for RERANK (shared index)…
@@ -302,8 +307,8 @@ pub fn e4(scale: Scale) -> Table {
 
     // Best: price + sqft on Zillow, top-10.
     let db = zillow(scale);
-    let f = LinearFunction::from_names(db.schema(), &[("price", 1.0), ("sqft", 1.0)])
-        .expect("valid");
+    let f =
+        LinearFunction::from_names(db.schema(), &[("price", 1.0), ("sqft", 1.0)]).expect("valid");
     let reranker = cold_reranker(db, ExecutorKind::Sequential);
     let best_run = || {
         let mut session = reranker.query(RerankRequest {
@@ -372,10 +377,7 @@ pub fn ablation_dense_delta(scale: Scale, depth: usize) -> Table {
 pub fn ablation_split_policy(scale: Scale) -> Table {
     let db = bluenile(scale);
     let price = db.schema().expect_id("price");
-    let region = SearchQuery::all().and_range(
-        price,
-        qr2_webdb::RangePred::closed(500.0, 3_000.0),
-    );
+    let region = SearchQuery::all().and_range(price, qr2_webdb::RangePred::closed(500.0, 3_000.0));
     let mut table = Table::new(
         "A2 — crawler split policy (crawl of price ∈ [500, 3000])",
         &["policy", "queries", "tuples", "max_depth"],
@@ -459,8 +461,8 @@ pub fn ablation_system_k(scale: Scale) -> Table {
     );
     for k in [5usize, 10, 20, 40, 80] {
         let db = uniform_2d(scale, k);
-        let f = LinearFunction::from_names(db.schema(), &[("x0", 1.0), ("x1", -0.6)])
-            .expect("valid");
+        let f =
+            LinearFunction::from_names(db.schema(), &[("x0", 1.0), ("x1", -0.6)]).expect("valid");
         let reranker = cold_reranker(db, ExecutorKind::Sequential);
         let mut session = reranker.query(RerankRequest {
             filter: SearchQuery::all(),

@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use qr2_core::{ExecutorKind, LinearFunction, Reranker};
 use qr2_datagen::{
-    bluenile_db, generic_db, zillow_table, Correlation, DiamondsConfig, Distribution,
-    HomesConfig, SyntheticConfig,
+    bluenile_db, generic_db, zillow_table, Correlation, DiamondsConfig, Distribution, HomesConfig,
+    SyntheticConfig,
 };
 use qr2_webdb::{SimulatedWebDb, SystemRanking, TopKInterface};
 
@@ -74,8 +74,11 @@ pub fn zillow_with_latency(scale: Scale, per_query: Duration) -> Arc<SimulatedWe
         system_k: 40,
     });
     Arc::new(
-        SimulatedWebDb::new(table, SystemRanking::opaque(0x2111_0111 ^ 0x5EED), 40)
-            .with_latency(per_query, per_query / 4, 17),
+        SimulatedWebDb::new(table, SystemRanking::opaque(0x2111_0111 ^ 0x5EED), 40).with_latency(
+            per_query,
+            per_query / 4,
+            17,
+        ),
     )
 }
 

@@ -134,7 +134,10 @@ impl DenseIndex {
 
     /// Run the boot-time freshness verification against the database (see
     /// [`DenseRegionStore::verify`]). Stale regions are dropped.
-    pub fn verify(&self, db: &dyn qr2_webdb::TopKInterface) -> qr2_store::Result<qr2_store::VerifyReport> {
+    pub fn verify(
+        &self,
+        db: &dyn qr2_webdb::TopKInterface,
+    ) -> qr2_store::Result<qr2_store::VerifyReport> {
         self.store.lock().verify(&db)
     }
 }
@@ -175,7 +178,9 @@ fn query_contains(outer: &SearchQuery, inner: &SearchQuery) -> bool {
 mod tests {
     use super::*;
     use crate::executor::ExecutorKind;
-    use qr2_webdb::{RangePred, Schema, SimulatedWebDb, SystemRanking, TableBuilder, TopKInterface};
+    use qr2_webdb::{
+        RangePred, Schema, SimulatedWebDb, SystemRanking, TableBuilder, TopKInterface,
+    };
 
     use std::sync::Arc;
 
@@ -211,7 +216,11 @@ mod tests {
         let before = ctx.stats().total_queries();
         let second = idx.get_or_crawl(&ctx, &region);
         assert_eq!(second, first);
-        assert_eq!(ctx.stats().total_queries(), before, "hit costs zero queries");
+        assert_eq!(
+            ctx.stats().total_queries(),
+            before,
+            "hit costs zero queries"
+        );
         assert_eq!(idx.stats().hits, 1);
     }
 
@@ -239,7 +248,10 @@ mod tests {
         let outer = SearchQuery::all().and_range(x, RangePred::half_open(0.0, 5.0));
         let closed_inner = SearchQuery::all().and_range(x, RangePred::closed(0.0, 5.0));
         let open_inner = SearchQuery::all().and_range(x, RangePred::half_open(0.0, 5.0));
-        assert!(!query_contains(&outer, &closed_inner), "hi=5 not covered by [0,5)");
+        assert!(
+            !query_contains(&outer, &closed_inner),
+            "hi=5 not covered by [0,5)"
+        );
         assert!(query_contains(&outer, &open_inner));
     }
 

@@ -188,8 +188,10 @@ mod tests {
         let x = schema.expect_id("x");
         (0..n)
             .map(|i| {
-                SearchQuery::all()
-                    .and_range(x, RangePred::half_open(i as f64 * 10.0, (i + 1) as f64 * 10.0))
+                SearchQuery::all().and_range(
+                    x,
+                    RangePred::half_open(i as f64 * 10.0, (i + 1) as f64 * 10.0),
+                )
             })
             .collect()
     }
@@ -232,13 +234,11 @@ mod tests {
             tb.push_row(vec![i as f64]).unwrap();
         }
         let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
-        let d = Arc::new(
-            SimulatedWebDb::new(tb.build(), ranking, 10).with_latency(
-                Duration::from_millis(25),
-                Duration::ZERO,
-                1,
-            ),
-        );
+        let d = Arc::new(SimulatedWebDb::new(tb.build(), ranking, 10).with_latency(
+            Duration::from_millis(25),
+            Duration::ZERO,
+            1,
+        ));
         let ctx = SearchCtx::new(d, ExecutorKind::Parallel { fanout: 8 });
         let qs = probes(8, &schema);
         let start = Instant::now();

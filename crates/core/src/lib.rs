@@ -69,6 +69,6 @@ pub use function::{LinearFunction, OneDimFunction, RankingFunction, SortDir};
 pub use md::{MdAlgo, MdReranker};
 pub use normalize::{discover_extremum, AttrStats, Normalizer};
 pub use oned::{OneDAlgo, OneDimStream};
-pub use reranker::{Algorithm, Reranker, RerankerBuilder, RerankRequest, RerankSession};
+pub use reranker::{Algorithm, RerankRequest, RerankSession, Reranker, RerankerBuilder};
 pub use space::NBox;
 pub use stats::QueryStats;

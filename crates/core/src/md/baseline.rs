@@ -107,9 +107,7 @@ impl BaselineEngine {
                     let score = self.f.score(&t, &self.norm);
                     let better = match &best {
                         None => true,
-                        Some((bs, bt)) => {
-                            score < *bs || (score == *bs && t.id < bt.id)
-                        }
+                        Some((bs, bt)) => score < *bs || (score == *bs && t.id < bt.id),
                     };
                     if better {
                         best = Some((score, t));
@@ -244,9 +242,7 @@ mod tests {
     fn oracle_ids(d: &SimulatedWebDb, f: &LinearFunction, norm: &Normalizer) -> Vec<TupleId> {
         let t = d.ground_truth();
         let mut rows: Vec<usize> = (0..t.len()).collect();
-        let scores: Vec<f64> = (0..t.len())
-            .map(|r| f.score(&t.tuple(r), norm))
-            .collect();
+        let scores: Vec<f64> = (0..t.len()).map(|r| f.score(&t.tuple(r), norm)).collect();
         rows.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
         rows.into_iter().map(|r| TupleId(r as u32)).collect()
     }

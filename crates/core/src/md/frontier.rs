@@ -419,8 +419,7 @@ mod tests {
         let x = schema.expect_id("x");
         let f = LinearFunction::from_names(schema, &[("x", 1.0), ("y", 1.0)]).unwrap();
         let norm = Arc::new(Normalizer::from_domains(schema));
-        let filter =
-            SearchQuery::all().and_range(x, qr2_webdb::RangePred::closed(2.0, 3.0));
+        let filter = SearchQuery::all().and_range(x, qr2_webdb::RangePred::closed(2.0, 3.0));
         let mut e = FrontierEngine::new(ctx, filter, f, norm, None);
         assert!(e.next().is_none());
     }

@@ -81,9 +81,7 @@ impl MdReranker {
             );
         }
         let inner = match algo {
-            MdAlgo::Baseline => {
-                Engine::Baseline(BaselineEngine::new(ctx, filter, f, norm))
-            }
+            MdAlgo::Baseline => Engine::Baseline(BaselineEngine::new(ctx, filter, f, norm)),
             MdAlgo::Binary => Engine::Frontier(FrontierEngine::new(
                 ctx, filter, f, norm, /*use_dense=*/ None,
             )),

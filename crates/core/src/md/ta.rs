@@ -77,7 +77,11 @@ impl TaEngine {
             .weights()
             .iter()
             .map(|(attr, w)| {
-                let dir = if *w >= 0.0 { SortDir::Asc } else { SortDir::Desc };
+                let dir = if *w >= 0.0 {
+                    SortDir::Asc
+                } else {
+                    SortDir::Desc
+                };
                 OneDimStream::new(
                     ctx.clone(),
                     filter.clone(),
@@ -159,7 +163,9 @@ impl TaEngine {
 mod tests {
     use super::*;
     use crate::executor::ExecutorKind;
-    use qr2_webdb::{RangePred, Schema, SimulatedWebDb, SystemRanking, TableBuilder, TopKInterface};
+    use qr2_webdb::{
+        RangePred, Schema, SimulatedWebDb, SystemRanking, TableBuilder, TopKInterface,
+    };
 
     fn db(n: usize, _system_k: usize) -> Arc<SimulatedWebDb> {
         let schema = Schema::builder()
@@ -196,9 +202,7 @@ mod tests {
         let norm = Normalizer::from_domains(d.schema());
         let t = d.ground_truth();
         let mut rows = t.matching_rows(filter);
-        let scores: Vec<f64> = (0..t.len())
-            .map(|r| f.score(&t.tuple(r), &norm))
-            .collect();
+        let scores: Vec<f64> = (0..t.len()).map(|r| f.score(&t.tuple(r), &norm)).collect();
         rows.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
         rows.into_iter().map(|r| TupleId(r as u32)).collect()
     }
@@ -267,7 +271,8 @@ mod tests {
         let mut tb = TableBuilder::new(schema.clone());
         for i in 0..300 {
             let v = i as f64 / 300.0;
-            tb.push_row(vec![v, ((i * 7) % 300) as f64 / 300.0]).unwrap();
+            tb.push_row(vec![v, ((i * 7) % 300) as f64 / 300.0])
+                .unwrap();
         }
         let ranking = SystemRanking::linear(&schema, &[("x", -1.0)]).unwrap();
         let d = Arc::new(SimulatedWebDb::new(tb.build(), ranking, 10));

@@ -171,11 +171,7 @@ pub fn discover_extremum<D: TopKInterface + ?Sized>(
 
 /// Discover and install extrema for every attribute of a ranking function.
 /// Returns total queries spent.
-pub fn calibrate<D: TopKInterface + ?Sized>(
-    db: &D,
-    norm: &Normalizer,
-    attrs: &[AttrId],
-) -> usize {
+pub fn calibrate<D: TopKInterface + ?Sized>(db: &D, norm: &Normalizer, attrs: &[AttrId]) -> usize {
     let mut total = 0;
     for &attr in attrs {
         let (min, q1) = discover_extremum(db, attr, SortDir::Asc);
@@ -206,7 +202,10 @@ mod tests {
 
     #[test]
     fn attr_stats_normalize() {
-        let s = AttrStats { min: 10.0, max: 20.0 };
+        let s = AttrStats {
+            min: 10.0,
+            max: 20.0,
+        };
         assert_eq!(s.normalize(10.0), 0.0);
         assert_eq!(s.normalize(20.0), 1.0);
         assert_eq!(s.normalize(15.0), 0.5);
@@ -220,7 +219,13 @@ mod tests {
         let n = Normalizer::from_domains(&schema);
         let x = schema.expect_id("x");
         assert_eq!(n.normalize(x, 50.0), 0.5);
-        n.set(x, AttrStats { min: 40.0, max: 60.0 });
+        n.set(
+            x,
+            AttrStats {
+                min: 40.0,
+                max: 60.0,
+            },
+        );
         assert_eq!(n.normalize(x, 50.0), 0.5);
         assert_eq!(n.normalize(x, 40.0), 0.0);
         assert_eq!(n.denormalize(x, 1.0), 60.0);
@@ -269,7 +274,10 @@ mod tests {
         let x = d.schema().expect_id("x");
         let (min, queries) = discover_extremum(&d, x, SortDir::Asc);
         assert_eq!(min, 0.0);
-        assert!(queries <= 64, "binary probing should need ~log queries, used {queries}");
+        assert!(
+            queries <= 64,
+            "binary probing should need ~log queries, used {queries}"
+        );
     }
 
     #[test]

@@ -44,8 +44,7 @@ pub struct ChunkParams<'a> {
 
 impl ChunkParams<'_> {
     fn probe_query(&self, r: RangePred) -> SearchQuery {
-        self.filter
-            .with(self.attr, qr2_webdb::Predicate::Range(r))
+        self.filter.with(self.attr, qr2_webdb::Predicate::Range(r))
     }
 
     /// `[start-of-interval .. far-edge-of-cur]` in the preferred direction.
@@ -87,15 +86,14 @@ impl ChunkParams<'_> {
     fn best_value(&self, tuples: &[Tuple]) -> f64 {
         let mut it = tuples.iter().map(|t| t.num_at(self.attr));
         let first = it.next().expect("non-empty tuple list");
-        it.fold(first, |acc, v| if self.dir.better(v, acc) { v } else { acc })
+        it.fold(
+            first,
+            |acc, v| if self.dir.better(v, acc) { v } else { acc },
+        )
     }
 
     fn domain_width(&self) -> f64 {
-        let (lo, hi) = self
-            .ctx
-            .schema()
-            .attr(self.attr)
-            .numeric_domain();
+        let (lo, hi) = self.ctx.schema().attr(self.attr).numeric_domain();
         (hi - lo).max(f64::MIN_POSITIVE)
     }
 
@@ -121,10 +119,7 @@ impl ChunkParams<'_> {
     fn split(&self, r: RangePred) -> (RangePred, RangePred) {
         let (low, high) = if self.ctx.schema().attr(self.attr).is_integral() {
             let m = ((r.lo + r.hi) / 2.0).floor();
-            (
-                RangePred::closed(r.lo, m),
-                RangePred::closed(m + 1.0, r.hi),
-            )
+            (RangePred::closed(r.lo, m), RangePred::closed(m + 1.0, r.hi))
         } else {
             let mid = r.lo + (r.hi - r.lo) / 2.0;
             (
@@ -155,8 +150,7 @@ impl ChunkParams<'_> {
     fn enumerate_dense(&self, r: RangePred) -> Vec<Tuple> {
         match (self.algo, self.dense) {
             (OneDAlgo::Rerank, Some(index)) => {
-                let region = SearchQuery::all()
-                    .and_range(self.attr, r);
+                let region = SearchQuery::all().and_range(self.attr, r);
                 let tuples = index.get_or_crawl(self.ctx, &region);
                 tuples
                     .into_iter()
@@ -411,10 +405,7 @@ mod tests {
         let index = DenseIndex::in_memory();
         let p = params(&ctx, &filter, OneDAlgo::Rerank, Some(&index), SortDir::Asc);
         let chunk = find_chunk(&p, full_interval());
-        assert_eq!(
-            chunk.tuples.iter().filter(|t| t.num(0) == 25.0).count(),
-            30
-        );
+        assert_eq!(chunk.tuples.iter().filter(|t| t.num(0) == 25.0).count(), 30);
         assert_eq!(index.stats().misses, 1);
 
         // Second run over a fresh context: the dense part is a cache hit.

@@ -314,7 +314,14 @@ mod tests {
         let d = Arc::new(SimulatedWebDb::new(tb.build(), ranking, 5));
         let ctx = SearchCtx::new(d, ExecutorKind::Sequential);
         let c = schema.expect_id("c");
-        OneDimStream::new(ctx.clone(), SearchQuery::all(), c, SortDir::Asc, OneDAlgo::Binary, None);
+        OneDimStream::new(
+            ctx.clone(),
+            SearchQuery::all(),
+            c,
+            SortDir::Asc,
+            OneDAlgo::Binary,
+            None,
+        );
     }
 
     #[test]

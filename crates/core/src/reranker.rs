@@ -107,7 +107,9 @@ impl RerankerBuilder {
         }
         Reranker {
             db: self.db,
-            dense: self.dense.unwrap_or_else(|| Arc::new(DenseIndex::in_memory())),
+            dense: self
+                .dense
+                .unwrap_or_else(|| Arc::new(DenseIndex::in_memory())),
             norm,
             executor: self.executor,
             calibration_queries,
@@ -180,7 +182,14 @@ impl Reranker {
                         f.dims()
                     );
                     let (attr, w) = f.weights()[0];
-                    (attr, if w >= 0.0 { SortDir::Asc } else { SortDir::Desc })
+                    (
+                        attr,
+                        if w >= 0.0 {
+                            SortDir::Asc
+                        } else {
+                            SortDir::Desc
+                        },
+                    )
                 }
             };
             let algo = match req.algorithm {
@@ -344,7 +353,9 @@ mod tests {
     #[test]
     fn next_page_fetches_k() {
         let d = db();
-        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
         let price = r.schema().expect_id("price");
         let mut s = r.query(RerankRequest {
             filter: SearchQuery::all(),
@@ -364,7 +375,9 @@ mod tests {
     #[test]
     fn linear_single_attr_runs_on_1d_engines() {
         let d = db();
-        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
         let schema = r.schema().clone();
         let f = LinearFunction::from_names(&schema, &[("price", -1.0)]).unwrap();
         let mut s = r.query(RerankRequest {
@@ -380,7 +393,9 @@ mod tests {
     #[test]
     fn onedim_function_runs_on_md_engines() {
         let d = db();
-        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
         let price = r.schema().expect_id("price");
         let mut s = r.query(RerankRequest {
             filter: SearchQuery::all(),
@@ -394,7 +409,9 @@ mod tests {
     #[should_panic(expected = "one-dimensional")]
     fn multi_attr_function_on_1d_algorithm_panics() {
         let d = db();
-        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
         let schema = r.schema().clone();
         let f = LinearFunction::from_names(&schema, &[("price", 1.0), ("size", 1.0)]).unwrap();
         r.query(RerankRequest {
@@ -408,7 +425,9 @@ mod tests {
     #[should_panic(expected = "invalid ranking function")]
     fn out_of_schema_attr_panics() {
         let d = db();
-        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
         r.query(RerankRequest {
             filter: SearchQuery::all(),
             function: OneDimFunction::asc(AttrId(42)).into(),
@@ -429,7 +448,9 @@ mod tests {
     #[test]
     fn sessions_share_the_dense_index() {
         let d = db();
-        let r = Reranker::builder(d).executor(ExecutorKind::Sequential).build();
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
         let price = r.schema().expect_id("price");
         let req = RerankRequest {
             filter: SearchQuery::all(),

@@ -76,9 +76,7 @@ impl NBox {
                     .iter()
                     .find(|(a, _)| a == attr)
                     .map(|(_, r)| *r)
-                    .unwrap_or_else(|| {
-                        panic!("ranking attribute {attr} missing from box")
-                    });
+                    .unwrap_or_else(|| panic!("ranking attribute {attr} missing from box"));
                 if *w >= 0.0 {
                     w * norm.normalize(*attr, r.lo)
                 } else {
@@ -158,10 +156,7 @@ impl NBox {
         let (attr, r) = self.dims[i];
         let (left, right) = if schema.attr(attr).is_integral() {
             let m = ((r.lo + r.hi) / 2.0).floor();
-            (
-                RangePred::closed(r.lo, m),
-                RangePred::closed(m + 1.0, r.hi),
-            )
+            (RangePred::closed(r.lo, m), RangePred::closed(m + 1.0, r.hi))
         } else {
             let mid = r.lo + (r.hi - r.lo) / 2.0;
             assert!(
@@ -197,12 +192,7 @@ impl NBox {
     /// For each dimension `i`, the extreme admissible value solves
     /// `wᵢ·norm(xᵢ) ≤ s − Σ_{j≠i} min contribution of j`, clipped to the
     /// box. This is MD-BASELINE's narrowing step.
-    pub fn contour_bbox(
-        &self,
-        f: &LinearFunction,
-        norm: &Normalizer,
-        s: f64,
-    ) -> Option<NBox> {
+    pub fn contour_bbox(&self, f: &LinearFunction, norm: &Normalizer, s: f64) -> Option<NBox> {
         let total_min = self.min_score(f, norm);
         if total_min > s {
             return None;

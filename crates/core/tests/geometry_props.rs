@@ -18,24 +18,29 @@ fn schema3() -> Schema {
 
 fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(
-        prop_oneof![(1i32..=20).prop_map(|w| w as f64 / 10.0), (1i32..=20).prop_map(|w| -w as f64 / 10.0)],
+        prop_oneof![
+            (1i32..=20).prop_map(|w| w as f64 / 10.0),
+            (1i32..=20).prop_map(|w| -w as f64 / 10.0)
+        ],
         3,
     )
 }
 
 fn box_strategy() -> impl Strategy<Value = NBox> {
     let dim = |lo: f64, hi: f64| {
-        (0u32..1000, 0u32..1000, any::<bool>(), any::<bool>()).prop_map(move |(a, b, li, hi_inc)| {
-            let span = hi - lo;
-            let p = lo + span * (a.min(b) as f64 / 1000.0);
-            let q = lo + span * (a.max(b) as f64 / 1000.0);
-            RangePred {
-                lo: p,
-                hi: q,
-                lo_inc: li,
-                hi_inc,
-            }
-        })
+        (0u32..1000, 0u32..1000, any::<bool>(), any::<bool>()).prop_map(
+            move |(a, b, li, hi_inc)| {
+                let span = hi - lo;
+                let p = lo + span * (a.min(b) as f64 / 1000.0);
+                let q = lo + span * (a.max(b) as f64 / 1000.0);
+                RangePred {
+                    lo: p,
+                    hi: q,
+                    lo_inc: li,
+                    hi_inc,
+                }
+            },
+        )
     };
     (dim(-5.0, 10.0), dim(0.0, 1.0), dim(100.0, 900.0)).prop_map(|(r0, r1, r2)| {
         NBox::from_dims(vec![(AttrId(0), r0), (AttrId(1), r1), (AttrId(2), r2)])

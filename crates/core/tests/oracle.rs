@@ -8,9 +8,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use qr2_core::{
-    Algorithm, ExecutorKind, LinearFunction, Normalizer, Reranker, RerankRequest,
-};
+use qr2_core::{Algorithm, ExecutorKind, LinearFunction, Normalizer, RerankRequest, Reranker};
 use qr2_datagen::{generic_db, Correlation, Distribution, SyntheticConfig};
 use qr2_webdb::{RangePred, SearchQuery, SimulatedWebDb, TopKInterface, TupleId};
 
@@ -64,7 +62,10 @@ fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
 
 fn weight_strategy(dims: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(
-        prop_oneof![(1i32..=10).prop_map(|w| w as f64 / 10.0), (1i32..=10).prop_map(|w| -w as f64 / 10.0)],
+        prop_oneof![
+            (1i32..=10).prop_map(|w| w as f64 / 10.0),
+            (1i32..=10).prop_map(|w| -w as f64 / 10.0)
+        ],
         dims..=dims,
     )
 }
@@ -138,7 +139,13 @@ fn check_algorithm(
             let mut w: Vec<TupleId> = want[i..j].iter().map(|(_, id)| *id).collect();
             g.sort();
             w.sort();
-            prop_assert_eq!(g, w, "{} id set mismatch at score {}", algorithm.paper_name(), s);
+            prop_assert_eq!(
+                g,
+                w,
+                "{} id set mismatch at score {}",
+                algorithm.paper_name(),
+                s
+            );
         }
         i = j;
     }

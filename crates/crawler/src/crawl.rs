@@ -162,9 +162,7 @@ pub fn crawl_point<D: TopKInterface + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qr2_webdb::{
-        RangePred, Schema, SimulatedWebDb, SystemRanking, TableBuilder,
-    };
+    use qr2_webdb::{RangePred, Schema, SimulatedWebDb, SystemRanking, TableBuilder};
 
     /// 64 tuples on a 8x8 grid, hidden rank = x descending.
     fn grid_db(system_k: usize) -> SimulatedWebDb {

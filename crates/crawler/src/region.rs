@@ -29,9 +29,17 @@ fn snap_integral(r: RangePred) -> RangePred {
     // Smallest integer satisfying the lower bound:
     //   inclusive: ceil(lo); exclusive: floor(lo + 1) (= lo+1 when lo is
     //   already whole, otherwise ceil(lo)).
-    let lo = if r.lo_inc { r.lo.ceil() } else { (r.lo + 1.0).floor() };
+    let lo = if r.lo_inc {
+        r.lo.ceil()
+    } else {
+        (r.lo + 1.0).floor()
+    };
     // Largest integer satisfying the upper bound (mirror image).
-    let hi = if r.hi_inc { r.hi.floor() } else { (r.hi - 1.0).ceil() };
+    let hi = if r.hi_inc {
+        r.hi.floor()
+    } else {
+        (r.hi - 1.0).ceil()
+    };
     RangePred::closed(lo, hi)
 }
 

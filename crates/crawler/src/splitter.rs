@@ -67,7 +67,10 @@ fn candidates(schema: &Schema, q: &SearchQuery) -> Vec<Candidate> {
             AttrKind::Categorical { .. } => {
                 let s = effective_cats(schema, q, id);
                 if s.len() >= 2 {
-                    out.push(Candidate::Categorical { attr: id, len: s.len() });
+                    out.push(Candidate::Categorical {
+                        attr: id,
+                        len: s.len(),
+                    });
                 }
             }
         }
@@ -183,10 +186,7 @@ mod tests {
         let price = s.expect_id("price");
         // price is continuous with rel width 1.0 → split at 50 into [0,50) and [50,100].
         assert_eq!(l.range_of(price).unwrap(), &RangePred::half_open(0.0, 50.0));
-        assert_eq!(
-            r.range_of(price).unwrap(),
-            &RangePred::closed(50.0, 100.0)
-        );
+        assert_eq!(r.range_of(price).unwrap(), &RangePred::closed(50.0, 100.0));
     }
 
     #[test]
@@ -249,8 +249,16 @@ mod tests {
     #[test]
     fn round_robin_rotates() {
         let s = schema();
-        let a = split_region(&s, &SearchQuery::all(), SplitPolicy::RoundRobin { depth: 0 });
-        let b = split_region(&s, &SearchQuery::all(), SplitPolicy::RoundRobin { depth: 1 });
+        let a = split_region(
+            &s,
+            &SearchQuery::all(),
+            SplitPolicy::RoundRobin { depth: 0 },
+        );
+        let b = split_region(
+            &s,
+            &SearchQuery::all(),
+            SplitPolicy::RoundRobin { depth: 1 },
+        );
         let (a, _) = a.unwrap();
         let (b, _) = b.unwrap();
         assert_ne!(a, b, "different depths pick different attributes");

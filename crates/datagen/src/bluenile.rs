@@ -102,10 +102,7 @@ pub fn bluenile_table(cfg: &DiamondsConfig) -> Table {
         // Price: dominated by carat (superlinear), discounted by worse
         // grades, with multiplicative noise. This produces the strong
         // carat–price correlation the experiments rely on.
-        let grade_factor = 1.0
-            - 0.06 * cut as f64
-            - 0.045 * color as f64
-            - 0.04 * clarity as f64;
+        let grade_factor = 1.0 - 0.06 * cut as f64 - 0.045 * color as f64 - 0.04 * clarity as f64;
         let base = 3800.0 * carat.powf(1.9) * grade_factor.max(0.25);
         let mut price = base * lognormal(&mut rng, 0.0, 0.18);
         // Reflect at the domain floor/ceiling instead of clamping — a hard
@@ -140,11 +137,8 @@ pub fn bluenile_table(cfg: &DiamondsConfig) -> Table {
 /// ascending with carat as tiebreaker — what bluenile.com shows first).
 pub fn bluenile_db(cfg: &DiamondsConfig) -> SimulatedWebDb {
     let table = bluenile_table(cfg);
-    let ranking = SystemRanking::linear(
-        table.schema(),
-        &[("price", -1.0), ("carat", 1e-7)],
-    )
-    .expect("static ranking spec is valid");
+    let ranking = SystemRanking::linear(table.schema(), &[("price", -1.0), ("carat", 1e-7)])
+        .expect("static ranking spec is valid");
     SimulatedWebDb::new(table, ranking, cfg.system_k)
 }
 
@@ -191,7 +185,11 @@ mod tests {
             if let qr2_webdb::AttrKind::Numeric { min, max, .. } = attr.kind {
                 for r in 0..t.len() {
                     let v = t.num(r, id);
-                    assert!(v >= min && v <= max, "{} = {v} outside [{min},{max}]", attr.name);
+                    assert!(
+                        v >= min && v <= max,
+                        "{} = {v} outside [{min},{max}]",
+                        attr.name
+                    );
                 }
             }
         }
@@ -223,10 +221,7 @@ mod tests {
 
     #[test]
     fn db_default_sort_is_price_ascending() {
-        let db = bluenile_db(&DiamondsConfig {
-            n: 500,
-            ..small()
-        });
+        let db = bluenile_db(&DiamondsConfig { n: 500, ..small() });
         let resp = db.search(&SearchQuery::all());
         let price = AttrId(0);
         let prices: Vec<f64> = resp.tuples.iter().map(|t| t.num_at(price)).collect();

@@ -161,8 +161,7 @@ pub fn generic_db(cfg: &SyntheticConfig, hidden_weights: &[f64]) -> SimulatedWeb
         .map(String::as_str)
         .zip(hidden_weights.iter().copied())
         .collect();
-    let ranking =
-        SystemRanking::linear(table.schema(), &spec).expect("weights validated above");
+    let ranking = SystemRanking::linear(table.schema(), &spec).expect("weights validated above");
     SimulatedWebDb::new(table, ranking, cfg.system_k)
 }
 

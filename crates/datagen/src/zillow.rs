@@ -83,7 +83,9 @@ pub fn zillow_table(cfg: &HomesConfig) -> Table {
         let baths = ((beds * 0.7) + normal(&mut rng, 0.6, 0.5))
             .round()
             .clamp(1.0, 8.0);
-        let year = (normal(&mut rng, 1985.0, 20.0)).round().clamp(1900.0, 2018.0);
+        let year = (normal(&mut rng, 1985.0, 20.0))
+            .round()
+            .clamp(1900.0, 2018.0);
         let lot = if home_type == 1 {
             0.0 // condos have no lot
         } else {

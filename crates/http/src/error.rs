@@ -1,0 +1,154 @@
+//! Structured API errors.
+//!
+//! Every failure the service reports — from the router, the middleware
+//! chain, or a handler — is an [`ApiError`]: an HTTP status plus a stable
+//! machine-readable `code`, a human-readable `message`, and (for request
+//! validation failures) the JSON `field` path that caused it. The wire
+//! rendering is a uniform problem envelope:
+//!
+//! ```json
+//! {"error":{"code":"unknown_attribute","message":"...","field":"filters[0].attr"}}
+//! ```
+//!
+//! Handlers return `Result<Response, ApiError>` and compose with `?`; the
+//! conversion to a [`Response`] is a single `into()`.
+
+use crate::json::Json;
+use crate::response::{Response, Status};
+
+/// A structured, machine-readable API error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to respond with.
+    pub status: Status,
+    /// Stable machine-readable code (`snake_case`, documented per endpoint).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// JSON path of the offending request field (`filters[0].attr`), when
+    /// the error is a request-validation failure.
+    pub field: Option<String>,
+}
+
+impl ApiError {
+    /// An error with the given status and code.
+    pub fn new(status: Status, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+            field: None,
+        }
+    }
+
+    /// `400 Bad Request` with a specific code.
+    pub fn bad_request(code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::BadRequest, code, message)
+    }
+
+    /// `404 Not Found` with a specific code.
+    pub fn not_found(code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::NotFound, code, message)
+    }
+
+    /// `500 Internal Server Error` (code `internal`).
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::InternalError, "internal", message)
+    }
+
+    /// Attach the JSON field path the error refers to.
+    pub fn with_field(mut self, field: impl Into<String>) -> ApiError {
+        self.field = Some(field.into());
+        self
+    }
+
+    /// The default code for a bare status (used when a plain message is
+    /// upgraded to the envelope, e.g. router 404/405).
+    pub fn default_code(status: Status) -> &'static str {
+        match status {
+            Status::BadRequest => "bad_request",
+            Status::NotFound => "not_found",
+            Status::MethodNotAllowed => "method_not_allowed",
+            Status::UnsupportedMediaType => "unsupported_media_type",
+            Status::InternalError => "internal",
+            _ => "error",
+        }
+    }
+
+    /// The problem envelope as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut inner = vec![
+            ("code", Json::from(self.code)),
+            ("message", Json::from(self.message.as_str())),
+        ];
+        if let Some(f) = &self.field {
+            inner.push(("field", Json::from(f.as_str())));
+        }
+        Json::obj([("error", Json::obj(inner))])
+    }
+}
+
+impl From<ApiError> for Response {
+    fn from(e: ApiError) -> Response {
+        Response::json(e.status, &e.to_json())
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.status.code(), self.code, self.message)?;
+        if let Some(field) = &self.field {
+            write!(f, " (field {field})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn envelope_shape() {
+        let e = ApiError::bad_request("unknown_attribute", "no attribute 'x'")
+            .with_field("filters[0].attr");
+        let r: Response = e.into();
+        assert_eq!(r.status, Status::BadRequest);
+        let v = parse_json(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("unknown_attribute"));
+        assert_eq!(err.get("field").unwrap().as_str(), Some("filters[0].attr"));
+        assert!(err
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("'x'"));
+    }
+
+    #[test]
+    fn field_is_omitted_when_absent() {
+        let e = ApiError::not_found("unknown_query", "no query 'q9'");
+        let v = e.to_json();
+        assert!(v.get("error").unwrap().get("field").is_none());
+    }
+
+    #[test]
+    fn default_codes_cover_error_statuses() {
+        assert_eq!(ApiError::default_code(Status::NotFound), "not_found");
+        assert_eq!(
+            ApiError::default_code(Status::MethodNotAllowed),
+            "method_not_allowed"
+        );
+        assert_eq!(ApiError::default_code(Status::InternalError), "internal");
+    }
+
+    #[test]
+    fn display_includes_field() {
+        let e = ApiError::bad_request("missing_field", "missing").with_field("ranking");
+        assert!(e.to_string().contains("field ranking"), "{e}");
+    }
+}

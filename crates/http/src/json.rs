@@ -28,12 +28,7 @@ pub enum Json {
 impl Json {
     /// Object from key/value pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Field access on objects.
@@ -395,7 +390,9 @@ impl Parser<'_> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -440,8 +437,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("number out of range"))
@@ -491,15 +488,9 @@ mod tests {
 
     #[test]
     fn unicode_escapes() {
-        assert_eq!(
-            parse_json(r#""é中""#).unwrap(),
-            Json::Str("é中".into())
-        );
+        assert_eq!(parse_json(r#""é中""#).unwrap(), Json::Str("é中".into()));
         // Surrogate pair: 😀 U+1F600.
-        assert_eq!(
-            parse_json(r#""😀""#).unwrap(),
-            Json::Str("😀".into())
-        );
+        assert_eq!(parse_json(r#""😀""#).unwrap(), Json::Str("😀".into()));
         assert!(parse_json(r#""\ud83d""#).is_err(), "lone high surrogate");
         assert!(parse_json(r#""\ude00""#).is_err(), "lone low surrogate");
     }
@@ -513,8 +504,19 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "tru", "{", "[1,", "{\"a\"}", "{\"a\":}", "01", "1.", "1e",
-            "\"unterminated", "[1,2,]x", "nullx", "{\"a\":1} extra",
+            "",
+            "tru",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "[1,2,]x",
+            "nullx",
+            "{\"a\":1} extra",
         ] {
             assert!(parse_json(bad).is_err(), "{bad:?} must fail");
         }

@@ -6,17 +6,26 @@
 //! a JSON value type with parser and serializer (no serde — the format is
 //! small and fully tested, including property-based round-trips).
 //!
-//! Scope is deliberately narrow — what a demo web service needs:
-//! `GET`/`POST`/`DELETE`, `Content-Length` bodies, query strings, and
-//! connection-per-request semantics.
+//! Scope is deliberately narrow — what a service front door needs:
+//! `GET`/`HEAD`/`POST`/`DELETE`, `Content-Length` bodies, query strings,
+//! and connection-per-request semantics — plus the service-contract layer:
+//! structured [`ApiError`] envelopes, typed [`FromJson`]/[`IntoJson`]
+//! request/response codecs with path-tracking [`Decode`], and a composable
+//! middleware [`Stack`].
 
+mod error;
+mod extract;
 mod json;
+mod middleware;
 mod request;
 mod response;
 mod router;
 mod server;
 
+pub use error::ApiError;
+pub use extract::{decode_body, parse_body, Decode, FromJson, IntoJson};
 pub use json::{parse_json, Json, JsonError};
+pub use middleware::{AccessLog, CatchPanic, Handler, Layer, RequestId, RequireJsonBody, Stack};
 pub use request::{parse_request, Method, Request, RequestError};
 pub use response::{Response, Status};
 pub use router::{Params, Router};

@@ -1,0 +1,383 @@
+//! A composable HTTP middleware chain.
+//!
+//! [`Handler`] is the uniform "request in, response out" interface; the
+//! [`Router`] is a handler, and [`Layer`]s wrap handlers with cross-cutting
+//! behaviour. A [`Stack`] threads a request through its layers outermost
+//! first, then into the inner handler:
+//!
+//! ```
+//! use qr2_http::{Json, Method, RequestId, Response, Router, Stack};
+//!
+//! let router = Router::new().route(Method::Get, "/ping", |_, _| {
+//!     Response::ok_json(&Json::from("pong"))
+//! });
+//! let app = Stack::new(router).layer(RequestId::new());
+//! ```
+//!
+//! The built-in layers cover what a service front door needs: request-id
+//! injection ([`RequestId`]), access logging ([`AccessLog`]), JSON
+//! content-type enforcement ([`RequireJsonBody`]), and panic→500 recovery
+//! ([`CatchPanic`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::ApiError;
+use crate::request::{Method, Request};
+use crate::response::Response;
+use crate::router::Router;
+
+/// Anything that turns a request into a response.
+pub trait Handler: Send + Sync {
+    /// Handle one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl Handler for Router {
+    fn handle(&self, req: &Request) -> Response {
+        self.dispatch(req)
+    }
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// A middleware: sees the request before, and the response after, the rest
+/// of the chain (`next`).
+pub trait Layer: Send + Sync {
+    /// Process `req`, calling `next.handle(req)` zero or one times.
+    fn call(&self, req: &Request, next: &dyn Handler) -> Response;
+}
+
+/// A handler wrapped in an ordered set of layers. Layers added first sit
+/// outermost (see the request first, the response last).
+pub struct Stack {
+    layers: Vec<Box<dyn Layer>>,
+    inner: Box<dyn Handler>,
+}
+
+impl Stack {
+    /// A stack with no layers over `inner`.
+    pub fn new(inner: impl Handler + 'static) -> Stack {
+        Stack {
+            layers: Vec::new(),
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Append a layer; it runs inside all previously added layers.
+    pub fn layer(mut self, layer: impl Layer + 'static) -> Stack {
+        self.layers.push(Box::new(layer));
+        self
+    }
+}
+
+struct Next<'a> {
+    layers: &'a [Box<dyn Layer>],
+    inner: &'a dyn Handler,
+}
+
+impl Handler for Next<'_> {
+    fn handle(&self, req: &Request) -> Response {
+        match self.layers.split_first() {
+            Some((layer, rest)) => layer.call(
+                req,
+                &Next {
+                    layers: rest,
+                    inner: self.inner,
+                },
+            ),
+            None => self.inner.handle(req),
+        }
+    }
+}
+
+impl Handler for Stack {
+    fn handle(&self, req: &Request) -> Response {
+        Next {
+            layers: &self.layers,
+            inner: self.inner.as_ref(),
+        }
+        .handle(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in layers
+// ---------------------------------------------------------------------------
+
+/// Tags every response with an `x-request-id` header: the incoming value
+/// when the client sent one, a fresh process-unique id otherwise.
+pub struct RequestId {
+    counter: AtomicU64,
+}
+
+impl RequestId {
+    /// A fresh id source.
+    pub fn new() -> RequestId {
+        RequestId {
+            counter: AtomicU64::new(1),
+        }
+    }
+}
+
+impl Default for RequestId {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for RequestId {
+    fn call(&self, req: &Request, next: &dyn Handler) -> Response {
+        let id = match req.header("x-request-id") {
+            // Propagate client ids, but keep them header-safe and short.
+            Some(v) if !v.is_empty() && v.len() <= 128 && v.chars().all(is_header_safe) => {
+                v.to_string()
+            }
+            _ => format!(
+                "req-{:x}-{:x}",
+                std::process::id(),
+                self.counter.fetch_add(1, Ordering::Relaxed)
+            ),
+        };
+        let resp = next.handle(req);
+        if resp.header("x-request-id").is_some() {
+            resp
+        } else {
+            resp.with_header("x-request-id", id)
+        }
+    }
+}
+
+fn is_header_safe(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':')
+}
+
+/// One access-log line per request: `method path → status bytes in µs
+/// [request-id]`. The sink is pluggable so servers can write stderr while
+/// tests capture lines; [`AccessLog::stderr_if_env`] keeps test output
+/// quiet unless `QR2_ACCESS_LOG=1`.
+pub struct AccessLog {
+    sink: Arc<dyn Fn(&str) + Send + Sync>,
+}
+
+impl AccessLog {
+    /// Log through an arbitrary sink.
+    pub fn with_sink(sink: impl Fn(&str) + Send + Sync + 'static) -> AccessLog {
+        AccessLog {
+            sink: Arc::new(sink),
+        }
+    }
+
+    /// Log to stderr when `QR2_ACCESS_LOG=1`, otherwise discard. The check
+    /// happens once, at construction.
+    pub fn stderr_if_env() -> AccessLog {
+        if std::env::var("QR2_ACCESS_LOG").is_ok_and(|v| v == "1") {
+            AccessLog::with_sink(|line| eprintln!("{line}"))
+        } else {
+            AccessLog::with_sink(|_| {})
+        }
+    }
+}
+
+impl Layer for AccessLog {
+    fn call(&self, req: &Request, next: &dyn Handler) -> Response {
+        let start = Instant::now();
+        let resp = next.handle(req);
+        let rid = resp.header("x-request-id").unwrap_or("-");
+        // Log the raw (undecoded) path: a percent-encoded newline must not
+        // forge log lines, and `%2F` inside a parameter stays visible.
+        let path = if req.raw_path.is_empty() {
+            &req.path
+        } else {
+            &req.raw_path
+        };
+        let path: String = path
+            .chars()
+            .map(|c| if c.is_control() { '?' } else { c })
+            .collect();
+        (self.sink)(&format!(
+            "{} {} -> {} {}B in {}us [{}]",
+            req.method,
+            path,
+            resp.status.code(),
+            resp.body.len(),
+            start.elapsed().as_micros(),
+            rid,
+        ));
+        resp
+    }
+}
+
+/// Rejects bodied requests whose declared `Content-Type` is not JSON with
+/// a structured `415`. Requests without the header pass (curl-friendly);
+/// an explicit wrong type is a client bug worth a machine-readable error.
+pub struct RequireJsonBody;
+
+impl Layer for RequireJsonBody {
+    fn call(&self, req: &Request, next: &dyn Handler) -> Response {
+        if req.method == Method::Post && !req.body.is_empty() {
+            if let Some(ct) = req.header("content-type") {
+                let essence = ct.split(';').next().unwrap_or("").trim();
+                if !essence.eq_ignore_ascii_case("application/json") {
+                    return ApiError::new(
+                        crate::response::Status::UnsupportedMediaType,
+                        "unsupported_media_type",
+                        format!("content-type must be application/json, got '{essence}'"),
+                    )
+                    .into();
+                }
+            }
+        }
+        next.handle(req)
+    }
+}
+
+/// Converts a panic anywhere further down the chain into a structured 500.
+pub struct CatchPanic;
+
+impl Layer for CatchPanic {
+    fn call(&self, req: &Request, next: &dyn Handler) -> Response {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| next.handle(req)))
+            .unwrap_or_else(|_| ApiError::internal("request handler panicked").into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, Json};
+    use crate::response::Status;
+    use std::sync::Mutex;
+
+    fn ok_router() -> Router {
+        Router::new()
+            .route(Method::Get, "/ping", |_, _| {
+                Response::ok_json(&Json::from("pong"))
+            })
+            .route(Method::Post, "/echo", |req, _| {
+                Response::ok_json(&Json::from(req.body_str().unwrap_or("")))
+            })
+            .route(Method::Get, "/boom", |_, _| panic!("kaboom"))
+    }
+
+    #[test]
+    fn layers_run_outermost_first() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        struct Tag(Arc<Mutex<Vec<&'static str>>>, &'static str);
+        impl Layer for Tag {
+            fn call(&self, req: &Request, next: &dyn Handler) -> Response {
+                self.0.lock().unwrap().push(self.1);
+                next.handle(req)
+            }
+        }
+        let app = Stack::new(ok_router())
+            .layer(Tag(order.clone(), "outer"))
+            .layer(Tag(order.clone(), "inner"));
+        app.handle(&Request::test(Method::Get, "/ping", Vec::new()));
+        assert_eq!(*order.lock().unwrap(), ["outer", "inner"]);
+    }
+
+    #[test]
+    fn request_id_injected_and_echoed() {
+        let app = Stack::new(ok_router()).layer(RequestId::new());
+        let resp = app.handle(&Request::test(Method::Get, "/ping", Vec::new()));
+        let id = resp.header("x-request-id").unwrap();
+        assert!(id.starts_with("req-"), "{id}");
+
+        let mut req = Request::test(Method::Get, "/ping", Vec::new());
+        req.headers
+            .insert("x-request-id".into(), "client-42".into());
+        let resp = app.handle(&req);
+        assert_eq!(resp.header("x-request-id"), Some("client-42"));
+
+        // Unsafe client ids are replaced, not echoed.
+        let mut req = Request::test(Method::Get, "/ping", Vec::new());
+        req.headers
+            .insert("x-request-id".into(), "bad\r\nid".into());
+        let resp = app.handle(&req);
+        assert!(resp.header("x-request-id").unwrap().starts_with("req-"));
+    }
+
+    #[test]
+    fn access_log_captures_line() {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let lines = lines.clone();
+            move |l: &str| lines.lock().unwrap().push(l.to_string())
+        };
+        // AccessLog outermost so it sees the response after RequestId has
+        // tagged it on the way out.
+        let app = Stack::new(ok_router())
+            .layer(AccessLog::with_sink(sink))
+            .layer(RequestId::new());
+        app.handle(&Request::test(Method::Get, "/ping", Vec::new()));
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("GET /ping -> 200"), "{}", lines[0]);
+        assert!(lines[0].contains("[req-"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn access_log_is_injection_safe() {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let lines = lines.clone();
+            move |l: &str| lines.lock().unwrap().push(l.to_string())
+        };
+        let app = Stack::new(ok_router()).layer(AccessLog::with_sink(sink));
+        // A decoded %0A in the path must not produce a second log line.
+        let mut req = Request::test(Method::Get, "/ping\nGET /admin -> 200", Vec::new());
+        req.raw_path.clear(); // hand-built request: falls back to decoded path
+        app.handle(&req);
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].contains('\n'), "{:?}", lines[0]);
+        assert!(lines[0].contains("/ping?GET"), "{:?}", lines[0]);
+    }
+
+    #[test]
+    fn content_type_enforced_on_bodied_posts() {
+        let app = Stack::new(ok_router()).layer(RequireJsonBody);
+        // No content-type: allowed.
+        let resp = app.handle(&Request::test(Method::Post, "/echo", b"x".to_vec()));
+        assert_eq!(resp.status, Status::Ok);
+        // JSON (with parameters): allowed.
+        let mut req = Request::test(Method::Post, "/echo", b"x".to_vec());
+        req.headers.insert(
+            "content-type".into(),
+            "application/json; charset=utf-8".into(),
+        );
+        assert_eq!(app.handle(&req).status, Status::Ok);
+        // Wrong type: structured 415.
+        let mut req = Request::test(Method::Post, "/echo", b"x".to_vec());
+        req.headers
+            .insert("content-type".into(), "text/plain".into());
+        let resp = app.handle(&req);
+        assert_eq!(resp.status, Status::UnsupportedMediaType);
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("unsupported_media_type")
+        );
+    }
+
+    #[test]
+    fn catch_panic_yields_structured_500() {
+        let app = Stack::new(ok_router()).layer(CatchPanic);
+        let resp = app.handle(&Request::test(Method::Get, "/boom", Vec::new()));
+        assert_eq!(resp.status, Status::InternalError);
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("internal")
+        );
+    }
+}

@@ -9,6 +9,8 @@ use std::io::BufRead;
 pub enum Method {
     /// GET
     Get,
+    /// HEAD (served by GET routes with the body dropped)
+    Head,
     /// POST
     Post,
     /// DELETE
@@ -19,20 +21,27 @@ impl Method {
     fn from_str(s: &str) -> Option<Method> {
         match s {
             "GET" => Some(Method::Get),
+            "HEAD" => Some(Method::Head),
             "POST" => Some(Method::Post),
             "DELETE" => Some(Method::Delete),
             _ => None,
+        }
+    }
+
+    /// Canonical name (`"GET"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
         }
     }
 }
 
 impl fmt::Display for Method {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Method::Get => "GET",
-            Method::Post => "POST",
-            Method::Delete => "DELETE",
-        })
+        f.write_str(self.name())
     }
 }
 
@@ -43,6 +52,11 @@ pub struct Request {
     pub method: Method,
     /// Decoded path (no query string).
     pub path: String,
+    /// Undecoded path as it appeared on the request line. The router splits
+    /// this (not the decoded form) into segments, so a percent-encoded `/`
+    /// inside a path parameter does not change the route shape. Empty means
+    /// "same as `path`" (hand-built requests).
+    pub raw_path: String,
     /// Decoded query parameters.
     pub query: HashMap<String, String>,
     /// Lower-cased header map.
@@ -52,6 +66,19 @@ pub struct Request {
 }
 
 impl Request {
+    /// A request built in code (tests, internal dispatch): no headers, no
+    /// query string.
+    pub fn test(method: Method, path: &str, body: Vec<u8>) -> Request {
+        Request {
+            method,
+            path: path.to_string(),
+            raw_path: path.to_string(),
+            query: HashMap::new(),
+            headers: HashMap::new(),
+            body,
+        }
+    }
+
     /// Body as UTF-8, if valid.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
@@ -60,6 +87,35 @@ impl Request {
     /// A query parameter.
     pub fn query_param(&self, key: &str) -> Option<&str> {
         self.query.get(key).map(String::as_str)
+    }
+
+    /// A header value (names are stored lower-cased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Path split into percent-decoded segments for routing. Splits the raw
+    /// (undecoded) path so an encoded `%2F` stays inside its segment, then
+    /// decodes each segment independently. Exactly one trailing slash is
+    /// ignored (`/api/sources/` ≡ `/api/sources`); interior empty segments
+    /// are preserved so routes can reject empty captures explicitly.
+    pub fn path_segments(&self) -> Vec<String> {
+        let raw = if self.raw_path.is_empty() {
+            &self.path
+        } else {
+            &self.raw_path
+        };
+        let mut segments: Vec<String> = raw
+            .split('/')
+            .skip(usize::from(raw.starts_with('/')))
+            .map(|s| percent_decode(s).unwrap_or_else(|| s.to_string()))
+            .collect();
+        if segments.last().is_some_and(String::is_empty) {
+            segments.pop();
+        }
+        segments
     }
 }
 
@@ -121,6 +177,7 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
+    let raw_path = path_raw.to_string();
     let path = percent_decode(path_raw)
         .ok_or_else(|| RequestError::Malformed("bad path encoding".into()))?;
     let mut query = HashMap::new();
@@ -168,6 +225,7 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError
     Ok(Request {
         method,
         path,
+        raw_path,
         query,
         headers,
         body,
@@ -244,6 +302,27 @@ mod tests {
             parse("PATCH / HTTP/1.1\r\n\r\n"),
             Err(RequestError::UnsupportedMethod(_))
         ));
+    }
+
+    #[test]
+    fn head_method_parses() {
+        let r = parse("HEAD /api/sources HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Head);
+        assert_eq!(Method::Head.name(), "HEAD");
+    }
+
+    #[test]
+    fn path_segments_decode_per_segment() {
+        // An encoded slash stays inside its segment.
+        let r = parse("GET /v1/queries/a%2Fb/stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path_segments(), ["v1", "queries", "a/b", "stats"]);
+        // One trailing slash is ignored; interior empties are preserved.
+        let r = parse("GET /api/sources/ HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path_segments(), ["api", "sources"]);
+        let r = parse("GET /api/session//stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path_segments(), ["api", "session", "", "stats"]);
+        let r = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.path_segments().is_empty());
     }
 
     #[test]

@@ -9,12 +9,18 @@ use crate::json::Json;
 pub enum Status {
     /// 200
     Ok,
+    /// 201
+    Created,
+    /// 204
+    NoContent,
     /// 400
     BadRequest,
     /// 404
     NotFound,
     /// 405
     MethodNotAllowed,
+    /// 415
+    UnsupportedMediaType,
     /// 500
     InternalError,
 }
@@ -24,9 +30,12 @@ impl Status {
     pub fn code(self) -> u16 {
         match self {
             Status::Ok => 200,
+            Status::Created => 201,
+            Status::NoContent => 204,
             Status::BadRequest => 400,
             Status::NotFound => 404,
             Status::MethodNotAllowed => 405,
+            Status::UnsupportedMediaType => 415,
             Status::InternalError => 500,
         }
     }
@@ -34,9 +43,12 @@ impl Status {
     fn reason(self) -> &'static str {
         match self {
             Status::Ok => "OK",
+            Status::Created => "Created",
+            Status::NoContent => "No Content",
             Status::BadRequest => "Bad Request",
             Status::NotFound => "Not Found",
             Status::MethodNotAllowed => "Method Not Allowed",
+            Status::UnsupportedMediaType => "Unsupported Media Type",
             Status::InternalError => "Internal Server Error",
         }
     }
@@ -83,16 +95,45 @@ impl Response {
         }
     }
 
-    /// Plain-text error response.
+    /// `204 No Content` response.
+    pub fn no_content() -> Response {
+        Response {
+            status: Status::NoContent,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Error response rendering the structured problem envelope with the
+    /// default code for `status` (`{"error":{"code":...,"message":...}}`).
+    /// Use [`crate::ApiError`] directly for a specific code or field path.
     pub fn error(status: Status, message: &str) -> Response {
-        Response::json(
+        crate::error::ApiError::new(
             status,
-            &Json::obj([("error", Json::from(message))]),
+            crate::error::ApiError::default_code(status),
+            message,
         )
+        .into()
+    }
+
+    /// Append a header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First value of a header, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// Serialize onto a writer (adds `Content-Length` and
-    /// `Connection: close`).
+    /// `Connection: close`). An explicit `Content-Length` header wins over
+    /// the computed one (HEAD responses advertise the GET entity size), and
+    /// `204 No Content` carries no `Content-Length` at all (RFC 9110 §8.6).
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         write!(
             w,
@@ -103,7 +144,9 @@ impl Response {
         for (name, value) in &self.headers {
             write!(w, "{name}: {value}\r\n")?;
         }
-        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        if self.status != Status::NoContent && self.header("Content-Length").is_none() {
+            write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        }
         write!(w, "Connection: close\r\n\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
@@ -149,8 +192,55 @@ mod tests {
     #[test]
     fn status_codes() {
         assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::Created.code(), 201);
+        assert_eq!(Status::NoContent.code(), 204);
         assert_eq!(Status::BadRequest.code(), 400);
         assert_eq!(Status::MethodNotAllowed.code(), 405);
+        assert_eq!(Status::UnsupportedMediaType.code(), 415);
         assert_eq!(Status::InternalError.code(), 500);
+    }
+
+    #[test]
+    fn error_renders_structured_envelope() {
+        let r = Response::error(Status::NotFound, "no such session");
+        let v = crate::parse_json(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("not_found"));
+        assert_eq!(
+            err.get("message").unwrap().as_str(),
+            Some("no such session")
+        );
+    }
+
+    #[test]
+    fn no_content_omits_content_length() {
+        let mut out = Vec::new();
+        Response::no_content().write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 204 No Content\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+    }
+
+    #[test]
+    fn explicit_content_length_wins() {
+        // HEAD responses keep the GET entity size while sending no body.
+        let r = Response::ok_json(&Json::from("x")).with_header("Content-Length", "3");
+        let r = Response {
+            body: Vec::new(),
+            ..r
+        };
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 3"), "{text}");
+        assert!(!text.contains("Content-Length: 0"), "{text}");
+    }
+
+    #[test]
+    fn header_builder_and_lookup() {
+        let r = Response::no_content().with_header("Location", "/v1/queries/q1");
+        assert_eq!(r.header("location"), Some("/v1/queries/q1"));
+        assert_eq!(r.header("x-missing"), None);
+        assert!(r.body.is_empty());
     }
 }

@@ -8,9 +8,9 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Sender};
 
+use crate::middleware::Handler;
 use crate::request::parse_request;
 use crate::response::{Response, Status};
-use crate::router::Router;
 
 /// A running HTTP server.
 pub struct HttpServer {
@@ -42,30 +42,31 @@ impl ServerHandle {
 }
 
 impl HttpServer {
-    /// Bind `addr` (use port 0 for an ephemeral port) and serve `router`
-    /// with `workers` handler threads.
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `handler` —
+    /// a bare [`crate::Router`] or a middleware [`crate::Stack`] — with
+    /// `workers` handler threads.
     pub fn start(
         addr: &str,
-        router: Router,
+        handler: impl Handler + 'static,
         workers: usize,
     ) -> std::io::Result<HttpServer> {
         assert!(workers >= 1, "need at least one worker");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let router = Arc::new(router);
+        let handler: Arc<dyn Handler> = Arc::new(handler);
 
         let (tx, rx) = bounded::<TcpStream>(workers * 4);
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let rx = rx.clone();
-            let router = Arc::clone(&router);
+            let handler = Arc::clone(&handler);
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("qr2-http-{i}"))
                     .spawn(move || {
                         while let Ok(stream) = rx.recv() {
-                            handle_connection(stream, &router);
+                            handle_connection(stream, handler.as_ref());
                         }
                     })
                     .expect("spawn worker"),
@@ -145,7 +146,7 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: Arc<Atomi
     // Dropping tx closes the channel and stops the workers.
 }
 
-fn handle_connection(stream: TcpStream, router: &Router) {
+fn handle_connection(stream: TcpStream, handler: &dyn Handler) {
     let peer = stream.peer_addr().ok();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -154,13 +155,24 @@ fn handle_connection(stream: TcpStream, router: &Router) {
     let mut writer = BufWriter::new(stream);
     let response = match parse_request(&mut reader) {
         Ok(req) => {
-            // Panics in handlers must not take the worker down.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                router.dispatch(&req)
-            }));
-            result.unwrap_or_else(|_| {
-                Response::error(Status::InternalError, "handler panicked")
-            })
+            // Panics in handlers must not take the worker down (a
+            // [`crate::CatchPanic`] layer, when present, turns them into
+            // structured 500s before they reach this backstop).
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&req)));
+            let mut response = result
+                .unwrap_or_else(|_| Response::error(Status::InternalError, "handler panicked"));
+            // RFC 9110: no body on HEAD responses. The router strips its
+            // own; this covers responses generated above it (panic 500s,
+            // middleware rejections).
+            if req.method == crate::request::Method::Head && !response.body.is_empty() {
+                if response.header("Content-Length").is_none() {
+                    let len = response.body.len();
+                    response = response.with_header("Content-Length", len.to_string());
+                }
+                response.body.clear();
+            }
+            response
         }
         Err(e) => Response::error(Status::BadRequest, &e.to_string()),
     };
@@ -175,6 +187,7 @@ mod tests {
     use super::*;
     use crate::json::Json;
     use crate::request::Method;
+    use crate::router::Router;
     use std::io::{Read, Write};
 
     fn test_server() -> HttpServer {
@@ -211,11 +224,7 @@ mod tests {
         let server = test_server();
         let addr = server.addr();
         let handles: Vec<_> = (0..8)
-            .map(|_| {
-                std::thread::spawn(move || {
-                    raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n")
-                })
-            })
+            .map(|_| std::thread::spawn(move || raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n")))
             .collect();
         for h in handles {
             assert!(h.join().unwrap().contains("pong"));
@@ -239,6 +248,16 @@ mod tests {
         let server = test_server();
         let resp = raw_request(server.addr(), "BLARGH\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn head_panic_response_has_no_body() {
+        let server = test_server();
+        let resp = raw_request(server.addr(), "HEAD /boom HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+        assert!(body.is_empty(), "HEAD must not carry a body: {resp}");
         server.stop();
     }
 

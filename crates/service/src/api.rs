@@ -1,306 +1,194 @@
-//! JSON ⇄ domain conversions and the REST handlers.
+//! Thin HTTP handlers over [`QueryService`].
+//!
+//! Two surfaces share the service layer:
+//!
+//! * the versioned resource API under `/v1` (the contract new clients use):
+//!   `POST /v1/sources/:source/queries` (201 + `Location`),
+//!   `GET|POST /v1/queries/:id/next`, `GET /v1/queries/:id/stats`,
+//!   `DELETE /v1/queries/:id`, `GET /v1/sources`, `GET /v1/algorithms`;
+//! * the legacy RPC-style `/api/*` endpoints, kept as deprecated shims that
+//!   delegate to the same service methods and render the same error
+//!   envelope.
+//!
+//! Handlers only decode DTOs, call one service method, and encode the
+//! result — all request parsing lives in [`crate::dto`], all logic in
+//! [`crate::QueryService`].
 
 use std::sync::Arc;
 
-use qr2_core::{Algorithm, LinearFunction, OneDimFunction, QueryStats, RankingFunction, SortDir};
-use qr2_http::{parse_json, Json, Request, Response, Status};
-use qr2_webdb::{AttrKind, CatSet, RangePred, Schema, SearchQuery, Tuple};
+use qr2_http::{decode_body, ApiError, IntoJson, Json, Params, Request, Response, Status};
 
+use crate::dto::{algorithm_catalog, GetNextRequest, NextPageRequest, QueryRequest};
+use crate::error::codes;
+use crate::service::QueryService;
 use crate::session::SessionManager;
 use crate::sources::SourceRegistry;
 
-/// Parse the `filters` array of a query request:
-/// `[{"attr":"price","min":100,"max":500}, {"attr":"cut","values":["Ideal"]}]`.
-pub fn parse_filter(schema: &Schema, filters: &Json) -> Result<SearchQuery, String> {
-    let mut q = SearchQuery::all();
-    let Some(list) = filters.as_arr() else {
-        return Err("'filters' must be an array".into());
-    };
-    for f in list {
-        let name = f
-            .get("attr")
-            .and_then(Json::as_str)
-            .ok_or("filter needs an 'attr' name")?;
-        let attr = schema
-            .id_of(name)
-            .ok_or_else(|| format!("unknown attribute '{name}'"))?;
-        match &schema.attr(attr).kind {
-            AttrKind::Numeric { min, max, .. } => {
-                let lo = f.get("min").and_then(Json::as_f64).unwrap_or(*min);
-                let hi = f.get("max").and_then(Json::as_f64).unwrap_or(*max);
-                if lo > hi {
-                    return Err(format!("empty range for '{name}': {lo} > {hi}"));
-                }
-                q = q.and_range(attr, RangePred::closed(lo, hi));
-            }
-            AttrKind::Categorical { labels } => {
-                let values = f
-                    .get("values")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| format!("categorical filter '{name}' needs 'values'"))?;
-                let mut codes = Vec::with_capacity(values.len());
-                for v in values {
-                    let label = v.as_str().ok_or("categorical values must be strings")?;
-                    let code = labels
-                        .iter()
-                        .position(|l| l == label)
-                        .ok_or_else(|| format!("'{label}' is not a value of '{name}'"))?;
-                    codes.push(code as u32);
-                }
-                q = q.and_cats(attr, CatSet::new(codes));
-            }
-        }
-    }
-    Ok(q)
-}
-
-/// Parse the `ranking` object:
-/// 1D — `{"type":"1d","attr":"price","dir":"asc"}`;
-/// MD — `{"type":"md","weights":{"price":1.0,"carat":-0.5}}`.
-pub fn parse_ranking_spec(schema: &Schema, ranking: &Json) -> Result<RankingFunction, String> {
-    match ranking.get("type").and_then(Json::as_str) {
-        Some("1d") => {
-            let name = ranking
-                .get("attr")
-                .and_then(Json::as_str)
-                .ok_or("1d ranking needs 'attr'")?;
-            let attr = schema
-                .id_of(name)
-                .ok_or_else(|| format!("unknown attribute '{name}'"))?;
-            if !schema.attr(attr).kind.is_numeric() {
-                return Err(format!("ranking attribute '{name}' must be numeric"));
-            }
-            let dir = match ranking.get("dir").and_then(Json::as_str).unwrap_or("asc") {
-                "asc" => SortDir::Asc,
-                "desc" => SortDir::Desc,
-                other => return Err(format!("bad direction '{other}'")),
-            };
-            Ok(OneDimFunction { attr, dir }.into())
-        }
-        Some("md") => {
-            let Some(Json::Obj(weights)) = ranking.get("weights") else {
-                return Err("md ranking needs a 'weights' object".into());
-            };
-            let mut spec = Vec::with_capacity(weights.len());
-            for (name, w) in weights {
-                let w = w.as_f64().ok_or("weights must be numbers")?;
-                if !(-1.0..=1.0).contains(&w) {
-                    return Err(format!(
-                        "weight for '{name}' must be a slider value in [-1, 1]"
-                    ));
-                }
-                spec.push((name.as_str(), w));
-            }
-            LinearFunction::from_names(schema, &spec)
-                .map(Into::into)
-                .map_err(|e| e.to_string())
-        }
-        _ => Err("ranking 'type' must be '1d' or 'md'".into()),
-    }
-}
-
-/// Parse the `algorithm` string; `"auto"` picks the RERANK family.
-pub fn parse_algorithm(s: &str, function: &RankingFunction) -> Result<Algorithm, String> {
-    let is_1d = matches!(function, RankingFunction::OneDim(_))
-        || matches!(function, RankingFunction::Linear(f) if f.dims() == 1);
-    match s {
-        "auto" => Ok(if is_1d {
-            Algorithm::OneDRerank
-        } else {
-            Algorithm::MdRerank
-        }),
-        "1d-baseline" => Ok(Algorithm::OneDBaseline),
-        "1d-binary" => Ok(Algorithm::OneDBinary),
-        "1d-rerank" => Ok(Algorithm::OneDRerank),
-        "md-baseline" => Ok(Algorithm::MdBaseline),
-        "md-binary" => Ok(Algorithm::MdBinary),
-        "md-rerank" => Ok(Algorithm::MdRerank),
-        "md-ta" => Ok(Algorithm::MdTa),
-        other => Err(format!("unknown algorithm '{other}'")),
-    }
-}
-
-/// Serialize a result tuple with labelled categorical values.
-pub fn tuple_to_json(schema: &Schema, t: &Tuple) -> Json {
-    let mut values = std::collections::BTreeMap::new();
-    for (id, attr) in schema.iter() {
-        let v = match (&attr.kind, t.value(id)) {
-            (AttrKind::Numeric { .. }, qr2_webdb::Value::Num(x)) => Json::Num(x),
-            (AttrKind::Categorical { labels }, qr2_webdb::Value::Cat(c)) => {
-                Json::from(labels[c as usize].as_str())
-            }
-            _ => Json::Null,
-        };
-        values.insert(attr.name.clone(), v);
-    }
-    Json::obj([
-        ("id", Json::from(t.id.0 as usize)),
-        ("values", Json::Obj(values)),
-    ])
-}
-
-/// The statistics panel (paper Fig. 4): query cost + processing time, plus
-/// the parallelism breakdown behind Fig. 2.
-pub fn stats_to_json(stats: &QueryStats, served: usize) -> Json {
-    Json::obj([
-        ("queries", Json::from(stats.total_queries())),
-        ("rounds", Json::from(stats.num_rounds())),
-        ("parallel_rounds", Json::from(stats.parallel_rounds())),
-        ("parallel_queries", Json::from(stats.parallel_queries())),
-        ("parallel_fraction", Json::Num(stats.parallel_fraction())),
-        (
-            "search_time_ms",
-            Json::Num(stats.search_time.as_secs_f64() * 1e3),
-        ),
-        ("served", Json::from(served)),
-    ])
-}
-
-/// Shared state behind the REST handlers.
+/// Shared state behind the HTTP handlers.
 pub struct ApiState {
     /// Registered sources.
     pub registry: Arc<SourceRegistry>,
     /// Session table.
     pub sessions: Arc<SessionManager>,
+    service: QueryService,
+}
+
+/// Render a service result: `ok_status` + JSON body, or the error envelope.
+fn respond<T: IntoJson>(ok_status: Status, result: Result<T, ApiError>) -> Response {
+    match result {
+        Ok(value) => Response::json(ok_status, &value.to_json()),
+        Err(e) => e.into(),
+    }
 }
 
 impl ApiState {
-    /// `GET /api/sources`
-    pub fn handle_sources(&self) -> Response {
-        let list: Vec<Json> = self.registry.all().iter().map(|s| s.describe()).collect();
+    /// Assemble the handler state.
+    pub fn new(registry: Arc<SourceRegistry>, sessions: Arc<SessionManager>) -> ApiState {
+        let service = QueryService::new(Arc::clone(&registry), Arc::clone(&sessions));
+        ApiState {
+            registry,
+            sessions,
+            service,
+        }
+    }
+
+    /// The application service behind the handlers.
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    // -- /v1 ---------------------------------------------------------------
+
+    /// `GET /v1/sources`
+    pub fn v1_sources(&self) -> Response {
+        let list: Vec<Json> = self
+            .service
+            .sources()
+            .iter()
+            .map(IntoJson::to_json)
+            .collect();
         Response::ok_json(&Json::obj([("sources", Json::Arr(list))]))
     }
 
-    /// `POST /api/query`
-    pub fn handle_query(&self, req: &Request) -> Response {
-        let body = match req.body_str().map(parse_json) {
-            Some(Ok(v)) => v,
-            _ => return Response::error(Status::BadRequest, "body must be JSON"),
-        };
-        let source_name = match body.get("source").and_then(Json::as_str) {
-            Some(s) => s,
-            None => return Response::error(Status::BadRequest, "missing 'source'"),
-        };
-        let Some(source) = self.registry.get(source_name) else {
-            return Response::error(Status::NotFound, &format!("no source '{source_name}'"));
-        };
-        let schema = source.schema().clone();
-
-        let filter = match body.get("filters") {
-            Some(f) => match parse_filter(&schema, f) {
-                Ok(q) => q,
-                Err(e) => return Response::error(Status::BadRequest, &e),
-            },
-            None => SearchQuery::all(),
-        };
-        let ranking = match body.get("ranking") {
-            Some(r) => match parse_ranking_spec(&schema, r) {
-                Ok(f) => f,
-                Err(e) => return Response::error(Status::BadRequest, &e),
-            },
-            None => return Response::error(Status::BadRequest, "missing 'ranking'"),
-        };
-        let algorithm = match parse_algorithm(
-            body.get("algorithm").and_then(Json::as_str).unwrap_or("auto"),
-            &ranking,
-        ) {
-            Ok(a) => a,
-            Err(e) => return Response::error(Status::BadRequest, &e),
-        };
-        if algorithm.is_one_dimensional() {
-            if let RankingFunction::Linear(f) = &ranking {
-                if f.dims() > 1 {
-                    return Response::error(
-                        Status::BadRequest,
-                        "a multi-attribute function needs an MD algorithm",
-                    );
-                }
-            }
-        }
-        let page_size = body
-            .get("page_size")
-            .and_then(Json::as_usize)
-            .unwrap_or(10)
-            .clamp(1, 100);
-
-        let mut session = source.reranker.query(qr2_core::RerankRequest {
-            filter,
-            function: ranking,
-            algorithm,
-        });
-        let page: Vec<Json> = session
-            .next_page(page_size)
-            .iter()
-            .map(|t| tuple_to_json(&schema, t))
-            .collect();
-        let done = page.len() < page_size;
-        let stats = stats_to_json(&session.stats(), session.served());
-        let id = self.sessions.create(session, source_name, page_size);
-        Response::ok_json(&Json::obj([
-            ("session", Json::from(id)),
-            ("algorithm", Json::from(algorithm.paper_name())),
-            ("results", Json::Arr(page)),
-            ("done", Json::Bool(done)),
-            ("stats", stats),
-        ]))
+    /// `GET /v1/algorithms`
+    pub fn v1_algorithms(&self) -> Response {
+        let list: Vec<Json> = algorithm_catalog().iter().map(IntoJson::to_json).collect();
+        Response::ok_json(&Json::obj([("algorithms", Json::Arr(list))]))
     }
 
-    /// `POST /api/getnext`
+    /// `POST /v1/sources/:source/queries` — create a query resource.
+    pub fn v1_create_query(&self, req: &Request, p: &Params) -> Response {
+        let result = (|| {
+            let source = p.require("source")?;
+            let dto: QueryRequest = decode_body(req)?;
+            if let Some(body_source) = &dto.source {
+                if body_source != source {
+                    return Err(ApiError::bad_request(
+                        codes::INVALID_VALUE,
+                        format!("body source '{body_source}' contradicts path source '{source}'"),
+                    )
+                    .with_field("source"));
+                }
+            }
+            self.service.create_query(source, &dto)
+        })();
+        match result {
+            Ok(page) => {
+                let location = format!("/v1/queries/{}", page.query_id);
+                Response::json(Status::Created, &page.to_json()).with_header("Location", location)
+            }
+            Err(e) => e.into(),
+        }
+    }
+
+    /// `GET|POST /v1/queries/:id/next` — the next page. `GET` takes an
+    /// optional `page_size` query parameter; `POST` an optional JSON body.
+    pub fn v1_next(&self, req: &Request, p: &Params) -> Response {
+        let result = (|| {
+            let id = p.require("id")?;
+            let page_size = match req.method {
+                qr2_http::Method::Post if !req.body.is_empty() => {
+                    decode_body::<NextPageRequest>(req)?.page_size
+                }
+                _ => match req.query_param("page_size") {
+                    Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
+                        ApiError::bad_request(
+                            codes::INVALID_PARAMETER,
+                            format!("page_size must be a non-negative integer, got '{raw}'"),
+                        )
+                        .with_field("page_size")
+                    })?),
+                    None => None,
+                },
+            };
+            self.service.next_page(id, page_size)
+        })();
+        respond(Status::Ok, result)
+    }
+
+    /// `GET /v1/queries/:id/stats`
+    pub fn v1_stats(&self, p: &Params) -> Response {
+        respond(
+            Status::Ok,
+            p.require("id").and_then(|id| self.service.stats(id)),
+        )
+    }
+
+    /// `DELETE /v1/queries/:id` — 204 on success.
+    pub fn v1_delete(&self, p: &Params) -> Response {
+        match p.require("id").and_then(|id| self.service.delete(id)) {
+            Ok(()) => Response::no_content(),
+            Err(e) => e.into(),
+        }
+    }
+
+    // -- legacy /api shims (deprecated; see docs/API.md) --------------------
+
+    /// `GET /api/sources`
+    pub fn handle_sources(&self) -> Response {
+        self.v1_sources()
+    }
+
+    /// `POST /api/query` — legacy create; source comes from the body.
+    pub fn handle_query(&self, req: &Request) -> Response {
+        let result = (|| {
+            let dto: QueryRequest = decode_body(req)?;
+            let source = dto.source.clone().ok_or_else(|| {
+                ApiError::bad_request(codes::MISSING_FIELD, "missing required field 'source'")
+                    .with_field("source")
+            })?;
+            self.service.create_query(&source, &dto)
+        })();
+        match result {
+            Ok(page) => Response::ok_json(&page.to_legacy_json()),
+            Err(e) => e.into(),
+        }
+    }
+
+    /// `POST /api/getnext` — legacy get-next; session id comes from the
+    /// body.
     pub fn handle_getnext(&self, req: &Request) -> Response {
-        let body = match req.body_str().map(parse_json) {
-            Some(Ok(v)) => v,
-            _ => return Response::error(Status::BadRequest, "body must be JSON"),
-        };
-        let Some(id) = body.get("session").and_then(Json::as_str) else {
-            return Response::error(Status::BadRequest, "missing 'session'");
-        };
-        let Some(entry) = self.sessions.get(id) else {
-            return Response::error(Status::NotFound, &format!("no session '{id}'"));
-        };
-        let mut entry = entry.lock();
-        let page_size = body
-            .get("page_size")
-            .and_then(Json::as_usize)
-            .unwrap_or(entry.page_size)
-            .clamp(1, 100);
-        let Some(source) = self.registry.get(&entry.source) else {
-            return Response::error(Status::InternalError, "session source vanished");
-        };
-        let schema = source.schema().clone();
-        let page: Vec<Json> = entry
-            .session
-            .next_page(page_size)
-            .iter()
-            .map(|t| tuple_to_json(&schema, t))
-            .collect();
-        entry.done = page.len() < page_size;
-        let stats = stats_to_json(&entry.session.stats(), entry.session.served());
-        Response::ok_json(&Json::obj([
-            ("session", Json::from(id)),
-            ("results", Json::Arr(page)),
-            ("done", Json::Bool(entry.done)),
-            ("stats", stats),
-        ]))
+        let result = (|| {
+            let dto: GetNextRequest = decode_body(req)?;
+            self.service.next_page(&dto.session, dto.page_size)
+        })();
+        match result {
+            Ok(page) => Response::ok_json(&page.to_legacy_json()),
+            Err(e) => e.into(),
+        }
     }
 
     /// `GET /api/session/:id/stats`
-    pub fn handle_stats(&self, id: &str) -> Response {
-        let Some(entry) = self.sessions.get(id) else {
-            return Response::error(Status::NotFound, &format!("no session '{id}'"));
-        };
-        let entry = entry.lock();
-        Response::ok_json(&stats_to_json(
-            &entry.session.stats(),
-            entry.session.served(),
-        ))
+    pub fn handle_stats(&self, p: &Params) -> Response {
+        self.v1_stats(p)
     }
 
-    /// `DELETE /api/session/:id`
-    pub fn handle_delete(&self, id: &str) -> Response {
-        if self.sessions.remove(id) {
-            Response::ok_json(&Json::obj([("deleted", Json::Bool(true))]))
-        } else {
-            Response::error(Status::NotFound, &format!("no session '{id}'"))
+    /// `DELETE /api/session/:id` — legacy delete (200 + body, unlike the
+    /// v1 204).
+    pub fn handle_delete(&self, p: &Params) -> Response {
+        match p.require("id").and_then(|id| self.service.delete(id)) {
+            Ok(()) => Response::ok_json(&Json::obj([("deleted", Json::Bool(true))])),
+            Err(e) => e.into(),
         }
     }
 }
@@ -309,208 +197,319 @@ impl ApiState {
 mod tests {
     use super::*;
     use qr2_core::ExecutorKind;
+    use qr2_http::{parse_json, Method};
     use std::time::Duration;
 
-    fn schema() -> Schema {
-        Schema::builder()
-            .numeric("price", 0.0, 1000.0)
-            .numeric("carat", 0.0, 10.0)
-            .categorical("cut", ["Good", "Ideal"])
-            .build()
-    }
-
-    #[test]
-    fn filter_parsing() {
-        let s = schema();
-        let f = parse_json(
-            r#"[{"attr":"price","min":100,"max":500},{"attr":"cut","values":["Ideal"]}]"#,
+    fn state() -> ApiState {
+        ApiState::new(
+            Arc::new(SourceRegistry::demo(400, 400, ExecutorKind::Sequential)),
+            Arc::new(SessionManager::new(Duration::from_secs(60))),
         )
-        .unwrap();
-        let q = parse_filter(&s, &f).unwrap();
-        assert_eq!(q.num_predicates(), 2);
-        let price = s.expect_id("price");
-        assert_eq!(q.range_of(price), Some(&RangePred::closed(100.0, 500.0)));
     }
 
-    #[test]
-    fn filter_open_ended_defaults_to_domain() {
-        let s = schema();
-        let f = parse_json(r#"[{"attr":"price","min":100}]"#).unwrap();
-        let q = parse_filter(&s, &f).unwrap();
-        let price = s.expect_id("price");
-        assert_eq!(q.range_of(price), Some(&RangePred::closed(100.0, 1000.0)));
-    }
-
-    #[test]
-    fn filter_errors() {
-        let s = schema();
-        for bad in [
-            r#"[{"attr":"nope"}]"#,
-            r#"[{"attr":"price","min":5,"max":1}]"#,
-            r#"[{"attr":"cut"}]"#,
-            r#"[{"attr":"cut","values":["Nope"]}]"#,
-            r#"{"attr":"price"}"#,
-        ] {
-            let f = parse_json(bad).unwrap();
-            assert!(parse_filter(&s, &f).is_err(), "{bad} must fail");
+    fn params(pairs: &[(&str, &str)]) -> Params {
+        // Round-trip through the router to build Params the normal way.
+        let mut p = String::from("/x");
+        let mut pattern = String::from("/x");
+        for (k, v) in pairs {
+            pattern.push_str(&format!("/:{k}"));
+            p.push_str(&format!("/{v}"));
         }
+        let out = std::sync::Arc::new(std::sync::Mutex::new(None));
+        let out2 = out.clone();
+        let router = qr2_http::Router::new().route(Method::Get, &pattern, move |_, p| {
+            *out2.lock().unwrap() = Some(p.clone());
+            Response::no_content()
+        });
+        router.dispatch(&Request::test(Method::Get, &p, Vec::new()));
+        let got = out.lock().unwrap().take().unwrap();
+        got
+    }
+
+    fn body_json(resp: &Response) -> Json {
+        parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap()
     }
 
     #[test]
-    fn ranking_parsing_1d_and_md() {
-        let s = schema();
-        let r = parse_json(r#"{"type":"1d","attr":"price","dir":"desc"}"#).unwrap();
-        match parse_ranking_spec(&s, &r).unwrap() {
-            RankingFunction::OneDim(f) => assert_eq!(f.dir, SortDir::Desc),
-            _ => panic!("expected 1d"),
-        }
-        let r = parse_json(r#"{"type":"md","weights":{"price":1.0,"carat":-0.5}}"#).unwrap();
-        match parse_ranking_spec(&s, &r).unwrap() {
-            RankingFunction::Linear(f) => assert_eq!(f.dims(), 2),
-            _ => panic!("expected md"),
-        }
-    }
-
-    #[test]
-    fn ranking_errors() {
-        let s = schema();
-        for bad in [
-            r#"{"type":"1d","attr":"cut"}"#,
-            r#"{"type":"1d"}"#,
-            r#"{"type":"md","weights":{"price":2.0}}"#,
-            r#"{"type":"md"}"#,
-            r#"{"type":"zzz"}"#,
-            r#"{"type":"1d","attr":"price","dir":"sideways"}"#,
-        ] {
-            let r = parse_json(bad).unwrap();
-            assert!(parse_ranking_spec(&s, &r).is_err(), "{bad} must fail");
-        }
-    }
-
-    #[test]
-    fn algorithm_parsing_auto() {
-        let s = schema();
-        let oned: RankingFunction =
-            OneDimFunction::asc(s.expect_id("price")).into();
-        assert_eq!(
-            parse_algorithm("auto", &oned).unwrap(),
-            Algorithm::OneDRerank
+    fn v1_create_sets_location_and_201() {
+        let st = state();
+        let req = Request::test(
+            Method::Post,
+            "/v1/sources/bluenile/queries",
+            br#"{"ranking":{"type":"md","weights":{"price":1.0,"carat":-0.5}},"page_size":5}"#
+                .to_vec(),
         );
-        let md: RankingFunction =
-            LinearFunction::from_names(&s, &[("price", 1.0), ("carat", -0.5)])
+        let resp = st.v1_create_query(&req, &params(&[("source", "bluenile")]));
+        assert_eq!(resp.status, Status::Created);
+        let v = body_json(&resp);
+        let id = v.get("query_id").unwrap().as_str().unwrap();
+        assert_eq!(
+            resp.header("Location"),
+            Some(format!("/v1/queries/{id}").as_str())
+        );
+        assert_eq!(v.get("results").unwrap().as_arr().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn v1_create_rejects_contradicting_body_source() {
+        let st = state();
+        let req = Request::test(
+            Method::Post,
+            "/v1/sources/bluenile/queries",
+            br#"{"source":"zillow","ranking":{"type":"1d","attr":"price"}}"#.to_vec(),
+        );
+        let resp = st.v1_create_query(&req, &params(&[("source", "bluenile")]));
+        assert_eq!(resp.status, Status::BadRequest);
+        let v = body_json(&resp);
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(codes::INVALID_VALUE)
+        );
+    }
+
+    #[test]
+    fn v1_next_get_and_post_variants() {
+        let st = state();
+        let req = Request::test(
+            Method::Post,
+            "/v1/sources/zillow/queries",
+            br#"{"ranking":{"type":"1d","attr":"price"},"page_size":4}"#.to_vec(),
+        );
+        let resp = st.v1_create_query(&req, &params(&[("source", "zillow")]));
+        let id = body_json(&resp)
+            .get("query_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        // GET with a query param.
+        let mut get = Request::test(Method::Get, &format!("/v1/queries/{id}/next"), Vec::new());
+        get.query.insert("page_size".into(), "2".into());
+        let resp = st.v1_next(&get, &params(&[("id", &id)]));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(
+            body_json(&resp)
+                .get("results")
                 .unwrap()
-                .into();
-        assert_eq!(parse_algorithm("auto", &md).unwrap(), Algorithm::MdRerank);
-        assert_eq!(
-            parse_algorithm("md-ta", &md).unwrap(),
-            Algorithm::MdTa
+                .as_arr()
+                .unwrap()
+                .len(),
+            2
         );
-        assert!(parse_algorithm("quantum", &md).is_err());
+
+        // POST with a body.
+        let post = Request::test(
+            Method::Post,
+            &format!("/v1/queries/{id}/next"),
+            br#"{"page_size":3}"#.to_vec(),
+        );
+        let resp = st.v1_next(&post, &params(&[("id", &id)]));
+        assert_eq!(
+            body_json(&resp)
+                .get("results")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            3
+        );
+
+        // POST with no body falls back to the session page size.
+        let post = Request::test(Method::Post, &format!("/v1/queries/{id}/next"), Vec::new());
+        let resp = st.v1_next(&post, &params(&[("id", &id)]));
+        assert_eq!(
+            body_json(&resp)
+                .get("results")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            4
+        );
+
+        // Bad query param is a structured 400.
+        let mut get = Request::test(Method::Get, &format!("/v1/queries/{id}/next"), Vec::new());
+        get.query.insert("page_size".into(), "lots".into());
+        let resp = st.v1_next(&get, &params(&[("id", &id)]));
+        assert_eq!(resp.status, Status::BadRequest);
+        assert_eq!(
+            body_json(&resp)
+                .get("error")
+                .unwrap()
+                .get("code")
+                .unwrap()
+                .as_str(),
+            Some(codes::INVALID_PARAMETER)
+        );
     }
 
     #[test]
-    fn end_to_end_query_and_getnext() {
-        let state = ApiState {
-            registry: Arc::new(SourceRegistry::demo(
-                400,
-                400,
-                ExecutorKind::Sequential,
-            )),
-            sessions: Arc::new(SessionManager::new(Duration::from_secs(60))),
-        };
-        let body = r#"{
-            "source": "bluenile",
-            "filters": [{"attr":"carat","min":0.5}],
-            "ranking": {"type":"md","weights":{"price":1.0,"carat":-0.5}},
-            "algorithm": "md-rerank",
-            "page_size": 5
-        }"#;
-        let req = Request {
-            method: qr2_http::Method::Post,
-            path: "/api/query".into(),
-            query: Default::default(),
-            headers: Default::default(),
-            body: body.as_bytes().to_vec(),
-        };
-        let resp = state.handle_query(&req);
-        assert_eq!(resp.status.code(), 200, "{:?}", String::from_utf8_lossy(&resp.body));
-        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    fn v1_delete_is_204_then_404() {
+        let st = state();
+        let req = Request::test(
+            Method::Post,
+            "/v1/sources/zillow/queries",
+            br#"{"ranking":{"type":"1d","attr":"price"},"page_size":1}"#.to_vec(),
+        );
+        let resp = st.v1_create_query(&req, &params(&[("source", "zillow")]));
+        let id = body_json(&resp)
+            .get("query_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let resp = st.v1_delete(&params(&[("id", &id)]));
+        assert_eq!(resp.status, Status::NoContent);
+        assert!(resp.body.is_empty());
+        let resp = st.v1_delete(&params(&[("id", &id)]));
+        assert_eq!(resp.status, Status::NotFound);
+        assert_eq!(
+            body_json(&resp)
+                .get("error")
+                .unwrap()
+                .get("code")
+                .unwrap()
+                .as_str(),
+            Some(codes::UNKNOWN_QUERY)
+        );
+    }
+
+    #[test]
+    fn v1_algorithms_lists_catalog() {
+        let st = state();
+        let resp = st.v1_algorithms();
+        let v = body_json(&resp);
+        let algos = v.get("algorithms").unwrap().as_arr().unwrap();
+        assert_eq!(algos.len(), 7);
+        assert!(algos
+            .iter()
+            .any(|a| a.get("name").unwrap().as_str() == Some("md-ta")));
+    }
+
+    #[test]
+    fn legacy_query_and_getnext_flow() {
+        let st = state();
+        let req = Request::test(
+            Method::Post,
+            "/api/query",
+            br#"{
+                "source": "bluenile",
+                "filters": [{"attr":"carat","min":0.5}],
+                "ranking": {"type":"md","weights":{"price":1.0,"carat":-0.5}},
+                "algorithm": "md-rerank",
+                "page_size": 5
+            }"#
+            .to_vec(),
+        );
+        let resp = st.handle_query(&req);
+        assert_eq!(
+            resp.status.code(),
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let v = body_json(&resp);
         let sid = v.get("session").unwrap().as_str().unwrap().to_string();
         assert_eq!(v.get("results").unwrap().as_arr().unwrap().len(), 5);
-        assert!(v.get("stats").unwrap().get("queries").unwrap().as_usize().unwrap() > 0);
+        assert!(
+            v.get("stats")
+                .unwrap()
+                .get("queries")
+                .unwrap()
+                .as_usize()
+                .unwrap()
+                > 0
+        );
 
-        // get-next continues the same session.
-        let body = format!(r#"{{"session":"{sid}"}}"#);
-        let req = Request {
-            method: qr2_http::Method::Post,
-            path: "/api/getnext".into(),
-            query: Default::default(),
-            headers: Default::default(),
-            body: body.into_bytes(),
-        };
-        let resp = state.handle_getnext(&req);
+        let req = Request::test(
+            Method::Post,
+            "/api/getnext",
+            format!(r#"{{"session":"{sid}"}}"#).into_bytes(),
+        );
+        let resp = st.handle_getnext(&req);
         assert_eq!(resp.status.code(), 200);
-        let v2 = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-        let first_ids: Vec<usize> = v.get("results").unwrap().as_arr().unwrap()
-            .iter().map(|t| t.get("id").unwrap().as_usize().unwrap()).collect();
-        let next_ids: Vec<usize> = v2.get("results").unwrap().as_arr().unwrap()
-            .iter().map(|t| t.get("id").unwrap().as_usize().unwrap()).collect();
-        assert!(first_ids.iter().all(|id| !next_ids.contains(id)), "pages must not overlap");
+        let v2 = body_json(&resp);
+        let first: Vec<usize> = v
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|t| t.get("id").unwrap().as_usize().unwrap())
+            .collect();
+        let next: Vec<usize> = v2
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|t| t.get("id").unwrap().as_usize().unwrap())
+            .collect();
+        assert!(
+            first.iter().all(|id| !next.contains(id)),
+            "pages must not overlap"
+        );
 
-        // Stats endpoint.
-        let resp = state.handle_stats(&sid);
-        assert_eq!(resp.status.code(), 200);
-        // Delete.
-        assert_eq!(state.handle_delete(&sid).status.code(), 200);
-        assert_eq!(state.handle_delete(&sid).status.code(), 404);
+        assert_eq!(st.handle_stats(&params(&[("id", &sid)])).status.code(), 200);
+        assert_eq!(
+            st.handle_delete(&params(&[("id", &sid)])).status.code(),
+            200
+        );
+        assert_eq!(
+            st.handle_delete(&params(&[("id", &sid)])).status.code(),
+            404
+        );
     }
 
     #[test]
-    fn query_error_paths() {
-        let state = ApiState {
-            registry: Arc::new(SourceRegistry::demo(50, 50, ExecutorKind::Sequential)),
-            sessions: Arc::new(SessionManager::new(Duration::from_secs(60))),
-        };
-        let make = |body: &str| Request {
-            method: qr2_http::Method::Post,
-            path: "/api/query".into(),
-            query: Default::default(),
-            headers: Default::default(),
-            body: body.as_bytes().to_vec(),
-        };
-        assert_eq!(state.handle_query(&make("not json")).status.code(), 400);
-        assert_eq!(state.handle_query(&make("{}")).status.code(), 400);
-        assert_eq!(
-            state
-                .handle_query(&make(r#"{"source":"nope","ranking":{"type":"1d","attr":"x"}}"#))
-                .status
-                .code(),
-            404
-        );
-        assert_eq!(
-            state
-                .handle_query(&make(
-                    r#"{"source":"zillow","ranking":{"type":"1d","attr":"bogus"}}"#
-                ))
-                .status
-                .code(),
-            400
-        );
-        assert_eq!(
-            state
-                .handle_query(&make(
-                    r#"{"source":"zillow","ranking":{"type":"md","weights":{"price":1.0,"sqft":0.5}},"algorithm":"1d-binary"}"#
-                ))
-                .status
-                .code(),
-            400
-        );
+    fn legacy_error_paths_render_envelope() {
+        let st = state();
+        let make = |body: &str| Request::test(Method::Post, "/api/query", body.as_bytes().to_vec());
+        for (body, status, code) in [
+            ("not json", 400, codes::INVALID_JSON),
+            ("{}", 400, codes::MISSING_FIELD),
+            (
+                r#"{"ranking":{"type":"1d","attr":"x"}}"#,
+                400,
+                codes::MISSING_FIELD,
+            ),
+            (
+                r#"{"source":"nope","ranking":{"type":"1d","attr":"x"}}"#,
+                404,
+                codes::UNKNOWN_SOURCE,
+            ),
+            (
+                r#"{"source":"zillow","ranking":{"type":"1d","attr":"bogus"}}"#,
+                400,
+                codes::UNKNOWN_ATTRIBUTE,
+            ),
+            (
+                r#"{"source":"zillow","ranking":{"type":"md","weights":{"price":1.0,"sqft":0.5}},"algorithm":"1d-binary"}"#,
+                400,
+                codes::ALGORITHM_MISMATCH,
+            ),
+        ] {
+            let resp = st.handle_query(&make(body));
+            assert_eq!(resp.status.code(), status, "{body}");
+            let v = body_json(&resp);
+            assert_eq!(
+                v.get("error").unwrap().get("code").unwrap().as_str(),
+                Some(code),
+                "{body}"
+            );
+        }
     }
 
     #[test]
     fn tuple_serialization_labels_categoricals() {
-        let s = schema();
-        let t = Tuple::new(
+        use crate::dto::TupleDto;
+        let schema = qr2_webdb::Schema::builder()
+            .numeric("price", 0.0, 1000.0)
+            .numeric("carat", 0.0, 10.0)
+            .categorical("cut", ["Good", "Ideal"])
+            .build();
+        let t = qr2_webdb::Tuple::new(
             qr2_webdb::TupleId(3),
             vec![
                 qr2_webdb::Value::Num(250.0),
@@ -518,7 +517,7 @@ mod tests {
                 qr2_webdb::Value::Cat(1),
             ],
         );
-        let j = tuple_to_json(&s, &t);
+        let j = TupleDto::new(&schema, &t).to_json();
         assert_eq!(j.get("id").unwrap().as_usize(), Some(3));
         let values = j.get("values").unwrap();
         assert_eq!(values.get("cut").unwrap().as_str(), Some("Ideal"));

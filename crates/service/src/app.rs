@@ -1,9 +1,13 @@
-//! Service assembly: sources + sessions + router + boot procedure.
+//! Service assembly: sources + sessions + router + middleware + boot
+//! procedure.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use qr2_http::{HttpServer, Json, Method, Response, Router};
+use qr2_http::{
+    AccessLog, CatchPanic, HttpServer, Json, Method, RequestId, RequireJsonBody, Response, Router,
+    Stack,
+};
 use qr2_store::VerifyReport;
 
 use crate::api::ApiState;
@@ -21,20 +25,20 @@ impl Qr2App {
     /// 15 minutes.
     pub fn new(registry: SourceRegistry) -> Self {
         Qr2App {
-            state: Arc::new(ApiState {
-                registry: Arc::new(registry),
-                sessions: Arc::new(SessionManager::new(Duration::from_secs(15 * 60))),
-            }),
+            state: Arc::new(ApiState::new(
+                Arc::new(registry),
+                Arc::new(SessionManager::new(Duration::from_secs(15 * 60))),
+            )),
         }
     }
 
     /// Override the session TTL.
     pub fn with_session_ttl(self, ttl: Duration) -> Self {
         Qr2App {
-            state: Arc::new(ApiState {
-                registry: self.state.registry.clone(),
-                sessions: Arc::new(SessionManager::new(ttl)),
-            }),
+            state: Arc::new(ApiState::new(
+                self.state.registry.clone(),
+                Arc::new(SessionManager::new(ttl)),
+            )),
         }
     }
 
@@ -62,30 +66,65 @@ impl Qr2App {
             .collect()
     }
 
-    /// Build the HTTP router.
+    /// Build the HTTP route table: the `/v1` resource API, the deprecated
+    /// legacy `/api` shims, the embedded UI, and health.
     pub fn router(&self) -> Router {
-        let st = |s: &Arc<ApiState>| Arc::clone(s);
-        let s1 = st(&self.state);
-        let s2 = st(&self.state);
-        let s3 = st(&self.state);
-        let s4 = st(&self.state);
-        let s5 = st(&self.state);
+        let st = |_: ()| Arc::clone(&self.state);
+        let (s1, s2, s3, s4, s5, s6) = (st(()), st(()), st(()), st(()), st(()), st(()));
+        let (l1, l2, l3, l4, l5) = (st(()), st(()), st(()), st(()), st(()));
         Router::new()
             .route(Method::Get, "/", |_, _| Response::html(INDEX_HTML))
-            .route(Method::Get, "/api/sources", move |_, _| s1.handle_sources())
-            .route(Method::Post, "/api/query", move |req, _| s2.handle_query(req))
-            .route(Method::Post, "/api/getnext", move |req, _| {
-                s3.handle_getnext(req)
-            })
-            .route(Method::Get, "/api/session/:id/stats", move |_, p| {
-                s4.handle_stats(p.get("id").unwrap_or(""))
-            })
-            .route(Method::Delete, "/api/session/:id", move |_, p| {
-                s5.handle_delete(p.get("id").unwrap_or(""))
-            })
             .route(Method::Get, "/api/health", |_, _| {
                 Response::ok_json(&Json::obj([("status", Json::from("ok"))]))
             })
+            // -- /v1: the versioned resource API.
+            .route(Method::Get, "/v1/sources", move |_, _| s1.v1_sources())
+            .route(Method::Get, "/v1/algorithms", move |_, _| {
+                s2.v1_algorithms()
+            })
+            .route(
+                Method::Post,
+                "/v1/sources/:source/queries",
+                move |req, p| s3.v1_create_query(req, p),
+            )
+            .route(Method::Get, "/v1/queries/:id/next", {
+                let s4 = Arc::clone(&s4);
+                move |req, p| s4.v1_next(req, p)
+            })
+            .route(Method::Post, "/v1/queries/:id/next", move |req, p| {
+                s4.v1_next(req, p)
+            })
+            .route(Method::Get, "/v1/queries/:id/stats", move |_, p| {
+                s5.v1_stats(p)
+            })
+            .route(Method::Delete, "/v1/queries/:id", move |_, p| {
+                s6.v1_delete(p)
+            })
+            // -- Legacy RPC-style shims (deprecated; see docs/API.md).
+            .route(Method::Get, "/api/sources", move |_, _| l1.handle_sources())
+            .route(Method::Post, "/api/query", move |req, _| {
+                l2.handle_query(req)
+            })
+            .route(Method::Post, "/api/getnext", move |req, _| {
+                l3.handle_getnext(req)
+            })
+            .route(Method::Get, "/api/session/:id/stats", move |_, p| {
+                l4.handle_stats(p)
+            })
+            .route(Method::Delete, "/api/session/:id", move |_, p| {
+                l5.handle_delete(p)
+            })
+    }
+
+    /// The full request pipeline: access logging (outermost, sees the final
+    /// response), request-id injection, panic recovery, content-type
+    /// enforcement, then the router.
+    pub fn handler(&self) -> Stack {
+        Stack::new(self.router())
+            .layer(AccessLog::stderr_if_env())
+            .layer(RequestId::new())
+            .layer(CatchPanic)
+            .layer(RequireJsonBody)
     }
 
     /// Verify caches, then serve on `addr` with `workers` threads.
@@ -106,7 +145,7 @@ impl Qr2App {
                 }
             })
             .expect("spawn janitor");
-        HttpServer::start(addr, self.router(), workers)
+        HttpServer::start(addr, self.handler(), workers)
     }
 }
 
@@ -145,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn full_http_round_trip() {
+    fn full_http_round_trip_legacy_surface() {
         let server = app().serve("127.0.0.1:0", 2).unwrap();
         let addr = server.addr();
 
@@ -196,11 +235,108 @@ mod tests {
         assert_eq!(v.get("results").unwrap().as_arr().unwrap().len(), 4);
 
         // Delete session.
+        let resp = http(addr, &format!("DELETE /api/session/{sid} HTTP/1.1\r\n\r\n"));
+        assert!(resp.starts_with("HTTP/1.1 200"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn full_http_round_trip_v1_surface() {
+        let server = app().serve("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+
+        // Sources + algorithms.
+        let resp = http(addr, "GET /v1/sources HTTP/1.1\r\n\r\n");
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert_eq!(v.get("sources").unwrap().as_arr().unwrap().len(), 2);
+        let resp = http(addr, "GET /v1/algorithms HTTP/1.1\r\n\r\n");
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert_eq!(v.get("algorithms").unwrap().as_arr().unwrap().len(), 7);
+
+        // Create under the source resource: 201 + Location.
+        let body = r#"{"ranking":{"type":"1d","attr":"price","dir":"asc"},"page_size":3}"#;
+        let raw = format!(
+            "POST /v1/sources/zillow/queries HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = http(addr, &raw);
+        assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
+        let v = parse_json(body_of(&resp)).unwrap();
+        let id = v.get("query_id").unwrap().as_str().unwrap().to_string();
+        assert!(
+            resp.contains(&format!("Location: /v1/queries/{id}")),
+            "{resp}"
+        );
+        // Responses carry a request id.
+        assert!(
+            resp.to_ascii_lowercase().contains("x-request-id:"),
+            "{resp}"
+        );
+
+        // GET next with a page-size query param.
         let resp = http(
             addr,
-            &format!("DELETE /api/session/{sid} HTTP/1.1\r\n\r\n"),
+            &format!("GET /v1/queries/{id}/next?page_size=2 HTTP/1.1\r\n\r\n"),
+        );
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert_eq!(v.get("results").unwrap().as_arr().unwrap().len(), 2);
+
+        // Stats, then delete (204), then stats is a structured 404.
+        let resp = http(
+            addr,
+            &format!("GET /v1/queries/{id}/stats HTTP/1.1\r\n\r\n"),
         );
         assert!(resp.starts_with("HTTP/1.1 200"));
+        let resp = http(addr, &format!("DELETE /v1/queries/{id} HTTP/1.1\r\n\r\n"));
+        assert!(resp.starts_with("HTTP/1.1 204"), "{resp}");
+        let resp = http(
+            addr,
+            &format!("GET /v1/queries/{id}/stats HTTP/1.1\r\n\r\n"),
+        );
+        assert!(resp.starts_with("HTTP/1.1 404"));
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("unknown_query")
+        );
+
+        server.stop();
+    }
+
+    #[test]
+    fn middleware_chain_is_active_over_tcp() {
+        let server = app().serve("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+
+        // Wrong content type → structured 415.
+        let body = r#"{"source":"zillow"}"#;
+        let raw = format!(
+            "POST /api/query HTTP/1.1\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = http(addr, &raw);
+        assert!(resp.starts_with("HTTP/1.1 415"), "{resp}");
+        assert!(resp.contains("unsupported_media_type"), "{resp}");
+
+        // 405 carries Allow.
+        let resp = http(addr, "DELETE /v1/sources HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        assert!(resp.contains("Allow: GET, HEAD"), "{resp}");
+
+        // HEAD works on GET routes with an empty body.
+        let resp = http(addr, "HEAD /api/health HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert_eq!(body_of(&resp), "");
+
+        // Client-supplied request ids are echoed.
+        let resp = http(
+            addr,
+            "GET /api/health HTTP/1.1\r\nX-Request-Id: trace-1\r\n\r\n",
+        );
+        assert!(resp.contains("x-request-id: trace-1"), "{resp}");
 
         server.stop();
     }

@@ -40,10 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut take = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => args.addr = take("--addr")?,
             "--diamonds" => {
@@ -117,8 +114,7 @@ fn main() {
         eprintln!("note: --latency-ms is advisory; demo sources run without artificial latency");
     }
     let registry = SourceRegistry::demo(args.diamonds, args.homes, executor);
-    let app = Qr2App::new(registry)
-        .with_session_ttl(Duration::from_secs(args.session_ttl_secs));
+    let app = Qr2App::new(registry).with_session_ttl(Duration::from_secs(args.session_ttl_secs));
     for (source, report) in app.verify_caches() {
         eprintln!(
             "  cache [{}]: {} checked, {} dropped",
@@ -132,7 +128,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    eprintln!("QR2 listening on http://{}/  (Ctrl-C to stop)", server.addr());
+    eprintln!(
+        "QR2 listening on http://{}/  (Ctrl-C to stop)",
+        server.addr()
+    );
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }

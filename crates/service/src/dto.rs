@@ -1,0 +1,609 @@
+//! Request/response DTOs for the QR2 API.
+//!
+//! All request decoding goes through [`qr2_http::FromJson`] impls here —
+//! no handler parses a JSON field inline. Decoding validates *structure*
+//! (types, required fields, value domains that don't need a schema) and
+//! reports failures as path-anchored [`ApiError`]s; schema-dependent
+//! validation (attribute names, categorical labels) happens in
+//! [`crate::QueryService`], which reconstructs the same field paths from
+//! the indices stored on the DTOs.
+
+use std::collections::BTreeMap;
+
+use qr2_core::{Algorithm, QueryStats};
+use qr2_http::{ApiError, Decode, FromJson, IntoJson, Json};
+use qr2_webdb::{AttrKind, Schema, Tuple};
+
+use crate::error::codes;
+use crate::sources::Source;
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One entry of the `filters` array. `index` is the position in the array,
+/// kept so schema-validation errors can point at `filters[i].attr`.
+#[derive(Debug, Clone)]
+pub struct FilterDto {
+    /// Position in the request's `filters` array.
+    pub index: usize,
+    /// Attribute name (validated against the schema by the service).
+    pub attr: String,
+    /// Numeric lower bound (defaults to the attribute domain).
+    pub min: Option<f64>,
+    /// Numeric upper bound (defaults to the attribute domain).
+    pub max: Option<f64>,
+    /// Categorical labels (present ⇒ categorical filter).
+    pub values: Option<Vec<String>>,
+}
+
+impl FilterDto {
+    fn decode(d: &Decode, index: usize) -> Result<FilterDto, ApiError> {
+        let attr = d.field("attr")?.str()?.to_string();
+        let values = match d.opt("values") {
+            Some(v) => Some(
+                v.arr()?
+                    .iter()
+                    .map(|item| item.str().map(str::to_string))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            None => None,
+        };
+        Ok(FilterDto {
+            index,
+            attr,
+            min: d.opt("min").map(|v| v.f64()).transpose()?,
+            max: d.opt("max").map(|v| v.f64()).transpose()?,
+            values,
+        })
+    }
+
+    /// The field path of this filter's `attr` in the request body.
+    pub fn attr_path(&self) -> String {
+        format!("filters[{}].attr", self.index)
+    }
+
+    /// The field path of this filter entry.
+    pub fn path(&self) -> String {
+        format!("filters[{}]", self.index)
+    }
+}
+
+/// The `ranking` object: a single-attribute sort or a weighted linear
+/// function over the sliders.
+#[derive(Debug, Clone)]
+pub enum RankingDto {
+    /// `{"type":"1d","attr":"price","dir":"asc"}`
+    OneDim {
+        /// Attribute name (validated against the schema by the service).
+        attr: String,
+        /// Ascending when true (`dir` defaults to `"asc"`).
+        ascending: bool,
+    },
+    /// `{"type":"md","weights":{"price":1.0,"carat":-0.5}}`
+    Md {
+        /// `(attribute, weight)` pairs; weights already checked against the
+        /// slider domain `[-1, 1]`.
+        weights: Vec<(String, f64)>,
+    },
+}
+
+impl FromJson for RankingDto {
+    fn from_json(d: &Decode) -> Result<RankingDto, ApiError> {
+        match d.field("type")?.str()? {
+            "1d" => {
+                let attr = d.field("attr")?.str()?.to_string();
+                let dir = d.opt("dir");
+                let ascending = match dir.as_ref().map(|v| v.str()).transpose()? {
+                    None | Some("asc") => true,
+                    Some("desc") => false,
+                    Some(other) => {
+                        return Err(dir.unwrap().error(
+                            codes::INVALID_VALUE,
+                            format!("direction must be 'asc' or 'desc', got '{other}'"),
+                        ))
+                    }
+                };
+                Ok(RankingDto::OneDim { attr, ascending })
+            }
+            "md" => {
+                let weights_d = d.field("weights")?;
+                let mut weights = Vec::new();
+                for (name, w) in weights_d.entries()? {
+                    let value = w.f64()?;
+                    if !(-1.0..=1.0).contains(&value) {
+                        return Err(w.error(
+                            codes::INVALID_WEIGHT,
+                            format!("weight for '{name}' must be a slider value in [-1, 1]"),
+                        ));
+                    }
+                    weights.push((name.to_string(), value));
+                }
+                Ok(RankingDto::Md { weights })
+            }
+            other => Err(d.field("type")?.error(
+                codes::INVALID_VALUE,
+                format!("ranking 'type' must be '1d' or 'md', got '{other}'"),
+            )),
+        }
+    }
+}
+
+/// `POST /v1/sources/:source/queries` (and legacy `POST /api/query`) body.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Source name from the body (legacy surface only; `/v1` takes it from
+    /// the path).
+    pub source: Option<String>,
+    /// Conjunctive filter predicates.
+    pub filters: Vec<FilterDto>,
+    /// Ranking preference (required).
+    pub ranking: RankingDto,
+    /// Algorithm name, `"auto"` when omitted.
+    pub algorithm: String,
+    /// Requested page size (service clamps to `1..=100`).
+    pub page_size: Option<usize>,
+}
+
+impl FromJson for QueryRequest {
+    fn from_json(d: &Decode) -> Result<QueryRequest, ApiError> {
+        let filters = match d.opt("filters") {
+            Some(f) => f
+                .arr()?
+                .iter()
+                .enumerate()
+                .map(|(i, item)| FilterDto::decode(item, i))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(QueryRequest {
+            source: d
+                .opt("source")
+                .map(|v| v.str().map(str::to_string))
+                .transpose()?,
+            filters,
+            ranking: RankingDto::from_json(&d.field("ranking")?)?,
+            algorithm: d
+                .opt("algorithm")
+                .map(|v| v.str().map(str::to_string))
+                .transpose()?
+                .unwrap_or_else(|| "auto".to_string()),
+            page_size: d.opt("page_size").map(|v| v.usize()).transpose()?,
+        })
+    }
+}
+
+/// `POST /v1/queries/:id/next` body (everything optional; `GET` variant
+/// uses the `page_size` query parameter instead).
+#[derive(Debug, Clone, Default)]
+pub struct NextPageRequest {
+    /// Override the session's page size for this page.
+    pub page_size: Option<usize>,
+}
+
+impl FromJson for NextPageRequest {
+    fn from_json(d: &Decode) -> Result<NextPageRequest, ApiError> {
+        Ok(NextPageRequest {
+            page_size: d.opt("page_size").map(|v| v.usize()).transpose()?,
+        })
+    }
+}
+
+/// Legacy `POST /api/getnext` body (the session id travels in the body on
+/// the RPC surface).
+#[derive(Debug, Clone)]
+pub struct GetNextRequest {
+    /// Session id (the v1 query id).
+    pub session: String,
+    /// Override the session's page size for this page.
+    pub page_size: Option<usize>,
+}
+
+impl FromJson for GetNextRequest {
+    fn from_json(d: &Decode) -> Result<GetNextRequest, ApiError> {
+        Ok(GetNextRequest {
+            session: d.field("session")?.str()?.to_string(),
+            page_size: d.opt("page_size").map(|v| v.usize()).transpose()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One result tuple with schema-labelled values.
+#[derive(Debug, Clone)]
+pub struct TupleDto {
+    /// Stable tuple id within the source.
+    pub id: usize,
+    /// Attribute name → value (numbers as numbers, categoricals as their
+    /// labels).
+    pub values: BTreeMap<String, Json>,
+}
+
+impl TupleDto {
+    /// Label a raw tuple against its schema.
+    pub fn new(schema: &Schema, t: &Tuple) -> TupleDto {
+        let mut values = BTreeMap::new();
+        for (id, attr) in schema.iter() {
+            let v = match (&attr.kind, t.value(id)) {
+                (AttrKind::Numeric { .. }, qr2_webdb::Value::Num(x)) => Json::Num(x),
+                (AttrKind::Categorical { labels }, qr2_webdb::Value::Cat(c)) => {
+                    Json::from(labels[c as usize].as_str())
+                }
+                _ => Json::Null,
+            };
+            values.insert(attr.name.clone(), v);
+        }
+        TupleDto {
+            id: t.id.0 as usize,
+            values,
+        }
+    }
+}
+
+impl IntoJson for TupleDto {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id)),
+            ("values", Json::Obj(self.values.clone())),
+        ])
+    }
+}
+
+/// The statistics panel (paper Fig. 4): query cost + processing time, plus
+/// the parallelism breakdown behind Fig. 2.
+#[derive(Debug, Clone)]
+pub struct StatsResponse {
+    /// Total top-k queries issued to the source.
+    pub queries: usize,
+    /// Get-next rounds executed.
+    pub rounds: usize,
+    /// Rounds that ran queries in parallel.
+    pub parallel_rounds: usize,
+    /// Queries that ran inside parallel rounds.
+    pub parallel_queries: usize,
+    /// Fraction of queries parallelized.
+    pub parallel_fraction: f64,
+    /// Wall-clock search time in milliseconds.
+    pub search_time_ms: f64,
+    /// Tuples served to the user so far.
+    pub served: usize,
+}
+
+impl StatsResponse {
+    /// Snapshot the engine's stats ledger.
+    pub fn new(stats: &QueryStats, served: usize) -> StatsResponse {
+        StatsResponse {
+            queries: stats.total_queries(),
+            rounds: stats.num_rounds(),
+            parallel_rounds: stats.parallel_rounds(),
+            parallel_queries: stats.parallel_queries(),
+            parallel_fraction: stats.parallel_fraction(),
+            search_time_ms: stats.search_time.as_secs_f64() * 1e3,
+            served,
+        }
+    }
+}
+
+impl IntoJson for StatsResponse {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("queries", Json::from(self.queries)),
+            ("rounds", Json::from(self.rounds)),
+            ("parallel_rounds", Json::from(self.parallel_rounds)),
+            ("parallel_queries", Json::from(self.parallel_queries)),
+            ("parallel_fraction", Json::Num(self.parallel_fraction)),
+            ("search_time_ms", Json::Num(self.search_time_ms)),
+            ("served", Json::from(self.served)),
+        ])
+    }
+}
+
+/// One page of reranked results (the create and get-next response).
+#[derive(Debug, Clone)]
+pub struct PageResponse {
+    /// The query resource id (legacy surface calls it the session).
+    pub query_id: String,
+    /// Paper name of the algorithm serving the query (`"MD-RERANK"`);
+    /// reported on creation.
+    pub algorithm: Option<&'static str>,
+    /// The page of tuples.
+    pub results: Vec<TupleDto>,
+    /// True when the stream is exhausted.
+    pub done: bool,
+    /// Cumulative statistics.
+    pub stats: StatsResponse,
+}
+
+impl PageResponse {
+    /// The legacy `/api` rendering (`"session"` key, same payload).
+    pub fn to_legacy_json(&self) -> Json {
+        let mut fields = vec![("session", Json::from(self.query_id.as_str()))];
+        if let Some(a) = self.algorithm {
+            fields.push(("algorithm", Json::from(a)));
+        }
+        fields.extend(self.page_fields());
+        Json::obj(fields)
+    }
+
+    fn page_fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            (
+                "results",
+                Json::Arr(self.results.iter().map(IntoJson::to_json).collect()),
+            ),
+            ("done", Json::Bool(self.done)),
+            ("stats", self.stats.to_json()),
+        ]
+    }
+}
+
+impl IntoJson for PageResponse {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("query_id", Json::from(self.query_id.as_str()))];
+        if let Some(a) = self.algorithm {
+            fields.push(("algorithm", Json::from(a)));
+        }
+        fields.extend(self.page_fields());
+        Json::obj(fields)
+    }
+}
+
+/// A data source as reported by `GET /v1/sources`.
+#[derive(Debug, Clone)]
+pub struct SourceDescriptor {
+    /// Source key (`"bluenile"`).
+    pub name: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The source's top-k page size.
+    pub system_k: usize,
+    /// Schema attributes (rendered with kind, domain, labels).
+    pub attributes: Json,
+    /// Suggested popular ranking functions.
+    pub popular_functions: Json,
+}
+
+impl SourceDescriptor {
+    /// Describe a registered source.
+    pub fn new(source: &Source) -> SourceDescriptor {
+        let mut attrs = Vec::new();
+        for (_, attr) in source.schema().iter() {
+            let mut m = BTreeMap::new();
+            m.insert("name".to_string(), Json::from(attr.name.as_str()));
+            match &attr.kind {
+                AttrKind::Numeric { min, max, integral } => {
+                    m.insert("kind".to_string(), Json::from("numeric"));
+                    m.insert("min".to_string(), Json::Num(*min));
+                    m.insert("max".to_string(), Json::Num(*max));
+                    m.insert("integral".to_string(), Json::Bool(*integral));
+                }
+                AttrKind::Categorical { labels } => {
+                    m.insert("kind".to_string(), Json::from("categorical"));
+                    m.insert(
+                        "labels".to_string(),
+                        Json::Arr(labels.iter().map(|l| Json::from(l.as_str())).collect()),
+                    );
+                }
+            }
+            attrs.push(Json::Obj(m));
+        }
+        let popular = source
+            .popular
+            .iter()
+            .map(|(label, weights)| {
+                Json::obj([
+                    ("label", Json::from(label.as_str())),
+                    (
+                        "weights",
+                        Json::Obj(
+                            weights
+                                .iter()
+                                .map(|(a, w)| (a.clone(), Json::Num(*w)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        SourceDescriptor {
+            name: source.name.clone(),
+            title: source.title.clone(),
+            system_k: source.db.system_k(),
+            attributes: Json::Arr(attrs),
+            popular_functions: Json::Arr(popular),
+        }
+    }
+}
+
+impl IntoJson for SourceDescriptor {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("title", Json::from(self.title.as_str())),
+            ("system_k", Json::from(self.system_k)),
+            ("attributes", self.attributes.clone()),
+            ("popular_functions", self.popular_functions.clone()),
+        ])
+    }
+}
+
+/// One algorithm catalog entry (`GET /v1/algorithms`).
+#[derive(Debug, Clone)]
+pub struct AlgorithmDescriptor {
+    /// API name (`"md-rerank"`), as accepted in `QueryRequest::algorithm`.
+    pub name: &'static str,
+    /// The paper's name (`"MD-RERANK"`).
+    pub paper_name: &'static str,
+    /// `"1d"` or `"md"`.
+    pub family: &'static str,
+    /// The underlying algorithm.
+    pub algorithm: Algorithm,
+}
+
+/// The full algorithm catalog (excluding the `"auto"` alias, which the
+/// create endpoint resolves per ranking function).
+pub fn algorithm_catalog() -> Vec<AlgorithmDescriptor> {
+    use Algorithm::*;
+    [
+        ("1d-baseline", OneDBaseline),
+        ("1d-binary", OneDBinary),
+        ("1d-rerank", OneDRerank),
+        ("md-baseline", MdBaseline),
+        ("md-binary", MdBinary),
+        ("md-rerank", MdRerank),
+        ("md-ta", MdTa),
+    ]
+    .into_iter()
+    .map(|(name, algorithm)| AlgorithmDescriptor {
+        name,
+        paper_name: algorithm.paper_name(),
+        family: if algorithm.is_one_dimensional() {
+            "1d"
+        } else {
+            "md"
+        },
+        algorithm,
+    })
+    .collect()
+}
+
+impl IntoJson for AlgorithmDescriptor {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name)),
+            ("paper_name", Json::from(self.paper_name)),
+            ("family", Json::from(self.family)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_http::{parse_json, Decode};
+
+    fn decode_query(body: &str) -> Result<QueryRequest, ApiError> {
+        let v = parse_json(body).unwrap();
+        QueryRequest::from_json(&Decode::root(&v))
+    }
+
+    #[test]
+    fn full_query_request_decodes() {
+        let q = decode_query(
+            r#"{"source":"bluenile",
+                "filters":[{"attr":"price","min":100,"max":500},
+                           {"attr":"cut","values":["Ideal"]}],
+                "ranking":{"type":"md","weights":{"price":1.0,"carat":-0.5}},
+                "algorithm":"md-rerank","page_size":5}"#,
+        )
+        .unwrap();
+        assert_eq!(q.source.as_deref(), Some("bluenile"));
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.filters[1].index, 1);
+        assert_eq!(q.filters[1].attr_path(), "filters[1].attr");
+        assert_eq!(
+            q.filters[1].values.as_deref(),
+            Some(&["Ideal".to_string()][..])
+        );
+        assert!(matches!(q.ranking, RankingDto::Md { ref weights } if weights.len() == 2));
+        assert_eq!(q.algorithm, "md-rerank");
+        assert_eq!(q.page_size, Some(5));
+    }
+
+    #[test]
+    fn minimal_query_request_defaults() {
+        let q = decode_query(r#"{"ranking":{"type":"1d","attr":"price"}}"#).unwrap();
+        assert!(q.source.is_none());
+        assert!(q.filters.is_empty());
+        assert_eq!(q.algorithm, "auto");
+        assert!(q.page_size.is_none());
+        assert!(matches!(
+            q.ranking,
+            RankingDto::OneDim {
+                ascending: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn structural_errors_carry_paths_and_codes() {
+        let e = decode_query(r#"{"filters":[]}"#).unwrap_err();
+        assert_eq!(e.code, codes::MISSING_FIELD);
+        assert_eq!(e.field.as_deref(), Some("ranking"));
+
+        let e =
+            decode_query(r#"{"ranking":{"type":"1d","attr":"x","dir":"sideways"}}"#).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_VALUE);
+        assert_eq!(e.field.as_deref(), Some("ranking.dir"));
+
+        let e = decode_query(r#"{"ranking":{"type":"md","weights":{"price":7.0}}}"#).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_WEIGHT);
+        assert_eq!(e.field.as_deref(), Some("ranking.weights.price"));
+
+        let e = decode_query(r#"{"ranking":{"type":"1d","attr":"p"},"filters":[{"min":1}]}"#)
+            .unwrap_err();
+        assert_eq!(e.code, codes::MISSING_FIELD);
+        assert_eq!(e.field.as_deref(), Some("filters[0].attr"));
+
+        let e = decode_query(r#"{"ranking":{"type":"zzz"}}"#).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_VALUE);
+        assert_eq!(e.field.as_deref(), Some("ranking.type"));
+
+        let e = decode_query(r#"{"ranking":{"type":"1d","attr":"p"},"page_size":-1}"#).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_TYPE);
+        assert_eq!(e.field.as_deref(), Some("page_size"));
+    }
+
+    #[test]
+    fn algorithm_catalog_covers_all_seven() {
+        let cat = algorithm_catalog();
+        assert_eq!(cat.len(), 7);
+        assert!(cat.iter().any(|a| a.name == "md-ta" && a.family == "md"));
+        assert!(cat
+            .iter()
+            .any(|a| a.name == "1d-rerank" && a.family == "1d"));
+        let j = cat[0].to_json();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("1d-baseline"));
+        assert_eq!(
+            j.get("paper_name").unwrap().as_str(),
+            cat[0].paper_name.into()
+        );
+    }
+
+    #[test]
+    fn page_response_renders_both_surfaces() {
+        let page = PageResponse {
+            query_id: "s7".into(),
+            algorithm: Some("MD-RERANK"),
+            results: Vec::new(),
+            done: true,
+            stats: StatsResponse {
+                queries: 3,
+                rounds: 1,
+                parallel_rounds: 0,
+                parallel_queries: 0,
+                parallel_fraction: 0.0,
+                search_time_ms: 1.5,
+                served: 0,
+            },
+        };
+        let v1 = page.to_json();
+        assert_eq!(v1.get("query_id").unwrap().as_str(), Some("s7"));
+        assert!(v1.get("session").is_none());
+        let legacy = page.to_legacy_json();
+        assert_eq!(legacy.get("session").unwrap().as_str(), Some("s7"));
+        assert!(legacy.get("query_id").is_none());
+        for v in [v1, legacy] {
+            assert_eq!(v.get("algorithm").unwrap().as_str(), Some("MD-RERANK"));
+            assert_eq!(v.get("done").unwrap().as_bool(), Some(true));
+            assert_eq!(
+                v.get("stats").unwrap().get("queries").unwrap().as_usize(),
+                Some(3)
+            );
+        }
+    }
+}

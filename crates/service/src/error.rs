@@ -1,0 +1,78 @@
+//! The service's error-code catalog.
+//!
+//! Every 4xx/5xx the QR2 service emits uses one of these stable,
+//! machine-readable codes in the `{"error":{"code",...}}` envelope (see
+//! `docs/API.md`). Handlers and the [`crate::QueryService`] build errors
+//! through the helpers here so codes stay consistent across the `/v1`
+//! surface and the legacy `/api` shims.
+
+use qr2_http::ApiError;
+
+/// Stable error codes, one constant per documented failure.
+pub mod codes {
+    /// Request body is not valid JSON.
+    pub const INVALID_JSON: &str = "invalid_json";
+    /// Request body is not valid UTF-8.
+    pub const INVALID_BODY: &str = "invalid_body";
+    /// Request body is missing where one is required.
+    pub const MISSING_BODY: &str = "missing_body";
+    /// A required field is absent.
+    pub const MISSING_FIELD: &str = "missing_field";
+    /// A field has the wrong JSON type.
+    pub const INVALID_TYPE: &str = "invalid_type";
+    /// A field value is structurally valid but semantically out of range.
+    pub const INVALID_VALUE: &str = "invalid_value";
+    /// A path or query parameter is malformed or empty.
+    pub const INVALID_PARAMETER: &str = "invalid_parameter";
+    /// A filter or ranking references an attribute the schema lacks.
+    pub const UNKNOWN_ATTRIBUTE: &str = "unknown_attribute";
+    /// A categorical filter value is not among the attribute's labels.
+    pub const UNKNOWN_LABEL: &str = "unknown_label";
+    /// A numeric filter's min exceeds its max.
+    pub const EMPTY_RANGE: &str = "empty_range";
+    /// A ranking weight is outside the slider domain `[-1, 1]`.
+    pub const INVALID_WEIGHT: &str = "invalid_weight";
+    /// The `algorithm` name is not in the catalog.
+    pub const UNKNOWN_ALGORITHM: &str = "unknown_algorithm";
+    /// The algorithm family does not fit the ranking function's dimension.
+    pub const ALGORITHM_MISMATCH: &str = "algorithm_mismatch";
+    /// No data source with the requested name.
+    pub const UNKNOWN_SOURCE: &str = "unknown_source";
+    /// No live query/session with the requested id.
+    pub const UNKNOWN_QUERY: &str = "unknown_query";
+    /// Declared `Content-Type` is not JSON.
+    pub const UNSUPPORTED_MEDIA_TYPE: &str = "unsupported_media_type";
+    /// No route for the path.
+    pub const NOT_FOUND: &str = "not_found";
+    /// Route exists, method does not.
+    pub const METHOD_NOT_ALLOWED: &str = "method_not_allowed";
+    /// Unexpected server-side failure.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// `404` for a source name that fails lookup.
+pub fn unknown_source(name: &str) -> ApiError {
+    ApiError::not_found(codes::UNKNOWN_SOURCE, format!("no source '{name}'"))
+}
+
+/// `404` for a query/session id that fails lookup.
+pub fn unknown_query(id: &str) -> ApiError {
+    ApiError::not_found(codes::UNKNOWN_QUERY, format!("no query '{id}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_http::Status;
+
+    #[test]
+    fn lookup_helpers_are_404s_with_stable_codes() {
+        let e = unknown_source("amazon");
+        assert_eq!(e.status, Status::NotFound);
+        assert_eq!(e.code, codes::UNKNOWN_SOURCE);
+        assert!(e.message.contains("amazon"));
+        let e = unknown_query("s999");
+        assert_eq!(e.code, codes::UNKNOWN_QUERY);
+        assert!(e.message.contains("s999"));
+    }
+}

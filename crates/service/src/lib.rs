@@ -7,26 +7,46 @@
 //! dense-region index (verified against the sources at boot), and a
 //! statistics panel reporting query cost and processing time.
 //!
-//! The HTTP surface (all JSON):
+//! The HTTP surface (all JSON; full contract in `docs/API.md`). Versioned
+//! resource API:
 //!
 //! | Route | Purpose |
 //! |---|---|
-//! | `GET /api/sources` | available sources, their schemas and popular functions |
-//! | `POST /api/query` | start a session: filter + ranking + algorithm → first page |
-//! | `POST /api/getnext` | next page for a session |
-//! | `GET /api/session/:id/stats` | the statistics panel |
-//! | `DELETE /api/session/:id` | drop a session |
+//! | `GET /v1/sources` | available sources, their schemas and popular functions |
+//! | `GET /v1/algorithms` | the algorithm catalog |
+//! | `POST /v1/sources/:source/queries` | create a query: filter + ranking + algorithm → 201, `Location`, first page |
+//! | `GET\|POST /v1/queries/:id/next` | next page for a query |
+//! | `GET /v1/queries/:id/stats` | the statistics panel |
+//! | `DELETE /v1/queries/:id` | drop a query (204) |
 //! | `GET /` | the embedded single-page UI |
+//!
+//! The legacy RPC endpoints (`POST /api/query`, `POST /api/getnext`,
+//! `GET /api/sources`, `GET /api/session/:id/stats`,
+//! `DELETE /api/session/:id`) remain as deprecated shims over the same
+//! [`QueryService`]; every failure on either surface renders the
+//! structured `{"error":{code,message,field}}` envelope.
+//!
+//! Layering: handlers ([`mod@self`]`::api`) decode typed DTOs
+//! ([`dto`]) and delegate to the application layer ([`QueryService`]),
+//! whose methods return `Result<T, qr2_http::ApiError>`.
 
 mod api;
 mod app;
+pub mod dto;
+pub mod error;
 pub mod remote;
+mod service;
 mod session;
 mod sources;
 mod ui;
 
-pub use api::{parse_ranking_spec, tuple_to_json};
+pub use api::ApiState;
 pub use app::Qr2App;
+pub use dto::{
+    AlgorithmDescriptor, FilterDto, GetNextRequest, NextPageRequest, PageResponse, QueryRequest,
+    RankingDto, SourceDescriptor, StatsResponse, TupleDto,
+};
 pub use remote::{RemoteWebDb, WebDbGateway};
-pub use session::{SessionId, SessionManager};
+pub use service::{compile_filters, compile_ranking, resolve_algorithm, QueryService};
+pub use session::{SessionEntry, SessionHandle, SessionId, SessionManager};
 pub use sources::{Source, SourceRegistry};

@@ -73,7 +73,15 @@ pub fn query_from_json(v: &Json) -> Result<SearchQuery, String> {
                 let hi = p.get("hi").and_then(Json::as_f64).ok_or("range needs hi")?;
                 let lo_inc = p.get("lo_inc").and_then(Json::as_bool).unwrap_or(true);
                 let hi_inc = p.get("hi_inc").and_then(Json::as_bool).unwrap_or(true);
-                q = q.with(attr, Predicate::Range(RangePred { lo, hi, lo_inc, hi_inc }));
+                q = q.with(
+                    attr,
+                    Predicate::Range(RangePred {
+                        lo,
+                        hi,
+                        lo_inc,
+                        hi_inc,
+                    }),
+                );
             }
             Some("cats") => {
                 let codes = p
@@ -109,7 +117,11 @@ pub fn wire_tuple_to_json(t: &Tuple) -> Json {
 
 /// Inverse of [`wire_tuple_to_json`].
 pub fn wire_tuple_from_json(v: &Json) -> Result<Tuple, String> {
-    let id = TupleId(v.get("id").and_then(Json::as_usize).ok_or("tuple needs id")? as u32);
+    let id = TupleId(
+        v.get("id")
+            .and_then(Json::as_usize)
+            .ok_or("tuple needs id")? as u32,
+    );
     let values = v
         .get("values")
         .and_then(Json::as_arr)
@@ -283,10 +295,8 @@ impl TopKInterface for RemoteWebDb {
         // A failed round trip is returned as an empty, non-overflowing
         // page: the algorithms treat it as "no matches", which is the
         // conservative read of an unreachable site.
-        let response = match http_request(self.addr, "POST", "/dbapi/search", Some(&payload)) {
-            Ok(body) => body,
-            Err(_) => String::new(),
-        };
+        let response =
+            http_request(self.addr, "POST", "/dbapi/search", Some(&payload)).unwrap_or_default();
         let parsed = parse_json(&response).ok();
         let (tuples, overflow) = match parsed {
             Some(v) => {
@@ -418,12 +428,11 @@ mod tests {
 
     #[test]
     fn reranking_works_across_the_wire() {
-        use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, Reranker, RerankRequest};
+        use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, RerankRequest, Reranker};
 
         let db = local_db();
         let server = WebDbGateway::serve(db.clone(), "127.0.0.1:0", 4).unwrap();
-        let remote: Arc<dyn TopKInterface> =
-            Arc::new(RemoteWebDb::connect(server.addr()).unwrap());
+        let remote: Arc<dyn TopKInterface> = Arc::new(RemoteWebDb::connect(server.addr()).unwrap());
 
         let price = remote.schema().expect_id("price");
         let run = |db: Arc<dyn TopKInterface>| -> Vec<TupleId> {

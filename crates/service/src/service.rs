@@ -1,0 +1,553 @@
+//! The application layer: every API operation as a `Result`-returning
+//! method on [`QueryService`], independent of HTTP.
+//!
+//! Handlers stay thin — decode a DTO, call one method here, encode the
+//! result — and both API surfaces (`/v1` and the legacy `/api` shims)
+//! share this exact logic, so behaviour cannot drift between them.
+
+use std::sync::Arc;
+
+use qr2_core::{
+    Algorithm, LinearFunction, OneDimFunction, RankingFunction, RerankRequest, SortDir,
+};
+use qr2_http::ApiError;
+use qr2_webdb::{AttrKind, CatSet, RangePred, Schema, SearchQuery};
+
+use crate::dto::{
+    algorithm_catalog, FilterDto, PageResponse, QueryRequest, RankingDto, SourceDescriptor,
+    StatsResponse, TupleDto,
+};
+use crate::error::{codes, unknown_query, unknown_source};
+use crate::session::SessionManager;
+use crate::sources::{Source, SourceRegistry};
+
+/// Page sizes are clamped to this range.
+const PAGE_SIZE_RANGE: (usize, usize) = (1, 100);
+
+/// The QR2 application service.
+pub struct QueryService {
+    registry: Arc<SourceRegistry>,
+    sessions: Arc<SessionManager>,
+}
+
+impl QueryService {
+    /// Service over a source registry and session table.
+    pub fn new(registry: Arc<SourceRegistry>, sessions: Arc<SessionManager>) -> QueryService {
+        QueryService { registry, sessions }
+    }
+
+    /// The registered sources.
+    pub fn sources(&self) -> Vec<SourceDescriptor> {
+        self.registry
+            .all()
+            .iter()
+            .map(|s| SourceDescriptor::new(s))
+            .collect()
+    }
+
+    /// `POST /v1/sources/:source/queries`: open a reranking query and serve
+    /// its first page.
+    pub fn create_query(
+        &self,
+        source_name: &str,
+        req: &QueryRequest,
+    ) -> Result<PageResponse, ApiError> {
+        let source = self
+            .registry
+            .get(source_name)
+            .ok_or_else(|| unknown_source(source_name))?;
+        let schema = source.schema().clone();
+
+        let filter = compile_filters(&schema, &req.filters)?;
+        let function = compile_ranking(&schema, &req.ranking)?;
+        let algorithm = resolve_algorithm(&req.algorithm, &function)?;
+        if algorithm.is_one_dimensional() {
+            if let RankingFunction::Linear(f) = &function {
+                if f.dims() > 1 {
+                    return Err(ApiError::bad_request(
+                        codes::ALGORITHM_MISMATCH,
+                        "a multi-attribute function needs an MD algorithm",
+                    )
+                    .with_field("algorithm"));
+                }
+            }
+        }
+        let page_size = clamp_page_size(req.page_size.unwrap_or(10));
+
+        let mut session = source.reranker.query(RerankRequest {
+            filter,
+            function,
+            algorithm,
+        });
+        let results: Vec<TupleDto> = session
+            .next_page(page_size)
+            .iter()
+            .map(|t| TupleDto::new(&schema, t))
+            .collect();
+        let done = results.len() < page_size;
+        let stats = StatsResponse::new(&session.stats(), session.served());
+        let query_id = self.sessions.create(session, source_name, page_size);
+        Ok(PageResponse {
+            query_id,
+            algorithm: Some(algorithm.paper_name()),
+            results,
+            done,
+            stats,
+        })
+    }
+
+    /// `GET|POST /v1/queries/:id/next`: the next page of a live query.
+    pub fn next_page(&self, id: &str, page_size: Option<usize>) -> Result<PageResponse, ApiError> {
+        let handle = self.sessions.get(id).ok_or_else(|| unknown_query(id))?;
+        // Resolve the source *before* taking the session's entry lock:
+        // registry lookups and schema clones must not serialize behind
+        // another request paging this same session — and paging one session
+        // must never wait on state shared with other sessions.
+        let source = self.source_of(&handle.source)?;
+        let schema = source.schema().clone();
+        let page_size = clamp_page_size(page_size.unwrap_or(handle.page_size));
+
+        let mut entry = handle.lock();
+        let results: Vec<TupleDto> = entry
+            .session
+            .next_page(page_size)
+            .iter()
+            .map(|t| TupleDto::new(&schema, t))
+            .collect();
+        entry.done = results.len() < page_size;
+        let stats = StatsResponse::new(&entry.session.stats(), entry.session.served());
+        Ok(PageResponse {
+            query_id: id.to_string(),
+            algorithm: None,
+            results,
+            done: entry.done,
+            stats,
+        })
+    }
+
+    /// `GET /v1/queries/:id/stats`: the statistics panel.
+    pub fn stats(&self, id: &str) -> Result<StatsResponse, ApiError> {
+        let handle = self.sessions.get(id).ok_or_else(|| unknown_query(id))?;
+        let entry = handle.lock();
+        Ok(StatsResponse::new(
+            &entry.session.stats(),
+            entry.session.served(),
+        ))
+    }
+
+    /// `DELETE /v1/queries/:id`: drop a live query.
+    pub fn delete(&self, id: &str) -> Result<(), ApiError> {
+        if self.sessions.remove(id) {
+            Ok(())
+        } else {
+            Err(unknown_query(id))
+        }
+    }
+
+    fn source_of(&self, name: &str) -> Result<Arc<Source>, ApiError> {
+        self.registry
+            .get(name)
+            .ok_or_else(|| ApiError::internal(format!("session source '{name}' vanished")))
+    }
+}
+
+fn clamp_page_size(requested: usize) -> usize {
+    requested.clamp(PAGE_SIZE_RANGE.0, PAGE_SIZE_RANGE.1)
+}
+
+/// Compile the `filters` DTOs against a schema.
+pub fn compile_filters(schema: &Schema, filters: &[FilterDto]) -> Result<SearchQuery, ApiError> {
+    let mut q = SearchQuery::all();
+    for f in filters {
+        let attr = schema.id_of(&f.attr).ok_or_else(|| {
+            ApiError::bad_request(
+                codes::UNKNOWN_ATTRIBUTE,
+                format!("unknown attribute '{}'", f.attr),
+            )
+            .with_field(f.attr_path())
+        })?;
+        match &schema.attr(attr).kind {
+            AttrKind::Numeric { min, max, .. } => {
+                let lo = f.min.unwrap_or(*min);
+                let hi = f.max.unwrap_or(*max);
+                if lo > hi {
+                    return Err(ApiError::bad_request(
+                        codes::EMPTY_RANGE,
+                        format!("empty range for '{}': {lo} > {hi}", f.attr),
+                    )
+                    .with_field(f.path()));
+                }
+                q = q.and_range(attr, RangePred::closed(lo, hi));
+            }
+            AttrKind::Categorical { labels } => {
+                let values = f.values.as_ref().ok_or_else(|| {
+                    ApiError::bad_request(
+                        codes::MISSING_FIELD,
+                        format!("categorical filter '{}' needs 'values'", f.attr),
+                    )
+                    .with_field(format!("{}.values", f.path()))
+                })?;
+                let mut codes_v = Vec::with_capacity(values.len());
+                for (vi, label) in values.iter().enumerate() {
+                    let code = labels.iter().position(|l| l == label).ok_or_else(|| {
+                        ApiError::bad_request(
+                            codes::UNKNOWN_LABEL,
+                            format!("'{label}' is not a value of '{}'", f.attr),
+                        )
+                        .with_field(format!("{}.values[{vi}]", f.path()))
+                    })?;
+                    codes_v.push(code as u32);
+                }
+                q = q.and_cats(attr, CatSet::new(codes_v));
+            }
+        }
+    }
+    Ok(q)
+}
+
+/// Compile the `ranking` DTO against a schema.
+pub fn compile_ranking(schema: &Schema, ranking: &RankingDto) -> Result<RankingFunction, ApiError> {
+    match ranking {
+        RankingDto::OneDim { attr, ascending } => {
+            let id = schema.id_of(attr).ok_or_else(|| {
+                ApiError::bad_request(
+                    codes::UNKNOWN_ATTRIBUTE,
+                    format!("unknown attribute '{attr}'"),
+                )
+                .with_field("ranking.attr")
+            })?;
+            if !schema.attr(id).kind.is_numeric() {
+                return Err(ApiError::bad_request(
+                    codes::INVALID_VALUE,
+                    format!("ranking attribute '{attr}' must be numeric"),
+                )
+                .with_field("ranking.attr"));
+            }
+            let dir = if *ascending {
+                SortDir::Asc
+            } else {
+                SortDir::Desc
+            };
+            Ok(OneDimFunction { attr: id, dir }.into())
+        }
+        RankingDto::Md { weights } => {
+            // Validate per-weight up front so every failure carries the
+            // right code and the user's attribute name, not the engine's
+            // internal attr-id message.
+            if weights.is_empty() {
+                return Err(ApiError::bad_request(
+                    codes::INVALID_VALUE,
+                    "md ranking needs at least one weight",
+                )
+                .with_field("ranking.weights"));
+            }
+            for (name, w) in weights {
+                let field = format!("ranking.weights.{name}");
+                let id = schema.id_of(name).ok_or_else(|| {
+                    ApiError::bad_request(
+                        codes::UNKNOWN_ATTRIBUTE,
+                        format!("unknown attribute '{name}'"),
+                    )
+                    .with_field(field.clone())
+                })?;
+                if !schema.attr(id).kind.is_numeric() {
+                    return Err(ApiError::bad_request(
+                        codes::INVALID_VALUE,
+                        format!("ranking attribute '{name}' must be numeric"),
+                    )
+                    .with_field(field));
+                }
+                if *w == 0.0 || !w.is_finite() {
+                    return Err(ApiError::bad_request(
+                        codes::INVALID_WEIGHT,
+                        format!("weight for '{name}' must be non-zero"),
+                    )
+                    .with_field(field));
+                }
+            }
+            let spec: Vec<(&str, f64)> = weights.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+            LinearFunction::from_names(schema, &spec)
+                .map(Into::into)
+                .map_err(|e| {
+                    ApiError::bad_request(codes::INVALID_VALUE, e).with_field("ranking.weights")
+                })
+        }
+    }
+}
+
+/// Resolve an algorithm name; `"auto"` picks the RERANK family matching the
+/// ranking function's dimensionality.
+pub fn resolve_algorithm(name: &str, function: &RankingFunction) -> Result<Algorithm, ApiError> {
+    if name == "auto" {
+        let is_1d = matches!(function, RankingFunction::OneDim(_))
+            || matches!(function, RankingFunction::Linear(f) if f.dims() == 1);
+        return Ok(if is_1d {
+            Algorithm::OneDRerank
+        } else {
+            Algorithm::MdRerank
+        });
+    }
+    algorithm_catalog()
+        .iter()
+        .find(|a| a.name == name)
+        .map(|a| a.algorithm)
+        .ok_or_else(|| {
+            ApiError::bad_request(
+                codes::UNKNOWN_ALGORITHM,
+                format!("unknown algorithm '{name}'"),
+            )
+            .with_field("algorithm")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_core::ExecutorKind;
+    use qr2_http::{parse_json, Decode, FromJson};
+    use qr2_webdb::Schema;
+    use std::time::Duration;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .numeric("price", 0.0, 1000.0)
+            .numeric("carat", 0.0, 10.0)
+            .categorical("cut", ["Good", "Ideal"])
+            .build()
+    }
+
+    fn svc(scale: usize) -> QueryService {
+        QueryService::new(
+            Arc::new(SourceRegistry::demo(scale, scale, ExecutorKind::Sequential)),
+            Arc::new(SessionManager::new(Duration::from_secs(60))),
+        )
+    }
+
+    fn query_req(body: &str) -> QueryRequest {
+        let v = parse_json(body).unwrap();
+        QueryRequest::from_json(&Decode::root(&v)).unwrap()
+    }
+
+    #[test]
+    fn filter_compilation() {
+        let s = schema();
+        let req = query_req(
+            r#"{"ranking":{"type":"1d","attr":"price"},
+                "filters":[{"attr":"price","min":100,"max":500},
+                           {"attr":"cut","values":["Ideal"]}]}"#,
+        );
+        let q = compile_filters(&s, &req.filters).unwrap();
+        assert_eq!(q.num_predicates(), 2);
+        let price = s.expect_id("price");
+        assert_eq!(q.range_of(price), Some(&RangePred::closed(100.0, 500.0)));
+    }
+
+    #[test]
+    fn filter_open_ended_defaults_to_domain() {
+        let s = schema();
+        let req = query_req(
+            r#"{"ranking":{"type":"1d","attr":"price"},"filters":[{"attr":"price","min":100}]}"#,
+        );
+        let q = compile_filters(&s, &req.filters).unwrap();
+        let price = s.expect_id("price");
+        assert_eq!(q.range_of(price), Some(&RangePred::closed(100.0, 1000.0)));
+    }
+
+    #[test]
+    fn filter_errors_have_codes_and_paths() {
+        let s = schema();
+        for (body, code, field) in [
+            (
+                r#"[{"attr":"nope"}]"#,
+                codes::UNKNOWN_ATTRIBUTE,
+                "filters[0].attr",
+            ),
+            (
+                r#"[{"attr":"price","min":5,"max":1}]"#,
+                codes::EMPTY_RANGE,
+                "filters[0]",
+            ),
+            (
+                r#"[{"attr":"cut"}]"#,
+                codes::MISSING_FIELD,
+                "filters[0].values",
+            ),
+            (
+                r#"[{"attr":"price"},{"attr":"cut","values":["Nope"]}]"#,
+                codes::UNKNOWN_LABEL,
+                "filters[1].values[0]",
+            ),
+        ] {
+            let req = query_req(&format!(
+                r#"{{"ranking":{{"type":"1d","attr":"price"}},"filters":{body}}}"#
+            ));
+            let e = compile_filters(&s, &req.filters).unwrap_err();
+            assert_eq!(e.code, code, "{body}");
+            assert_eq!(e.field.as_deref(), Some(field), "{body}");
+        }
+    }
+
+    #[test]
+    fn ranking_compilation_1d_and_md() {
+        let s = schema();
+        let r = query_req(r#"{"ranking":{"type":"1d","attr":"price","dir":"desc"}}"#).ranking;
+        match compile_ranking(&s, &r).unwrap() {
+            RankingFunction::OneDim(f) => assert_eq!(f.dir, SortDir::Desc),
+            _ => panic!("expected 1d"),
+        }
+        let r =
+            query_req(r#"{"ranking":{"type":"md","weights":{"price":1.0,"carat":-0.5}}}"#).ranking;
+        match compile_ranking(&s, &r).unwrap() {
+            RankingFunction::Linear(f) => assert_eq!(f.dims(), 2),
+            _ => panic!("expected md"),
+        }
+    }
+
+    #[test]
+    fn ranking_schema_errors() {
+        let s = schema();
+        let r = query_req(r#"{"ranking":{"type":"1d","attr":"cut"}}"#).ranking;
+        let e = compile_ranking(&s, &r).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_VALUE);
+        assert_eq!(e.field.as_deref(), Some("ranking.attr"));
+        let r = query_req(r#"{"ranking":{"type":"1d","attr":"bogus"}}"#).ranking;
+        assert_eq!(
+            compile_ranking(&s, &r).unwrap_err().code,
+            codes::UNKNOWN_ATTRIBUTE
+        );
+    }
+
+    #[test]
+    fn md_weight_errors_carry_user_names_and_codes() {
+        let s = schema();
+        // Zero weight: invalid_weight, named by the user's attribute.
+        let r = query_req(r#"{"ranking":{"type":"md","weights":{"price":0.0}}}"#).ranking;
+        let e = compile_ranking(&s, &r).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_WEIGHT);
+        assert_eq!(e.field.as_deref(), Some("ranking.weights.price"));
+        assert!(e.message.contains("'price'"), "{}", e.message);
+        // Unknown attribute inside the weights map.
+        let r = query_req(r#"{"ranking":{"type":"md","weights":{"nope":0.5}}}"#).ranking;
+        let e = compile_ranking(&s, &r).unwrap_err();
+        assert_eq!(e.code, codes::UNKNOWN_ATTRIBUTE);
+        assert_eq!(e.field.as_deref(), Some("ranking.weights.nope"));
+        // Categorical attribute in the weights map.
+        let r = query_req(r#"{"ranking":{"type":"md","weights":{"cut":0.5}}}"#).ranking;
+        let e = compile_ranking(&s, &r).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_VALUE);
+        assert_eq!(e.field.as_deref(), Some("ranking.weights.cut"));
+        // Empty weights map.
+        let r = query_req(r#"{"ranking":{"type":"md","weights":{}}}"#).ranking;
+        let e = compile_ranking(&s, &r).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_VALUE);
+        assert_eq!(e.field.as_deref(), Some("ranking.weights"));
+    }
+
+    #[test]
+    fn algorithm_resolution() {
+        let s = schema();
+        let oned: RankingFunction = OneDimFunction::asc(s.expect_id("price")).into();
+        assert_eq!(
+            resolve_algorithm("auto", &oned).unwrap(),
+            Algorithm::OneDRerank
+        );
+        let md: RankingFunction =
+            LinearFunction::from_names(&s, &[("price", 1.0), ("carat", -0.5)])
+                .unwrap()
+                .into();
+        assert_eq!(resolve_algorithm("auto", &md).unwrap(), Algorithm::MdRerank);
+        assert_eq!(resolve_algorithm("md-ta", &md).unwrap(), Algorithm::MdTa);
+        let e = resolve_algorithm("quantum", &md).unwrap_err();
+        assert_eq!(e.code, codes::UNKNOWN_ALGORITHM);
+        assert_eq!(e.field.as_deref(), Some("algorithm"));
+    }
+
+    #[test]
+    fn end_to_end_query_lifecycle() {
+        let svc = svc(400);
+        let req = query_req(
+            r#"{"filters":[{"attr":"carat","min":0.5}],
+                "ranking":{"type":"md","weights":{"price":1.0,"carat":-0.5}},
+                "algorithm":"md-rerank","page_size":5}"#,
+        );
+        let page = svc.create_query("bluenile", &req).unwrap();
+        assert_eq!(page.results.len(), 5);
+        assert_eq!(page.algorithm, Some("MD-RERANK"));
+        assert!(page.stats.queries > 0);
+
+        let page2 = svc.next_page(&page.query_id, None).unwrap();
+        assert_eq!(page2.results.len(), 5);
+        assert!(page2.algorithm.is_none());
+        let first: Vec<usize> = page.results.iter().map(|t| t.id).collect();
+        assert!(
+            page2.results.iter().all(|t| !first.contains(&t.id)),
+            "pages must not overlap"
+        );
+
+        assert!(svc.stats(&page.query_id).unwrap().served >= 10);
+        svc.delete(&page.query_id).unwrap();
+        assert_eq!(
+            svc.delete(&page.query_id).unwrap_err().code,
+            codes::UNKNOWN_QUERY
+        );
+    }
+
+    #[test]
+    fn lookup_failures() {
+        let svc = svc(50);
+        let req = query_req(r#"{"ranking":{"type":"1d","attr":"price"}}"#);
+        assert_eq!(
+            svc.create_query("amazon", &req).unwrap_err().code,
+            codes::UNKNOWN_SOURCE
+        );
+        assert_eq!(
+            svc.next_page("s999999", None).unwrap_err().code,
+            codes::UNKNOWN_QUERY
+        );
+        assert_eq!(svc.stats("s999999").unwrap_err().code, codes::UNKNOWN_QUERY);
+    }
+
+    #[test]
+    fn mismatched_algorithm_family_rejected() {
+        let svc = svc(50);
+        let req = query_req(
+            r#"{"ranking":{"type":"md","weights":{"price":1.0,"sqft":0.5}},
+                "algorithm":"1d-binary"}"#,
+        );
+        let e = svc.create_query("zillow", &req).unwrap_err();
+        assert_eq!(e.code, codes::ALGORITHM_MISMATCH);
+    }
+
+    #[test]
+    fn two_sessions_page_concurrently_without_serializing() {
+        // Session A's entry lock is held for the whole test (simulating a
+        // slow in-flight page on A); paging session B must still complete.
+        // Before the lock-narrowing fix this is exactly the shape that
+        // could stall if lookups shared state with the entry lock.
+        let sessions = Arc::new(SessionManager::new(Duration::from_secs(60)));
+        let svc = Arc::new(QueryService::new(
+            Arc::new(SourceRegistry::demo(200, 200, ExecutorKind::Sequential)),
+            Arc::clone(&sessions),
+        ));
+        let req = query_req(r#"{"ranking":{"type":"1d","attr":"price"},"page_size":3}"#);
+        let a = svc.create_query("bluenile", &req).unwrap().query_id;
+        let b = svc.create_query("bluenile", &req).unwrap().query_id;
+
+        let handle_a = sessions.get(&a).unwrap();
+        let guard_a = handle_a.lock();
+
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let svc2 = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            done_tx.send(svc2.next_page(&b, Some(3)).unwrap()).ok();
+        });
+        let page_b = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("paging session B stalled behind session A's lock");
+        assert_eq!(page_b.results.len(), 3);
+
+        drop(guard_a);
+        // A is untouched and still pageable afterwards.
+        assert_eq!(svc.next_page(&a, Some(3)).unwrap().results.len(), 3);
+    }
+}

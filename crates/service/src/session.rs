@@ -1,36 +1,58 @@
 //! User sessions: each submitted query opens a session whose reranking
 //! engine persists between get-next calls — the "session variable (user
 //! level cache)" of the paper's architecture.
+//!
+//! A session is split into an immutable [`SessionHandle`] (source name,
+//! default page size, creation time) and the mutable [`SessionEntry`]
+//! behind the handle's lock. Request handlers read the immutable half —
+//! e.g. to resolve the source registry entry — *before* taking the entry
+//! lock, so slow paging in one session never blocks lookups for another.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use qr2_core::RerankSession;
 
 /// Opaque session identifier (`"s17"`).
 pub type SessionId = String;
 
-/// A live session and its bookkeeping.
+/// The mutable state of a live session (held behind [`SessionHandle`]'s
+/// lock).
 pub struct SessionEntry {
     /// The reranking engine with its session cache.
     pub session: RerankSession,
-    /// Source the session runs against.
-    pub source: String,
-    /// Results per page requested by the user.
-    pub page_size: usize,
     /// Whether the stream has been exhausted.
     pub done: bool,
+}
+
+/// A live session: immutable metadata plus the locked mutable state. The
+/// idle timer lives behind its own tiny lock so looking a session up never
+/// waits on an in-flight page request holding the entry lock.
+pub struct SessionHandle {
+    /// Source the session runs against (immutable — readable without the
+    /// entry lock).
+    pub source: String,
+    /// Results per page requested at creation (immutable).
+    pub page_size: usize,
     created: Instant,
-    last_access: Instant,
+    last_access: Mutex<Instant>,
+    entry: Mutex<SessionEntry>,
+}
+
+impl SessionHandle {
+    /// Lock the mutable session state.
+    pub fn lock(&self) -> MutexGuard<'_, SessionEntry> {
+        self.entry.lock()
+    }
 }
 
 /// Thread-safe session table with TTL eviction.
 pub struct SessionManager {
     next_id: AtomicU64,
-    sessions: Mutex<HashMap<SessionId, Arc<Mutex<SessionEntry>>>>,
+    sessions: Mutex<HashMap<SessionId, Arc<SessionHandle>>>,
     ttl: Duration,
 }
 
@@ -53,26 +75,27 @@ impl SessionManager {
     ) -> SessionId {
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
         let now = Instant::now();
-        let entry = SessionEntry {
-            session,
+        let handle = SessionHandle {
             source: source.into(),
             page_size,
-            done: false,
             created: now,
-            last_access: now,
+            last_access: Mutex::new(now),
+            entry: Mutex::new(SessionEntry {
+                session,
+                done: false,
+            }),
         };
-        self.sessions
-            .lock()
-            .insert(id.clone(), Arc::new(Mutex::new(entry)));
+        self.sessions.lock().insert(id.clone(), Arc::new(handle));
         id
     }
 
-    /// Fetch a session (refreshes its idle timer).
-    pub fn get(&self, id: &str) -> Option<Arc<Mutex<SessionEntry>>> {
-        let map = self.sessions.lock();
-        let entry = map.get(id)?.clone();
-        entry.lock().last_access = Instant::now();
-        Some(entry)
+    /// Fetch a session (refreshes its idle timer). Touches only the idle
+    /// timer's own lock — never the entry lock — so lookups don't wait on
+    /// an in-flight page request for the same session.
+    pub fn get(&self, id: &str) -> Option<Arc<SessionHandle>> {
+        let handle = self.sessions.lock().get(id)?.clone();
+        *handle.last_access.lock() = Instant::now();
+        Some(handle)
     }
 
     /// Remove a session; true when it existed.
@@ -96,27 +119,25 @@ impl SessionManager {
         let now = Instant::now();
         let mut map = self.sessions.lock();
         let before = map.len();
-        map.retain(|_, entry| {
-            entry
-                .try_lock()
-                .map(|e| now.duration_since(e.last_access) < self.ttl)
-                // A session locked by an in-flight request is in use.
-                .unwrap_or(true)
+        map.retain(|_, handle| {
+            // A session whose entry is locked by an in-flight request is in
+            // use regardless of its timer.
+            handle.entry.try_lock().is_none()
+                || now.duration_since(*handle.last_access.lock()) < self.ttl
         });
         before - map.len()
     }
 
     /// Age of a session since creation.
     pub fn age(&self, id: &str) -> Option<Duration> {
-        let map = self.sessions.lock();
-        map.get(id).map(|e| e.lock().created.elapsed())
+        self.sessions.lock().get(id).map(|h| h.created.elapsed())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, Reranker, RerankRequest};
+    use qr2_core::{Algorithm, ExecutorKind, OneDimFunction, RerankRequest, Reranker};
     use qr2_datagen::{generic_db, SyntheticConfig};
     use qr2_webdb::SearchQuery;
 
@@ -161,11 +182,44 @@ mod tests {
     }
 
     #[test]
+    fn lookup_does_not_wait_on_a_busy_entry() {
+        // A slow in-flight page request holds the entry lock; get() must
+        // still return promptly (it only touches the idle timer's lock).
+        let mgr = Arc::new(SessionManager::new(Duration::from_secs(60)));
+        let id = mgr.create(make_session(), "test", 10);
+        let handle = mgr.get(&id).unwrap();
+        let guard = handle.lock();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mgr2 = Arc::clone(&mgr);
+        let id2 = id.clone();
+        std::thread::spawn(move || {
+            tx.send(mgr2.get(&id2).is_some()).ok();
+        });
+        let found = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("lookup blocked behind the entry lock");
+        assert!(found);
+        drop(guard);
+    }
+
+    #[test]
+    fn metadata_readable_without_entry_lock() {
+        let mgr = SessionManager::new(Duration::from_secs(60));
+        let id = mgr.create(make_session(), "bluenile", 7);
+        let handle = mgr.get(&id).unwrap();
+        let guard = handle.lock();
+        // Source and page size stay readable while the entry is locked.
+        assert_eq!(handle.source, "bluenile");
+        assert_eq!(handle.page_size, 7);
+        drop(guard);
+    }
+
+    #[test]
     fn sessions_drive_get_next() {
         let mgr = SessionManager::new(Duration::from_secs(60));
         let id = mgr.create(make_session(), "test", 10);
-        let entry = mgr.get(&id).unwrap();
-        let mut guard = entry.lock();
+        let handle = mgr.get(&id).unwrap();
+        let mut guard = handle.lock();
         let page = guard.session.next_page(5);
         assert_eq!(page.len(), 5);
         let page2 = guard.session.next_page(5);

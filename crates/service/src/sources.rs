@@ -1,12 +1,11 @@
 //! Registered web databases ("data sources" in the UI).
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use qr2_core::{DenseIndex, ExecutorKind, Reranker};
 use qr2_datagen::{bluenile_db, zillow_db, DiamondsConfig, HomesConfig};
 use qr2_http::Json;
-use qr2_webdb::{AttrKind, Schema, TopKInterface};
+use qr2_webdb::{Schema, TopKInterface};
 
 /// One reranking-enabled web database.
 pub struct Source {
@@ -53,54 +52,11 @@ impl Source {
         self.db.schema()
     }
 
-    /// JSON description for `GET /api/sources`.
+    /// JSON description for the source-list endpoints (delegates to the
+    /// [`crate::dto::SourceDescriptor`] DTO).
     pub fn describe(&self) -> Json {
-        let mut attrs = Vec::new();
-        for (_, attr) in self.schema().iter() {
-            let mut m = BTreeMap::new();
-            m.insert("name".to_string(), Json::from(attr.name.as_str()));
-            match &attr.kind {
-                AttrKind::Numeric { min, max, integral } => {
-                    m.insert("kind".to_string(), Json::from("numeric"));
-                    m.insert("min".to_string(), Json::Num(*min));
-                    m.insert("max".to_string(), Json::Num(*max));
-                    m.insert("integral".to_string(), Json::Bool(*integral));
-                }
-                AttrKind::Categorical { labels } => {
-                    m.insert("kind".to_string(), Json::from("categorical"));
-                    m.insert(
-                        "labels".to_string(),
-                        Json::Arr(labels.iter().map(|l| Json::from(l.as_str())).collect()),
-                    );
-                }
-            }
-            attrs.push(Json::Obj(m));
-        }
-        let popular = self
-            .popular
-            .iter()
-            .map(|(label, weights)| {
-                Json::obj([
-                    ("label", Json::from(label.as_str())),
-                    (
-                        "weights",
-                        Json::Obj(
-                            weights
-                                .iter()
-                                .map(|(a, w)| (a.clone(), Json::Num(*w)))
-                                .collect(),
-                        ),
-                    ),
-                ])
-            })
-            .collect();
-        Json::obj([
-            ("name", Json::from(self.name.as_str())),
-            ("title", Json::from(self.title.as_str())),
-            ("system_k", Json::from(self.db.system_k())),
-            ("attributes", Json::Arr(attrs)),
-            ("popular_functions", Json::Arr(popular)),
-        ])
+        use qr2_http::IntoJson;
+        crate::dto::SourceDescriptor::new(self).to_json()
     }
 }
 
@@ -215,7 +171,9 @@ mod tests {
         let d = reg.get("bluenile").unwrap().describe();
         assert_eq!(d.get("name").unwrap().as_str(), Some("bluenile"));
         let attrs = d.get("attributes").unwrap().as_arr().unwrap();
-        assert!(attrs.iter().any(|a| a.get("name").unwrap().as_str() == Some("carat")));
+        assert!(attrs
+            .iter()
+            .any(|a| a.get("name").unwrap().as_str() == Some("carat")));
         let pop = d.get("popular_functions").unwrap().as_arr().unwrap();
         assert_eq!(pop.len(), 2);
         assert!(d.get("system_k").unwrap().as_usize().unwrap() > 0);

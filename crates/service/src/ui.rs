@@ -75,9 +75,15 @@ pub const INDEX_HTML: &str = r#"<!DOCTYPE html>
 let sources = [], session = null;
 
 async function api(path, body) {
-  const opts = body ? {method:'POST', body: JSON.stringify(body)} : {};
+  const opts = body ? {method:'POST',
+    headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify(body)} : {};
   const r = await fetch(path, opts);
   return r.json();
+}
+
+function errorText(e) {
+  return e.field ? `${e.code}: ${e.message} (${e.field})` : `${e.code}: ${e.message}`;
 }
 
 function sourceByName(n) { return sources.find(s => s.name === n); }
@@ -153,6 +159,8 @@ function collectRequest() {
   };
 }
 
+function requestSource() { return document.getElementById('source').value; }
+
 function renderResults(v, append) {
   const div = document.getElementById('results');
   if (!append) div.innerHTML = '';
@@ -190,21 +198,22 @@ document.getElementById('popular').addEventListener('change', e => {
 });
 
 document.getElementById('go').addEventListener('click', async () => {
-  const v = await api('/api/query', collectRequest());
-  if (v.error) { alert(v.error); return; }
-  session = v.session;
+  const req = collectRequest();
+  const v = await api(`/v1/sources/${encodeURIComponent(requestSource())}/queries`, req);
+  if (v.error) { alert(errorText(v.error)); return; }
+  session = v.query_id;
   renderResults(v, false);
 });
 
 document.getElementById('getnext').addEventListener('click', async () => {
   if (!session) return;
-  const v = await api('/api/getnext', {session});
-  if (v.error) { alert(v.error); return; }
+  const v = await api(`/v1/queries/${encodeURIComponent(session)}/next`, {});
+  if (v.error) { alert(errorText(v.error)); return; }
   renderResults(v, true);
 });
 
 (async function init() {
-  const v = await api('/api/sources');
+  const v = await api('/v1/sources');
   sources = v.sources;
   const sel = document.getElementById('source');
   sources.forEach(s => {
@@ -231,12 +240,21 @@ mod tests {
             "Search results",
             "Get-Next",
             "statsPanel",
-            "/api/query",
-            "/api/getnext",
-            "/api/sources",
+            "/v1/sources",
+            "/queries",
+            "/next",
         ] {
             assert!(INDEX_HTML.contains(needle), "UI must contain {needle}");
         }
+    }
+
+    #[test]
+    fn ui_uses_v1_surface_only() {
+        assert!(!INDEX_HTML.contains("/api/query"));
+        assert!(!INDEX_HTML.contains("/api/getnext"));
+        assert!(!INDEX_HTML.contains("/api/sources"));
+        assert!(INDEX_HTML.contains("query_id"), "UI reads the v1 id field");
+        assert!(INDEX_HTML.contains("errorText"), "UI renders the envelope");
     }
 
     #[test]

@@ -203,7 +203,14 @@ mod tests {
 
     #[test]
     fn f64_bit_exact() {
-        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::MAX, f64::NEG_INFINITY] {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NEG_INFINITY,
+        ] {
             let mut buf = Vec::new();
             put_f64(&mut buf, v);
             let back = get_f64(&mut &buf[..]).unwrap();

@@ -15,9 +15,7 @@ use qr2_webdb::{
     AttrId, CatSet, Predicate, RangePred, SearchQuery, TopKInterface, Tuple, TupleId, Value,
 };
 
-use crate::codec::{
-    get_f64, get_str, get_u32, get_varint, put_f64, put_str, put_u32, put_varint,
-};
+use crate::codec::{get_f64, get_str, get_u32, get_varint, put_f64, put_str, put_u32, put_varint};
 use crate::kv::KvStore;
 use crate::{Result, StoreError};
 
@@ -147,8 +145,7 @@ impl DenseRegionStore {
             let resp = db.search(&region);
             let cached = &self.regions[&region];
             let stale = {
-                let by_id: HashMap<TupleId, &Tuple> =
-                    cached.iter().map(|t| (t.id, t)).collect();
+                let by_id: HashMap<TupleId, &Tuple> = cached.iter().map(|t| (t.id, t)).collect();
                 let mut stale = false;
                 for t in &resp.tuples {
                     match by_id.get(&t.id) {
@@ -343,8 +340,14 @@ mod tests {
 
     fn sample_tuples() -> Vec<Tuple> {
         vec![
-            Tuple::new(TupleId(4), vec![Value::Num(2.0), Value::Num(-1.0), Value::Cat(3)]),
-            Tuple::new(TupleId(9), vec![Value::Num(3.5), Value::Num(0.25), Value::Cat(7)]),
+            Tuple::new(
+                TupleId(4),
+                vec![Value::Num(2.0), Value::Num(-1.0), Value::Cat(3)],
+            ),
+            Tuple::new(
+                TupleId(9),
+                vec![Value::Num(3.5), Value::Num(0.25), Value::Cat(7)],
+            ),
         ]
     }
 

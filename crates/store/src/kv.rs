@@ -204,14 +204,15 @@ mod tests {
         let mut kv = KvStore::open(&path).unwrap();
         kv.put(b"x", b"1").unwrap();
         kv.put(b"y", b"2").unwrap();
-        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = kv
-            .iter()
-            .map(|(k, v)| (k.to_vec(), v.to_vec()))
-            .collect();
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> =
+            kv.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
         pairs.sort();
         assert_eq!(
             pairs,
-            vec![(b"x".to_vec(), b"1".to_vec()), (b"y".to_vec(), b"2".to_vec())]
+            vec![
+                (b"x".to_vec(), b"1".to_vec()),
+                (b"y".to_vec(), b"2".to_vec())
+            ]
         );
         std::fs::remove_file(&path).ok();
     }

@@ -90,8 +90,7 @@ impl Log {
                 if contents.len() - pos < 8 {
                     break; // torn header
                 }
-                let len =
-                    u32::from_le_bytes(contents[pos..pos + 4].try_into().expect("4 bytes"));
+                let len = u32::from_le_bytes(contents[pos..pos + 4].try_into().expect("4 bytes"));
                 let crc =
                     u32::from_le_bytes(contents[pos + 4..pos + 8].try_into().expect("4 bytes"));
                 if len > MAX_RECORD {

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use qr2_store::codec::{
-    get_bytes, get_f64, get_signed, get_str, get_varint, put_bytes, put_f64, put_signed,
-    put_str, put_varint, unzigzag, zigzag,
+    get_bytes, get_f64, get_signed, get_str, get_varint, put_bytes, put_f64, put_signed, put_str,
+    put_varint, unzigzag, zigzag,
 };
 use qr2_store::{DenseRegionStore, Log};
 use qr2_webdb::{AttrId, CatSet, Predicate, RangePred, SearchQuery, Tuple, TupleId, Value};

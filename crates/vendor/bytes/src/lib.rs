@@ -1,0 +1,140 @@
+//! Vendored stand-in for [`bytes`](https://crates.io/crates/bytes).
+//!
+//! Implements the `Buf`/`BufMut` subset the QR2 storage codecs use:
+//! reading consumes a `&[u8]` cursor in place, writing appends to a
+//! `Vec<u8>`. Little-endian fixed-width accessors only, as in the codecs.
+
+/// A readable byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// View of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte. Panics when empty (codecs bounds-check first).
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Fill `dst` from the cursor. Panics when too few bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice over-read: want {}, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// An appendable byte sink.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_back() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_slice(b"xyz");
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn cursor_consumes_in_place() {
+        let data = [1u8, 2, 3];
+        let mut r: &[u8] = &data;
+        assert_eq!(r.remaining(), 3);
+        r.advance(1);
+        assert_eq!(r.chunk(), &[2, 3]);
+        assert_eq!(r.get_u8(), 2);
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_read_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let mut dst = [0u8; 4];
+        r.copy_to_slice(&mut dst);
+    }
+}

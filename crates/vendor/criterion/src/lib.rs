@@ -1,0 +1,7 @@
+//! Empty stub for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Satisfies dependency resolution in offline builds. Every bench target is
+//! gated behind the (off-by-default) `criterion-benches` feature of
+//! `qr2-bench`, so nothing compiles against this stub. To run the benches,
+//! build online with the real criterion and
+//! `cargo bench --features criterion-benches`.

@@ -133,13 +133,7 @@ impl Attribute {
 
     /// Whether this attribute is integral numeric.
     pub fn is_integral(&self) -> bool {
-        matches!(
-            self.kind,
-            AttrKind::Numeric {
-                integral: true,
-                ..
-            }
-        )
+        matches!(self.kind, AttrKind::Numeric { integral: true, .. })
     }
 }
 

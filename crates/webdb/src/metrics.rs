@@ -122,8 +122,8 @@ impl LatencyModel {
                 .compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => {
-                    let frac = (y.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
-                        / (1u64 << 53) as f64;
+                    let frac =
+                        (y.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
                     return self.base + self.jitter.mul_f64(frac);
                 }
                 Err(actual) => x = actual,

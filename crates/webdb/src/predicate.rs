@@ -76,8 +76,16 @@ impl RangePred {
     /// Whether `v` satisfies the predicate.
     #[inline]
     pub fn matches(&self, v: f64) -> bool {
-        let lo_ok = if self.lo_inc { v >= self.lo } else { v > self.lo };
-        let hi_ok = if self.hi_inc { v <= self.hi } else { v < self.hi };
+        let lo_ok = if self.lo_inc {
+            v >= self.lo
+        } else {
+            v > self.lo
+        };
+        let hi_ok = if self.hi_inc {
+            v <= self.hi
+        } else {
+            v < self.hi
+        };
         lo_ok && hi_ok
     }
 
@@ -112,7 +120,12 @@ impl RangePred {
         } else {
             (self.hi, self.hi_inc && other.hi_inc)
         };
-        RangePred { lo, hi, lo_inc, hi_inc }
+        RangePred {
+            lo,
+            hi,
+            lo_inc,
+            hi_inc,
+        }
     }
 }
 

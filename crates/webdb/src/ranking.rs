@@ -61,10 +61,7 @@ impl SystemRanking {
     }
 
     /// Lexicographic ranking (first attribute dominates).
-    pub fn lexicographic(
-        schema: &Schema,
-        attrs: &[(&str, Direction)],
-    ) -> Result<Self, String> {
+    pub fn lexicographic(schema: &Schema, attrs: &[(&str, Direction)]) -> Result<Self, String> {
         if attrs.is_empty() {
             return Err("lexicographic ranking needs >= 1 attribute".into());
         }

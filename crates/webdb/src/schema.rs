@@ -118,10 +118,7 @@ impl SchemaBuilder {
     /// Finalize. Panics on duplicate attribute names or an empty schema.
     pub fn build(self) -> Schema {
         assert!(!self.attrs.is_empty(), "schema needs >= 1 attribute");
-        assert!(
-            self.attrs.len() <= u16::MAX as usize,
-            "too many attributes"
-        );
+        assert!(self.attrs.len() <= u16::MAX as usize, "too many attributes");
         let mut by_name = HashMap::with_capacity(self.attrs.len());
         for (i, a) in self.attrs.iter().enumerate() {
             let prev = by_name.insert(a.name.clone(), AttrId(i as u16));

@@ -90,8 +90,7 @@ impl TopKInterface for SimulatedWebDb {
                 }
             }
         }
-        self.ledger
-            .record(&q.to_string(), tuples.len(), overflow);
+        self.ledger.record(&q.to_string(), tuples.len(), overflow);
         TopKResponse { tuples, overflow }
     }
 
@@ -203,8 +202,11 @@ mod tests {
         let mut tb = TableBuilder::new(schema.clone());
         tb.push_row(vec![0.5]).unwrap();
         let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
-        let db = SimulatedWebDb::new(tb.build(), ranking, 1)
-            .with_latency(Duration::from_millis(20), Duration::ZERO, 1);
+        let db = SimulatedWebDb::new(tb.build(), ranking, 1).with_latency(
+            Duration::from_millis(20),
+            Duration::ZERO,
+            1,
+        );
         let start = std::time::Instant::now();
         db.search(&SearchQuery::all());
         assert!(start.elapsed() >= Duration::from_millis(20));

@@ -217,9 +217,12 @@ mod tests {
 
     fn table() -> Table {
         let mut tb = TableBuilder::new(schema());
-        tb.push_values(vec![Value::Num(10.0), Value::Cat(0)]).unwrap();
-        tb.push_values(vec![Value::Num(20.0), Value::Cat(1)]).unwrap();
-        tb.push_values(vec![Value::Num(30.0), Value::Cat(1)]).unwrap();
+        tb.push_values(vec![Value::Num(10.0), Value::Cat(0)])
+            .unwrap();
+        tb.push_values(vec![Value::Num(20.0), Value::Cat(1)])
+            .unwrap();
+        tb.push_values(vec![Value::Num(30.0), Value::Cat(1)])
+            .unwrap();
         tb.build()
     }
 
@@ -265,7 +268,9 @@ mod tests {
     #[test]
     fn bad_cat_code_rejected() {
         let mut tb = TableBuilder::new(schema());
-        assert!(tb.push_values(vec![Value::Num(1.0), Value::Cat(9)]).is_err());
+        assert!(tb
+            .push_values(vec![Value::Num(1.0), Value::Cat(9)])
+            .is_err());
     }
 
     #[test]

@@ -5,18 +5,14 @@ use proptest::prelude::*;
 use qr2_webdb::{AttrId, CatSet, Predicate, RangePred, SearchQuery};
 
 fn range_strategy() -> impl Strategy<Value = RangePred> {
-    (
-        -100i32..100,
-        -100i32..100,
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(a, b, lo_inc, hi_inc)| RangePred {
+    (-100i32..100, -100i32..100, any::<bool>(), any::<bool>()).prop_map(|(a, b, lo_inc, hi_inc)| {
+        RangePred {
             lo: a.min(b) as f64 / 4.0,
             hi: a.max(b) as f64 / 4.0,
             lo_inc,
             hi_inc,
-        })
+        }
+    })
 }
 
 fn catset_strategy() -> impl Strategy<Value = CatSet> {

@@ -8,9 +8,9 @@
 
 use std::sync::Arc;
 
-use qr2::core::{Algorithm, ExecutorKind, LinearFunction, Reranker, RerankRequest};
+use qr2::core::{Algorithm, ExecutorKind, LinearFunction, RerankRequest, Reranker};
 use qr2::datagen::{bluenile_db, DiamondsConfig};
-use qr2::webdb::{TopKInterface, RangePred, SearchQuery};
+use qr2::webdb::{RangePred, SearchQuery, TopKInterface};
 
 fn main() {
     let db = Arc::new(bluenile_db(&DiamondsConfig {
@@ -23,15 +23,16 @@ fn main() {
     // Filter: 0.5–3 carat, price cap — a realistic shopper query.
     let filter = SearchQuery::all()
         .and_range(schema.expect_id("carat"), RangePred::closed(0.5, 3.0))
-        .and_range(schema.expect_id("price"), RangePred::closed(500.0, 50_000.0));
+        .and_range(
+            schema.expect_id("price"),
+            RangePred::closed(500.0, 50_000.0),
+        );
 
     // The 3D ranking function from the paper's Fig. 3(b):
     // price − 0.1·carat − 0.5·depth.
-    let f3 = LinearFunction::from_names(
-        &schema,
-        &[("price", 1.0), ("carat", -0.1), ("depth", -0.5)],
-    )
-    .unwrap();
+    let f3 =
+        LinearFunction::from_names(&schema, &[("price", 1.0), ("carat", -0.1), ("depth", -0.5)])
+            .unwrap();
 
     println!("=== 3D function: price − 0.1·carat − 0.5·depth ===");
     println!(
@@ -73,9 +74,18 @@ fn main() {
     println!("\n=== weight-sign sweep (MD-RERANK, top-5 each) ===");
     println!("{:<36} {:>9}", "function", "queries");
     for (label, weights) in [
-        ("price + 0.3·carat (both positive)", vec![("price", 1.0), ("carat", 0.3)]),
-        ("price − 0.3·carat (mixed signs)", vec![("price", 1.0), ("carat", -0.3)]),
-        ("−price − carat (both negative)", vec![("price", -1.0), ("carat", -1.0)]),
+        (
+            "price + 0.3·carat (both positive)",
+            vec![("price", 1.0), ("carat", 0.3)],
+        ),
+        (
+            "price − 0.3·carat (mixed signs)",
+            vec![("price", 1.0), ("carat", -0.3)],
+        ),
+        (
+            "−price − carat (both negative)",
+            vec![("price", -1.0), ("carat", -1.0)],
+        ),
     ] {
         let f = LinearFunction::from_names(&schema, &weights).unwrap();
         let reranker = Reranker::builder(db.clone())

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use qr2::core::{Algorithm, LinearFunction, Reranker, RerankRequest};
+use qr2::core::{Algorithm, LinearFunction, RerankRequest, Reranker};
 use qr2::datagen::{bluenile_db, DiamondsConfig};
 use qr2::webdb::SearchQuery;
 
@@ -17,7 +17,10 @@ fn main() {
         n: 5_000,
         ..DiamondsConfig::default()
     }));
-    println!("simulated Blue Nile with {} diamonds (system-k = 30)", db.len());
+    println!(
+        "simulated Blue Nile with {} diamonds (system-k = 30)",
+        db.len()
+    );
 
     // The third-party reranker. It can only talk to `db` through the
     // public search interface.

@@ -1,5 +1,6 @@
 //! Run the full QR2 web service and drive it with a scripted HTTP client —
-//! the demonstration flow of the paper, minus the human.
+//! the demonstration flow of the paper, minus the human — over the
+//! versioned `/v1` resource API (see `docs/API.md`).
 //!
 //! ```sh
 //! cargo run --release --example reranking_service
@@ -35,6 +36,16 @@ fn body_of(resp: &str) -> &str {
     resp.split("\r\n\r\n").nth(1).unwrap_or("")
 }
 
+fn header_of<'a>(resp: &'a str, name: &str) -> Option<&'a str> {
+    resp.lines()
+        .take_while(|l| !l.is_empty())
+        .find_map(|l| {
+            l.split_once(": ")
+                .filter(|(n, _)| n.eq_ignore_ascii_case(name))
+        })
+        .map(|(_, v)| v.trim())
+}
+
 fn main() {
     let serve_forever = std::env::args().any(|a| a == "--serve");
 
@@ -61,8 +72,8 @@ fn main() {
         }
     }
 
-    // 1. Discover sources.
-    let resp = http(addr, "GET /api/sources HTTP/1.1\r\n\r\n");
+    // 1. Discover sources and algorithms.
+    let resp = http(addr, "GET /v1/sources HTTP/1.1\r\n\r\n");
     let v = parse_json(body_of(&resp)).expect("sources json");
     let names: Vec<&str> = v
         .get("sources")
@@ -73,20 +84,36 @@ fn main() {
         .map(|s| s.get("name").unwrap().as_str().unwrap())
         .collect();
     println!("sources: {names:?}");
+    let resp = http(addr, "GET /v1/algorithms HTTP/1.1\r\n\r\n");
+    let v = parse_json(body_of(&resp)).expect("algorithms json");
+    println!(
+        "algorithms: {}",
+        v.get("algorithms")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|a| a.get("name").unwrap().as_str().unwrap())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
-    // 2. Submit the paper's 3D Blue Nile query.
+    // 2. Create the paper's 3D Blue Nile query as a /v1 resource.
     let body = r#"{
-        "source": "bluenile",
         "filters": [{"attr":"carat","min":0.5,"max":3.0}],
         "ranking": {"type":"md","weights":{"price":1.0,"carat":-0.1,"depth":-0.5}},
         "algorithm": "md-rerank",
         "page_size": 5
     }"#;
-    let resp = post(addr, "/api/query", body);
+    let resp = post(addr, "/v1/sources/bluenile/queries", body);
+    assert!(resp.starts_with("HTTP/1.1 201"), "create failed: {resp}");
+    let location = header_of(&resp, "Location")
+        .expect("Location header")
+        .to_string();
     let v = parse_json(body_of(&resp)).expect("query json");
-    let sid = v.get("session").unwrap().as_str().unwrap().to_string();
+    let id = v.get("query_id").unwrap().as_str().unwrap().to_string();
     println!(
-        "\nquery → session {sid} using {}",
+        "\ncreated {location} using {}",
         v.get("algorithm").unwrap().as_str().unwrap()
     );
     for r in v.get("results").unwrap().as_arr().unwrap() {
@@ -106,10 +133,10 @@ fn main() {
         100.0 * stats.get("parallel_fraction").unwrap().as_f64().unwrap(),
     );
 
-    // 3. Page twice with get-next.
+    // 3. Page twice with GET …/next.
     for page in 2..=3 {
-        let resp = post(addr, "/api/getnext", &format!(r#"{{"session":"{sid}"}}"#));
-        let v = parse_json(body_of(&resp)).expect("getnext json");
+        let resp = http(addr, &format!("GET {location}/next HTTP/1.1\r\n\r\n"));
+        let v = parse_json(body_of(&resp)).expect("next json");
         let n = v.get("results").unwrap().as_arr().unwrap().len();
         let q = v
             .get("stats")
@@ -118,12 +145,15 @@ fn main() {
             .unwrap()
             .as_usize()
             .unwrap();
-        println!("get-next page {page}: {n} tuples (cumulative cost {q} queries)");
+        println!("page {page}: {n} tuples (cumulative cost {q} queries)");
     }
 
-    // 4. The statistics panel endpoint.
-    let resp = http(addr, &format!("GET /api/session/{sid}/stats HTTP/1.1\r\n\r\n"));
+    // 4. The statistics panel, then a clean delete.
+    let resp = http(addr, &format!("GET {location}/stats HTTP/1.1\r\n\r\n"));
     println!("\nstatistics panel: {}", body_of(&resp));
+    let resp = http(addr, &format!("DELETE /v1/queries/{id} HTTP/1.1\r\n\r\n"));
+    assert!(resp.starts_with("HTTP/1.1 204"), "delete failed: {resp}");
+    println!("deleted {location}");
 
     server.stop();
     println!("\nserver stopped cleanly.");

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use qr2::core::{Algorithm, ExecutorKind, OneDimFunction, Reranker, RerankRequest};
+use qr2::core::{Algorithm, ExecutorKind, OneDimFunction, RerankRequest, Reranker};
 use qr2::datagen::{bluenile_db, DiamondsConfig};
 use qr2::webdb::{SearchQuery, TopKInterface};
 
@@ -87,7 +87,9 @@ fn main() {
         });
         session.next_page(deep);
         binary_cost = session.stats().total_queries();
-        println!("1D-BINARY session {sess}: {binary_cost} queries (no index, full price every time)");
+        println!(
+            "1D-BINARY session {sess}: {binary_cost} queries (no index, full price every time)"
+        );
     }
     assert!(warm < binary_cost, "warm RERANK must beat BINARY here");
 }

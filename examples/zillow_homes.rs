@@ -10,9 +10,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use qr2::core::{Algorithm, ExecutorKind, LinearFunction, OneDimFunction, Reranker, RerankRequest};
+use qr2::core::{Algorithm, ExecutorKind, LinearFunction, OneDimFunction, RerankRequest, Reranker};
 use qr2::datagen::{zillow_table, HomesConfig};
-use qr2::webdb::{TopKInterface, CatSet, RangePred, SearchQuery, SimulatedWebDb, SystemRanking};
+use qr2::webdb::{CatSet, RangePred, SearchQuery, SimulatedWebDb, SystemRanking, TopKInterface};
 
 fn main() {
     // Build the simulated Zillow with per-query latency so the statistics
@@ -23,17 +23,21 @@ fn main() {
         ..HomesConfig::default()
     });
     let ranking = SystemRanking::opaque(0x5EED);
-    let db = Arc::new(
-        SimulatedWebDb::new(table, ranking, 40)
-            .with_latency(Duration::from_millis(40), Duration::from_millis(25), 7),
-    );
+    let db = Arc::new(SimulatedWebDb::new(table, ranking, 40).with_latency(
+        Duration::from_millis(40),
+        Duration::from_millis(25),
+        7,
+    ));
     let schema = db.schema().clone();
     println!("Zillow (simulated): 30,000 listings, 40 per page, ~50ms/query\n");
 
     // Filter: 3+ beds in two zip codes under $600k.
     let filter = SearchQuery::all()
         .and_range(schema.expect_id("beds"), RangePred::closed(3.0, 10.0))
-        .and_range(schema.expect_id("price"), RangePred::closed(50_000.0, 600_000.0))
+        .and_range(
+            schema.expect_id("price"),
+            RangePred::closed(50_000.0, 600_000.0),
+        )
         .and_cats(schema.expect_id("zip"), CatSet::new([2, 3]));
 
     let reranker = Reranker::builder(db.clone())

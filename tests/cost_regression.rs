@@ -8,9 +8,7 @@
 
 use std::sync::Arc;
 
-use qr2::core::{
-    Algorithm, ExecutorKind, LinearFunction, OneDimFunction, Reranker, RerankRequest,
-};
+use qr2::core::{Algorithm, ExecutorKind, LinearFunction, OneDimFunction, RerankRequest, Reranker};
 use qr2::datagen::{bluenile_db, DiamondsConfig};
 use qr2::webdb::{SearchQuery, SimulatedWebDb, TopKInterface};
 
@@ -79,7 +77,10 @@ fn top1_is_cheap_for_binary_regardless_of_direction() {
     let db = diamonds();
     for asc in [true, false] {
         let q = run_1d(&db, "price", asc, Algorithm::OneDBinary, 1);
-        assert!(q <= 40, "top-1 via binary should take ≤40 queries, took {q}");
+        assert!(
+            q <= 40,
+            "top-1 via binary should take ≤40 queries, took {q}"
+        );
     }
 }
 
@@ -101,14 +102,16 @@ fn md_rerank_stays_within_budget_for_3d_top10() {
     });
     session.next_page(10);
     let q = session.stats().total_queries();
-    assert!(q <= 150, "3D MD-RERANK top-10 took {q} queries (budget 150)");
+    assert!(
+        q <= 150,
+        "3D MD-RERANK top-10 took {q} queries (budget 150)"
+    );
 }
 
 #[test]
 fn md_rerank_beats_md_baseline_under_opposition() {
     let db = diamonds();
-    let f = LinearFunction::from_names(db.schema(), &[("price", -1.0), ("carat", -0.5)])
-        .unwrap();
+    let f = LinearFunction::from_names(db.schema(), &[("price", -1.0), ("carat", -0.5)]).unwrap();
     let cost = |algorithm: Algorithm| {
         let reranker = Reranker::builder(db.clone())
             .executor(ExecutorKind::Sequential)

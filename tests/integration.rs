@@ -5,13 +5,11 @@
 use std::sync::Arc;
 
 use qr2::core::{
-    Algorithm, DenseIndex, ExecutorKind, LinearFunction, Normalizer, OneDimFunction, Reranker,
-    RerankRequest, SortDir,
+    Algorithm, DenseIndex, ExecutorKind, LinearFunction, Normalizer, OneDimFunction, RerankRequest,
+    Reranker, SortDir,
 };
 use qr2::datagen::{bluenile_db, bluenile_table, DiamondsConfig};
-use qr2::webdb::{
-    RangePred, SearchQuery, SimulatedWebDb, SystemRanking, TopKInterface, TupleId,
-};
+use qr2::webdb::{RangePred, SearchQuery, SimulatedWebDb, SystemRanking, TopKInterface, TupleId};
 
 fn diamonds(n: usize, seed: u64) -> Arc<SimulatedWebDb> {
     Arc::new(bluenile_db(&DiamondsConfig {
@@ -38,8 +36,8 @@ fn oracle(db: &SimulatedWebDb, f: &LinearFunction, filter: &SearchQuery) -> Vec<
 fn all_algorithms_agree_on_realistic_diamonds() {
     let db = diamonds(1500, 42);
     let schema = db.schema().clone();
-    let filter = SearchQuery::all()
-        .and_range(schema.expect_id("carat"), RangePred::closed(0.4, 3.0));
+    let filter =
+        SearchQuery::all().and_range(schema.expect_id("carat"), RangePred::closed(0.4, 3.0));
     let f = LinearFunction::from_names(&schema, &[("price", 1.0), ("carat", -0.4)]).unwrap();
     let want = oracle(&db, &f, &filter);
 
@@ -218,7 +216,11 @@ fn concurrent_sessions_share_one_reranker() {
     for i in 0..6 {
         let reranker = Arc::clone(&reranker);
         handles.push(std::thread::spawn(move || {
-            let dir = if i % 2 == 0 { SortDir::Asc } else { SortDir::Desc };
+            let dir = if i % 2 == 0 {
+                SortDir::Asc
+            } else {
+                SortDir::Desc
+            };
             let mut session = reranker.query(RerankRequest {
                 filter: SearchQuery::all(),
                 function: qr2::core::OneDimFunction { attr: price, dir }.into(),
@@ -248,11 +250,15 @@ fn min_max_discovery_matches_ground_truth() {
     let carat = schema.expect_id("carat");
     let truth_min = {
         let t = db.ground_truth();
-        (0..t.len()).map(|r| t.num(r, carat)).fold(f64::MAX, f64::min)
+        (0..t.len())
+            .map(|r| t.num(r, carat))
+            .fold(f64::MAX, f64::min)
     };
     let truth_max = {
         let t = db.ground_truth();
-        (0..t.len()).map(|r| t.num(r, carat)).fold(f64::MIN, f64::max)
+        (0..t.len())
+            .map(|r| t.num(r, carat))
+            .fold(f64::MIN, f64::max)
     };
     let (min, _) = qr2::core::discover_extremum(&*db, carat, SortDir::Asc);
     let (max, _) = qr2::core::discover_extremum(&*db, carat, SortDir::Desc);

@@ -99,13 +99,12 @@ fn reranking_service_over_a_remote_web_database() {
 
     // 5. The wire answers must equal what a local reranker would produce.
     let local_ids: Vec<usize> = {
-        use qr2::core::{Algorithm, LinearFunction, Reranker, RerankRequest};
+        use qr2::core::{Algorithm, LinearFunction, RerankRequest, Reranker};
         let reranker = Reranker::builder(site_db.clone())
             .executor(ExecutorKind::Parallel { fanout: 4 })
             .build();
         let schema = reranker.schema().clone();
-        let f =
-            LinearFunction::from_names(&schema, &[("price", 1.0), ("carat", -0.5)]).unwrap();
+        let f = LinearFunction::from_names(&schema, &[("price", 1.0), ("carat", -0.5)]).unwrap();
         reranker
             .query(RerankRequest {
                 filter: qr2::webdb::SearchQuery::all(),
@@ -120,7 +119,10 @@ fn reranking_service_over_a_remote_web_database() {
         .iter()
         .map(|r| r.get("id").unwrap().as_usize().unwrap())
         .collect();
-    assert_eq!(wire_ids, local_ids, "remote pipeline must match local results");
+    assert_eq!(
+        wire_ids, local_ids,
+        "remote pipeline must match local results"
+    );
 
     qr2.stop();
     site.stop();

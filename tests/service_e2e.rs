@@ -1,5 +1,6 @@
 //! End-to-end service tests over real TCP sockets: the complete QR2
-//! demonstration flow, multi-user concurrency, and API error behaviour.
+//! demonstration flow on both API surfaces (`/v1` and the legacy `/api`
+//! shims), multi-user concurrency, and the structured error envelope.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -16,29 +17,43 @@ fn http(addr: SocketAddr, raw: &str) -> String {
     out
 }
 
-fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
-    let raw = format!(
-        "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    let resp = http(addr, &raw);
-    let code: u16 = resp
-        .split_whitespace()
+fn post_raw(addr: SocketAddr, path: &str, body: &str) -> String {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn status_of(resp: &str) -> u16 {
+    resp.split_whitespace()
         .nth(1)
         .and_then(|c| c.parse().ok())
-        .unwrap_or(0);
+        .unwrap_or(0)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let resp = post_raw(addr, path, body);
     let body = resp.split("\r\n\r\n").nth(1).unwrap_or("null");
-    (code, parse_json(body).unwrap_or(Json::Null))
+    (status_of(&resp), parse_json(body).unwrap_or(Json::Null))
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
     let resp = http(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"));
-    let code: u16 = resp
-        .split_whitespace()
-        .nth(1)
-        .and_then(|c| c.parse().ok())
-        .unwrap_or(0);
-    (code, resp.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+    (
+        status_of(&resp),
+        resp.split("\r\n\r\n").nth(1).unwrap_or("").to_string(),
+    )
+}
+
+fn delete(addr: SocketAddr, path: &str) -> (u16, String) {
+    let resp = http(addr, &format!("DELETE {path} HTTP/1.1\r\n\r\n"));
+    (
+        status_of(&resp),
+        resp.split("\r\n\r\n").nth(1).unwrap_or("").to_string(),
+    )
 }
 
 fn start() -> qr2::http::HttpServer {
@@ -81,7 +96,14 @@ fn demonstration_flow() {
         .as_arr()
         .unwrap()
         .iter()
-        .map(|r| r.get("values").unwrap().get("price").unwrap().as_f64().unwrap())
+        .map(|r| {
+            r.get("values")
+                .unwrap()
+                .get("price")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        })
         .collect();
     assert_eq!(page1.len(), 6);
     assert!(page1.windows(2).all(|w| w[0] <= w[1]), "ascending prices");
@@ -94,7 +116,14 @@ fn demonstration_flow() {
         .as_arr()
         .unwrap()
         .iter()
-        .map(|r| r.get("values").unwrap().get("price").unwrap().as_f64().unwrap())
+        .map(|r| {
+            r.get("values")
+                .unwrap()
+                .get("price")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        })
         .collect();
     assert!(page2.first().unwrap() >= page1.last().unwrap());
 
@@ -104,6 +133,304 @@ fn demonstration_flow() {
     let stats = parse_json(&body).unwrap();
     assert!(stats.get("queries").unwrap().as_usize().unwrap() > 0);
     assert!(stats.get("served").unwrap().as_usize().unwrap() >= 12);
+
+    server.stop();
+}
+
+#[test]
+fn v1_demonstration_flow() {
+    let server = start();
+    let addr = server.addr();
+
+    // Source and algorithm discovery.
+    let (code, body) = get(addr, "/v1/sources");
+    assert_eq!(code, 200);
+    let v = parse_json(&body).unwrap();
+    assert_eq!(v.get("sources").unwrap().as_arr().unwrap().len(), 2);
+    let (code, body) = get(addr, "/v1/algorithms");
+    assert_eq!(code, 200);
+    let v = parse_json(&body).unwrap();
+    assert_eq!(v.get("algorithms").unwrap().as_arr().unwrap().len(), 7);
+
+    // Create: 201 with Location header and the first page.
+    let resp = post_raw(
+        addr,
+        "/v1/sources/zillow/queries",
+        r#"{"ranking":{"type":"1d","attr":"price","dir":"asc"},
+            "filters":[{"attr":"beds","min":2}],"algorithm":"1d-rerank","page_size":6}"#,
+    );
+    assert_eq!(status_of(&resp), 201, "{resp}");
+    let v = parse_json(resp.split("\r\n\r\n").nth(1).unwrap()).unwrap();
+    let id = v.get("query_id").unwrap().as_str().unwrap().to_string();
+    assert!(
+        resp.contains(&format!("Location: /v1/queries/{id}")),
+        "{resp}"
+    );
+    let page1: Vec<f64> = v
+        .get("results")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|r| {
+            r.get("values")
+                .unwrap()
+                .get("price")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(page1.len(), 6);
+    assert!(page1.windows(2).all(|w| w[0] <= w[1]), "ascending prices");
+
+    // GET next (query-param page size), then POST next (body page size).
+    let (code, body) = get(addr, &format!("/v1/queries/{id}/next?page_size=4"));
+    assert_eq!(code, 200);
+    let v2 = parse_json(&body).unwrap();
+    let page2 = v2.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(page2.len(), 4);
+    let first2: f64 = page2[0]
+        .get("values")
+        .unwrap()
+        .get("price")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(first2 >= *page1.last().unwrap());
+    let (code, v3) = post(
+        addr,
+        &format!("/v1/queries/{id}/next"),
+        r#"{"page_size":2}"#,
+    );
+    assert_eq!(code, 200);
+    assert_eq!(v3.get("results").unwrap().as_arr().unwrap().len(), 2);
+
+    // Stats reflect cumulative service.
+    let (code, body) = get(addr, &format!("/v1/queries/{id}/stats"));
+    assert_eq!(code, 200);
+    let stats = parse_json(&body).unwrap();
+    assert!(stats.get("queries").unwrap().as_usize().unwrap() > 0);
+    assert!(stats.get("served").unwrap().as_usize().unwrap() >= 12);
+
+    // Delete: 204, then the resource is gone with a structured 404.
+    let (code, body) = delete(addr, &format!("/v1/queries/{id}"));
+    assert_eq!(code, 204);
+    assert!(body.is_empty(), "204 has no body, got {body:?}");
+    let (code, body) = get(addr, &format!("/v1/queries/{id}/stats"));
+    assert_eq!(code, 404);
+    let v = parse_json(&body).unwrap();
+    assert_eq!(
+        v.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("unknown_query")
+    );
+
+    server.stop();
+}
+
+/// Every 4xx across both surfaces renders the structured
+/// `{"error":{code,message,field?}}` envelope with its documented code.
+#[test]
+fn error_envelope_table() {
+    let server = start();
+    let addr = server.addr();
+
+    // (method, path, body, expected status, expected code, expected field)
+    let post_cases: &[(&str, &str, u16, &str, Option<&str>)] = &[
+        // -- legacy /api surface
+        (
+            "/api/query",
+            r#"{"source":"amazon","ranking":{"type":"1d","attr":"x"}}"#,
+            404,
+            "unknown_source",
+            None,
+        ),
+        ("/api/query", "not json", 400, "invalid_json", None),
+        ("/api/query", "", 400, "missing_body", None),
+        (
+            "/api/query",
+            r#"{"ranking":{"type":"1d","attr":"price"}}"#,
+            400,
+            "missing_field",
+            Some("source"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow"}"#,
+            400,
+            "missing_field",
+            Some("ranking"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","ranking":{"type":"md","weights":{"price":7.0}}}"#,
+            400,
+            "invalid_weight",
+            Some("ranking.weights.price"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","ranking":{"type":"md","weights":{"price":0.0}}}"#,
+            400,
+            "invalid_weight",
+            Some("ranking.weights.price"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","ranking":{"type":"md","weights":{"warp":0.5}}}"#,
+            400,
+            "unknown_attribute",
+            Some("ranking.weights.warp"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","ranking":{"type":"1d","attr":"nope"}}"#,
+            400,
+            "unknown_attribute",
+            Some("ranking.attr"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","ranking":{"type":"1d","attr":"price","dir":"sideways"}}"#,
+            400,
+            "invalid_value",
+            Some("ranking.dir"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","filters":[{"attr":"bogus"}],"ranking":{"type":"1d","attr":"price"}}"#,
+            400,
+            "unknown_attribute",
+            Some("filters[0].attr"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","filters":[{"attr":"price","min":9,"max":1}],"ranking":{"type":"1d","attr":"price"}}"#,
+            400,
+            "empty_range",
+            Some("filters[0]"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","ranking":{"type":"md","weights":{"price":1.0,"sqft":0.5}},"algorithm":"1d-binary"}"#,
+            400,
+            "algorithm_mismatch",
+            Some("algorithm"),
+        ),
+        (
+            "/api/query",
+            r#"{"source":"zillow","ranking":{"type":"1d","attr":"price"},"algorithm":"quantum"}"#,
+            400,
+            "unknown_algorithm",
+            Some("algorithm"),
+        ),
+        (
+            "/api/getnext",
+            r#"{"session":"s999999"}"#,
+            404,
+            "unknown_query",
+            None,
+        ),
+        (
+            "/api/getnext",
+            r#"{"page_size":3}"#,
+            400,
+            "missing_field",
+            Some("session"),
+        ),
+        // -- /v1 surface (same codes, resource-oriented paths)
+        (
+            "/v1/sources/amazon/queries",
+            r#"{"ranking":{"type":"1d","attr":"x"}}"#,
+            404,
+            "unknown_source",
+            None,
+        ),
+        (
+            "/v1/sources/zillow/queries",
+            "not json",
+            400,
+            "invalid_json",
+            None,
+        ),
+        (
+            "/v1/sources/zillow/queries",
+            r#"{"filters":[{"attr":"cut"}]}"#,
+            400,
+            "missing_field",
+            Some("ranking"),
+        ),
+        (
+            "/v1/sources/zillow/queries",
+            r#"{"source":"bluenile","ranking":{"type":"1d","attr":"price"}}"#,
+            400,
+            "invalid_value",
+            Some("source"),
+        ),
+        (
+            "/v1/sources/zillow/queries",
+            r#"{"ranking":{"type":"md","weights":{"price":-3.0}}}"#,
+            400,
+            "invalid_weight",
+            Some("ranking.weights.price"),
+        ),
+        (
+            "/v1/queries/s999999/next",
+            r#"{}"#,
+            404,
+            "unknown_query",
+            None,
+        ),
+    ];
+    for (path, body, status, code, field) in post_cases {
+        let (got_status, v) = post(addr, path, body);
+        assert_eq!(got_status, *status, "POST {path} {body}");
+        let err = v
+            .get("error")
+            .unwrap_or_else(|| panic!("POST {path} {body}: no envelope in {v}"));
+        assert_eq!(
+            err.get("code").unwrap().as_str(),
+            Some(*code),
+            "POST {path} {body}"
+        );
+        assert_eq!(
+            err.get("field").and_then(Json::as_str),
+            *field,
+            "POST {path} {body}"
+        );
+        assert!(
+            err.get("message").unwrap().as_str().is_some(),
+            "POST {path} {body}: message missing"
+        );
+    }
+
+    // GET/DELETE cases.
+    let get_cases: &[(&str, u16, &str)] = &[
+        ("/v1/queries/s999999/stats", 404, "unknown_query"),
+        ("/api/session/s999999/stats", 404, "unknown_query"),
+        ("/v1/queries//stats", 400, "invalid_parameter"),
+        ("/api/session//stats", 400, "invalid_parameter"),
+        ("/nope", 404, "not_found"),
+    ];
+    for (path, status, code) in get_cases {
+        let (got_status, body) = get(addr, path);
+        assert_eq!(got_status, *status, "GET {path}");
+        let v = parse_json(&body).unwrap_or_else(|e| panic!("GET {path}: {e}: {body}"));
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(*code),
+            "GET {path}"
+        );
+    }
+    let (code, body) = delete(addr, "/v1/queries/s999999");
+    assert_eq!(code, 404);
+    assert!(body.contains("unknown_query"), "{body}");
+
+    // Method errors carry the Allow header and the envelope.
+    let resp = post_raw(addr, "/v1/sources", "{}");
+    assert_eq!(status_of(&resp), 405, "{resp}");
+    assert!(resp.contains("Allow: GET, HEAD"), "{resp}");
+    assert!(resp.contains("method_not_allowed"), "{resp}");
 
     server.stop();
 }
@@ -149,6 +476,33 @@ fn error_behaviour() {
     assert!(resp.starts_with("HTTP/1.1 200"));
     let resp = http(addr, &format!("DELETE /api/session/{sid} HTTP/1.1\r\n\r\n"));
     assert!(resp.starts_with("HTTP/1.1 404"));
+
+    server.stop();
+}
+
+/// A session created on one surface is the same resource on the other —
+/// the shims delegate to the same service layer.
+#[test]
+fn surfaces_share_the_same_resources() {
+    let server = start();
+    let addr = server.addr();
+
+    let (code, v) = post(
+        addr,
+        "/api/query",
+        r#"{"source":"bluenile","ranking":{"type":"1d","attr":"price"},"page_size":2}"#,
+    );
+    assert_eq!(code, 200);
+    let sid = v.get("session").unwrap().as_str().unwrap().to_string();
+
+    // Page it through /v1, delete it through /v1, observe through /api.
+    let (code, v) = post(addr, &format!("/v1/queries/{sid}/next"), r#"{}"#);
+    assert_eq!(code, 200);
+    assert_eq!(v.get("query_id").unwrap().as_str(), Some(sid.as_str()));
+    let (code, _) = delete(addr, &format!("/v1/queries/{sid}"));
+    assert_eq!(code, 204);
+    let (code, _) = post(addr, "/api/getnext", &format!(r#"{{"session":"{sid}"}}"#));
+    assert_eq!(code, 404);
 
     server.stop();
 }
