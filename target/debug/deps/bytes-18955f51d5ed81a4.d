@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-18955f51d5ed81a4.d: crates/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-18955f51d5ed81a4: crates/vendor/bytes/src/lib.rs
+
+crates/vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-58a6a7627283ce05.d: crates/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-58a6a7627283ce05.rmeta: crates/vendor/bytes/src/lib.rs
+
+crates/vendor/bytes/src/lib.rs:

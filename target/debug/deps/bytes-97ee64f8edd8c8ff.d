@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-97ee64f8edd8c8ff.d: crates/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-97ee64f8edd8c8ff.rlib: crates/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-97ee64f8edd8c8ff.rmeta: crates/vendor/bytes/src/lib.rs
+
+crates/vendor/bytes/src/lib.rs:

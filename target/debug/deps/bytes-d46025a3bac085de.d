@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-d46025a3bac085de.d: crates/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d46025a3bac085de.rmeta: crates/vendor/bytes/src/lib.rs
+
+crates/vendor/bytes/src/lib.rs:

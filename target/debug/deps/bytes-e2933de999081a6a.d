@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-e2933de999081a6a.d: crates/vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-e2933de999081a6a.rmeta: crates/vendor/bytes/src/lib.rs Cargo.toml
+
+crates/vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

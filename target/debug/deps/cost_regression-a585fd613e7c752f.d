@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_regression-a585fd613e7c752f.d: tests/cost_regression.rs
+
+/root/repo/target/debug/deps/libcost_regression-a585fd613e7c752f.rmeta: tests/cost_regression.rs
+
+tests/cost_regression.rs:

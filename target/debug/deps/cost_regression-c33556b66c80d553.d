@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_regression-c33556b66c80d553.d: tests/cost_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_regression-c33556b66c80d553.rmeta: tests/cost_regression.rs Cargo.toml
+
+tests/cost_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

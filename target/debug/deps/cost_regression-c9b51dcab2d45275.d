@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_regression-c9b51dcab2d45275.d: tests/cost_regression.rs
+
+/root/repo/target/debug/deps/cost_regression-c9b51dcab2d45275: tests/cost_regression.rs
+
+tests/cost_regression.rs:

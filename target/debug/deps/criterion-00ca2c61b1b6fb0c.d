@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-00ca2c61b1b6fb0c.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-00ca2c61b1b6fb0c: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

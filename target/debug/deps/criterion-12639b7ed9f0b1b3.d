@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-12639b7ed9f0b1b3.d: crates/vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-12639b7ed9f0b1b3.rmeta: crates/vendor/criterion/src/lib.rs Cargo.toml
+
+crates/vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

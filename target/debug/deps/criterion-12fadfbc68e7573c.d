@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-12fadfbc68e7573c.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-12fadfbc68e7573c.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

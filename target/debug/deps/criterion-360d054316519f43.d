@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-360d054316519f43.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-360d054316519f43.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

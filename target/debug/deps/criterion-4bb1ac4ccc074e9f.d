@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-4bb1ac4ccc074e9f.d: crates/vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-4bb1ac4ccc074e9f.rmeta: crates/vendor/criterion/src/lib.rs Cargo.toml
+
+crates/vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-ed6edd5ac0e1a6bd.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ed6edd5ac0e1a6bd.rlib: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ed6edd5ac0e1a6bd.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-0a1caa162c67e6bc.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-0a1caa162c67e6bc.rmeta: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

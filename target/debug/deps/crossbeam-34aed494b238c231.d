@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-34aed494b238c231.d: crates/vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-34aed494b238c231.rmeta: crates/vendor/crossbeam/src/lib.rs Cargo.toml
+
+crates/vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

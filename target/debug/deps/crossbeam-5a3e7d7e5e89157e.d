@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-5a3e7d7e5e89157e.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5a3e7d7e5e89157e.rlib: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5a3e7d7e5e89157e.rmeta: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-5e49c523560dbadd.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-5e49c523560dbadd: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-d731c24afe62ee5f.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-d731c24afe62ee5f.rmeta: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2539c0f59ece87a3.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-2539c0f59ece87a3.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-e3ed641703a62e2e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-e3ed641703a62e2e: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-47e418f0cb80cce5.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-47e418f0cb80cce5: tests/integration.rs
+
+tests/integration.rs:

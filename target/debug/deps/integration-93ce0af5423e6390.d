@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-93ce0af5423e6390.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-93ce0af5423e6390.rmeta: tests/integration.rs
+
+tests/integration.rs:

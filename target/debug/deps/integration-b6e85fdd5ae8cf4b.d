@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-b6e85fdd5ae8cf4b.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-b6e85fdd5ae8cf4b.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-416da14bae28f403.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-416da14bae28f403.rlib: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-416da14bae28f403.rmeta: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

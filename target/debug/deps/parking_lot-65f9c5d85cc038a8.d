@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-65f9c5d85cc038a8.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-65f9c5d85cc038a8: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-829293a1dd7505c8.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-829293a1dd7505c8.rmeta: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-a7a32193238a2887.d: crates/vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-a7a32193238a2887.rmeta: crates/vendor/parking_lot/src/lib.rs Cargo.toml
+
+crates/vendor/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

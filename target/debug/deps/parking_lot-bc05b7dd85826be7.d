@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-bc05b7dd85826be7.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-bc05b7dd85826be7.rmeta: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-048810bb88a59c8e.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-048810bb88a59c8e.rlib: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-048810bb88a59c8e.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-6a9541f5606e3277.d: crates/vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-6a9541f5606e3277.rmeta: crates/vendor/proptest/src/lib.rs Cargo.toml
+
+crates/vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

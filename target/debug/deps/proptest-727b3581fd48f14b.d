@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-727b3581fd48f14b.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-727b3581fd48f14b.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

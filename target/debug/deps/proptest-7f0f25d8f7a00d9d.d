@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7f0f25d8f7a00d9d.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-7f0f25d8f7a00d9d: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

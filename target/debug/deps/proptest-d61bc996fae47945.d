@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d61bc996fae47945.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d61bc996fae47945.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

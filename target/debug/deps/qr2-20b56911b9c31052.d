@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qr2-20b56911b9c31052.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqr2-20b56911b9c31052.rmeta: src/lib.rs
+
+src/lib.rs:

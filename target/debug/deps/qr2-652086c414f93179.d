@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qr2-652086c414f93179.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2-652086c414f93179.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qr2-6ea0212475002bdb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqr2-6ea0212475002bdb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqr2-6ea0212475002bdb.rmeta: src/lib.rs
+
+src/lib.rs:

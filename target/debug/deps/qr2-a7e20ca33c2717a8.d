@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qr2-a7e20ca33c2717a8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2-a7e20ca33c2717a8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

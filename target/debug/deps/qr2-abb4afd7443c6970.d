@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qr2-abb4afd7443c6970.d: src/lib.rs
+
+/root/repo/target/debug/deps/qr2-abb4afd7443c6970: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qr2-d6479f60a0b30dad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqr2-d6479f60a0b30dad.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/qr2_core-6aaae8233c9d9b9e.d: crates/core/src/lib.rs crates/core/src/dense_index.rs crates/core/src/executor.rs crates/core/src/function.rs crates/core/src/md/mod.rs crates/core/src/md/baseline.rs crates/core/src/md/frontier.rs crates/core/src/md/ta.rs crates/core/src/normalize.rs crates/core/src/oned/mod.rs crates/core/src/oned/chunk.rs crates/core/src/oned/stream.rs crates/core/src/reranker.rs crates/core/src/space.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2_core-6aaae8233c9d9b9e.rmeta: crates/core/src/lib.rs crates/core/src/dense_index.rs crates/core/src/executor.rs crates/core/src/function.rs crates/core/src/md/mod.rs crates/core/src/md/baseline.rs crates/core/src/md/frontier.rs crates/core/src/md/ta.rs crates/core/src/normalize.rs crates/core/src/oned/mod.rs crates/core/src/oned/chunk.rs crates/core/src/oned/stream.rs crates/core/src/reranker.rs crates/core/src/space.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/dense_index.rs:
+crates/core/src/executor.rs:
+crates/core/src/function.rs:
+crates/core/src/md/mod.rs:
+crates/core/src/md/baseline.rs:
+crates/core/src/md/frontier.rs:
+crates/core/src/md/ta.rs:
+crates/core/src/normalize.rs:
+crates/core/src/oned/mod.rs:
+crates/core/src/oned/chunk.rs:
+crates/core/src/oned/stream.rs:
+crates/core/src/reranker.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

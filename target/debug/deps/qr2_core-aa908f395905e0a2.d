@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qr2_core-aa908f395905e0a2.d: crates/core/src/lib.rs crates/core/src/dense_index.rs crates/core/src/executor.rs crates/core/src/function.rs crates/core/src/md/mod.rs crates/core/src/md/baseline.rs crates/core/src/md/frontier.rs crates/core/src/md/ta.rs crates/core/src/normalize.rs crates/core/src/oned/mod.rs crates/core/src/oned/chunk.rs crates/core/src/oned/stream.rs crates/core/src/reranker.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libqr2_core-aa908f395905e0a2.rmeta: crates/core/src/lib.rs crates/core/src/dense_index.rs crates/core/src/executor.rs crates/core/src/function.rs crates/core/src/md/mod.rs crates/core/src/md/baseline.rs crates/core/src/md/frontier.rs crates/core/src/md/ta.rs crates/core/src/normalize.rs crates/core/src/oned/mod.rs crates/core/src/oned/chunk.rs crates/core/src/oned/stream.rs crates/core/src/reranker.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dense_index.rs:
+crates/core/src/executor.rs:
+crates/core/src/function.rs:
+crates/core/src/md/mod.rs:
+crates/core/src/md/baseline.rs:
+crates/core/src/md/frontier.rs:
+crates/core/src/md/ta.rs:
+crates/core/src/normalize.rs:
+crates/core/src/oned/mod.rs:
+crates/core/src/oned/chunk.rs:
+crates/core/src/oned/stream.rs:
+crates/core/src/reranker.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:

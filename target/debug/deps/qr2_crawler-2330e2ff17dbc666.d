@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qr2_crawler-2330e2ff17dbc666.d: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+/root/repo/target/debug/deps/qr2_crawler-2330e2ff17dbc666: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/crawl.rs:
+crates/crawler/src/region.rs:
+crates/crawler/src/splitter.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qr2_crawler-82d7af80a64de026.d: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+/root/repo/target/debug/deps/libqr2_crawler-82d7af80a64de026.rmeta: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/crawl.rs:
+crates/crawler/src/region.rs:
+crates/crawler/src/splitter.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qr2_crawler-86a95ef6fa4c3c74.d: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2_crawler-86a95ef6fa4c3c74.rmeta: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs Cargo.toml
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/crawl.rs:
+crates/crawler/src/region.rs:
+crates/crawler/src/splitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

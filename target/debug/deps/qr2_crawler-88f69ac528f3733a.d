@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qr2_crawler-88f69ac528f3733a.d: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+/root/repo/target/debug/deps/libqr2_crawler-88f69ac528f3733a.rlib: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+/root/repo/target/debug/deps/libqr2_crawler-88f69ac528f3733a.rmeta: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/crawl.rs:
+crates/crawler/src/region.rs:
+crates/crawler/src/splitter.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qr2_crawler-9c0b58b3994f3b09.d: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+/root/repo/target/debug/deps/libqr2_crawler-9c0b58b3994f3b09.rmeta: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/crawl.rs:
+crates/crawler/src/region.rs:
+crates/crawler/src/splitter.rs:

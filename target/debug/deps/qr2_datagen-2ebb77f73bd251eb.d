@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qr2_datagen-2ebb77f73bd251eb.d: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+/root/repo/target/debug/deps/libqr2_datagen-2ebb77f73bd251eb.rlib: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+/root/repo/target/debug/deps/libqr2_datagen-2ebb77f73bd251eb.rmeta: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/bluenile.rs:
+crates/datagen/src/distributions.rs:
+crates/datagen/src/generic.rs:
+crates/datagen/src/zillow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qr2_datagen-3fcae0588cbd3c70.d: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+/root/repo/target/debug/deps/libqr2_datagen-3fcae0588cbd3c70.rmeta: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/bluenile.rs:
+crates/datagen/src/distributions.rs:
+crates/datagen/src/generic.rs:
+crates/datagen/src/zillow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qr2_datagen-5f1e7b39099f141a.d: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+/root/repo/target/debug/deps/libqr2_datagen-5f1e7b39099f141a.rmeta: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/bluenile.rs:
+crates/datagen/src/distributions.rs:
+crates/datagen/src/generic.rs:
+crates/datagen/src/zillow.rs:

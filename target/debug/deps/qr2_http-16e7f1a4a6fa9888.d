@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qr2_http-16e7f1a4a6fa9888.d: crates/http/src/lib.rs crates/http/src/error.rs crates/http/src/extract.rs crates/http/src/json.rs crates/http/src/middleware.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/router.rs crates/http/src/server.rs
+
+/root/repo/target/debug/deps/libqr2_http-16e7f1a4a6fa9888.rmeta: crates/http/src/lib.rs crates/http/src/error.rs crates/http/src/extract.rs crates/http/src/json.rs crates/http/src/middleware.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/router.rs crates/http/src/server.rs
+
+crates/http/src/lib.rs:
+crates/http/src/error.rs:
+crates/http/src/extract.rs:
+crates/http/src/json.rs:
+crates/http/src/middleware.rs:
+crates/http/src/request.rs:
+crates/http/src/response.rs:
+crates/http/src/router.rs:
+crates/http/src/server.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qr2_http-40b29e6ad1d08ed7.d: crates/http/src/lib.rs crates/http/src/error.rs crates/http/src/extract.rs crates/http/src/json.rs crates/http/src/middleware.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/router.rs crates/http/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2_http-40b29e6ad1d08ed7.rmeta: crates/http/src/lib.rs crates/http/src/error.rs crates/http/src/extract.rs crates/http/src/json.rs crates/http/src/middleware.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/router.rs crates/http/src/server.rs Cargo.toml
+
+crates/http/src/lib.rs:
+crates/http/src/error.rs:
+crates/http/src/extract.rs:
+crates/http/src/json.rs:
+crates/http/src/middleware.rs:
+crates/http/src/request.rs:
+crates/http/src/response.rs:
+crates/http/src/router.rs:
+crates/http/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

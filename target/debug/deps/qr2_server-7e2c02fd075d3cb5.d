@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qr2_server-7e2c02fd075d3cb5.d: crates/service/src/bin/qr2-server.rs
+
+/root/repo/target/debug/deps/qr2_server-7e2c02fd075d3cb5: crates/service/src/bin/qr2-server.rs
+
+crates/service/src/bin/qr2-server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qr2_server-8a6c906607cba83d.d: crates/service/src/bin/qr2-server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2_server-8a6c906607cba83d.rmeta: crates/service/src/bin/qr2-server.rs Cargo.toml
+
+crates/service/src/bin/qr2-server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

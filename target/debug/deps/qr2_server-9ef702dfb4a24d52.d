@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qr2_server-9ef702dfb4a24d52.d: crates/service/src/bin/qr2-server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2_server-9ef702dfb4a24d52.rmeta: crates/service/src/bin/qr2-server.rs Cargo.toml
+
+crates/service/src/bin/qr2-server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

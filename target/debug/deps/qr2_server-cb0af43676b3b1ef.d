@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qr2_server-cb0af43676b3b1ef.d: crates/service/src/bin/qr2-server.rs
+
+/root/repo/target/debug/deps/libqr2_server-cb0af43676b3b1ef.rmeta: crates/service/src/bin/qr2-server.rs
+
+crates/service/src/bin/qr2-server.rs:

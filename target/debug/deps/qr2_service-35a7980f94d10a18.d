@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qr2_service-35a7980f94d10a18.d: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs
+
+/root/repo/target/debug/deps/libqr2_service-35a7980f94d10a18.rlib: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs
+
+/root/repo/target/debug/deps/libqr2_service-35a7980f94d10a18.rmeta: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs
+
+crates/service/src/lib.rs:
+crates/service/src/api.rs:
+crates/service/src/app.rs:
+crates/service/src/dto.rs:
+crates/service/src/error.rs:
+crates/service/src/remote.rs:
+crates/service/src/service.rs:
+crates/service/src/session.rs:
+crates/service/src/sources.rs:
+crates/service/src/ui.rs:

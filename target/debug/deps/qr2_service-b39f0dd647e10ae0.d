@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qr2_service-b39f0dd647e10ae0.d: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs
+
+/root/repo/target/debug/deps/libqr2_service-b39f0dd647e10ae0.rmeta: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs
+
+crates/service/src/lib.rs:
+crates/service/src/api.rs:
+crates/service/src/app.rs:
+crates/service/src/dto.rs:
+crates/service/src/error.rs:
+crates/service/src/remote.rs:
+crates/service/src/service.rs:
+crates/service/src/session.rs:
+crates/service/src/sources.rs:
+crates/service/src/ui.rs:

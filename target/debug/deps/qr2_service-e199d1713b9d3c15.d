@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qr2_service-e199d1713b9d3c15.d: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2_service-e199d1713b9d3c15.rmeta: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/api.rs:
+crates/service/src/app.rs:
+crates/service/src/dto.rs:
+crates/service/src/error.rs:
+crates/service/src/remote.rs:
+crates/service/src/service.rs:
+crates/service/src/session.rs:
+crates/service/src/sources.rs:
+crates/service/src/ui.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qr2_store-b6c435788cf15007.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+/root/repo/target/debug/deps/libqr2_store-b6c435788cf15007.rmeta: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/crc32.rs:
+crates/store/src/dense.rs:
+crates/store/src/kv.rs:
+crates/store/src/log.rs:

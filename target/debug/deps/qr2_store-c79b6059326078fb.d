@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qr2_store-c79b6059326078fb.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+/root/repo/target/debug/deps/qr2_store-c79b6059326078fb: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/crc32.rs:
+crates/store/src/dense.rs:
+crates/store/src/kv.rs:
+crates/store/src/log.rs:

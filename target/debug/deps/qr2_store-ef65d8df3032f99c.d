@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qr2_store-ef65d8df3032f99c.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+/root/repo/target/debug/deps/libqr2_store-ef65d8df3032f99c.rlib: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+/root/repo/target/debug/deps/libqr2_store-ef65d8df3032f99c.rmeta: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/crc32.rs:
+crates/store/src/dense.rs:
+crates/store/src/kv.rs:
+crates/store/src/log.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qr2_webdb-91da356fffdb2058.d: crates/webdb/src/lib.rs crates/webdb/src/attr.rs crates/webdb/src/interface.rs crates/webdb/src/metrics.rs crates/webdb/src/predicate.rs crates/webdb/src/ranking.rs crates/webdb/src/schema.rs crates/webdb/src/sim.rs crates/webdb/src/table.rs crates/webdb/src/tuple.rs crates/webdb/src/value.rs
+
+/root/repo/target/debug/deps/libqr2_webdb-91da356fffdb2058.rlib: crates/webdb/src/lib.rs crates/webdb/src/attr.rs crates/webdb/src/interface.rs crates/webdb/src/metrics.rs crates/webdb/src/predicate.rs crates/webdb/src/ranking.rs crates/webdb/src/schema.rs crates/webdb/src/sim.rs crates/webdb/src/table.rs crates/webdb/src/tuple.rs crates/webdb/src/value.rs
+
+/root/repo/target/debug/deps/libqr2_webdb-91da356fffdb2058.rmeta: crates/webdb/src/lib.rs crates/webdb/src/attr.rs crates/webdb/src/interface.rs crates/webdb/src/metrics.rs crates/webdb/src/predicate.rs crates/webdb/src/ranking.rs crates/webdb/src/schema.rs crates/webdb/src/sim.rs crates/webdb/src/table.rs crates/webdb/src/tuple.rs crates/webdb/src/value.rs
+
+crates/webdb/src/lib.rs:
+crates/webdb/src/attr.rs:
+crates/webdb/src/interface.rs:
+crates/webdb/src/metrics.rs:
+crates/webdb/src/predicate.rs:
+crates/webdb/src/ranking.rs:
+crates/webdb/src/schema.rs:
+crates/webdb/src/sim.rs:
+crates/webdb/src/table.rs:
+crates/webdb/src/tuple.rs:
+crates/webdb/src/value.rs:

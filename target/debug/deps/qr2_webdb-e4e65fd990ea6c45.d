@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qr2_webdb-e4e65fd990ea6c45.d: crates/webdb/src/lib.rs crates/webdb/src/attr.rs crates/webdb/src/interface.rs crates/webdb/src/metrics.rs crates/webdb/src/predicate.rs crates/webdb/src/ranking.rs crates/webdb/src/schema.rs crates/webdb/src/sim.rs crates/webdb/src/table.rs crates/webdb/src/tuple.rs crates/webdb/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqr2_webdb-e4e65fd990ea6c45.rmeta: crates/webdb/src/lib.rs crates/webdb/src/attr.rs crates/webdb/src/interface.rs crates/webdb/src/metrics.rs crates/webdb/src/predicate.rs crates/webdb/src/ranking.rs crates/webdb/src/schema.rs crates/webdb/src/sim.rs crates/webdb/src/table.rs crates/webdb/src/tuple.rs crates/webdb/src/value.rs Cargo.toml
+
+crates/webdb/src/lib.rs:
+crates/webdb/src/attr.rs:
+crates/webdb/src/interface.rs:
+crates/webdb/src/metrics.rs:
+crates/webdb/src/predicate.rs:
+crates/webdb/src/ranking.rs:
+crates/webdb/src/schema.rs:
+crates/webdb/src/sim.rs:
+crates/webdb/src/table.rs:
+crates/webdb/src/tuple.rs:
+crates/webdb/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-057d0157dad34dcb.d: crates/vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-057d0157dad34dcb.rmeta: crates/vendor/rand/src/lib.rs Cargo.toml
+
+crates/vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

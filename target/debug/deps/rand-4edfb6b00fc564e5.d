@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4edfb6b00fc564e5.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4edfb6b00fc564e5.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-59dc94f788568052.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-59dc94f788568052: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-7333c63522b7bbeb.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7333c63522b7bbeb.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7333c63522b7bbeb.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

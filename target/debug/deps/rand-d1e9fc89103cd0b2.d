@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-d1e9fc89103cd0b2.d: crates/vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d1e9fc89103cd0b2.rmeta: crates/vendor/rand/src/lib.rs Cargo.toml
+
+crates/vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

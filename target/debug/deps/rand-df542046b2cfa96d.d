@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-df542046b2cfa96d.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-df542046b2cfa96d.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remote_e2e-87f952582795f944.d: tests/remote_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremote_e2e-87f952582795f944.rmeta: tests/remote_e2e.rs Cargo.toml
+
+tests/remote_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remote_e2e-8ef42c3b902ec653.d: tests/remote_e2e.rs
+
+/root/repo/target/debug/deps/libremote_e2e-8ef42c3b902ec653.rmeta: tests/remote_e2e.rs
+
+tests/remote_e2e.rs:

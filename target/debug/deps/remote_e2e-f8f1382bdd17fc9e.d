@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remote_e2e-f8f1382bdd17fc9e.d: tests/remote_e2e.rs
+
+/root/repo/target/debug/deps/remote_e2e-f8f1382bdd17fc9e: tests/remote_e2e.rs
+
+tests/remote_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_e2e-03cad3139b8ac8fe.d: tests/service_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_e2e-03cad3139b8ac8fe.rmeta: tests/service_e2e.rs Cargo.toml
+
+tests/service_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

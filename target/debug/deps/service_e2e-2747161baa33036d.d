@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_e2e-2747161baa33036d.d: tests/service_e2e.rs
+
+/root/repo/target/debug/deps/libservice_e2e-2747161baa33036d.rmeta: tests/service_e2e.rs
+
+tests/service_e2e.rs:

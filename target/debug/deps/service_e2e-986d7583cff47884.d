@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_e2e-986d7583cff47884.d: tests/service_e2e.rs
+
+/root/repo/target/debug/deps/service_e2e-986d7583cff47884: tests/service_e2e.rs
+
+tests/service_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bluenile_diamonds-05f5b6f542d37e4a.d: examples/bluenile_diamonds.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbluenile_diamonds-05f5b6f542d37e4a.rmeta: examples/bluenile_diamonds.rs Cargo.toml
+
+examples/bluenile_diamonds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bluenile_diamonds-c07879dc21ea60b2.d: examples/bluenile_diamonds.rs
+
+/root/repo/target/debug/examples/bluenile_diamonds-c07879dc21ea60b2: examples/bluenile_diamonds.rs
+
+examples/bluenile_diamonds.rs:

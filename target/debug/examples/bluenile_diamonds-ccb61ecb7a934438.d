@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bluenile_diamonds-ccb61ecb7a934438.d: examples/bluenile_diamonds.rs
+
+/root/repo/target/debug/examples/libbluenile_diamonds-ccb61ecb7a934438.rmeta: examples/bluenile_diamonds.rs
+
+examples/bluenile_diamonds.rs:

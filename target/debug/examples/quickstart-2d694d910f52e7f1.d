@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2d694d910f52e7f1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-2d694d910f52e7f1.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-aa8b99fc45a0f45a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-aa8b99fc45a0f45a: examples/quickstart.rs
+
+examples/quickstart.rs:

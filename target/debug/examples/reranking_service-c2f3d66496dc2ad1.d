@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reranking_service-c2f3d66496dc2ad1.d: examples/reranking_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreranking_service-c2f3d66496dc2ad1.rmeta: examples/reranking_service.rs Cargo.toml
+
+examples/reranking_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

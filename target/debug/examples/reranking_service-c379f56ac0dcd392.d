@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reranking_service-c379f56ac0dcd392.d: examples/reranking_service.rs
+
+/root/repo/target/debug/examples/reranking_service-c379f56ac0dcd392: examples/reranking_service.rs
+
+examples/reranking_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reranking_service-cdcf4e5f0ea66b67.d: examples/reranking_service.rs
+
+/root/repo/target/debug/examples/libreranking_service-cdcf4e5f0ea66b67.rmeta: examples/reranking_service.rs
+
+examples/reranking_service.rs:

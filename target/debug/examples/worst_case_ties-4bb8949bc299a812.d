@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/worst_case_ties-4bb8949bc299a812.d: examples/worst_case_ties.rs
+
+/root/repo/target/debug/examples/worst_case_ties-4bb8949bc299a812: examples/worst_case_ties.rs
+
+examples/worst_case_ties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/worst_case_ties-91fbc31b83a32283.d: examples/worst_case_ties.rs
+
+/root/repo/target/debug/examples/libworst_case_ties-91fbc31b83a32283.rmeta: examples/worst_case_ties.rs
+
+examples/worst_case_ties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/worst_case_ties-fb4e46182f0b8ac1.d: examples/worst_case_ties.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworst_case_ties-fb4e46182f0b8ac1.rmeta: examples/worst_case_ties.rs Cargo.toml
+
+examples/worst_case_ties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

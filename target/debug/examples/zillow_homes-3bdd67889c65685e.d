@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zillow_homes-3bdd67889c65685e.d: examples/zillow_homes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzillow_homes-3bdd67889c65685e.rmeta: examples/zillow_homes.rs Cargo.toml
+
+examples/zillow_homes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zillow_homes-b1399e586891de4d.d: examples/zillow_homes.rs
+
+/root/repo/target/debug/examples/libzillow_homes-b1399e586891de4d.rmeta: examples/zillow_homes.rs
+
+examples/zillow_homes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zillow_homes-b5db45dd17177b19.d: examples/zillow_homes.rs
+
+/root/repo/target/debug/examples/zillow_homes-b5db45dd17177b19: examples/zillow_homes.rs
+
+examples/zillow_homes.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-3468e6f9f68c875d.d: crates/vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-3468e6f9f68c875d.rlib: crates/vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-3468e6f9f68c875d.rmeta: crates/vendor/bytes/src/lib.rs
+
+crates/vendor/bytes/src/lib.rs:

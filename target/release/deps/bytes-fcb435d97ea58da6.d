@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-fcb435d97ea58da6.d: crates/vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-fcb435d97ea58da6: crates/vendor/bytes/src/lib.rs
+
+crates/vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cost_regression-862d1c4b250afef6.d: tests/cost_regression.rs
+
+/root/repo/target/release/deps/cost_regression-862d1c4b250afef6: tests/cost_regression.rs
+
+tests/cost_regression.rs:

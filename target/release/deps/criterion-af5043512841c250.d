@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-af5043512841c250.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-af5043512841c250: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c39230e37294aa72.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c39230e37294aa72.rlib: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c39230e37294aa72.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-5e64443538981543.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-5e64443538981543.rlib: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-5e64443538981543.rmeta: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-e52029cce75665ff.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-e52029cce75665ff: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-d8faba38d40a3ef2.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-d8faba38d40a3ef2: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

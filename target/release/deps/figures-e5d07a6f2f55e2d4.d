@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-e5d07a6f2f55e2d4.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-e5d07a6f2f55e2d4: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-43cd26449941df44.d: tests/integration.rs
+
+/root/repo/target/release/deps/integration-43cd26449941df44: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-26fac769fd59dca5.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-26fac769fd59dca5: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

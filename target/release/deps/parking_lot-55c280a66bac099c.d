@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-55c280a66bac099c.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-55c280a66bac099c.rlib: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-55c280a66bac099c.rmeta: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-a085f579843cf9d8.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a085f579843cf9d8.rlib: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a085f579843cf9d8.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

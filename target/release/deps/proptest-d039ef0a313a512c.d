@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-d039ef0a313a512c.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-d039ef0a313a512c: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

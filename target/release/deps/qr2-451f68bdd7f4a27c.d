@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qr2-451f68bdd7f4a27c.d: src/lib.rs
+
+/root/repo/target/release/deps/libqr2-451f68bdd7f4a27c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqr2-451f68bdd7f4a27c.rmeta: src/lib.rs
+
+src/lib.rs:

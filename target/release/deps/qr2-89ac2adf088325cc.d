@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qr2-89ac2adf088325cc.d: src/lib.rs
+
+/root/repo/target/release/deps/qr2-89ac2adf088325cc: src/lib.rs
+
+src/lib.rs:

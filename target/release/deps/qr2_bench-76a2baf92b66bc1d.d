@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qr2_bench-76a2baf92b66bc1d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libqr2_bench-76a2baf92b66bc1d.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libqr2_bench-76a2baf92b66bc1d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/qr2_core-de0f5dd5c86583a5.d: crates/core/src/lib.rs crates/core/src/dense_index.rs crates/core/src/executor.rs crates/core/src/function.rs crates/core/src/md/mod.rs crates/core/src/md/baseline.rs crates/core/src/md/frontier.rs crates/core/src/md/ta.rs crates/core/src/normalize.rs crates/core/src/oned/mod.rs crates/core/src/oned/chunk.rs crates/core/src/oned/stream.rs crates/core/src/reranker.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libqr2_core-de0f5dd5c86583a5.rlib: crates/core/src/lib.rs crates/core/src/dense_index.rs crates/core/src/executor.rs crates/core/src/function.rs crates/core/src/md/mod.rs crates/core/src/md/baseline.rs crates/core/src/md/frontier.rs crates/core/src/md/ta.rs crates/core/src/normalize.rs crates/core/src/oned/mod.rs crates/core/src/oned/chunk.rs crates/core/src/oned/stream.rs crates/core/src/reranker.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libqr2_core-de0f5dd5c86583a5.rmeta: crates/core/src/lib.rs crates/core/src/dense_index.rs crates/core/src/executor.rs crates/core/src/function.rs crates/core/src/md/mod.rs crates/core/src/md/baseline.rs crates/core/src/md/frontier.rs crates/core/src/md/ta.rs crates/core/src/normalize.rs crates/core/src/oned/mod.rs crates/core/src/oned/chunk.rs crates/core/src/oned/stream.rs crates/core/src/reranker.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dense_index.rs:
+crates/core/src/executor.rs:
+crates/core/src/function.rs:
+crates/core/src/md/mod.rs:
+crates/core/src/md/baseline.rs:
+crates/core/src/md/frontier.rs:
+crates/core/src/md/ta.rs:
+crates/core/src/normalize.rs:
+crates/core/src/oned/mod.rs:
+crates/core/src/oned/chunk.rs:
+crates/core/src/oned/stream.rs:
+crates/core/src/reranker.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qr2_crawler-18c2add2e2cc3f23.d: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+/root/repo/target/release/deps/libqr2_crawler-18c2add2e2cc3f23.rlib: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+/root/repo/target/release/deps/libqr2_crawler-18c2add2e2cc3f23.rmeta: crates/crawler/src/lib.rs crates/crawler/src/crawl.rs crates/crawler/src/region.rs crates/crawler/src/splitter.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/crawl.rs:
+crates/crawler/src/region.rs:
+crates/crawler/src/splitter.rs:

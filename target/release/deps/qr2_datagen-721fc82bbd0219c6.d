@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qr2_datagen-721fc82bbd0219c6.d: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+/root/repo/target/release/deps/qr2_datagen-721fc82bbd0219c6: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/bluenile.rs:
+crates/datagen/src/distributions.rs:
+crates/datagen/src/generic.rs:
+crates/datagen/src/zillow.rs:

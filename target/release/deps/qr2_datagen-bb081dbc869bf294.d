@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qr2_datagen-bb081dbc869bf294.d: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+/root/repo/target/release/deps/libqr2_datagen-bb081dbc869bf294.rlib: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+/root/repo/target/release/deps/libqr2_datagen-bb081dbc869bf294.rmeta: crates/datagen/src/lib.rs crates/datagen/src/bluenile.rs crates/datagen/src/distributions.rs crates/datagen/src/generic.rs crates/datagen/src/zillow.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/bluenile.rs:
+crates/datagen/src/distributions.rs:
+crates/datagen/src/generic.rs:
+crates/datagen/src/zillow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qr2_server-730025be1082814f.d: crates/service/src/bin/qr2-server.rs
+
+/root/repo/target/release/deps/qr2_server-730025be1082814f: crates/service/src/bin/qr2-server.rs
+
+crates/service/src/bin/qr2-server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qr2_server-8e0225d27afaee33.d: crates/service/src/bin/qr2-server.rs
+
+/root/repo/target/release/deps/qr2_server-8e0225d27afaee33: crates/service/src/bin/qr2-server.rs
+
+crates/service/src/bin/qr2-server.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qr2_service-d5f67874d6f06d36.d: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs
+
+/root/repo/target/release/deps/libqr2_service-d5f67874d6f06d36.rlib: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs
+
+/root/repo/target/release/deps/libqr2_service-d5f67874d6f06d36.rmeta: crates/service/src/lib.rs crates/service/src/api.rs crates/service/src/app.rs crates/service/src/dto.rs crates/service/src/error.rs crates/service/src/remote.rs crates/service/src/service.rs crates/service/src/session.rs crates/service/src/sources.rs crates/service/src/ui.rs
+
+crates/service/src/lib.rs:
+crates/service/src/api.rs:
+crates/service/src/app.rs:
+crates/service/src/dto.rs:
+crates/service/src/error.rs:
+crates/service/src/remote.rs:
+crates/service/src/service.rs:
+crates/service/src/session.rs:
+crates/service/src/sources.rs:
+crates/service/src/ui.rs:

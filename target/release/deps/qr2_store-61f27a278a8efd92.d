@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qr2_store-61f27a278a8efd92.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+/root/repo/target/release/deps/qr2_store-61f27a278a8efd92: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/crc32.rs:
+crates/store/src/dense.rs:
+crates/store/src/kv.rs:
+crates/store/src/log.rs:

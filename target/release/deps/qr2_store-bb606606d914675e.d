@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qr2_store-bb606606d914675e.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+/root/repo/target/release/deps/libqr2_store-bb606606d914675e.rlib: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+/root/repo/target/release/deps/libqr2_store-bb606606d914675e.rmeta: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/crc32.rs crates/store/src/dense.rs crates/store/src/kv.rs crates/store/src/log.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/crc32.rs:
+crates/store/src/dense.rs:
+crates/store/src/kv.rs:
+crates/store/src/log.rs:

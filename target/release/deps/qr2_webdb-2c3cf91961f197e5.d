@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qr2_webdb-2c3cf91961f197e5.d: crates/webdb/src/lib.rs crates/webdb/src/attr.rs crates/webdb/src/interface.rs crates/webdb/src/metrics.rs crates/webdb/src/predicate.rs crates/webdb/src/ranking.rs crates/webdb/src/schema.rs crates/webdb/src/sim.rs crates/webdb/src/table.rs crates/webdb/src/tuple.rs crates/webdb/src/value.rs
+
+/root/repo/target/release/deps/qr2_webdb-2c3cf91961f197e5: crates/webdb/src/lib.rs crates/webdb/src/attr.rs crates/webdb/src/interface.rs crates/webdb/src/metrics.rs crates/webdb/src/predicate.rs crates/webdb/src/ranking.rs crates/webdb/src/schema.rs crates/webdb/src/sim.rs crates/webdb/src/table.rs crates/webdb/src/tuple.rs crates/webdb/src/value.rs
+
+crates/webdb/src/lib.rs:
+crates/webdb/src/attr.rs:
+crates/webdb/src/interface.rs:
+crates/webdb/src/metrics.rs:
+crates/webdb/src/predicate.rs:
+crates/webdb/src/ranking.rs:
+crates/webdb/src/schema.rs:
+crates/webdb/src/sim.rs:
+crates/webdb/src/table.rs:
+crates/webdb/src/tuple.rs:
+crates/webdb/src/value.rs:

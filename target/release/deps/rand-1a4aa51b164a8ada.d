@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1a4aa51b164a8ada.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1a4aa51b164a8ada.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1a4aa51b164a8ada.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-51184696417882f0.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-51184696417882f0: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

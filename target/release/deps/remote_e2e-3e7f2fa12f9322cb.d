@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/remote_e2e-3e7f2fa12f9322cb.d: tests/remote_e2e.rs
+
+/root/repo/target/release/deps/remote_e2e-3e7f2fa12f9322cb: tests/remote_e2e.rs
+
+tests/remote_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_e2e-3bf9da3c4f873269.d: tests/service_e2e.rs
+
+/root/repo/target/release/deps/service_e2e-3bf9da3c4f873269: tests/service_e2e.rs
+
+tests/service_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bluenile_diamonds-608e74fda1b43884.d: examples/bluenile_diamonds.rs
+
+/root/repo/target/release/examples/bluenile_diamonds-608e74fda1b43884: examples/bluenile_diamonds.rs
+
+examples/bluenile_diamonds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-49d8790ccb9237bd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-49d8790ccb9237bd: examples/quickstart.rs
+
+examples/quickstart.rs:

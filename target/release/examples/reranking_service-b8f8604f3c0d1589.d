@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reranking_service-b8f8604f3c0d1589.d: examples/reranking_service.rs
+
+/root/repo/target/release/examples/reranking_service-b8f8604f3c0d1589: examples/reranking_service.rs
+
+examples/reranking_service.rs:

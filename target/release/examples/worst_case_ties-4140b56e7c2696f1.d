@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/worst_case_ties-4140b56e7c2696f1.d: examples/worst_case_ties.rs
+
+/root/repo/target/release/examples/worst_case_ties-4140b56e7c2696f1: examples/worst_case_ties.rs
+
+examples/worst_case_ties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/zillow_homes-ba8110695eab53cb.d: examples/zillow_homes.rs
+
+/root/repo/target/release/examples/zillow_homes-ba8110695eab53cb: examples/zillow_homes.rs
+
+examples/zillow_homes.rs:
