@@ -18,6 +18,18 @@ use qr2_bench::{
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `--smoke`: the CI-runnable subset — per-algorithm get-next latency
+    // and query cost on the fixed-seed workload, written as
+    // machine-readable JSON to seed the perf trajectory.
+    if args.iter().any(|a| a == "--smoke") {
+        let records = qr2_bench::run_smoke();
+        println!("{}", qr2_bench::smoke_table(&records).render());
+        let path = qr2_bench::write_smoke_report(&records);
+        println!("wrote {}", path.display());
+        return;
+    }
+
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
     let scale = if args.iter().any(|a| a == "--small") {

@@ -13,7 +13,9 @@
 
 pub mod experiments;
 pub mod report;
+pub mod smoke;
 pub mod workloads;
 
 pub use experiments::*;
 pub use report::{write_csv, Table};
+pub use smoke::{run_smoke, smoke_json, smoke_table, write_smoke_report, SmokeRecord};

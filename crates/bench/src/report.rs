@@ -81,14 +81,26 @@ impl Table {
     }
 }
 
+/// The workspace root: walks up from the cwd until the directory holding
+/// `Cargo.lock` (the workspace marker — member crates have a `Cargo.toml`
+/// of their own but share the root lockfile). Falls back to the cwd.
+pub fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().expect("cwd");
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir;
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => return cwd,
+        }
+    }
+}
+
 /// Directory that receives CSV output (`target/figures`).
 pub fn figures_dir() -> PathBuf {
-    let mut dir = std::env::current_dir().expect("cwd");
-    // Walk up to the workspace root if invoked from a member dir.
-    while !dir.join("Cargo.toml").exists() && dir.parent().is_some() {
-        dir = dir.parent().expect("checked").to_path_buf();
-    }
-    dir.join("target").join("figures")
+    workspace_root().join("target").join("figures")
 }
 
 /// Write a table as `target/figures/<name>.csv`; returns the path.

@@ -1,0 +1,277 @@
+//! The budgeted, resumable execution contract.
+//!
+//! QR2's scarce resource is the number of queries issued to the hidden web
+//! database (the paper's primary metric), yet a blocking `get-next` gives
+//! the caller no way to bound, observe, or interrupt that spend. This
+//! module defines the step-based contract used by
+//! [`RerankSession::advance`](crate::RerankSession::advance):
+//!
+//! * a [`Budget`] caps what one step may spend (underlying queries and/or
+//!   tuples to produce);
+//! * a [`StepOutcome`] reports what the step bought, why it stopped, and
+//!   the incremental [`QueryStats`] delta it cost;
+//! * a [`CancelToken`] cooperatively stops a session between discoveries.
+//!
+//! Sessions are resumable: calling `advance` again continues exactly where
+//! the previous step stopped — the engines' frontier/index state persists,
+//! tuples already discovered (but not yet served) are served for free, and
+//! no query is ever re-issued. Slicing a run into budgeted steps therefore
+//! yields the identical tuple order and identical total query cost as one
+//! unbudgeted run (`tests/cost_regression.rs` pins this).
+//!
+//! Budget granularity: the query cap is checked *between* discoveries. A
+//! discovery that starts within budget runs to completion (discoveries are
+//! atomic — suspending one mid-flight would have to re-issue its queries on
+//! resume), so a step may overshoot the cap by the cost of the in-flight
+//! discovery; it will never *start* spending past it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use qr2_webdb::Tuple;
+
+use crate::stats::QueryStats;
+
+/// What one [`advance`](crate::RerankSession::advance) step may spend.
+///
+/// `None` means unlimited for that dimension. The default is fully
+/// unlimited — `advance(Budget::default())` drains the stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Cap on underlying web-DB queries issued during this step.
+    pub queries: Option<usize>,
+    /// Cap on tuples produced by this step (a page size).
+    pub tuples: Option<usize>,
+}
+
+impl Budget {
+    /// No caps at all: `advance` runs until the stream is exhausted.
+    pub const UNLIMITED: Budget = Budget {
+        queries: None,
+        tuples: None,
+    };
+
+    /// Cap only the number of web-DB queries.
+    pub fn queries(n: usize) -> Budget {
+        Budget {
+            queries: Some(n),
+            tuples: None,
+        }
+    }
+
+    /// Cap only the number of tuples produced.
+    pub fn tuples(n: usize) -> Budget {
+        Budget {
+            queries: None,
+            tuples: Some(n),
+        }
+    }
+
+    /// Add a query cap (builder style).
+    #[must_use]
+    pub fn with_queries(mut self, n: usize) -> Budget {
+        self.queries = Some(n);
+        self
+    }
+
+    /// Add a tuple cap (builder style).
+    #[must_use]
+    pub fn with_tuples(mut self, n: usize) -> Budget {
+        self.tuples = Some(n);
+        self
+    }
+}
+
+/// Cooperative cancellation handle for a session. Cloning shares the flag;
+/// any clone can cancel. Cancellation is observed between discoveries —
+/// the current in-flight discovery completes, then `advance` returns
+/// [`StepOutcome::Cancelled`] and every later `advance` does the same.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once any clone has cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// The result of one [`advance`](crate::RerankSession::advance) step.
+///
+/// Every variant carries the tuples the step produced and the incremental
+/// [`QueryStats`] delta it cost (the rounds executed during this step
+/// only); cumulative statistics stay available through
+/// [`stats`](crate::RerankSession::stats).
+#[derive(Debug, Clone)]
+pub enum StepOutcome {
+    /// The step met its tuple target within budget.
+    Ready {
+        /// The tuples produced, in ranking order.
+        tuples: Vec<Tuple>,
+        /// Queries spent by this step.
+        stats: QueryStats,
+    },
+    /// The query budget ran out first. `partial` holds everything the
+    /// budget bought; call `advance` again to continue exactly here.
+    BudgetExhausted {
+        /// Tuples produced before the budget ran out (possibly empty).
+        partial: Vec<Tuple>,
+        /// Queries spent by this step.
+        stats: QueryStats,
+    },
+    /// The stream is exhausted: every matching tuple has been served.
+    /// `partial` holds the final tuples produced by this step.
+    Done {
+        /// Tuples produced by this final step (possibly empty).
+        partial: Vec<Tuple>,
+        /// Queries spent by this step.
+        stats: QueryStats,
+    },
+    /// The session's [`CancelToken`] fired. The session stays valid but
+    /// every further `advance` returns `Cancelled` immediately.
+    Cancelled {
+        /// Tuples produced before cancellation was observed.
+        partial: Vec<Tuple>,
+        /// Queries spent by this step.
+        stats: QueryStats,
+    },
+}
+
+impl StepOutcome {
+    /// The tuples this step produced, regardless of variant.
+    pub fn tuples(&self) -> &[Tuple] {
+        match self {
+            StepOutcome::Ready { tuples, .. } => tuples,
+            StepOutcome::BudgetExhausted { partial, .. }
+            | StepOutcome::Done { partial, .. }
+            | StepOutcome::Cancelled { partial, .. } => partial,
+        }
+    }
+
+    /// Consume the outcome, keeping only the tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        match self {
+            StepOutcome::Ready { tuples, .. } => tuples,
+            StepOutcome::BudgetExhausted { partial, .. }
+            | StepOutcome::Done { partial, .. }
+            | StepOutcome::Cancelled { partial, .. } => partial,
+        }
+    }
+
+    /// The incremental statistics delta of this step.
+    pub fn stats_delta(&self) -> &QueryStats {
+        match self {
+            StepOutcome::Ready { stats, .. }
+            | StepOutcome::BudgetExhausted { stats, .. }
+            | StepOutcome::Done { stats, .. }
+            | StepOutcome::Cancelled { stats, .. } => stats,
+        }
+    }
+
+    /// True when the stream is exhausted.
+    pub fn is_done(&self) -> bool {
+        matches!(self, StepOutcome::Done { .. })
+    }
+
+    /// True when the step stopped on its query budget.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, StepOutcome::BudgetExhausted { .. })
+    }
+
+    /// Stable wire label for the outcome (`complete` | `budget_exhausted`
+    /// | `done` | `cancelled`), as reported by the service's `status`
+    /// field.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StepOutcome::Ready { .. } => "complete",
+            StepOutcome::BudgetExhausted { .. } => "budget_exhausted",
+            StepOutcome::Done { .. } => "done",
+            StepOutcome::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_constructors() {
+        assert_eq!(Budget::UNLIMITED, Budget::default());
+        assert_eq!(Budget::queries(5).queries, Some(5));
+        assert_eq!(Budget::queries(5).tuples, None);
+        assert_eq!(Budget::tuples(3).tuples, Some(3));
+        let b = Budget::queries(5).with_tuples(3).with_queries(7);
+        assert_eq!((b.queries, b.tuples), (Some(7), Some(3)));
+    }
+
+    #[test]
+    fn cancel_token_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled());
+        clone.cancel(); // idempotent
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn outcome_accessors_and_labels() {
+        let t = Tuple::new(qr2_webdb::TupleId(1), vec![qr2_webdb::Value::Num(1.0)]);
+        let mut stats = QueryStats::default();
+        stats.record_round(2, std::time::Duration::from_millis(1));
+        let o = StepOutcome::BudgetExhausted {
+            partial: vec![t.clone()],
+            stats: stats.clone(),
+        };
+        assert!(o.is_budget_exhausted());
+        assert!(!o.is_done());
+        assert_eq!(o.label(), "budget_exhausted");
+        assert_eq!(o.tuples().len(), 1);
+        assert_eq!(o.stats_delta().total_queries(), 2);
+        assert_eq!(o.into_tuples()[0].id, t.id);
+
+        assert_eq!(
+            StepOutcome::Ready {
+                tuples: vec![],
+                stats: QueryStats::default()
+            }
+            .label(),
+            "complete"
+        );
+        assert_eq!(
+            StepOutcome::Done {
+                partial: vec![],
+                stats: QueryStats::default()
+            }
+            .label(),
+            "done"
+        );
+        assert!(StepOutcome::Done {
+            partial: vec![],
+            stats: QueryStats::default()
+        }
+        .is_done());
+        assert_eq!(
+            StepOutcome::Cancelled {
+                partial: vec![],
+                stats: QueryStats::default()
+            }
+            .label(),
+            "cancelled"
+        );
+    }
+}

@@ -162,6 +162,29 @@ impl SearchCtx {
         self.stats.lock().clone()
     }
 
+    /// Cheap counters snapshot — `(rounds, total queries, search time)` —
+    /// without cloning the per-round ledger. Hot-loop companion to
+    /// [`SearchCtx::stats`].
+    pub fn stats_counters(&self) -> (usize, usize, std::time::Duration) {
+        let s = self.stats.lock();
+        (s.num_rounds(), s.total_queries(), s.search_time)
+    }
+
+    /// The incremental statistics recorded since a
+    /// [`stats_counters`](SearchCtx::stats_counters) snapshot: only the
+    /// new rounds are copied.
+    pub fn stats_delta_since(
+        &self,
+        rounds_from: usize,
+        time_from: std::time::Duration,
+    ) -> QueryStats {
+        let s = self.stats.lock();
+        QueryStats {
+            rounds: s.rounds[rounds_from.min(s.rounds.len())..].to_vec(),
+            search_time: s.search_time.saturating_sub(time_from),
+        }
+    }
+
     /// Reset the ledger (between experiment phases).
     pub fn reset_stats(&self) {
         *self.stats.lock() = QueryStats::default();

@@ -53,6 +53,7 @@
 //! println!("top tuple: {top:?}, cost: {} queries", session.stats().total_queries());
 //! ```
 
+mod budget;
 mod dense_index;
 mod executor;
 mod function;
@@ -63,6 +64,7 @@ mod reranker;
 mod space;
 mod stats;
 
+pub use budget::{Budget, CancelToken, StepOutcome};
 pub use dense_index::DenseIndex;
 pub use executor::{ExecutorKind, SearchCtx};
 pub use function::{LinearFunction, OneDimFunction, RankingFunction, SortDir};

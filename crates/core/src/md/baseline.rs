@@ -60,6 +60,19 @@ impl BaselineEngine {
         self.served
     }
 
+    /// Tuples servable without issuing queries: non-zero only once a root
+    /// underflow cached the complete match set (every other baseline
+    /// get-next re-runs the narrowing search).
+    pub fn buffered(&self) -> usize {
+        match &self.complete {
+            Some(all) => all
+                .iter()
+                .filter(|(_, t)| !self.served_ids.contains(&t.id))
+                .count(),
+            None => 0,
+        }
+    }
+
     /// Get-next: each call re-runs the narrowing search, excluding tuples
     /// already served (the paper's baseline has no reusable state beyond
     /// the session's seen set).

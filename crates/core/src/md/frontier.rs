@@ -137,6 +137,21 @@ impl FrontierEngine {
         self.served
     }
 
+    /// Discovered tuples that the next `next()` calls can serve without
+    /// issuing any query: candidates provably better than every frontier
+    /// cell's bound. Serving them does not change the frontier, so all of
+    /// them are free in sequence.
+    pub fn buffered(&self) -> usize {
+        match self.cells.peek() {
+            None => self.candidates.len(),
+            Some(cell) => self
+                .candidates
+                .iter()
+                .filter(|c| c.score < cell.min_score)
+                .count(),
+        }
+    }
+
     fn push_cell(&mut self, nbox: NBox) {
         let min_score = nbox.min_score(&self.f, &self.norm);
         self.seq += 1;

@@ -126,6 +126,16 @@ impl MdReranker {
             Engine::Ta(e) => e.served(),
         }
     }
+
+    /// Tuples the next `next()` calls can serve without issuing queries
+    /// (already discovered and provably next in order).
+    pub fn buffered(&self) -> usize {
+        match &self.inner {
+            Engine::Frontier(e) => e.buffered(),
+            Engine::Baseline(e) => e.buffered(),
+            Engine::Ta(e) => e.buffered(),
+        }
+    }
 }
 
 impl Iterator for MdReranker {

@@ -111,6 +111,15 @@ impl TaEngine {
         self.served
     }
 
+    /// Buffered candidates already at or below the TA threshold: each can
+    /// be served without further sorted access (serving does not move τ).
+    pub fn buffered(&self) -> usize {
+        match self.threshold() {
+            None => 0,
+            Some(tau) => self.candidates.iter().filter(|c| c.score <= tau).count(),
+        }
+    }
+
     /// The TA threshold: no unseen tuple can score below it. `None` until
     /// every stream has produced at least one value.
     fn threshold(&self) -> Option<f64> {

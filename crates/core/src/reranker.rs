@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use qr2_webdb::{Schema, SearchQuery, TopKInterface, Tuple};
 
+use crate::budget::{Budget, CancelToken, StepOutcome};
 use crate::dense_index::DenseIndex;
 use crate::executor::{ExecutorKind, SearchCtx};
 use crate::function::{LinearFunction, RankingFunction, SortDir};
@@ -236,7 +237,11 @@ impl Reranker {
                 dense,
             ))
         };
-        RerankSession { ctx, inner }
+        RerankSession {
+            ctx,
+            inner,
+            cancel: CancelToken::new(),
+        }
     }
 }
 
@@ -245,32 +250,83 @@ enum SessionInner {
     Md(MdReranker),
 }
 
-/// A live reranking session: get-next plus its statistics panel.
+/// A live reranking session: the budgeted step primitive
+/// ([`advance`](RerankSession::advance)), its blocking `next`/`next_page`
+/// conveniences, and the statistics panel.
 pub struct RerankSession {
     ctx: SearchCtx,
     inner: SessionInner,
+    cancel: CancelToken,
 }
 
 impl RerankSession {
-    /// The get-next primitive.
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<Tuple> {
-        match &mut self.inner {
-            SessionInner::OneD(s) => s.next(),
-            SessionInner::Md(s) => s.next(),
+    /// The execution primitive: run until the [`Budget`] is spent, the
+    /// tuple target is met, the stream is exhausted, or the session is
+    /// cancelled — whichever comes first — and report which in the
+    /// [`StepOutcome`] along with the incremental [`QueryStats`] delta.
+    ///
+    /// Sessions are resumable: a later `advance` continues exactly where
+    /// this one stopped (frontier/index/buffer state persists across both
+    /// the 1D and MD engine families), so slicing a run into budgeted
+    /// steps yields the identical tuple order and identical total query
+    /// cost as one unbudgeted run. Tuples already discovered are served
+    /// without spending budget; the query cap is checked between
+    /// discoveries, so a step may overshoot it by the cost of completing
+    /// the one in-flight discovery but never starts a new one past it.
+    pub fn advance(&mut self, budget: Budget) -> StepOutcome {
+        let (start_rounds, start_queries, start_time) = self.ctx.stats_counters();
+        let delta = |ctx: &SearchCtx| ctx.stats_delta_since(start_rounds, start_time);
+        let mut out: Vec<Tuple> = Vec::new();
+        loop {
+            if self.cancel.is_cancelled() {
+                return StepOutcome::Cancelled {
+                    partial: out,
+                    stats: delta(&self.ctx),
+                };
+            }
+            if budget.tuples.is_some_and(|target| out.len() >= target) {
+                return StepOutcome::Ready {
+                    tuples: out,
+                    stats: delta(&self.ctx),
+                };
+            }
+            // Buffered tuples are free; only a fresh discovery spends
+            // budget. (The buffer scan is skipped entirely on unbudgeted
+            // runs — `next()`/`next_page()` pay nothing for it.)
+            if let Some(cap) = budget.queries {
+                if self.buffered() == 0 {
+                    let (_, now_queries, _) = self.ctx.stats_counters();
+                    if now_queries - start_queries >= cap {
+                        return StepOutcome::BudgetExhausted {
+                            partial: out,
+                            stats: delta(&self.ctx),
+                        };
+                    }
+                }
+            }
+            match self.engine_next() {
+                Some(t) => out.push(t),
+                None => {
+                    return StepOutcome::Done {
+                        partial: out,
+                        stats: delta(&self.ctx),
+                    }
+                }
+            }
         }
     }
 
-    /// Fetch the next `k` tuples (one results page).
+    /// The blocking get-next primitive (an unbudgeted
+    /// [`advance`](RerankSession::advance) for one tuple).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Tuple> {
+        self.advance(Budget::tuples(1)).into_tuples().pop()
+    }
+
+    /// Fetch the next `k` tuples (one results page; an unbudgeted
+    /// [`advance`](RerankSession::advance)).
     pub fn next_page(&mut self, k: usize) -> Vec<Tuple> {
-        let mut page = Vec::with_capacity(k);
-        for _ in 0..k {
-            match self.next() {
-                Some(t) => page.push(t),
-                None => break,
-            }
-        }
-        page
+        self.advance(Budget::tuples(k)).into_tuples()
     }
 
     /// Tuples served so far.
@@ -281,9 +337,31 @@ impl RerankSession {
         }
     }
 
+    /// Tuples already discovered that upcoming calls serve without
+    /// issuing any web-DB query.
+    pub fn buffered(&self) -> usize {
+        match &self.inner {
+            SessionInner::OneD(s) => s.buffered(),
+            SessionInner::Md(s) => s.buffered(),
+        }
+    }
+
+    /// A cooperative cancellation handle; any clone can stop the session
+    /// between discoveries.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
     /// The statistics panel: per-round query counts, totals, wall time.
     pub fn stats(&self) -> QueryStats {
         self.ctx.stats()
+    }
+
+    fn engine_next(&mut self) -> Option<Tuple> {
+        match &mut self.inner {
+            SessionInner::OneD(s) => s.next(),
+            SessionInner::Md(s) => s.next(),
+        }
     }
 }
 
@@ -467,6 +545,162 @@ mod tests {
             after_second.misses == after_first.misses || after_second.hits > after_first.hits,
             "second session must reuse the shared index"
         );
+    }
+
+    #[test]
+    fn budgeted_slices_match_unbudgeted_run_for_every_algorithm() {
+        // Identical tuple order AND identical total query cost, for any
+        // slice size: advance never re-issues a query it already spent.
+        let d = db();
+        let r = Reranker::builder(d.clone())
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let price = r.schema().expect_id("price");
+        for algo in all_algorithms() {
+            let req = RerankRequest {
+                filter: SearchQuery::all(),
+                function: OneDimFunction::asc(price).into(),
+                algorithm: algo,
+            };
+            let mut plain = r.query(req.clone());
+            let want: Vec<_> = plain.next_page(20).iter().map(|t| t.id).collect();
+            let want_cost = plain.stats().total_queries();
+
+            for slice in [1, 3] {
+                let mut s = r.query(req.clone());
+                let mut got = Vec::new();
+                loop {
+                    let step = s.advance(Budget::queries(slice).with_tuples(20 - got.len()));
+                    let done = step.is_done();
+                    got.extend(step.into_tuples().iter().map(|t| t.id));
+                    if got.len() >= 20 || done {
+                        break;
+                    }
+                    assert!(
+                        got.len() < 20,
+                        "only budget exhaustion may end a short step here"
+                    );
+                }
+                assert_eq!(got, want, "{} slice={slice}: order", algo.paper_name());
+                assert_eq!(
+                    s.stats().total_queries(),
+                    want_cost,
+                    "{} slice={slice}: cost",
+                    algo.paper_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_resumes_without_respending() {
+        let d = db();
+        let r = Reranker::builder(d.clone())
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let price = r.schema().expect_id("price");
+        let mut s = r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(price).into(),
+            algorithm: Algorithm::OneDBinary,
+        });
+        // A zero-query budget with a cold buffer buys nothing.
+        let step = s.advance(Budget::queries(0).with_tuples(5));
+        assert!(step.is_budget_exhausted());
+        assert!(step.tuples().is_empty());
+        assert_eq!(s.stats().total_queries(), 0);
+
+        // One query of budget starts a discovery; the discovery runs to
+        // completion (atomic), buffering a chunk.
+        let step = s.advance(Budget::queries(1).with_tuples(50));
+        assert!(step.is_budget_exhausted());
+        assert!(
+            !step.tuples().is_empty(),
+            "the budget bought a partial page"
+        );
+        let spent = s.stats().total_queries();
+        assert!(spent >= 1);
+        let served_so_far = s.served();
+
+        // Resuming with zero budget serves only what is already buffered —
+        // no query is re-issued.
+        let buffered = s.buffered();
+        let step = s.advance(Budget::queries(0).with_tuples(buffered + 50));
+        assert_eq!(step.tuples().len(), buffered);
+        assert_eq!(step.stats_delta().total_queries(), 0);
+        assert_eq!(s.stats().total_queries(), spent, "no re-spend on resume");
+        assert_eq!(s.served(), served_so_far + buffered);
+    }
+
+    #[test]
+    fn advance_reports_incremental_stats_deltas() {
+        let d = db();
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let price = r.schema().expect_id("price");
+        // Deltas across steps must sum to the cumulative ledger.
+        let mut summed = 0;
+        let mut s = r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(price).into(),
+            algorithm: Algorithm::OneDBinary,
+        });
+        loop {
+            let step = s.advance(Budget::queries(2).with_tuples(usize::MAX));
+            summed += step.stats_delta().total_queries();
+            if step.is_done() {
+                break;
+            }
+        }
+        assert_eq!(summed, s.stats().total_queries());
+        assert!(summed > 0);
+    }
+
+    #[test]
+    fn cancellation_stops_between_discoveries_and_sticks() {
+        let d = db();
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let price = r.schema().expect_id("price");
+        let mut s = r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(price).into(),
+            algorithm: Algorithm::OneDBinary,
+        });
+        let token = s.cancel_token();
+        assert_eq!(s.next_page(3).len(), 3, "runs normally before cancel");
+        token.cancel();
+        let step = s.advance(Budget::tuples(3));
+        assert_eq!(step.label(), "cancelled");
+        assert!(step.tuples().is_empty());
+        assert_eq!(step.stats_delta().total_queries(), 0);
+        // Sticks: the wrappers observe it too.
+        assert!(s.next().is_none());
+        assert!(s.next_page(5).is_empty());
+    }
+
+    #[test]
+    fn done_step_carries_the_final_partial_page() {
+        let d = db(); // 50 tuples
+        let r = Reranker::builder(d)
+            .executor(ExecutorKind::Sequential)
+            .build();
+        let price = r.schema().expect_id("price");
+        let mut s = r.query(RerankRequest {
+            filter: SearchQuery::all(),
+            function: OneDimFunction::asc(price).into(),
+            algorithm: Algorithm::OneDBinary,
+        });
+        let first = s.advance(Budget::tuples(45));
+        assert_eq!(first.label(), "complete");
+        assert_eq!(first.tuples().len(), 45);
+        let last = s.advance(Budget::tuples(45));
+        assert!(last.is_done());
+        assert_eq!(last.tuples().len(), 5, "final step carries the tail");
+        assert!(s.advance(Budget::UNLIMITED).is_done());
+        assert!(s.advance(Budget::UNLIMITED).tuples().is_empty());
     }
 
     #[test]

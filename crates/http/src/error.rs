@@ -28,6 +28,9 @@ pub struct ApiError {
     /// JSON path of the offending request field (`filters[0].attr`), when
     /// the error is a request-validation failure.
     pub field: Option<String>,
+    /// Extra response headers the rendered error carries (e.g.
+    /// `Retry-After` on budget-exhaustion errors).
+    pub headers: Vec<(String, String)>,
 }
 
 impl ApiError {
@@ -38,6 +41,7 @@ impl ApiError {
             code,
             message: message.into(),
             field: None,
+            headers: Vec::new(),
         }
     }
 
@@ -60,6 +64,17 @@ impl ApiError {
     pub fn with_field(mut self, field: impl Into<String>) -> ApiError {
         self.field = Some(field.into());
         self
+    }
+
+    /// Attach a response header to the rendered error.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> ApiError {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Attach a `Retry-After` header (seconds).
+    pub fn with_retry_after(self, seconds: u64) -> ApiError {
+        self.with_header("Retry-After", seconds.to_string())
     }
 
     /// The default code for a bare status (used when a plain message is
@@ -90,7 +105,9 @@ impl ApiError {
 
 impl From<ApiError> for Response {
     fn from(e: ApiError) -> Response {
-        Response::json(e.status, &e.to_json())
+        let mut resp = Response::json(e.status, &e.to_json());
+        resp.headers.extend(e.headers);
+        resp
     }
 }
 
@@ -144,6 +161,15 @@ mod tests {
             "method_not_allowed"
         );
         assert_eq!(ApiError::default_code(Status::InternalError), "internal");
+    }
+
+    #[test]
+    fn headers_carry_through_to_the_response() {
+        let e = ApiError::new(Status::PaymentRequired, "budget_exceeded", "cap spent")
+            .with_retry_after(60);
+        let r: Response = e.into();
+        assert_eq!(r.status, Status::PaymentRequired);
+        assert_eq!(r.header("Retry-After"), Some("60"));
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub use extract::{decode_body, parse_body, Decode, FromJson, IntoJson};
 pub use json::{parse_json, Json, JsonError};
 pub use middleware::{AccessLog, CatchPanic, Handler, Layer, RequestId, RequireJsonBody, Stack};
 pub use request::{parse_request, Method, Request, RequestError};
-pub use response::{Response, Status};
+pub use response::{Body, ChunkStream, Response, Status};
 pub use router::{Params, Router};
 pub use server::{HttpServer, ServerHandle};

@@ -1,4 +1,6 @@
-//! HTTP response construction and serialization.
+//! HTTP response construction and serialization: buffered bodies written
+//! with `Content-Length`, streaming bodies written with
+//! `Transfer-Encoding: chunked` and a flush after every chunk.
 
 use std::io::Write;
 
@@ -15,6 +17,8 @@ pub enum Status {
     NoContent,
     /// 400
     BadRequest,
+    /// 402 (QR2 uses it for exhausted query budgets)
+    PaymentRequired,
     /// 404
     NotFound,
     /// 405
@@ -33,6 +37,7 @@ impl Status {
             Status::Created => 201,
             Status::NoContent => 204,
             Status::BadRequest => 400,
+            Status::PaymentRequired => 402,
             Status::NotFound => 404,
             Status::MethodNotAllowed => 405,
             Status::UnsupportedMediaType => 415,
@@ -46,6 +51,7 @@ impl Status {
             Status::Created => "Created",
             Status::NoContent => "No Content",
             Status::BadRequest => "Bad Request",
+            Status::PaymentRequired => "Payment Required",
             Status::NotFound => "Not Found",
             Status::MethodNotAllowed => "Method Not Allowed",
             Status::UnsupportedMediaType => "Unsupported Media Type",
@@ -54,15 +60,125 @@ impl Status {
     }
 }
 
+/// A lazily produced sequence of body chunks. The producer is pulled one
+/// chunk at a time *during* serialization, after the previous chunk has
+/// been flushed to the socket — so a slow producer streams instead of
+/// stalling the whole response.
+pub struct ChunkStream {
+    next: Box<dyn FnMut() -> Option<Vec<u8>> + Send>,
+}
+
+impl ChunkStream {
+    /// Stream from a producer closure; `None` ends the body.
+    pub fn new(next: impl FnMut() -> Option<Vec<u8>> + Send + 'static) -> ChunkStream {
+        ChunkStream {
+            next: Box::new(next),
+        }
+    }
+
+    /// Stream a fixed sequence of chunks (handy in tests).
+    pub fn from_chunks(chunks: Vec<Vec<u8>>) -> ChunkStream {
+        let mut iter = chunks.into_iter();
+        ChunkStream::new(move || iter.next())
+    }
+
+    /// Pull the next chunk.
+    pub fn next_chunk(&mut self) -> Option<Vec<u8>> {
+        (self.next)()
+    }
+}
+
+impl std::fmt::Debug for ChunkStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ChunkStream(..)")
+    }
+}
+
+/// A response body: fully buffered bytes (written with `Content-Length`)
+/// or a pull-based chunk stream (written with `Transfer-Encoding: chunked`
+/// and a flush per chunk).
+#[derive(Debug)]
+pub enum Body {
+    /// Buffered payload.
+    Bytes(Vec<u8>),
+    /// Lazily produced chunks.
+    Stream(ChunkStream),
+}
+
+impl Default for Body {
+    fn default() -> Body {
+        Body::Bytes(Vec::new())
+    }
+}
+
+impl Body {
+    /// An empty buffered body.
+    pub fn empty() -> Body {
+        Body::default()
+    }
+
+    /// Buffered length; `0` for streams (their size is unknown upfront).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        match self {
+            Body::Bytes(b) => b.len(),
+            Body::Stream(_) => 0,
+        }
+    }
+
+    /// True for an empty *buffered* body; a stream may still produce
+    /// bytes, so it reports false.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Body::Bytes(b) => b.is_empty(),
+            Body::Stream(_) => false,
+        }
+    }
+
+    /// True for a streaming body.
+    pub fn is_stream(&self) -> bool {
+        matches!(self, Body::Stream(_))
+    }
+
+    /// Drop the payload (used for `HEAD`; also cancels a stream without
+    /// pulling it).
+    pub fn clear(&mut self) {
+        *self = Body::default();
+    }
+
+    /// The buffered bytes; empty for streams.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Bytes(b) => b,
+            Body::Stream(_) => &[],
+        }
+    }
+}
+
+impl std::ops::Deref for Body {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(bytes: Vec<u8>) -> Body {
+        Body::Bytes(bytes)
+    }
+}
+
 /// An HTTP response.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Response {
     /// Status line.
     pub status: Status,
-    /// Extra headers (`Content-Length`/`Connection` are added on write).
+    /// Extra headers (`Content-Length`/`Transfer-Encoding`/`Connection`
+    /// are added on write).
     pub headers: Vec<(String, String)>,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body payload (buffered or streaming).
+    pub body: Body,
 }
 
 impl Response {
@@ -74,7 +190,7 @@ impl Response {
                 "Content-Type".to_string(),
                 "application/json; charset=utf-8".to_string(),
             )],
-            body: value.to_string().into_bytes(),
+            body: Body::Bytes(value.to_string().into_bytes()),
         }
     }
 
@@ -91,7 +207,19 @@ impl Response {
                 "Content-Type".to_string(),
                 "text/html; charset=utf-8".to_string(),
             )],
-            body: body.as_bytes().to_vec(),
+            body: Body::Bytes(body.as_bytes().to_vec()),
+        }
+    }
+
+    /// `200 OK` streaming response: the body is pulled chunk by chunk
+    /// while the response is being written, each chunk flushed to the
+    /// socket before the next one is produced (`Transfer-Encoding:
+    /// chunked`).
+    pub fn stream(content_type: &str, stream: ChunkStream) -> Response {
+        Response {
+            status: Status::Ok,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body: Body::Stream(stream),
         }
     }
 
@@ -100,7 +228,7 @@ impl Response {
         Response {
             status: Status::NoContent,
             headers: Vec::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
@@ -130,11 +258,18 @@ impl Response {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Serialize onto a writer (adds `Content-Length` and
-    /// `Connection: close`). An explicit `Content-Length` header wins over
-    /// the computed one (HEAD responses advertise the GET entity size), and
-    /// `204 No Content` carries no `Content-Length` at all (RFC 9110 §8.6).
-    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+    /// Serialize onto a writer.
+    ///
+    /// Buffered bodies get `Content-Length` and are written in one shot;
+    /// an explicit `Content-Length` header wins over the computed one
+    /// (HEAD responses advertise the GET entity size), and `204 No
+    /// Content` carries no `Content-Length` at all (RFC 9110 §8.6).
+    ///
+    /// Streaming bodies get `Transfer-Encoding: chunked`; each chunk is
+    /// written and **flushed** before the next one is pulled from the
+    /// producer, so clients see bytes as they are produced. Takes `&mut
+    /// self` because pulling the stream consumes it.
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> std::io::Result<()> {
         write!(
             w,
             "HTTP/1.1 {} {}\r\n",
@@ -144,12 +279,35 @@ impl Response {
         for (name, value) in &self.headers {
             write!(w, "{name}: {value}\r\n")?;
         }
-        if self.status != Status::NoContent && self.header("Content-Length").is_none() {
-            write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        let explicit_length = self.header("Content-Length").is_some();
+        let status = self.status;
+        match &mut self.body {
+            Body::Bytes(bytes) => {
+                if status != Status::NoContent && !explicit_length {
+                    write!(w, "Content-Length: {}\r\n", bytes.len())?;
+                }
+                write!(w, "Connection: close\r\n\r\n")?;
+                w.write_all(bytes)?;
+                w.flush()
+            }
+            Body::Stream(stream) => {
+                write!(w, "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n")?;
+                w.flush()?;
+                while let Some(chunk) = stream.next_chunk() {
+                    // An empty chunk would terminate the chunked body
+                    // prematurely; skip it.
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    write!(w, "{:X}\r\n", chunk.len())?;
+                    w.write_all(&chunk)?;
+                    w.write_all(b"\r\n")?;
+                    w.flush()?;
+                }
+                w.write_all(b"0\r\n\r\n")?;
+                w.flush()
+            }
         }
-        write!(w, "Connection: close\r\n\r\n")?;
-        w.write_all(&self.body)?;
-        w.flush()
     }
 }
 
@@ -159,7 +317,7 @@ mod tests {
 
     #[test]
     fn json_response_serializes() {
-        let r = Response::ok_json(&Json::obj([("x", Json::from(1usize))]));
+        let mut r = Response::ok_json(&Json::obj([("x", Json::from(1usize))]));
         let mut out = Vec::new();
         r.write_to(&mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -171,7 +329,7 @@ mod tests {
 
     #[test]
     fn error_statuses() {
-        let r = Response::error(Status::NotFound, "no such session");
+        let mut r = Response::error(Status::NotFound, "no such session");
         let mut out = Vec::new();
         r.write_to(&mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -181,7 +339,7 @@ mod tests {
 
     #[test]
     fn html_response() {
-        let r = Response::html("<h1>QR2</h1>");
+        let mut r = Response::html("<h1>QR2</h1>");
         let mut out = Vec::new();
         r.write_to(&mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -195,6 +353,7 @@ mod tests {
         assert_eq!(Status::Created.code(), 201);
         assert_eq!(Status::NoContent.code(), 204);
         assert_eq!(Status::BadRequest.code(), 400);
+        assert_eq!(Status::PaymentRequired.code(), 402);
         assert_eq!(Status::MethodNotAllowed.code(), 405);
         assert_eq!(Status::UnsupportedMediaType.code(), 415);
         assert_eq!(Status::InternalError.code(), 500);
@@ -225,8 +384,8 @@ mod tests {
     fn explicit_content_length_wins() {
         // HEAD responses keep the GET entity size while sending no body.
         let r = Response::ok_json(&Json::from("x")).with_header("Content-Length", "3");
-        let r = Response {
-            body: Vec::new(),
+        let mut r = Response {
+            body: Body::empty(),
             ..r
         };
         let mut out = Vec::new();
@@ -234,6 +393,81 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Content-Length: 3"), "{text}");
         assert!(!text.contains("Content-Length: 0"), "{text}");
+    }
+
+    #[test]
+    fn stream_response_is_chunked_and_lazy() {
+        // A writer that records flush boundaries: each element is what was
+        // written between two flushes.
+        struct FlushTracker {
+            segments: Vec<Vec<u8>>,
+            current: Vec<u8>,
+        }
+        impl Write for FlushTracker {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.current.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                if !self.current.is_empty() {
+                    self.segments.push(std::mem::take(&mut self.current));
+                }
+                Ok(())
+            }
+        }
+
+        let mut n = 0;
+        let stream = ChunkStream::new(move || {
+            n += 1;
+            (n <= 2).then(|| format!("line{n}\n").into_bytes())
+        });
+        let mut r = Response::stream("application/x-ndjson", stream);
+        assert!(r.body.is_stream());
+        assert_eq!(r.body.len(), 0);
+        assert!(!r.body.is_empty(), "a stream may still produce bytes");
+
+        let mut w = FlushTracker {
+            segments: Vec::new(),
+            current: Vec::new(),
+        };
+        r.write_to(&mut w).unwrap();
+        let text: String = w
+            .segments
+            .iter()
+            .map(|s| String::from_utf8_lossy(s).into_owned())
+            .collect();
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(text.contains("6\r\nline1\n\r\n"), "{text}");
+        assert!(text.contains("6\r\nline2\n\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+        // Headers, chunk 1, chunk 2, terminator = 4 flush segments.
+        assert_eq!(w.segments.len(), 4, "one flush per chunk");
+        // Each chunk sits alone in its own flush segment.
+        assert!(String::from_utf8_lossy(&w.segments[1]).contains("line1"));
+        assert!(String::from_utf8_lossy(&w.segments[2]).contains("line2"));
+    }
+
+    #[test]
+    fn stream_skips_empty_chunks() {
+        let stream = ChunkStream::from_chunks(vec![b"a".to_vec(), Vec::new(), b"b".to_vec()]);
+        let mut r = Response::stream("text/plain", stream);
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("1\r\na\r\n1\r\nb\r\n0\r\n\r\n"), "{text}");
+    }
+
+    #[test]
+    fn cleared_stream_body_writes_as_empty() {
+        let mut r = Response::stream("text/plain", ChunkStream::from_chunks(vec![b"x".to_vec()]));
+        r.body.clear();
+        assert!(!r.body.is_stream());
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 0"), "{text}");
+        assert!(!text.contains("chunked"), "{text}");
     }
 
     #[test]

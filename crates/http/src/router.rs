@@ -108,7 +108,9 @@ impl Router {
     pub fn dispatch(&self, req: &Request) -> Response {
         let mut resp = self.dispatch_inner(req);
         if req.method == Method::Head {
-            if resp.header("Content-Length").is_none() {
+            // A streaming body's size is unknown; advertise a length only
+            // for buffered bodies. Clearing drops a stream unpulled.
+            if resp.header("Content-Length").is_none() && !resp.body.is_stream() {
                 let len = resp.body.len();
                 resp = resp.with_header("Content-Length", len.to_string());
             }
@@ -138,7 +140,7 @@ impl Router {
             }
         }
         if allowed.is_empty() {
-            Response::error(Status::NotFound, "no such route")
+            Response::error(Status::NotFound, &format!("no route for '{}'", req.path))
         } else {
             if allowed.contains(&"GET") && !allowed.contains(&"HEAD") {
                 allowed.push("HEAD");
@@ -209,23 +211,23 @@ mod tests {
     fn literal_match() {
         let r = router().dispatch(&req(Method::Get, "/api/sources"));
         assert_eq!(r.status, Status::Ok);
-        assert_eq!(String::from_utf8(r.body).unwrap(), "\"sources\"");
+        assert_eq!(String::from_utf8(r.body.to_vec()).unwrap(), "\"sources\"");
     }
 
     #[test]
     fn param_capture() {
         let r = router().dispatch(&req(Method::Get, "/api/session/s42/stats"));
-        assert_eq!(String::from_utf8(r.body).unwrap(), "\"s42\"");
+        assert_eq!(String::from_utf8(r.body.to_vec()).unwrap(), "\"s42\"");
     }
 
     #[test]
     fn params_are_percent_decoded_per_segment() {
         let r = router().dispatch(&req(Method::Get, "/api/session/s%20x/stats"));
-        assert_eq!(String::from_utf8(r.body).unwrap(), "\"s x\"");
+        assert_eq!(String::from_utf8(r.body.to_vec()).unwrap(), "\"s x\"");
         // An encoded slash stays inside the capture instead of adding a
         // path segment.
         let r = router().dispatch(&req(Method::Get, "/api/session/a%2Fb/stats"));
-        assert_eq!(String::from_utf8(r.body).unwrap(), "\"a/b\"");
+        assert_eq!(String::from_utf8(r.body.to_vec()).unwrap(), "\"a/b\"");
     }
 
     #[test]

@@ -153,7 +153,7 @@ fn handle_connection(stream: TcpStream, handler: &dyn Handler) {
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
-    let response = match parse_request(&mut reader) {
+    let mut response = match parse_request(&mut reader) {
         Ok(req) => {
             // Panics in handlers must not take the worker down (a
             // [`crate::CatchPanic`] layer, when present, turns them into
@@ -166,7 +166,7 @@ fn handle_connection(stream: TcpStream, handler: &dyn Handler) {
             // own; this covers responses generated above it (panic 500s,
             // middleware rejections).
             if req.method == crate::request::Method::Head && !response.body.is_empty() {
-                if response.header("Content-Length").is_none() {
+                if response.header("Content-Length").is_none() && !response.body.is_stream() {
                     let len = response.body.len();
                     response = response.with_header("Content-Length", len.to_string());
                 }
@@ -176,8 +176,11 @@ fn handle_connection(stream: TcpStream, handler: &dyn Handler) {
         }
         Err(e) => Response::error(Status::BadRequest, &e.to_string()),
     };
+    // Streaming bodies are pulled from their producer inside `write_to`,
+    // one flush per chunk — a slow producer streams to the client instead
+    // of buffering server-side. A write error means the client went away;
+    // the producer is dropped with the response.
     if response.write_to(&mut writer).is_err() {
-        // Client went away; nothing to do.
         let _ = peer;
     }
 }

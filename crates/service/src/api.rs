@@ -16,13 +16,23 @@
 
 use std::sync::Arc;
 
-use qr2_http::{decode_body, ApiError, IntoJson, Json, Params, Request, Response, Status};
+use qr2_core::Budget;
+use qr2_http::{
+    decode_body, ApiError, ChunkStream, IntoJson, Json, Params, Request, Response, Status,
+};
+use qr2_webdb::Schema;
 
-use crate::dto::{algorithm_catalog, GetNextRequest, NextPageRequest, QueryRequest};
-use crate::error::codes;
-use crate::service::QueryService;
-use crate::session::SessionManager;
+use crate::dto::{
+    algorithm_catalog, GetNextRequest, NextPageRequest, QueryRequest, StatsResponse, TupleDto,
+};
+use crate::error::{codes, unknown_query};
+use crate::service::{remaining_lifetime, QueryService};
+use crate::session::{SessionHandle, SessionManager};
 use crate::sources::SourceRegistry;
+
+/// Streaming responses may ask for more rows than a buffered page (the
+/// stream emits them incrementally instead of holding them in memory).
+const STREAM_LIMIT_RANGE: (usize, usize) = (1, 1000);
 
 /// Shared state behind the HTTP handlers.
 pub struct ApiState {
@@ -39,6 +49,115 @@ fn respond<T: IntoJson>(ok_status: Status, result: Result<T, ApiError>) -> Respo
         Ok(value) => Response::json(ok_status, &value.to_json()),
         Err(e) => e.into(),
     }
+}
+
+/// Parse an optional non-negative integer query parameter.
+fn usize_param(req: &Request, name: &str) -> Result<Option<usize>, ApiError> {
+    match req.query_param(name) {
+        Some(raw) => raw.parse::<usize>().map(Some).map_err(|_| {
+            ApiError::bad_request(
+                codes::INVALID_PARAMETER,
+                format!("{name} must be a non-negative integer, got '{raw}'"),
+            )
+            .with_field(name)
+        }),
+        None => Ok(None),
+    }
+}
+
+/// The NDJSON producer behind `GET /v1/queries/:id/stream`.
+///
+/// Pull-based: each call produces exactly one line — a tuple event
+/// (`{"event":"tuple",...}`) or the terminating summary
+/// (`{"event":"summary",...}`) — and is invoked only after the previous
+/// line was flushed to the socket. One tuple is discovered per call
+/// (`advance` with a 1-tuple budget), the entry lock is held only for
+/// that discovery, and the optional query `budget` plus the session's
+/// lifetime cap bound the total spend across the whole stream.
+fn ndjson_stream(
+    id: String,
+    handle: Arc<SessionHandle>,
+    schema: Schema,
+    limit: usize,
+    budget: Option<usize>,
+) -> ChunkStream {
+    let mut emitted = 0usize;
+    let mut stream_queries = 0usize;
+    let mut summary_sent = false;
+    let mut status: Option<&'static str> = None;
+    ChunkStream::new(move || {
+        if summary_sent {
+            return None;
+        }
+        let mut entry = handle.lock();
+        // The stream never re-enters SessionManager::get, so refresh the
+        // idle timer itself — an actively consumed stream must not be
+        // TTL-evicted out from under its client.
+        handle.touch();
+        let line = loop {
+            if let Some(status) = status {
+                // A stopping condition was reached: emit the summary.
+                summary_sent = true;
+                let stats = StatsResponse::new(&entry.session.stats(), entry.session.served());
+                break Json::obj([
+                    ("event", Json::from("summary")),
+                    ("status", Json::from(status)),
+                    ("count", Json::from(emitted)),
+                    ("stream_queries", Json::from(stream_queries)),
+                    ("stats", stats.to_json()),
+                ]);
+            }
+            if emitted >= limit {
+                status = Some("complete");
+                continue;
+            }
+            let remaining = match remaining_lifetime(&id, &handle, &entry) {
+                Ok(r) => r,
+                Err(_) => {
+                    // The 200 is committed; report exhaustion in-band.
+                    status = Some("budget_exhausted");
+                    continue;
+                }
+            };
+            let step_cap = match (budget.map(|b| b.saturating_sub(stream_queries)), remaining) {
+                (Some(b), Some(r)) => Some(b.min(r)),
+                (Some(b), None) => Some(b),
+                (None, r) => r,
+            };
+            let step = entry.session.advance(Budget {
+                queries: step_cap,
+                tuples: Some(1),
+            });
+            entry.done = step.is_done();
+            let step_queries = step.stats_delta().total_queries();
+            stream_queries += step_queries;
+            match step.tuples().first() {
+                Some(t) => {
+                    let event = Json::obj([
+                        ("event", Json::from("tuple")),
+                        ("index", Json::from(emitted)),
+                        ("queries", Json::from(step_queries)),
+                        (
+                            "total_queries",
+                            Json::from(entry.session.stats().total_queries()),
+                        ),
+                        ("tuple", TupleDto::new(&schema, t).to_json()),
+                    ]);
+                    emitted += 1;
+                    break event;
+                }
+                None => {
+                    // No tuple: the step stopped for a terminal reason.
+                    status = Some(step.label());
+                    continue;
+                }
+            }
+        };
+        drop(entry);
+        let mut bytes = line.to_string().into_bytes();
+        bytes.push(b'\n');
+        Some(bytes)
+    })
 }
 
 impl ApiState {
@@ -110,20 +229,58 @@ impl ApiState {
                 qr2_http::Method::Post if !req.body.is_empty() => {
                     decode_body::<NextPageRequest>(req)?.page_size
                 }
-                _ => match req.query_param("page_size") {
-                    Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
-                        ApiError::bad_request(
-                            codes::INVALID_PARAMETER,
-                            format!("page_size must be a non-negative integer, got '{raw}'"),
-                        )
-                        .with_field("page_size")
-                    })?),
-                    None => None,
-                },
+                _ => usize_param(req, "page_size")?,
             };
             self.service.next_page(id, page_size)
         })();
         respond(Status::Ok, result)
+    }
+
+    /// `GET /v1/queries/:id/results?limit=N&budget=Q` — one budgeted,
+    /// resumable step of the query (see
+    /// [`QueryService::results`](crate::QueryService::results)).
+    pub fn v1_results(&self, req: &Request, p: &Params) -> Response {
+        let result = (|| {
+            let id = p.require("id")?;
+            let limit = usize_param(req, "limit")?;
+            let budget = usize_param(req, "budget")?;
+            self.service.results(id, limit, budget)
+        })();
+        respond(Status::Ok, result)
+    }
+
+    /// `GET /v1/queries/:id/stream?limit=N&budget=Q` — stream up to
+    /// `limit` tuples as NDJSON, one tuple-with-cost event per line,
+    /// terminated by a summary line. Each line is produced on demand and
+    /// flushed before the next discovery starts, so clients see the first
+    /// tuple while later ones are still being searched for. The session's
+    /// entry lock is taken per line, not for the whole stream, so stats
+    /// and other requests interleave with an active stream.
+    pub fn v1_stream(&self, req: &Request, p: &Params) -> Response {
+        let result = (|| -> Result<Response, ApiError> {
+            let id = p.require("id")?.to_string();
+            let limit = usize_param(req, "limit")?;
+            let budget = usize_param(req, "budget")?;
+            let handle = self.sessions.get(&id).ok_or_else(|| unknown_query(&id))?;
+            let source = self.registry.get(&handle.source).ok_or_else(|| {
+                ApiError::internal(format!("session source '{}' vanished", handle.source))
+            })?;
+            let schema = source.schema().clone();
+            let limit = limit
+                .unwrap_or(handle.page_size)
+                .clamp(STREAM_LIMIT_RANGE.0, STREAM_LIMIT_RANGE.1);
+            // Reject an already-exhausted lifetime budget as a structured
+            // 402 *before* committing to a 200 streaming response.
+            {
+                let entry = handle.lock();
+                remaining_lifetime(&id, &handle, &entry)?;
+            }
+            Ok(Response::stream(
+                "application/x-ndjson; charset=utf-8",
+                ndjson_stream(id, handle, schema, limit, budget),
+            ))
+        })();
+        result.unwrap_or_else(Into::into)
     }
 
     /// `GET /v1/queries/:id/stats`

@@ -71,6 +71,7 @@ impl Qr2App {
     pub fn router(&self) -> Router {
         let st = |_: ()| Arc::clone(&self.state);
         let (s1, s2, s3, s4, s5, s6) = (st(()), st(()), st(()), st(()), st(()), st(()));
+        let (s7, s8) = (st(()), st(()));
         let (l1, l2, l3, l4, l5) = (st(()), st(()), st(()), st(()), st(()));
         Router::new()
             .route(Method::Get, "/", |_, _| Response::html(INDEX_HTML))
@@ -93,6 +94,12 @@ impl Qr2App {
             })
             .route(Method::Post, "/v1/queries/:id/next", move |req, p| {
                 s4.v1_next(req, p)
+            })
+            .route(Method::Get, "/v1/queries/:id/results", move |req, p| {
+                s7.v1_results(req, p)
+            })
+            .route(Method::Get, "/v1/queries/:id/stream", move |req, p| {
+                s8.v1_stream(req, p)
             })
             .route(Method::Get, "/v1/queries/:id/stats", move |_, p| {
                 s5.v1_stats(p)
@@ -302,6 +309,96 @@ mod tests {
             Some("unknown_query")
         );
 
+        server.stop();
+    }
+
+    #[test]
+    fn v1_results_and_stream_round_trip() {
+        let server = app().serve("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+
+        let body = r#"{"ranking":{"type":"1d","attr":"price","dir":"asc"},"page_size":2}"#;
+        let raw = format!(
+            "POST /v1/sources/bluenile/queries HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = http(addr, &raw);
+        let id = parse_json(body_of(&resp))
+            .unwrap()
+            .get("query_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        // Budgeted results step: whatever 1 query buys (one atomic
+        // discovery, well short of 100 tuples), with a status.
+        let resp = http(
+            addr,
+            &format!("GET /v1/queries/{id}/results?limit=100&budget=1 HTTP/1.1\r\n\r\n"),
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert_eq!(
+            v.get("status").unwrap().as_str(),
+            Some("budget_exhausted"),
+            "{resp}"
+        );
+        assert!(v.get("step_queries").unwrap().as_usize().unwrap() >= 1);
+
+        // Malformed budget parameter: structured 400.
+        let resp = http(
+            addr,
+            &format!("GET /v1/queries/{id}/results?budget=lots HTTP/1.1\r\n\r\n"),
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("invalid_parameter"), "{resp}");
+
+        // NDJSON stream: chunked transfer, one tuple event per line, then
+        // a summary line.
+        let resp = http(
+            addr,
+            &format!("GET /v1/queries/{id}/stream?limit=3 HTTP/1.1\r\n\r\n"),
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("Transfer-Encoding: chunked"), "{resp}");
+        assert!(resp.contains("application/x-ndjson"), "{resp}");
+        assert_eq!(resp.matches("\"event\":\"tuple\"").count(), 3, "{resp}");
+        assert_eq!(resp.matches("\"event\":\"summary\"").count(), 1, "{resp}");
+        assert!(resp.contains("\"status\":\"complete\""), "{resp}");
+
+        // Streaming an unknown id is still a structured 404, not a stream.
+        let resp = http(addr, "GET /v1/queries/s999999/stream HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("unknown_query"), "{resp}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_v1_and_api_routes_render_the_error_envelope() {
+        let server = app().serve("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+        for path in ["/v1/nope", "/v1/queries", "/api/nope/deeper", "/zzz"] {
+            let resp = http(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"));
+            assert!(resp.starts_with("HTTP/1.1 404"), "{path}: {resp}");
+            assert!(
+                resp.contains("application/json"),
+                "{path} must not be plain text: {resp}"
+            );
+            let v = parse_json(body_of(&resp)).unwrap();
+            let err = v.get("error").unwrap();
+            assert_eq!(
+                err.get("code").unwrap().as_str(),
+                Some("not_found"),
+                "{path}"
+            );
+            assert!(
+                err.get("message").unwrap().as_str().unwrap().contains(path),
+                "{path}: the 404 names the missing route"
+            );
+        }
         server.stop();
     }
 

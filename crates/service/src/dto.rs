@@ -143,6 +143,9 @@ pub struct QueryRequest {
     pub algorithm: String,
     /// Requested page size (service clamps to `1..=100`).
     pub page_size: Option<usize>,
+    /// Lifetime cap on web-DB queries this query may spend; once spent,
+    /// further paging yields the `budget_exceeded` error (402).
+    pub max_queries: Option<usize>,
 }
 
 impl FromJson for QueryRequest {
@@ -169,6 +172,7 @@ impl FromJson for QueryRequest {
                 .transpose()?
                 .unwrap_or_else(|| "auto".to_string()),
             page_size: d.opt("page_size").map(|v| v.usize()).transpose()?,
+            max_queries: d.opt("max_queries").map(|v| v.usize()).transpose()?,
         })
     }
 }
@@ -348,6 +352,41 @@ impl IntoJson for PageResponse {
         }
         fields.extend(self.page_fields());
         Json::obj(fields)
+    }
+}
+
+/// A budgeted page of results (`GET /v1/queries/:id/results`): whatever
+/// the step's budget bought, the reason the step stopped, and both the
+/// step's incremental query spend and the cumulative statistics.
+#[derive(Debug, Clone)]
+pub struct ResultsResponse {
+    /// The query resource id.
+    pub query_id: String,
+    /// The tuples this call produced (possibly a partial page).
+    pub results: Vec<TupleDto>,
+    /// Why the step stopped: `complete` (limit met) |
+    /// `budget_exhausted` (query budget ran out first; call again to
+    /// resume) | `done` (stream exhausted) | `cancelled`.
+    pub status: &'static str,
+    /// Web-DB queries this call spent (the step's incremental cost).
+    pub step_queries: usize,
+    /// Cumulative statistics for the whole session.
+    pub stats: StatsResponse,
+}
+
+impl IntoJson for ResultsResponse {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("query_id", Json::from(self.query_id.as_str())),
+            (
+                "results",
+                Json::Arr(self.results.iter().map(IntoJson::to_json).collect()),
+            ),
+            ("status", Json::from(self.status)),
+            ("done", Json::Bool(self.status == "done")),
+            ("step_queries", Json::from(self.step_queries)),
+            ("stats", self.stats.to_json()),
+        ])
     }
 }
 

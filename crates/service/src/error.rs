@@ -40,6 +40,9 @@ pub mod codes {
     pub const UNKNOWN_SOURCE: &str = "unknown_source";
     /// No live query/session with the requested id.
     pub const UNKNOWN_QUERY: &str = "unknown_query";
+    /// The session's lifetime query budget is spent (402; carries
+    /// `Retry-After`).
+    pub const BUDGET_EXCEEDED: &str = "budget_exceeded";
     /// Declared `Content-Type` is not JSON.
     pub const UNSUPPORTED_MEDIA_TYPE: &str = "unsupported_media_type";
     /// No route for the path.
@@ -60,6 +63,22 @@ pub fn unknown_query(id: &str) -> ApiError {
     ApiError::not_found(codes::UNKNOWN_QUERY, format!("no query '{id}'"))
 }
 
+/// How long a `budget_exceeded` response asks the client to wait before
+/// retrying (the budget does not replenish by itself — the pause is a
+/// back-off hint for schedulers that rotate budgets).
+pub const BUDGET_RETRY_AFTER_SECS: u64 = 60;
+
+/// `402`-style structured error for a session whose lifetime query budget
+/// is spent; carries a `Retry-After` header.
+pub fn budget_exceeded(id: &str, cap: usize, spent: usize) -> ApiError {
+    ApiError::new(
+        qr2_http::Status::PaymentRequired,
+        codes::BUDGET_EXCEEDED,
+        format!("query '{id}' spent {spent} of its {cap}-query lifetime budget"),
+    )
+    .with_retry_after(BUDGET_RETRY_AFTER_SECS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +93,21 @@ mod tests {
         let e = unknown_query("s999");
         assert_eq!(e.code, codes::UNKNOWN_QUERY);
         assert!(e.message.contains("s999"));
+    }
+
+    #[test]
+    fn budget_exceeded_is_402_with_retry_after() {
+        let e = budget_exceeded("s7", 100, 104);
+        assert_eq!(e.status, Status::PaymentRequired);
+        assert_eq!(e.code, codes::BUDGET_EXCEEDED);
+        assert!(
+            e.message.contains("104") && e.message.contains("100"),
+            "{}",
+            e.message
+        );
+        assert!(e
+            .headers
+            .iter()
+            .any(|(n, v)| n == "Retry-After" && v == &BUDGET_RETRY_AFTER_SECS.to_string()));
     }
 }

@@ -8,17 +8,17 @@
 use std::sync::Arc;
 
 use qr2_core::{
-    Algorithm, LinearFunction, OneDimFunction, RankingFunction, RerankRequest, SortDir,
+    Algorithm, Budget, LinearFunction, OneDimFunction, RankingFunction, RerankRequest, SortDir,
 };
 use qr2_http::ApiError;
 use qr2_webdb::{AttrKind, CatSet, RangePred, Schema, SearchQuery};
 
 use crate::dto::{
-    algorithm_catalog, FilterDto, PageResponse, QueryRequest, RankingDto, SourceDescriptor,
-    StatsResponse, TupleDto,
+    algorithm_catalog, FilterDto, PageResponse, QueryRequest, RankingDto, ResultsResponse,
+    SourceDescriptor, StatsResponse, TupleDto,
 };
-use crate::error::{codes, unknown_query, unknown_source};
-use crate::session::SessionManager;
+use crate::error::{budget_exceeded, codes, unknown_query, unknown_source};
+use crate::session::{SessionEntry, SessionHandle, SessionManager};
 use crate::sources::{Source, SourceRegistry};
 
 /// Page sizes are clamped to this range.
@@ -79,14 +79,21 @@ impl QueryService {
             function,
             algorithm,
         });
-        let results: Vec<TupleDto> = session
-            .next_page(page_size)
+        // The first page respects the lifetime budget from query zero.
+        let step = session.advance(Budget {
+            queries: req.max_queries,
+            tuples: Some(page_size),
+        });
+        let done = step.is_done();
+        let results: Vec<TupleDto> = step
+            .into_tuples()
             .iter()
             .map(|t| TupleDto::new(&schema, t))
             .collect();
-        let done = results.len() < page_size;
         let stats = StatsResponse::new(&session.stats(), session.served());
-        let query_id = self.sessions.create(session, source_name, page_size);
+        let query_id = self
+            .sessions
+            .create(session, source_name, page_size, req.max_queries);
         Ok(PageResponse {
             query_id,
             algorithm: Some(algorithm.paper_name()),
@@ -96,7 +103,8 @@ impl QueryService {
         })
     }
 
-    /// `GET|POST /v1/queries/:id/next`: the next page of a live query.
+    /// `GET|POST /v1/queries/:id/next`: the next page of a live query
+    /// (blocking within the session's lifetime budget).
     pub fn next_page(&self, id: &str, page_size: Option<usize>) -> Result<PageResponse, ApiError> {
         let handle = self.sessions.get(id).ok_or_else(|| unknown_query(id))?;
         // Resolve the source *before* taking the session's entry lock:
@@ -108,19 +116,71 @@ impl QueryService {
         let page_size = clamp_page_size(page_size.unwrap_or(handle.page_size));
 
         let mut entry = handle.lock();
-        let results: Vec<TupleDto> = entry
-            .session
-            .next_page(page_size)
+        let remaining = remaining_lifetime(id, &handle, &entry)?;
+        let step = entry.session.advance(Budget {
+            queries: remaining,
+            tuples: Some(page_size),
+        });
+        entry.done = step.is_done();
+        let results: Vec<TupleDto> = step
+            .into_tuples()
             .iter()
             .map(|t| TupleDto::new(&schema, t))
             .collect();
-        entry.done = results.len() < page_size;
         let stats = StatsResponse::new(&entry.session.stats(), entry.session.served());
         Ok(PageResponse {
             query_id: id.to_string(),
             algorithm: None,
             results,
             done: entry.done,
+            stats,
+        })
+    }
+
+    /// `GET /v1/queries/:id/results?limit=N&budget=Q`: one budgeted,
+    /// resumable step. Returns whatever `budget` queries bought (plus
+    /// anything already buffered, which is free) and a `status` telling
+    /// the client whether to come back: `complete` | `budget_exhausted` |
+    /// `done` | `cancelled`. A follow-up call resumes exactly where this
+    /// one stopped without re-issuing any query already spent.
+    pub fn results(
+        &self,
+        id: &str,
+        limit: Option<usize>,
+        budget: Option<usize>,
+    ) -> Result<ResultsResponse, ApiError> {
+        let handle = self.sessions.get(id).ok_or_else(|| unknown_query(id))?;
+        let source = self.source_of(&handle.source)?;
+        let schema = source.schema().clone();
+        let limit = clamp_page_size(limit.unwrap_or(handle.page_size));
+
+        let mut entry = handle.lock();
+        let remaining = remaining_lifetime(id, &handle, &entry)?;
+        // The step may spend at most min(request budget, remaining
+        // lifetime budget).
+        let step_budget = match (budget, remaining) {
+            (Some(b), Some(r)) => Some(b.min(r)),
+            (Some(b), None) => Some(b),
+            (None, r) => r,
+        };
+        let step = entry.session.advance(Budget {
+            queries: step_budget,
+            tuples: Some(limit),
+        });
+        entry.done = step.is_done();
+        let status = step.label();
+        let step_queries = step.stats_delta().total_queries();
+        let results: Vec<TupleDto> = step
+            .into_tuples()
+            .iter()
+            .map(|t| TupleDto::new(&schema, t))
+            .collect();
+        let stats = StatsResponse::new(&entry.session.stats(), entry.session.served());
+        Ok(ResultsResponse {
+            query_id: id.to_string(),
+            results,
+            status,
+            step_queries,
             stats,
         })
     }
@@ -153,6 +213,26 @@ impl QueryService {
 
 fn clamp_page_size(requested: usize) -> usize {
     requested.clamp(PAGE_SIZE_RANGE.0, PAGE_SIZE_RANGE.1)
+}
+
+/// The session's remaining lifetime query budget (`None` = uncapped).
+/// When the cap is fully spent and nothing is buffered — i.e. the request
+/// cannot produce a single tuple without exceeding the cap — this is the
+/// `402 budget_exceeded` error.
+pub(crate) fn remaining_lifetime(
+    id: &str,
+    handle: &SessionHandle,
+    entry: &SessionEntry,
+) -> Result<Option<usize>, ApiError> {
+    let Some(cap) = handle.max_queries else {
+        return Ok(None);
+    };
+    let spent = entry.session.stats().total_queries();
+    let remaining = cap.saturating_sub(spent);
+    if remaining == 0 && entry.session.buffered() == 0 {
+        return Err(budget_exceeded(id, cap, spent));
+    }
+    Ok(Some(remaining))
 }
 
 /// Compile the `filters` DTOs against a schema.
@@ -490,6 +570,109 @@ mod tests {
             svc.delete(&page.query_id).unwrap_err().code,
             codes::UNKNOWN_QUERY
         );
+    }
+
+    #[test]
+    fn budgeted_results_resume_with_identical_order_and_cost() {
+        let svc = svc(400);
+        let body = r#"{"ranking":{"type":"1d","attr":"price","dir":"desc"},
+                       "algorithm":"1d-binary","page_size":5}"#;
+
+        // Reference: one unbudgeted run to 30 tuples.
+        let page = svc.create_query("bluenile", &query_req(body)).unwrap();
+        let mut want: Vec<usize> = page.results.iter().map(|t| t.id).collect();
+        while want.len() < 30 {
+            let r = svc
+                .results(&page.query_id, Some(30 - want.len()), None)
+                .unwrap();
+            want.extend(r.results.iter().map(|t| t.id));
+        }
+        let want_cost = svc.stats(&page.query_id).unwrap().queries;
+
+        // Same run sliced into 2-query budget steps.
+        let page = svc.create_query("bluenile", &query_req(body)).unwrap();
+        let mut got: Vec<usize> = page.results.iter().map(|t| t.id).collect();
+        let mut saw_exhaustion = false;
+        while got.len() < 30 {
+            let r = svc
+                .results(&page.query_id, Some(30 - got.len()), Some(2))
+                .unwrap();
+            saw_exhaustion |= r.status == "budget_exhausted";
+            assert!(
+                matches!(r.status, "complete" | "budget_exhausted"),
+                "{}",
+                r.status
+            );
+            got.extend(r.results.iter().map(|t| t.id));
+        }
+        assert!(
+            saw_exhaustion,
+            "a 2-query budget must run out at least once"
+        );
+        assert_eq!(got, want, "budgeted slices preserve the tuple order");
+        assert_eq!(
+            svc.stats(&page.query_id).unwrap().queries,
+            want_cost,
+            "resuming never re-issues a query already spent"
+        );
+    }
+
+    #[test]
+    fn results_reports_step_deltas_that_sum_to_cumulative() {
+        let svc = svc(300);
+        let page = svc
+            .create_query(
+                "zillow",
+                &query_req(r#"{"ranking":{"type":"1d","attr":"price"},"page_size":3}"#),
+            )
+            .unwrap();
+        let base = svc.stats(&page.query_id).unwrap().queries;
+        let mut summed = 0;
+        for _ in 0..4 {
+            let r = svc.results(&page.query_id, Some(3), Some(3)).unwrap();
+            summed += r.step_queries;
+            assert_eq!(r.stats.queries, base + summed, "cumulative tracks deltas");
+        }
+    }
+
+    #[test]
+    fn lifetime_budget_cap_yields_402_with_retry_after() {
+        let svc = svc(400);
+        // A 1-query lifetime budget: creation spends it (the one in-flight
+        // discovery completes), everything after is refused.
+        let req = query_req(
+            r#"{"ranking":{"type":"1d","attr":"price","dir":"desc"},
+                "algorithm":"1d-binary","page_size":100,"max_queries":1}"#,
+        );
+        let page = svc.create_query("bluenile", &req).unwrap();
+        assert!(!page.done, "a 1-query budget cannot finish 400 tuples");
+        assert!(page.stats.queries >= 1);
+
+        for result in [
+            svc.next_page(&page.query_id, Some(5)).map(|_| ()),
+            svc.results(&page.query_id, Some(5), Some(100)).map(|_| ()),
+        ] {
+            let e = result.unwrap_err();
+            assert_eq!(e.status, qr2_http::Status::PaymentRequired);
+            assert_eq!(e.code, codes::BUDGET_EXCEEDED);
+            assert!(e.headers.iter().any(|(n, _)| n == "Retry-After"), "{e:?}");
+        }
+        // The session itself is still alive: stats keep working.
+        assert!(svc.stats(&page.query_id).is_ok());
+    }
+
+    #[test]
+    fn uncapped_sessions_never_see_budget_exceeded() {
+        let svc = svc(100);
+        let page = svc
+            .create_query(
+                "zillow",
+                &query_req(r#"{"ranking":{"type":"1d","attr":"price"},"page_size":2}"#),
+            )
+            .unwrap();
+        for _ in 0..5 {
+            assert!(svc.results(&page.query_id, Some(2), Some(0)).is_ok());
+        }
     }
 
     #[test]

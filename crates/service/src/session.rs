@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
-use qr2_core::RerankSession;
+use qr2_core::{CancelToken, RerankSession};
 
 /// Opaque session identifier (`"s17"`).
 pub type SessionId = String;
@@ -37,6 +37,14 @@ pub struct SessionHandle {
     pub source: String,
     /// Results per page requested at creation (immutable).
     pub page_size: usize,
+    /// Lifetime cap on web-DB queries this session may spend (immutable;
+    /// `None` = uncapped). Exceeding it yields the `budget_exceeded`
+    /// error.
+    pub max_queries: Option<usize>,
+    /// Cooperative cancellation handle — deleting the session cancels any
+    /// in-flight stream between discoveries (readable without the entry
+    /// lock).
+    pub cancel: CancelToken,
     created: Instant,
     last_access: Mutex<Instant>,
     entry: Mutex<SessionEntry>,
@@ -46,6 +54,13 @@ impl SessionHandle {
     /// Lock the mutable session state.
     pub fn lock(&self) -> MutexGuard<'_, SessionEntry> {
         self.entry.lock()
+    }
+
+    /// Refresh the idle timer. Long-running streams hold only this handle
+    /// (never re-entering [`SessionManager::get`]), so they must touch the
+    /// timer themselves to stay clear of TTL eviction.
+    pub fn touch(&self) {
+        *self.last_access.lock() = Instant::now();
     }
 }
 
@@ -66,18 +81,22 @@ impl SessionManager {
         }
     }
 
-    /// Register a new session; returns its id.
+    /// Register a new session; returns its id. `max_queries` is the
+    /// session's lifetime query budget (`None` = uncapped).
     pub fn create(
         &self,
         session: RerankSession,
         source: impl Into<String>,
         page_size: usize,
+        max_queries: Option<usize>,
     ) -> SessionId {
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
         let now = Instant::now();
         let handle = SessionHandle {
             source: source.into(),
             page_size,
+            max_queries,
+            cancel: session.cancel_token(),
             created: now,
             last_access: Mutex::new(now),
             entry: Mutex::new(SessionEntry {
@@ -98,9 +117,17 @@ impl SessionManager {
         Some(handle)
     }
 
-    /// Remove a session; true when it existed.
+    /// Remove a session; true when it existed. Cancels the session's
+    /// token so an in-flight stream over the same engine stops at its
+    /// next discovery boundary.
     pub fn remove(&self, id: &str) -> bool {
-        self.sessions.lock().remove(id).is_some()
+        match self.sessions.lock().remove(id) {
+            Some(handle) => {
+                handle.cancel.cancel();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of live sessions.
@@ -122,8 +149,15 @@ impl SessionManager {
         map.retain(|_, handle| {
             // A session whose entry is locked by an in-flight request is in
             // use regardless of its timer.
-            handle.entry.try_lock().is_none()
-                || now.duration_since(*handle.last_access.lock()) < self.ttl
+            let keep = handle.entry.try_lock().is_none()
+                || now.duration_since(*handle.last_access.lock()) < self.ttl;
+            if !keep {
+                // A producer may still hold the handle's Arc (a stream
+                // between two lines); cancel so it cannot keep spending
+                // queries on a session nobody can address anymore.
+                handle.cancel.cancel();
+            }
+            keep
         });
         before - map.len()
     }
@@ -163,7 +197,7 @@ mod tests {
     #[test]
     fn create_get_remove() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let id = mgr.create(make_session(), "test", 10);
+        let id = mgr.create(make_session(), "test", 10, None);
         assert_eq!(mgr.len(), 1);
         assert!(mgr.get(&id).is_some());
         assert!(mgr.age(&id).is_some());
@@ -176,8 +210,8 @@ mod tests {
     #[test]
     fn ids_are_unique() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let a = mgr.create(make_session(), "test", 10);
-        let b = mgr.create(make_session(), "test", 10);
+        let a = mgr.create(make_session(), "test", 10, None);
+        let b = mgr.create(make_session(), "test", 10, None);
         assert_ne!(a, b);
     }
 
@@ -186,7 +220,7 @@ mod tests {
         // A slow in-flight page request holds the entry lock; get() must
         // still return promptly (it only touches the idle timer's lock).
         let mgr = Arc::new(SessionManager::new(Duration::from_secs(60)));
-        let id = mgr.create(make_session(), "test", 10);
+        let id = mgr.create(make_session(), "test", 10, None);
         let handle = mgr.get(&id).unwrap();
         let guard = handle.lock();
         let (tx, rx) = std::sync::mpsc::channel();
@@ -205,7 +239,7 @@ mod tests {
     #[test]
     fn metadata_readable_without_entry_lock() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let id = mgr.create(make_session(), "bluenile", 7);
+        let id = mgr.create(make_session(), "bluenile", 7, None);
         let handle = mgr.get(&id).unwrap();
         let guard = handle.lock();
         // Source and page size stay readable while the entry is locked.
@@ -217,7 +251,7 @@ mod tests {
     #[test]
     fn sessions_drive_get_next() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let id = mgr.create(make_session(), "test", 10);
+        let id = mgr.create(make_session(), "test", 10, None);
         let handle = mgr.get(&id).unwrap();
         let mut guard = handle.lock();
         let page = guard.session.next_page(5);
@@ -228,9 +262,57 @@ mod tests {
     }
 
     #[test]
+    fn budget_cap_is_readable_without_the_entry_lock() {
+        let mgr = SessionManager::new(Duration::from_secs(60));
+        let id = mgr.create(make_session(), "test", 10, Some(250));
+        let handle = mgr.get(&id).unwrap();
+        let guard = handle.lock();
+        assert_eq!(handle.max_queries, Some(250));
+        drop(guard);
+    }
+
+    #[test]
+    fn eviction_cancels_the_session_token() {
+        let mgr = SessionManager::new(Duration::from_millis(20));
+        let id = mgr.create(make_session(), "test", 10, None);
+        let handle = mgr.get(&id).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(mgr.evict_idle(), 1);
+        assert!(
+            handle.cancel.is_cancelled(),
+            "an evicted session must not keep spending queries"
+        );
+    }
+
+    #[test]
+    fn touch_keeps_a_session_alive() {
+        let mgr = SessionManager::new(Duration::from_millis(60));
+        let id = mgr.create(make_session(), "test", 10, None);
+        let handle = mgr.get(&id).unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(30));
+            handle.touch();
+            assert_eq!(mgr.evict_idle(), 0, "touched session survives");
+        }
+    }
+
+    #[test]
+    fn remove_cancels_the_session_token() {
+        let mgr = SessionManager::new(Duration::from_secs(60));
+        let id = mgr.create(make_session(), "test", 10, None);
+        let handle = mgr.get(&id).unwrap();
+        assert!(!handle.cancel.is_cancelled());
+        assert!(mgr.remove(&id));
+        assert!(
+            handle.cancel.is_cancelled(),
+            "delete must stop in-flight streams"
+        );
+    }
+
+    #[test]
     fn ttl_eviction() {
         let mgr = SessionManager::new(Duration::from_millis(20));
-        let id = mgr.create(make_session(), "test", 10);
+        let id = mgr.create(make_session(), "test", 10, None);
         assert_eq!(mgr.evict_idle(), 0, "fresh session survives");
         std::thread::sleep(Duration::from_millis(40));
         assert_eq!(mgr.evict_idle(), 1);
@@ -240,7 +322,7 @@ mod tests {
     #[test]
     fn access_refreshes_ttl() {
         let mgr = SessionManager::new(Duration::from_millis(60));
-        let id = mgr.create(make_session(), "test", 10);
+        let id = mgr.create(make_session(), "test", 10, None);
         for _ in 0..4 {
             std::thread::sleep(Duration::from_millis(30));
             assert!(mgr.get(&id).is_some(), "access keeps the session alive");

@@ -8,7 +8,10 @@
 
 use std::sync::Arc;
 
-use qr2::core::{Algorithm, ExecutorKind, LinearFunction, OneDimFunction, RerankRequest, Reranker};
+use qr2::core::{
+    Algorithm, Budget, ExecutorKind, LinearFunction, OneDimFunction, RankingFunction,
+    RerankRequest, Reranker,
+};
 use qr2::datagen::{bluenile_db, DiamondsConfig};
 use qr2::webdb::{SearchQuery, SimulatedWebDb, TopKInterface};
 
@@ -158,6 +161,75 @@ fn warm_index_at_most_two_thirds_of_cold_on_tie_workload() {
         3 * warm <= 2 * cold,
         "warm ({warm}) must be ≤ 2/3 of cold ({cold})"
     );
+}
+
+#[test]
+fn budgeted_advance_is_cost_and_order_equivalent_to_unbudgeted() {
+    // The budgeted execution contract's core promise: slicing a run into
+    // small-budget `advance` steps yields the identical tuple order AND
+    // the identical total query cost as one unbudgeted run — resuming
+    // never re-issues a query already spent. Pinned for both engine
+    // families on the fixed-seed diamonds workload.
+    let db = diamonds();
+    let schema = db.schema().clone();
+    let price = schema.expect_id("price");
+    let cases: Vec<(Algorithm, RankingFunction)> = vec![
+        (Algorithm::OneDRerank, OneDimFunction::desc(price).into()),
+        (
+            Algorithm::MdRerank,
+            LinearFunction::from_names(&schema, &[("price", 1.0), ("carat", -0.5)])
+                .unwrap()
+                .into(),
+        ),
+    ];
+    for (algorithm, function) in cases {
+        let fresh = || {
+            // A fresh reranker per run: RERANK's shared dense index must
+            // start cold both times for the costs to be comparable.
+            Reranker::builder(db.clone())
+                .executor(ExecutorKind::Sequential)
+                .build()
+                .query(RerankRequest {
+                    filter: SearchQuery::all(),
+                    function: function.clone(),
+                    algorithm,
+                })
+        };
+
+        let mut reference = fresh();
+        let want: Vec<_> = reference.next_page(40).iter().map(|t| t.id).collect();
+        let want_cost = reference.stats().total_queries();
+
+        let mut budgeted = fresh();
+        let mut got = Vec::new();
+        let mut steps = 0;
+        while got.len() < 40 {
+            let step = budgeted.advance(Budget::queries(3).with_tuples(40 - got.len()));
+            steps += 1;
+            let done = step.is_done();
+            got.extend(step.into_tuples().iter().map(|t| t.id));
+            if done {
+                break;
+            }
+        }
+        assert!(
+            steps > 1,
+            "{}: a 3-query budget must slice the run",
+            algorithm.paper_name()
+        );
+        assert_eq!(
+            got,
+            want,
+            "{}: budgeted slices changed the tuple order",
+            algorithm.paper_name()
+        );
+        assert_eq!(
+            budgeted.stats().total_queries(),
+            want_cost,
+            "{}: budgeted total cost diverged from the unbudgeted run",
+            algorithm.paper_name()
+        );
+    }
 }
 
 #[test]

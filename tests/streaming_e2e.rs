@@ -1,0 +1,311 @@
+//! End-to-end tests for the budgeted, streaming execution contract over
+//! real TCP sockets.
+//!
+//! The headline guarantee: `GET /v1/queries/:id/stream` really streams.
+//! Against a web database with per-query latency, the first NDJSON line
+//! (the first discovered tuple with its query cost) is readable from the
+//! socket while the session is still searching for the remaining tuples —
+//! and a budgeted `results` call returns a `budget_exhausted` partial page
+//! that a follow-up call resumes without re-issuing any web-DB query.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qr2::core::{DenseIndex, ExecutorKind};
+use qr2::http::{parse_json, Json};
+use qr2::service::{Qr2App, Source, SourceRegistry};
+use qr2::webdb::{Schema, SimulatedWebDb, SystemRanking, TableBuilder, TopKInterface};
+
+/// A small 1D inventory whose hidden ranking opposes the test queries, so
+/// every few served tuples cost fresh discoveries.
+fn inventory(latency: Duration) -> Arc<SimulatedWebDb> {
+    let schema = Schema::builder().numeric("x", 0.0, 100.0).build();
+    let mut tb = TableBuilder::new(schema.clone());
+    for i in 0..60 {
+        // Scrambled but deterministic values.
+        tb.push_row(vec![((i * 37) % 60) as f64 * 1.5]).unwrap();
+    }
+    let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+    let db = SimulatedWebDb::new(tb.build(), ranking, 2);
+    Arc::new(if latency.is_zero() {
+        db
+    } else {
+        db.with_latency(latency, Duration::ZERO, 7)
+    })
+}
+
+fn registry() -> SourceRegistry {
+    let mut reg = SourceRegistry::new();
+    reg.register(Source::new(
+        "lagged",
+        "latency-bound test inventory",
+        inventory(Duration::from_millis(40)) as Arc<dyn TopKInterface>,
+        ExecutorKind::Sequential,
+        Arc::new(DenseIndex::in_memory()),
+        vec![],
+    ));
+    reg.register(Source::new(
+        "fast",
+        "zero-latency test inventory",
+        inventory(Duration::ZERO) as Arc<dyn TopKInterface>,
+        ExecutorKind::Sequential,
+        Arc::new(DenseIndex::in_memory()),
+        vec![],
+    ));
+    reg
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(
+        format!(
+            "POST {path} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    let status = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = out.split("\r\n\r\n").nth(1).unwrap_or("null");
+    (status, parse_json(body).unwrap_or(Json::Null))
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    let status = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = out.split("\r\n\r\n").nth(1).unwrap_or("null");
+    (status, parse_json(body).unwrap_or(Json::Null))
+}
+
+/// Read from `s` until `pattern` appears in the accumulated bytes; returns
+/// everything read so far.
+fn read_until(s: &mut TcpStream, pattern: &str, acc: &mut Vec<u8>) {
+    let mut byte = [0u8; 256];
+    while !String::from_utf8_lossy(acc).contains(pattern) {
+        let n = s.read(&mut byte).expect("socket read");
+        assert!(n > 0, "connection closed before '{pattern}' appeared");
+        acc.extend_from_slice(&byte[..n]);
+    }
+}
+
+#[test]
+fn stream_emits_the_first_tuple_before_the_session_finishes() {
+    let app = Qr2App::new(registry());
+    let state = Arc::clone(app.state());
+    let server = app.serve("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr();
+
+    let (status, v) = post(
+        addr,
+        "/v1/sources/lagged/queries",
+        r#"{"ranking":{"type":"1d","attr":"x","dir":"desc"},
+            "algorithm":"1d-binary","page_size":1}"#,
+    );
+    assert_eq!(status, 201);
+    let id = v.get("query_id").unwrap().as_str().unwrap().to_string();
+
+    const LIMIT: usize = 12;
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    s.write_all(format!("GET /v1/queries/{id}/stream?limit={LIMIT} HTTP/1.1\r\n\r\n").as_bytes())
+        .unwrap();
+
+    // Read only as far as the first NDJSON tuple event...
+    let mut acc = Vec::new();
+    read_until(&mut s, "\"event\":\"tuple\"", &mut acc);
+    read_until(&mut s, "\n", &mut acc);
+    let so_far = String::from_utf8_lossy(&acc).into_owned();
+    assert!(so_far.contains("Transfer-Encoding: chunked"), "{so_far}");
+
+    // ...and prove the session has NOT finished producing the remaining
+    // `limit` tuples: at ≥40 ms of web-DB latency per query, the later
+    // discoveries are still queries away while line one is already here.
+    let handle = state.sessions.get(&id).expect("session is live");
+    let served_at_first_line = {
+        let entry = handle.lock();
+        entry.session.served()
+    };
+    assert!(
+        served_at_first_line < LIMIT,
+        "first line arrived after only {served_at_first_line} of {LIMIT} \
+         tuples were produced — the response streamed"
+    );
+
+    // Drain the rest: exactly LIMIT tuple events, one summary, in order.
+    let mut rest = String::new();
+    s.read_to_string(&mut rest).unwrap();
+    let full = format!("{so_far}{rest}");
+    assert_eq!(full.matches("\"event\":\"tuple\"").count(), LIMIT, "{full}");
+    assert_eq!(full.matches("\"event\":\"summary\"").count(), 1);
+    assert!(full.contains("\"status\":\"complete\""), "{full}");
+
+    // Events carry per-step and cumulative query costs; tuples arrive in
+    // the requested (descending) order.
+    let lines: Vec<Json> = full
+        .lines()
+        .filter(|l| l.starts_with('{'))
+        .map(|l| parse_json(l).expect("NDJSON line parses"))
+        .collect();
+    assert_eq!(lines.len(), LIMIT + 1);
+    let mut last_x = f64::INFINITY;
+    for (i, event) in lines[..LIMIT].iter().enumerate() {
+        assert_eq!(event.get("index").unwrap().as_usize(), Some(i));
+        assert!(event.get("queries").is_some());
+        assert!(event.get("total_queries").unwrap().as_usize().unwrap() >= 1);
+        let x = event
+            .get("tuple")
+            .unwrap()
+            .get("values")
+            .unwrap()
+            .get("x")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(x <= last_x, "descending order violated at index {i}");
+        last_x = x;
+    }
+    let summary = &lines[LIMIT];
+    assert_eq!(summary.get("count").unwrap().as_usize(), Some(LIMIT));
+    assert!(summary.get("stats").unwrap().get("queries").is_some());
+
+    server.stop();
+}
+
+#[test]
+fn budgeted_results_resume_over_http_without_respending() {
+    let server = Qr2App::new(registry()).serve("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr();
+    let body = r#"{"ranking":{"type":"1d","attr":"x","dir":"desc"},
+                   "algorithm":"1d-binary","page_size":2}"#;
+
+    // Budgeted session: a 1-query budget stops after one atomic discovery.
+    let (_, v) = post(addr, "/v1/sources/fast/queries", body);
+    let budgeted = v.get("query_id").unwrap().as_str().unwrap().to_string();
+    let mut ids: Vec<usize> = v
+        .get("results")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|t| t.get("id").unwrap().as_usize().unwrap())
+        .collect();
+    let (status, v) = get_json(
+        addr,
+        &format!("/v1/queries/{budgeted}/results?limit=100&budget=1"),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").unwrap().as_str(), Some("budget_exhausted"));
+    let partial = v.get("results").unwrap().as_arr().unwrap();
+    assert!(
+        !partial.is_empty(),
+        "the budget bought a non-empty partial page"
+    );
+    ids.extend(
+        partial
+            .iter()
+            .map(|t| t.get("id").unwrap().as_usize().unwrap()),
+    );
+    let spent_before_resume = v
+        .get("stats")
+        .unwrap()
+        .get("queries")
+        .unwrap()
+        .as_usize()
+        .unwrap();
+
+    // Resume unbudgeted up to 30 total tuples.
+    while ids.len() < 30 {
+        let (status, v) = get_json(
+            addr,
+            &format!("/v1/queries/{budgeted}/results?limit={}", 30 - ids.len()),
+        );
+        assert_eq!(status, 200);
+        ids.extend(
+            v.get("results")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|t| t.get("id").unwrap().as_usize().unwrap()),
+        );
+    }
+    let (_, v) = get_json(addr, &format!("/v1/queries/{budgeted}/stats"));
+    let budgeted_cost = v.get("queries").unwrap().as_usize().unwrap();
+    assert!(budgeted_cost >= spent_before_resume);
+
+    // Reference session: identical request, never budgeted.
+    let (_, v) = post(addr, "/v1/sources/fast/queries", body);
+    let reference = v.get("query_id").unwrap().as_str().unwrap().to_string();
+    let mut want: Vec<usize> = v
+        .get("results")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|t| t.get("id").unwrap().as_usize().unwrap())
+        .collect();
+    let (_, v) = get_json(
+        addr,
+        &format!("/v1/queries/{reference}/results?limit={}", 30 - want.len()),
+    );
+    want.extend(
+        v.get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|t| t.get("id").unwrap().as_usize().unwrap()),
+    );
+    let (_, v) = get_json(addr, &format!("/v1/queries/{reference}/stats"));
+    let reference_cost = v.get("queries").unwrap().as_usize().unwrap();
+
+    assert_eq!(ids, want, "budget slicing must not change the tuple order");
+    assert_eq!(
+        budgeted_cost, reference_cost,
+        "resuming after budget exhaustion re-issued queries already spent"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn lifetime_cap_yields_402_with_retry_after_over_http() {
+    let server = Qr2App::new(registry()).serve("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr();
+    let (status, v) = post(
+        addr,
+        "/v1/sources/fast/queries",
+        r#"{"ranking":{"type":"1d","attr":"x","dir":"desc"},
+            "algorithm":"1d-binary","page_size":100,"max_queries":1}"#,
+    );
+    assert_eq!(status, 201);
+    let id = v.get("query_id").unwrap().as_str().unwrap().to_string();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET /v1/queries/{id}/results?limit=10 HTTP/1.1\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 402"), "{out}");
+    assert!(out.contains("Retry-After: 60"), "{out}");
+    assert!(out.contains("budget_exceeded"), "{out}");
+
+    // The stream endpoint refuses the same way (before streaming starts).
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET /v1/queries/{id}/stream?limit=10 HTTP/1.1\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 402"), "{out}");
+    assert!(!out.contains("chunked"), "{out}");
+
+    server.stop();
+}
