@@ -27,6 +27,12 @@ fn main() {
         println!("{}", qr2_bench::smoke_table(&records).render());
         let path = qr2_bench::write_smoke_report(&records);
         println!("wrote {}", path.display());
+        // Cold-vs-warm answer-cache pass: hit rate and warm-path
+        // get-next latency; CI guards warm_db_queries == 0.
+        let records = qr2_bench::run_cache_smoke();
+        println!("{}", qr2_bench::cache_smoke_table(&records).render());
+        let path = qr2_bench::write_cache_smoke_report(&records);
+        println!("wrote {}", path.display());
         return;
     }
 

@@ -1,0 +1,224 @@
+//! CI smoke benchmark for the shared answer cache: a cold-vs-warm
+//! two-pass workload through one `CachedInterface`, emitted as
+//! machine-readable JSON (`BENCH_pr4.json`).
+//!
+//! Each algorithm runs the fixed-seed diamonds workload twice against the
+//! same cached interface, with a **fresh reranker (fresh dense index) per
+//! pass** so the only state shared between passes is the answer cache.
+//! The cold pass pays real queries; the warm pass must cost the web
+//! database **zero** queries (`warm_db_queries` — CI guards this), and
+//! its per-get-next latency shows the cache-hot hot path.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use qr2_cache::{AnswerCache, CacheConfig, CachedInterface};
+use qr2_core::{DenseIndex, ExecutorKind, RerankRequest, Reranker};
+use qr2_webdb::{SearchQuery, TopKInterface};
+
+use crate::report::Table;
+use crate::smoke::SMOKE_DEPTH;
+use crate::workloads::{bluenile, Scale};
+
+/// One algorithm's cold-vs-warm measurement.
+#[derive(Debug, Clone)]
+pub struct CacheSmokeRecord {
+    /// Paper name (`"MD-RERANK"`).
+    pub algorithm: &'static str,
+    /// `"1d"` or `"md"`.
+    pub family: &'static str,
+    /// Tuples served per pass.
+    pub tuples: usize,
+    /// Web-DB queries the cold pass spent (seed-deterministic).
+    pub cold_db_queries: u64,
+    /// Web-DB queries the warm pass spent — **must be zero**.
+    pub warm_db_queries: u64,
+    /// Cache hits observed during the warm pass.
+    pub warm_hits: u64,
+    /// Mean wall time per get-next on the cold pass, microseconds.
+    pub cold_get_next_us: f64,
+    /// Mean wall time per get-next on the warm (cache-hot) pass,
+    /// microseconds.
+    pub warm_get_next_us: f64,
+}
+
+impl CacheSmokeRecord {
+    /// Warm-pass hit rate: free lookups over all lookups (1.0 when the
+    /// warm pass was fully served by the cache).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_db_queries;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Run the cold-vs-warm two-pass workload for every algorithm.
+pub fn run_cache_smoke() -> Vec<CacheSmokeRecord> {
+    let raw = bluenile(Scale::Small);
+    let cases = crate::smoke::smoke_cases(raw.schema());
+    cases
+        .into_iter()
+        .map(|(algorithm, function)| {
+            // One cache per algorithm: per-record hit counts stay exact.
+            let cache = Arc::new(AnswerCache::new(CacheConfig {
+                shards: 8,
+                capacity: 1 << 16,
+            }));
+            let cached: Arc<dyn TopKInterface> =
+                Arc::new(CachedInterface::new(raw.clone(), Arc::clone(&cache)));
+            let pass = |label: &str| -> (u64, f64, u64) {
+                let before = raw.ledger().total();
+                let hits_before = cache.stats().hits;
+                let reranker = Reranker::builder(Arc::clone(&cached))
+                    .executor(ExecutorKind::Sequential)
+                    .dense_index(Arc::new(DenseIndex::in_memory()))
+                    .build();
+                let mut session = reranker.query(RerankRequest {
+                    filter: SearchQuery::all(),
+                    function: function.clone(),
+                    algorithm,
+                });
+                let start = Instant::now();
+                let tuples = session.next_page(SMOKE_DEPTH).len();
+                let wall = start.elapsed();
+                assert_eq!(tuples, SMOKE_DEPTH, "{label}: short page");
+                (
+                    raw.ledger().total() - before,
+                    wall.as_secs_f64() * 1e6 / tuples as f64,
+                    cache.stats().hits - hits_before,
+                )
+            };
+            let (cold_db_queries, cold_get_next_us, _) = pass("cold");
+            let (warm_db_queries, warm_get_next_us, warm_hits) = pass("warm");
+            CacheSmokeRecord {
+                algorithm: algorithm.paper_name(),
+                family: if algorithm.is_one_dimensional() {
+                    "1d"
+                } else {
+                    "md"
+                },
+                tuples: SMOKE_DEPTH,
+                cold_db_queries,
+                warm_db_queries,
+                warm_hits,
+                cold_get_next_us,
+                warm_get_next_us,
+            }
+        })
+        .collect()
+}
+
+/// Render the records as a text table.
+pub fn cache_smoke_table(records: &[CacheSmokeRecord]) -> Table {
+    let mut table = Table::new(
+        format!("PR4 cache smoke — cold vs warm top-{SMOKE_DEPTH} on fixed-seed diamonds"),
+        &[
+            "algorithm",
+            "cold_q",
+            "warm_q",
+            "hit_rate",
+            "cold_us",
+            "warm_us",
+        ],
+    );
+    for r in records {
+        table.row(&[
+            r.algorithm.to_string(),
+            r.cold_db_queries.to_string(),
+            r.warm_db_queries.to_string(),
+            format!("{:.3}", r.warm_hit_rate()),
+            format!("{:.1}", r.cold_get_next_us),
+            format!("{:.1}", r.warm_get_next_us),
+        ]);
+    }
+    table
+}
+
+/// Serialize the records as the `BENCH_pr4.json` document.
+pub fn cache_smoke_json(records: &[CacheSmokeRecord]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"pr4_cache_smoke\",\n");
+    out.push_str("  \"workload\": \"bluenile_diamonds_small_seed_0xB10E9115_cold_vs_warm\",\n");
+    out.push_str(&format!("  \"depth\": {SMOKE_DEPTH},\n"));
+    out.push_str("  \"algorithms\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"family\": \"{}\", \"tuples\": {}, \
+             \"cold_db_queries\": {}, \"warm_db_queries\": {}, \"warm_hits\": {}, \
+             \"warm_hit_rate\": {:.3}, \"cold_get_next_us\": {:.1}, \"warm_get_next_us\": {:.1}}}{}\n",
+            r.algorithm,
+            r.family,
+            r.tuples,
+            r.cold_db_queries,
+            r.warm_db_queries,
+            r.warm_hits,
+            r.warm_hit_rate(),
+            r.cold_get_next_us,
+            r.warm_get_next_us,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_pr4.json` at the workspace root; returns the path.
+pub fn write_cache_smoke_report(records: &[CacheSmokeRecord]) -> PathBuf {
+    let path = crate::report::workspace_root().join("BENCH_pr4.json");
+    std::fs::write(&path, cache_smoke_json(records)).expect("write cache smoke report");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_pass_is_free_for_every_algorithm() {
+        let records = run_cache_smoke();
+        assert_eq!(records.len(), 7);
+        for r in &records {
+            assert!(r.cold_db_queries > 0, "{}", r.algorithm);
+            assert_eq!(
+                r.warm_db_queries, 0,
+                "{}: warm pass must cost the web database nothing",
+                r.algorithm
+            );
+            assert!((r.warm_hit_rate() - 1.0).abs() < 1e-12, "{}", r.algorithm);
+            // The warm pass replays every lookup as a hit. It can exceed
+            // the cold pass's *real* query count: algorithms that re-ask
+            // the same question within one run (MD-BASELINE's overlapping
+            // crawl probes) are already deduplicated intra-run.
+            assert!(
+                r.warm_hits >= r.cold_db_queries,
+                "{}: warm hits cover at least the cold spend",
+                r.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn cache_smoke_json_is_well_formed() {
+        let records = vec![CacheSmokeRecord {
+            algorithm: "1D-BINARY",
+            family: "1d",
+            tuples: 10,
+            cold_db_queries: 42,
+            warm_db_queries: 0,
+            warm_hits: 42,
+            cold_get_next_us: 120.0,
+            warm_get_next_us: 3.5,
+        }];
+        let json = cache_smoke_json(&records);
+        assert!(json.contains("\"bench\": \"pr4_cache_smoke\""));
+        assert!(json.contains("\"warm_db_queries\": 0"));
+        assert!(json.contains("\"warm_hit_rate\": 1.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(cache_smoke_table(&records).len(), 1);
+    }
+}

@@ -11,11 +11,16 @@
 //! appears only where the paper reports it (Fig. 4) and in the parallelism
 //! ablation.
 
+pub mod cache_smoke;
 pub mod experiments;
 pub mod report;
 pub mod smoke;
 pub mod workloads;
 
+pub use cache_smoke::{
+    cache_smoke_json, cache_smoke_table, run_cache_smoke, write_cache_smoke_report,
+    CacheSmokeRecord,
+};
 pub use experiments::*;
 pub use report::{write_csv, Table};
 pub use smoke::{run_smoke, smoke_json, smoke_table, write_smoke_report, SmokeRecord};

@@ -41,17 +41,16 @@ pub struct SmokeRecord {
     pub get_next_us: f64,
 }
 
-/// Run every algorithm for [`SMOKE_DEPTH`] tuples on the fixed-seed
-/// small-scale diamonds workload (cold dense index each time).
-pub fn run_smoke() -> Vec<SmokeRecord> {
-    let db = bluenile(Scale::Small);
-    let schema = db.schema().clone();
+/// The seven-algorithm smoke case set over a schema with `price`/`carat`
+/// (shared with the cold-vs-warm cache smoke so both benches measure the
+/// same workload).
+pub fn smoke_cases(schema: &qr2_webdb::Schema) -> Vec<(Algorithm, RankingFunction)> {
     let price = schema.expect_id("price");
     let md: RankingFunction =
-        LinearFunction::from_names(&schema, &[("price", 1.0), ("carat", -0.5)])
+        LinearFunction::from_names(schema, &[("price", 1.0), ("carat", -0.5)])
             .expect("valid md function")
             .into();
-    let cases: Vec<(Algorithm, RankingFunction)> = vec![
+    vec![
         (Algorithm::OneDBaseline, OneDimFunction::desc(price).into()),
         (Algorithm::OneDBinary, OneDimFunction::desc(price).into()),
         (Algorithm::OneDRerank, OneDimFunction::desc(price).into()),
@@ -59,7 +58,14 @@ pub fn run_smoke() -> Vec<SmokeRecord> {
         (Algorithm::MdBinary, md.clone()),
         (Algorithm::MdRerank, md.clone()),
         (Algorithm::MdTa, md),
-    ];
+    ]
+}
+
+/// Run every algorithm for [`SMOKE_DEPTH`] tuples on the fixed-seed
+/// small-scale diamonds workload (cold dense index each time).
+pub fn run_smoke() -> Vec<SmokeRecord> {
+    let db = bluenile(Scale::Small);
+    let cases = smoke_cases(db.schema());
     cases
         .into_iter()
         .map(|(algorithm, function)| {

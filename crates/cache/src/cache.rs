@@ -1,0 +1,558 @@
+//! The sharded, thread-safe answer cache with single-flight deduplication
+//! and optional persistence.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+use parking_lot::Mutex;
+use qr2_store::AnswerStore;
+use qr2_webdb::{SearchOutcome, TopKResponse};
+
+/// Sizing knobs for one [`AnswerCache`] (one per data source).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Number of independent shards (rounded up to a power of two).
+    /// Requests only contend when their keys land in the same shard.
+    pub shards: usize,
+    /// Total in-memory entry capacity across all shards; least recently
+    /// used entries are evicted past it.
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity: 4096,
+        }
+    }
+}
+
+/// A point-in-time snapshot of one cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live in-memory entries.
+    pub entries: usize,
+    /// Configured in-memory capacity.
+    pub capacity: usize,
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that went to the web database.
+    pub misses: u64,
+    /// Lookups that blocked on another caller's identical in-flight
+    /// request instead of issuing their own.
+    pub coalesced: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Current staleness epoch.
+    pub epoch: u64,
+    /// Whether a persistent [`AnswerStore`] backs the cache.
+    pub persistent: bool,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served without this caller spending a web-DB
+    /// query (hits + coalesced waits over all lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let free = self.hits + self.coalesced;
+        let total = free + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            free as f64 / total as f64
+        }
+    }
+}
+
+enum FlightState {
+    Pending,
+    Done(TopKResponse),
+    /// The leader unwound without an answer; waiters retry themselves.
+    Poisoned,
+}
+
+/// One in-flight fetch that concurrent identical requests rendezvous on.
+struct Flight {
+    state: StdMutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: StdMutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Option<TopKResponse> {
+        let mut state = self.state.lock().expect("flight lock");
+        loop {
+            match &*state {
+                FlightState::Pending => state = self.cv.wait(state).expect("flight wait"),
+                FlightState::Done(resp) => return Some(resp.clone()),
+                FlightState::Poisoned => return None,
+            }
+        }
+    }
+
+    fn complete(&self, resp: TopKResponse) {
+        *self.state.lock().expect("flight lock") = FlightState::Done(resp);
+        self.cv.notify_all();
+    }
+
+    fn poison(&self) {
+        let mut state = self.state.lock().expect("flight lock");
+        if matches!(*state, FlightState::Pending) {
+            *state = FlightState::Poisoned;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Drop guard: if the leader's fetch unwinds, poison the flight so
+/// waiters stop blocking, and unregister it so later callers retry.
+struct FlightGuard<'a> {
+    shard: &'a Mutex<Shard>,
+    key: &'a [u8],
+    flight: &'a Arc<Flight>,
+    disarmed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.disarmed {
+            return;
+        }
+        self.shard.lock().flights.remove(self.key);
+        self.flight.poison();
+    }
+}
+
+struct Entry {
+    answer: TopKResponse,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Vec<u8>, Entry>,
+    /// Recency order: tick → key. Ticks are globally unique, so this is a
+    /// faithful LRU list with O(log n) touch/evict.
+    order: BTreeMap<u64, Vec<u8>>,
+    flights: HashMap<Vec<u8>, Arc<Flight>>,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &[u8], new_tick: u64) {
+        if let Some(entry) = self.map.get_mut(key) {
+            self.order.remove(&entry.tick);
+            entry.tick = new_tick;
+            self.order.insert(new_tick, key.to_vec());
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting the least recently used
+    /// past `cap`. Returns the evicted keys so the caller can drop them
+    /// from the persistent store too (the store tracks the LRU contents;
+    /// without this it would grow without bound).
+    fn insert(
+        &mut self,
+        key: Vec<u8>,
+        answer: TopKResponse,
+        tick: u64,
+        cap: usize,
+    ) -> Vec<Vec<u8>> {
+        if let Some(old) = self.map.get(&key) {
+            self.order.remove(&old.tick);
+        }
+        self.order.insert(tick, key.clone());
+        self.map.insert(key, Entry { answer, tick });
+        let mut evicted = Vec::new();
+        while self.map.len() > cap {
+            let (&oldest, _) = self.order.iter().next().expect("order tracks map");
+            let key = self.order.remove(&oldest).expect("key present");
+            self.map.remove(&key);
+            evicted.push(key);
+        }
+        evicted
+    }
+}
+
+/// The shared cross-session answer cache: canonical query key → the exact
+/// [`TopKResponse`] the web database returned.
+///
+/// * **Thread-safe and sharded** — only same-shard keys contend;
+/// * **single-flight** — N concurrent requests for one uncached key issue
+///   exactly one web-DB query ([`AnswerCache::get_or_fetch`]);
+/// * **bounded** — per-config LRU capacity;
+/// * **persistent** — optionally write-through to an [`AnswerStore`],
+///   warm-started at construction and invalidated by epoch
+///   ([`AnswerCache::flush`]).
+pub struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_mask: usize,
+    per_shard_cap: usize,
+    capacity: usize,
+    tick: AtomicU64,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+    store: Option<Mutex<AnswerStore>>,
+}
+
+impl AnswerCache {
+    /// A volatile cache (no persistence).
+    pub fn new(config: CacheConfig) -> AnswerCache {
+        Self::build(config, None)
+    }
+
+    /// A cache backed by a persistent [`AnswerStore`]: every stored answer
+    /// is loaded into memory now (warm start), and every future fill is
+    /// written through. Answers the LRU bound rejects are deleted from
+    /// the store, keeping it the same size as the cache.
+    pub fn with_store(config: CacheConfig, store: AnswerStore) -> AnswerCache {
+        let cache = Self::build(config, Some(store));
+        let entries = {
+            let store = cache.store.as_ref().expect("store just set").lock();
+            cache.epoch.store(store.epoch(), Ordering::Relaxed);
+            store.entries().unwrap_or_default()
+        };
+        let mut dropped = Vec::new();
+        for (key, answer) in entries {
+            let tick = cache.next_tick();
+            let shard = &cache.shards[cache.shard_of(&key)];
+            dropped.extend(shard.lock().insert(key, answer, tick, cache.per_shard_cap));
+        }
+        if !dropped.is_empty() {
+            let mut store = cache.store.as_ref().expect("store just set").lock();
+            for key in &dropped {
+                let _ = store.delete(key);
+            }
+        }
+        cache
+    }
+
+    fn build(config: CacheConfig, store: Option<AnswerStore>) -> AnswerCache {
+        let shards = config.shards.max(1).next_power_of_two();
+        let per_shard_cap = (config.capacity / shards).max(1);
+        AnswerCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_mask: shards - 1,
+            per_shard_cap,
+            capacity: per_shard_cap * shards,
+            tick: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            store: store.map(Mutex::new),
+        }
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) & self.shard_mask
+    }
+
+    /// Live in-memory entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current staleness epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            capacity: self.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            epoch: self.epoch(),
+            persistent: self.store.is_some(),
+        }
+    }
+
+    /// Invalidate everything: advance the staleness epoch, drop all
+    /// in-memory entries, and (when persistent) durably clear the backing
+    /// store. In-flight fetches started under the old epoch complete for
+    /// their waiters but are not admitted into the cache. Returns the new
+    /// epoch.
+    pub fn flush(&self) -> qr2_store::Result<u64> {
+        // Epoch first: a concurrent leader checks it before insertion.
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.order.clear();
+        }
+        if let Some(store) = &self.store {
+            let mut store = store.lock();
+            // Re-sync to the store's durable epoch counter (it may lead
+            // ours after a warm start across many flushes).
+            let durable = store.bump_epoch()?;
+            self.epoch.store(durable.max(epoch), Ordering::SeqCst);
+            return Ok(durable.max(epoch));
+        }
+        Ok(epoch)
+    }
+
+    /// [`get_or_fetch_checked`](AnswerCache::get_or_fetch_checked) for
+    /// fetchers whose answers are always authoritative.
+    pub fn get_or_fetch(
+        &self,
+        key: &[u8],
+        fetch: impl FnOnce() -> TopKResponse,
+    ) -> (TopKResponse, SearchOutcome) {
+        self.get_or_fetch_checked(key, || (fetch(), true))
+    }
+
+    /// Look `key` up; on a miss, run `fetch` exactly once across all
+    /// concurrent callers of the same key (single-flight) and cache the
+    /// answer. The fetcher's second return value marks the answer
+    /// *authoritative*: a degraded answer (a gateway mapping an outage to
+    /// an empty page) is served to this call and its coalesced waiters
+    /// but never admitted to the cache or the store. The
+    /// [`SearchOutcome`] reports how this caller was served.
+    pub fn get_or_fetch_checked(
+        &self,
+        key: &[u8],
+        fetch: impl FnOnce() -> (TopKResponse, bool),
+    ) -> (TopKResponse, SearchOutcome) {
+        let shard = &self.shards[self.shard_of(key)];
+        loop {
+            let mut guard = shard.lock();
+            if guard.map.contains_key(key) {
+                let tick = self.next_tick();
+                guard.touch(key, tick);
+                let answer = guard.map[key].answer.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (
+                    answer,
+                    SearchOutcome {
+                        cache_hit: true,
+                        coalesced: false,
+                    },
+                );
+            }
+            let flight = match guard.flights.get(key) {
+                Some(flight) => Arc::clone(flight),
+                None => {
+                    let flight = Arc::new(Flight::new());
+                    guard.flights.insert(key.to_vec(), Arc::clone(&flight));
+                    drop(guard);
+                    return self.lead(shard, key, flight, fetch);
+                }
+            };
+            drop(guard);
+            match flight.wait() {
+                Some(answer) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return (
+                        answer,
+                        SearchOutcome {
+                            cache_hit: false,
+                            coalesced: true,
+                        },
+                    );
+                }
+                // Leader unwound: loop and try to become the leader.
+                None => continue,
+            }
+        }
+    }
+
+    fn lead(
+        &self,
+        shard: &Mutex<Shard>,
+        key: &[u8],
+        flight: Arc<Flight>,
+        fetch: impl FnOnce() -> (TopKResponse, bool),
+    ) -> (TopKResponse, SearchOutcome) {
+        let epoch_at_start = self.epoch();
+        let mut guard = FlightGuard {
+            shard,
+            key,
+            flight: &flight,
+            disarmed: false,
+        };
+        let (answer, authoritative) = fetch();
+        guard.disarmed = true;
+        drop(guard);
+
+        // Admission is re-checked *under the shard lock*: a flush that
+        // bumped the epoch since the fetch started (its vintage is stale)
+        // must win, and flush only clears shards after bumping, so a
+        // check inside the lock cannot miss it. Degraded answers are
+        // never admitted at all — serve the outage, don't remember it.
+        let tick = self.next_tick();
+        let (admitted, evicted) = {
+            let mut guard = shard.lock();
+            guard.flights.remove(key);
+            if authoritative && self.epoch() == epoch_at_start {
+                let evicted = guard.insert(key.to_vec(), answer.clone(), tick, self.per_shard_cap);
+                (true, evicted)
+            } else {
+                (false, Vec::new())
+            }
+        };
+        if !evicted.is_empty() {
+            self.evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        }
+        // Release the waiters before touching disk: the answer is already
+        // admitted to memory, so coalesced callers must not stall behind
+        // the store mutex or its log writes.
+        flight.complete(answer.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // `evicted` is non-empty only when the insert ran, i.e. when the
+        // answer was admitted.
+        if admitted {
+            if let Some(store) = &self.store {
+                // Best-effort write-through: a persistence hiccup must not
+                // fail the live answer path. The epoch is re-checked under
+                // the store lock — a flush waiting on this lock has
+                // already advanced it, so a stale answer can never be
+                // stamped with the post-flush epoch.
+                let mut store = store.lock();
+                if self.epoch() == epoch_at_start {
+                    let _ = store.put(key, &answer);
+                }
+                for key in &evicted {
+                    let _ = store.delete(key);
+                }
+            }
+        }
+        (answer, SearchOutcome::MISS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_webdb::{Tuple, TupleId, Value};
+
+    fn resp(id: u32) -> TopKResponse {
+        TopKResponse {
+            tuples: vec![Tuple::new(TupleId(id), vec![Value::Num(id as f64)])],
+            overflow: false,
+        }
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let c = AnswerCache::new(CacheConfig::default());
+        let (a, o) = c.get_or_fetch(b"k", || resp(1));
+        assert_eq!(o, SearchOutcome::MISS);
+        let (b, o) = c.get_or_fetch(b"k", || panic!("must not refetch"));
+        assert!(o.cache_hit);
+        assert_eq!(a, b);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.coalesced), (1, 1, 0));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = AnswerCache::new(CacheConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        c.get_or_fetch(b"a", || resp(1));
+        c.get_or_fetch(b"b", || resp(2));
+        c.get_or_fetch(b"a", || panic!("a is cached")); // touch a
+        c.get_or_fetch(b"c", || resp(3)); // evicts b
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        let (_, o) = c.get_or_fetch(b"a", || panic!("a survived"));
+        assert!(o.cache_hit);
+        let (_, o) = c.get_or_fetch(b"b", || resp(2));
+        assert_eq!(o, SearchOutcome::MISS, "b was evicted");
+    }
+
+    #[test]
+    fn flush_clears_and_bumps_epoch() {
+        let c = AnswerCache::new(CacheConfig::default());
+        c.get_or_fetch(b"a", || resp(1));
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.flush().unwrap(), 1);
+        assert!(c.is_empty());
+        let (_, o) = c.get_or_fetch(b"a", || resp(1));
+        assert_eq!(o, SearchOutcome::MISS);
+    }
+
+    #[test]
+    fn capacity_rounds_to_shard_multiple() {
+        let c = AnswerCache::new(CacheConfig {
+            shards: 3, // rounds to 4
+            capacity: 10,
+        });
+        assert_eq!(c.shards.len(), 4);
+        assert_eq!(c.stats().capacity, 8); // 2 per shard × 4
+    }
+
+    #[test]
+    fn poisoned_leader_does_not_wedge_waiters() {
+        let c = Arc::new(AnswerCache::new(CacheConfig::default()));
+        let c2 = Arc::clone(&c);
+        let leader = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_fetch(b"k", || panic!("leader dies"));
+            }));
+        });
+        leader.join().unwrap();
+        // The key is not wedged: a later caller becomes the new leader.
+        let (a, o) = c.get_or_fetch(b"k", || resp(7));
+        assert_eq!(o, SearchOutcome::MISS);
+        assert_eq!(a, resp(7));
+    }
+
+    #[test]
+    fn non_authoritative_answers_are_served_but_never_admitted() {
+        let c = AnswerCache::new(CacheConfig::default());
+        let (a, o) = c.get_or_fetch_checked(b"k", || (resp(1), false));
+        assert_eq!(a, resp(1), "the degraded answer is still served");
+        assert_eq!(o, SearchOutcome::MISS);
+        assert!(c.is_empty(), "an outage must not be remembered");
+        // The next caller refetches and, once authoritative, it sticks.
+        let (b, o) = c.get_or_fetch_checked(b"k", || (resp(2), true));
+        assert_eq!(o, SearchOutcome::MISS);
+        assert_eq!(b, resp(2));
+        let (cached, o) = c.get_or_fetch(b"k", || panic!("cached now"));
+        assert!(o.cache_hit);
+        assert_eq!(cached, resp(2));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let c = AnswerCache::new(CacheConfig::default());
+        c.get_or_fetch(b"a", || resp(1));
+        let (b, o) = c.get_or_fetch(b"b", || resp(2));
+        assert_eq!(o, SearchOutcome::MISS);
+        assert_eq!(b, resp(2));
+        let (a, _) = c.get_or_fetch(b"a", || panic!("cached"));
+        assert_eq!(a, resp(1));
+    }
+}

@@ -1,0 +1,62 @@
+//! # qr2-cache — the shared cross-session query-answer cache
+//!
+//! QR2 is a *third-party* service whose cost structure is shared across
+//! all of its users: the paper keeps the dense-region index "shared
+//! between all the users" and verified at boot (§II-B), and its
+//! predecessor (*Query Reranking as a Service*, Asudeh et al.) meters
+//! every get-next as a query against the hidden web database. This crate
+//! extends that sharing to the answers themselves: when two users issue
+//! the same ranking query over the same source, the web database should
+//! see it **once**.
+//!
+//! Three pieces compose:
+//!
+//! * [`canonicalize`] / [`cache_key`] — schema-aware query normalization
+//!   so semantically identical queries collide (predicate order, bound
+//!   openness on integral attributes, domain clamping, `-0.0`, full-domain
+//!   and empty predicates);
+//! * [`AnswerCache`] — a sharded, thread-safe LRU with **single-flight
+//!   deduplication** (N concurrent sessions asking one uncached question
+//!   block on a single in-flight web-DB query) and optional persistence
+//!   through [`qr2_store::AnswerStore`] with epoch-based invalidation;
+//! * [`CachedInterface`] — a [`qr2_webdb::TopKInterface`] decorator, so
+//!   every reranking engine benefits with zero algorithm changes.
+//!
+//! Cost accounting stays truthful end to end: the decorator reports
+//! hits/coalesced waits through [`qr2_webdb::SearchOutcome`], the inner
+//! [`qr2_webdb::QueryLedger`] only ever counts real web-DB queries, and
+//! `qr2-core`'s `QueryStats` threads the counters into the service's
+//! statistics panel.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qr2_cache::{AnswerCache, CacheConfig, CachedInterface};
+//! use qr2_webdb::{Schema, SearchQuery, SimulatedWebDb, SystemRanking,
+//!                 TableBuilder, TopKInterface};
+//!
+//! let schema = Schema::builder().numeric("price", 0.0, 100.0).build();
+//! let mut tb = TableBuilder::new(schema.clone());
+//! for i in 0..10 { tb.push_row(vec![i as f64 * 10.0]).unwrap(); }
+//! let ranking = SystemRanking::linear(&schema, &[("price", 1.0)]).unwrap();
+//! let db = Arc::new(SimulatedWebDb::new(tb.build(), ranking, 3));
+//!
+//! let cached = CachedInterface::new(
+//!     db.clone(),
+//!     Arc::new(AnswerCache::new(CacheConfig::default())),
+//! );
+//! let q = SearchQuery::all();
+//! let a = cached.search(&q);      // miss: one real query
+//! let b = cached.search(&q);      // hit: free
+//! assert_eq!(a, b);
+//! assert_eq!(db.ledger().total(), 1);
+//! ```
+
+mod cache;
+mod interface;
+mod key;
+
+pub use cache::{AnswerCache, CacheConfig, CacheStats};
+pub use interface::CachedInterface;
+pub use key::{cache_key, canonicalize, CanonicalQuery};

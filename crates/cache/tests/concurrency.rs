@@ -1,0 +1,154 @@
+//! Single-flight stress test: many threads drive identical and
+//! overlapping queries through one [`CachedInterface`]; the web database
+//! must see each canonical query exactly once, and every answer must be
+//! byte-identical to an uncached run.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use qr2_cache::{AnswerCache, CacheConfig, CachedInterface};
+use qr2_webdb::{
+    RangePred, Schema, SearchQuery, SimulatedWebDb, SystemRanking, TableBuilder, TopKInterface,
+    TopKResponse,
+};
+
+const THREADS: usize = 8;
+const ROUNDS_PER_THREAD: usize = 4;
+
+fn schema() -> Schema {
+    Schema::builder()
+        .numeric("price", 0.0, 1000.0)
+        .numeric("carat", 0.0, 10.0)
+        .build()
+}
+
+/// Deterministic database; `latency` widens the single-flight window so
+/// the hammer threads genuinely overlap.
+fn db(latency: Duration) -> Arc<SimulatedWebDb> {
+    let schema = schema();
+    let mut tb = TableBuilder::new(schema.clone());
+    for i in 0..200 {
+        let price = ((i * 37) % 200) as f64 * 5.0;
+        let carat = (i % 10) as f64;
+        tb.push_row(vec![price, carat]).unwrap();
+    }
+    let ranking = SystemRanking::linear(&schema, &[("price", 1.0)]).unwrap();
+    let db = SimulatedWebDb::new(tb.build(), ranking, 10);
+    Arc::new(if latency.is_zero() {
+        db
+    } else {
+        db.with_latency(latency, Duration::ZERO, 42)
+    })
+}
+
+/// The workload: distinct canonical questions, several of them written in
+/// more than one semantically identical way.
+fn workload(schema: &Schema) -> Vec<SearchQuery> {
+    let price = schema.expect_id("price");
+    let carat = schema.expect_id("carat");
+    vec![
+        // Canonical question A, three spellings.
+        SearchQuery::all(),
+        SearchQuery::all().and_range(price, RangePred::closed(0.0, 1000.0)),
+        SearchQuery::all().and_range(price, RangePred::closed(-10.0, 5000.0)),
+        // Question B, two spellings.
+        SearchQuery::all().and_range(price, RangePred::closed(100.0, 400.0)),
+        SearchQuery::all()
+            .and_range(price, RangePred::closed(100.0, 400.0))
+            .and_range(carat, RangePred::closed(0.0, 10.0)),
+        // Questions C and D.
+        SearchQuery::all().and_range(carat, RangePred::closed(2.0, 5.0)),
+        SearchQuery::all().and_range(price, RangePred::half_open(0.0, 250.0)),
+    ]
+}
+
+/// Distinct canonical questions in [`workload`].
+const DISTINCT: u64 = 4;
+
+#[test]
+fn hammer_single_flight_each_canonical_query_hits_the_db_once() {
+    let raw = db(Duration::from_millis(15));
+    let cached = Arc::new(CachedInterface::new(
+        raw.clone(),
+        Arc::new(AnswerCache::new(CacheConfig::default())),
+    ));
+    let queries = Arc::new(workload(raw.schema()));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cached = Arc::clone(&cached);
+            let queries = Arc::clone(&queries);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut answers = Vec::new();
+                for round in 0..ROUNDS_PER_THREAD {
+                    // Vary per-thread order so flights interleave.
+                    for i in 0..queries.len() {
+                        let q = &queries[(i + t + round) % queries.len()];
+                        answers.push((q.clone(), cached.search(q)));
+                    }
+                }
+                answers
+            })
+        })
+        .collect();
+    let all: Vec<(SearchQuery, TopKResponse)> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("hammer thread"))
+        .collect();
+
+    // Single flight: the web database saw each canonical question exactly
+    // once across all threads and rounds.
+    assert_eq!(
+        raw.ledger().total(),
+        DISTINCT,
+        "ledger must count one query per canonical question"
+    );
+    let stats = cached.cache().stats();
+    assert_eq!(stats.misses, DISTINCT);
+    let lookups = (THREADS * ROUNDS_PER_THREAD * queries.len()) as u64;
+    assert_eq!(
+        stats.hits + stats.coalesced + stats.misses,
+        lookups,
+        "every lookup is classified exactly once"
+    );
+
+    // Byte-identical to an uncached run (a second, identically built db).
+    let reference = db(Duration::ZERO);
+    for (q, got) in &all {
+        assert_eq!(got, &reference.search(q), "{q}");
+    }
+}
+
+#[test]
+fn concurrent_identical_burst_coalesces() {
+    // All threads ask the same uncached question at once: one leader
+    // issues the query; the rest coalesce or hit.
+    let raw = db(Duration::from_millis(40));
+    let cached = Arc::new(CachedInterface::new(
+        raw.clone(),
+        Arc::new(AnswerCache::new(CacheConfig::default())),
+    ));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cached = Arc::clone(&cached);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cached.search(&SearchQuery::all())
+            })
+        })
+        .collect();
+    let answers: Vec<TopKResponse> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    assert_eq!(raw.ledger().total(), 1, "one in-flight query for all");
+    for w in answers.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+    let stats = cached.cache().stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits + stats.coalesced, (THREADS - 1) as u64);
+}

@@ -1,0 +1,178 @@
+//! Persistence: the answer cache survives a process restart through the
+//! `AnswerStore` (warm start), and epoch flushes durably invalidate it.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use qr2_cache::{AnswerCache, CacheConfig, CachedInterface};
+use qr2_store::AnswerStore;
+use qr2_webdb::{
+    RangePred, Schema, SearchQuery, SimulatedWebDb, SystemRanking, TableBuilder, TopKInterface,
+};
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "qr2-cache-test-{}-{}-{name}.log",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos()
+    ));
+    p
+}
+
+/// Deterministic database — rebuilt identically on "restart".
+fn db() -> Arc<SimulatedWebDb> {
+    let schema = Schema::builder()
+        .numeric("x", 0.0, 100.0)
+        .numeric("y", 0.0, 10.0)
+        .build();
+    let mut tb = TableBuilder::new(schema.clone());
+    for i in 0..80 {
+        tb.push_row(vec![((i * 13) % 80) as f64, (i % 10) as f64])
+            .unwrap();
+    }
+    let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+    Arc::new(SimulatedWebDb::new(tb.build(), ranking, 7))
+}
+
+fn workload(schema: &Schema) -> Vec<SearchQuery> {
+    let x = schema.expect_id("x");
+    (0..8)
+        .map(|i| {
+            SearchQuery::all().and_range(
+                x,
+                RangePred::half_open(i as f64 * 10.0, (i + 1) as f64 * 10.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn warm_start_survives_restart_with_zero_queries() {
+    let path = temp_path("warmstart");
+
+    // "First process": cold cache over a persistent store.
+    let cold_answers = {
+        let raw = db();
+        let cache = Arc::new(AnswerCache::with_store(
+            CacheConfig::default(),
+            AnswerStore::open(&path).unwrap(),
+        ));
+        let cached = CachedInterface::new(raw.clone(), cache);
+        let answers: Vec<_> = workload(raw.schema())
+            .iter()
+            .map(|q| cached.search(q))
+            .collect();
+        assert_eq!(raw.ledger().total(), 8, "cold pass pays for every probe");
+        answers
+    }; // everything dropped: the "process" dies.
+
+    // "Second process": reopen the store; the cache warm-starts.
+    let raw = db();
+    let cache = Arc::new(AnswerCache::with_store(
+        CacheConfig::default(),
+        AnswerStore::open(&path).unwrap(),
+    ));
+    assert_eq!(cache.len(), 8, "warm start loads every stored answer");
+    let cached = CachedInterface::new(raw.clone(), cache);
+    let warm_answers: Vec<_> = workload(raw.schema())
+        .iter()
+        .map(|q| cached.search(q))
+        .collect();
+    assert_eq!(
+        raw.ledger().total(),
+        0,
+        "the restarted service answers the repeated workload for free"
+    );
+    assert_eq!(
+        warm_answers, cold_answers,
+        "answers identical across restart"
+    );
+    assert_eq!(cached.cache().stats().hits, 8);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flush_durably_invalidates_across_restart() {
+    let path = temp_path("flush");
+    {
+        let raw = db();
+        let cache = Arc::new(AnswerCache::with_store(
+            CacheConfig::default(),
+            AnswerStore::open(&path).unwrap(),
+        ));
+        let cached = CachedInterface::new(raw.clone(), cache);
+        for q in workload(raw.schema()) {
+            cached.search(&q);
+        }
+        assert_eq!(cached.cache().flush().unwrap(), 1);
+        assert!(cached.cache().is_empty());
+        // Post-flush lookups pay again and persist under the new epoch.
+        cached.search(&SearchQuery::all());
+        assert_eq!(raw.ledger().total(), 9);
+    }
+    // Restart: only the post-flush answer survives.
+    let cache = AnswerCache::with_store(CacheConfig::default(), AnswerStore::open(&path).unwrap());
+    assert_eq!(cache.epoch(), 1);
+    assert_eq!(cache.len(), 1);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lru_eviction_deletes_from_the_store() {
+    let path = temp_path("evict");
+    {
+        let raw = db();
+        let cache = Arc::new(AnswerCache::with_store(
+            CacheConfig {
+                shards: 1,
+                capacity: 3,
+            },
+            AnswerStore::open(&path).unwrap(),
+        ));
+        let cached = CachedInterface::new(raw, cache);
+        // 8 distinct probes through a 3-entry cache: 5 must be evicted
+        // from memory *and* from the store.
+        for q in workload(cached.schema()) {
+            cached.search(&q);
+        }
+        assert_eq!(cached.cache().len(), 3);
+    }
+    let store = AnswerStore::open(&path).unwrap();
+    assert_eq!(
+        store.len(),
+        3,
+        "the store tracks the LRU contents instead of growing without bound"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lru_bound_applies_to_warm_start() {
+    let path = temp_path("bounded");
+    {
+        let raw = db();
+        let cache = Arc::new(AnswerCache::with_store(
+            CacheConfig::default(),
+            AnswerStore::open(&path).unwrap(),
+        ));
+        let cached = CachedInterface::new(raw, cache);
+        for q in workload(cached.schema()) {
+            cached.search(&q);
+        }
+    }
+    // Reopen with a tiny capacity: the warm start respects the bound.
+    let cache = AnswerCache::with_store(
+        CacheConfig {
+            shards: 1,
+            capacity: 3,
+        },
+        AnswerStore::open(&path).unwrap(),
+    );
+    assert!(cache.len() <= 3, "warm start must respect the LRU bound");
+    std::fs::remove_file(&path).ok();
+}

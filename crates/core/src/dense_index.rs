@@ -119,7 +119,12 @@ impl DenseIndex {
         let start = Instant::now();
         let crawler = Crawler::new(ctx.db(), self.crawler_config.clone());
         let result = crawler.crawl(region);
-        ctx.record_external_sequential(result.queries, start.elapsed());
+        ctx.record_external_crawl(
+            result.queries,
+            result.cache_hits,
+            result.coalesced,
+            start.elapsed(),
+        );
         {
             let mut stats = self.stats.lock();
             stats.misses += 1;

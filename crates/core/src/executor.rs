@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use qr2_webdb::{SearchQuery, TopKInterface, TopKResponse};
+use qr2_webdb::{SearchOutcome, SearchQuery, TopKInterface, TopKResponse};
 
 use crate::stats::QueryStats;
 
@@ -37,6 +37,39 @@ impl ExecutorKind {
             ExecutorKind::Parallel { fanout } => (*fanout).max(1),
         }
     }
+}
+
+/// A cheap point-in-time view of the counters behind a [`SearchCtx`],
+/// produced by [`SearchCtx::snapshot`] and consumed by
+/// [`SearchCtx::delta_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Rounds recorded so far.
+    pub rounds: usize,
+    /// Real web-DB queries recorded so far.
+    pub queries: usize,
+    /// Cumulative search time.
+    pub search_time: std::time::Duration,
+    /// Cache hits recorded so far.
+    pub cache_hits: usize,
+    /// Coalesced waits recorded so far.
+    pub coalesced_waits: usize,
+}
+
+/// Classify a stream of per-lookup outcomes into `(misses, hits,
+/// coalesced)`.
+fn tally<'a>(outcomes: impl Iterator<Item = &'a SearchOutcome>) -> (usize, usize, usize) {
+    let (mut misses, mut hits, mut coalesced) = (0, 0, 0);
+    for o in outcomes {
+        if o.cache_hit {
+            hits += 1;
+        } else if o.coalesced {
+            coalesced += 1;
+        } else {
+            misses += 1;
+        }
+    }
+    (misses, hits, coalesced)
 }
 
 /// Execution context handed to every algorithm: database handle, executor
@@ -81,39 +114,53 @@ impl SearchCtx {
         self.kind
     }
 
-    /// Execute a single query as its own (sequential) round.
+    /// Execute a single query as its own (sequential) round. A lookup the
+    /// caching interface serves for free counts as a cache hit, not a
+    /// query.
     pub fn search(&self, q: &SearchQuery) -> TopKResponse {
         let start = Instant::now();
-        let resp = self.db.search(q);
-        self.stats.lock().record_round(1, start.elapsed());
+        let (resp, outcome) = self.db.search_observed(q);
+        let (misses, hits, coalesced) = tally(std::iter::once(&outcome));
+        self.stats
+            .lock()
+            .record_lookups(misses, hits, coalesced, start.elapsed());
         resp
     }
 
     /// Execute a batch as one round. Responses are returned in input order.
     /// With a parallel executor, up to `fanout` queries run concurrently.
+    /// Only the batch's cache misses — the queries the web database really
+    /// saw — count toward the round's query total.
     pub fn search_batch(&self, qs: &[SearchQuery]) -> Vec<TopKResponse> {
         if qs.is_empty() {
             return Vec::new();
         }
         let start = Instant::now();
-        let responses = match self.kind {
-            ExecutorKind::Sequential => qs.iter().map(|q| self.db.search(q)).collect(),
+        let observed: Vec<(TopKResponse, SearchOutcome)> = match self.kind {
+            ExecutorKind::Sequential => qs.iter().map(|q| self.db.search_observed(q)).collect(),
             ExecutorKind::Parallel { fanout } => {
                 let fanout = fanout.max(1).min(qs.len());
                 if fanout == 1 || qs.len() == 1 {
-                    qs.iter().map(|q| self.db.search(q)).collect()
+                    qs.iter().map(|q| self.db.search_observed(q)).collect()
                 } else {
                     self.parallel_batch(qs, fanout)
                 }
             }
         };
-        self.stats.lock().record_round(qs.len(), start.elapsed());
-        responses
+        let (misses, hits, coalesced) = tally(observed.iter().map(|(_, o)| o));
+        self.stats
+            .lock()
+            .record_lookups(misses, hits, coalesced, start.elapsed());
+        observed.into_iter().map(|(resp, _)| resp).collect()
     }
 
-    fn parallel_batch(&self, qs: &[SearchQuery], fanout: usize) -> Vec<TopKResponse> {
+    fn parallel_batch(
+        &self,
+        qs: &[SearchQuery],
+        fanout: usize,
+    ) -> Vec<(TopKResponse, SearchOutcome)> {
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<TopKResponse>>> =
+        let slots: Vec<Mutex<Option<(TopKResponse, SearchOutcome)>>> =
             (0..qs.len()).map(|_| Mutex::new(None)).collect();
         let db = &self.db;
         crossbeam::thread::scope(|scope| {
@@ -123,8 +170,8 @@ impl SearchCtx {
                     if i >= qs.len() {
                         break;
                     }
-                    let resp = db.search(&qs[i]);
-                    *slots[i].lock() = Some(resp);
+                    let observed = db.search_observed(&qs[i]);
+                    *slots[i].lock() = Some(observed);
                 });
             }
         })
@@ -157,31 +204,63 @@ impl SearchCtx {
         }
     }
 
+    /// Fold one externally run crawl into the ledger: its real queries as
+    /// sequential rounds (see
+    /// [`record_external_sequential`](SearchCtx::record_external_sequential))
+    /// and its free lookups (cache hits, coalesced waits) as such. The
+    /// crawl's wall time is attributed to the rounds when any real query
+    /// ran, otherwise to the free lookups — a fully-cached crawl still
+    /// spends measurable time that the stats panel must report.
+    pub fn record_external_crawl(
+        &self,
+        queries: usize,
+        cache_hits: usize,
+        coalesced: usize,
+        elapsed: std::time::Duration,
+    ) {
+        if queries == 0 && cache_hits == 0 && coalesced == 0 {
+            return;
+        }
+        let mut stats = self.stats.lock();
+        if queries > 0 {
+            let per = elapsed / queries as u32;
+            for _ in 0..queries {
+                stats.record_round(1, per);
+            }
+            stats.record_lookups(0, cache_hits, coalesced, std::time::Duration::ZERO);
+        } else {
+            stats.record_lookups(0, cache_hits, coalesced, elapsed);
+        }
+    }
+
     /// Snapshot of the statistics so far.
     pub fn stats(&self) -> QueryStats {
         self.stats.lock().clone()
     }
 
-    /// Cheap counters snapshot — `(rounds, total queries, search time)` —
-    /// without cloning the per-round ledger. Hot-loop companion to
-    /// [`SearchCtx::stats`].
-    pub fn stats_counters(&self) -> (usize, usize, std::time::Duration) {
+    /// Cheap counters snapshot without cloning the per-round ledger.
+    /// Hot-loop companion to [`SearchCtx::stats`]; pass it back to
+    /// [`SearchCtx::delta_since`] for the incremental stats.
+    pub fn snapshot(&self) -> StatsSnapshot {
         let s = self.stats.lock();
-        (s.num_rounds(), s.total_queries(), s.search_time)
+        StatsSnapshot {
+            rounds: s.num_rounds(),
+            queries: s.total_queries(),
+            search_time: s.search_time,
+            cache_hits: s.cache_hits,
+            coalesced_waits: s.coalesced_waits,
+        }
     }
 
     /// The incremental statistics recorded since a
-    /// [`stats_counters`](SearchCtx::stats_counters) snapshot: only the
-    /// new rounds are copied.
-    pub fn stats_delta_since(
-        &self,
-        rounds_from: usize,
-        time_from: std::time::Duration,
-    ) -> QueryStats {
+    /// [`snapshot`](SearchCtx::snapshot): only the new rounds are copied.
+    pub fn delta_since(&self, from: &StatsSnapshot) -> QueryStats {
         let s = self.stats.lock();
         QueryStats {
-            rounds: s.rounds[rounds_from.min(s.rounds.len())..].to_vec(),
-            search_time: s.search_time.saturating_sub(time_from),
+            rounds: s.rounds[from.rounds.min(s.rounds.len())..].to_vec(),
+            search_time: s.search_time.saturating_sub(from.search_time),
+            cache_hits: s.cache_hits.saturating_sub(from.cache_hits),
+            coalesced_waits: s.coalesced_waits.saturating_sub(from.coalesced_waits),
         }
     }
 
@@ -302,6 +381,112 @@ mod tests {
         ctx.record_external_round(0, Duration::ZERO); // ignored
         ctx.record_external_sequential(3, Duration::from_millis(3));
         assert_eq!(ctx.stats().rounds, vec![7, 1, 1, 1]);
+    }
+
+    #[test]
+    fn external_crawls_fold_in_with_wall_time() {
+        let d = db();
+        let ctx = SearchCtx::new(d, ExecutorKind::Sequential);
+        // Mixed crawl: real queries carry the wall time, hits ride along.
+        ctx.record_external_crawl(2, 3, 1, Duration::from_millis(4));
+        let stats = ctx.stats();
+        assert_eq!(stats.rounds, vec![1, 1]);
+        assert_eq!((stats.cache_hits, stats.coalesced_waits), (3, 1));
+        assert_eq!(stats.search_time, Duration::from_millis(4));
+        // Fully-cached crawl: zero rounds, but its time is still reported.
+        ctx.record_external_crawl(0, 5, 0, Duration::from_millis(2));
+        let stats = ctx.stats();
+        assert_eq!(stats.rounds, vec![1, 1]);
+        assert_eq!(stats.cache_hits, 8);
+        assert_eq!(
+            stats.search_time,
+            Duration::from_millis(6),
+            "a fully-cached crawl's wall time must not vanish"
+        );
+        // No-op crawl records nothing.
+        ctx.record_external_crawl(0, 0, 0, Duration::from_millis(9));
+        assert_eq!(ctx.stats().search_time, Duration::from_millis(6));
+    }
+
+    /// A minimal caching decorator: answers repeated queries from memory
+    /// and reports them as cache hits (stand-in for `qr2-cache`, which
+    /// lives upstream of this crate).
+    struct MemoCachingDb {
+        inner: Arc<SimulatedWebDb>,
+        memo: Mutex<std::collections::HashMap<SearchQuery, qr2_webdb::TopKResponse>>,
+    }
+
+    impl qr2_webdb::TopKInterface for MemoCachingDb {
+        fn schema(&self) -> &Schema {
+            self.inner.schema()
+        }
+        fn system_k(&self) -> usize {
+            self.inner.system_k()
+        }
+        fn search(&self, q: &SearchQuery) -> qr2_webdb::TopKResponse {
+            self.search_observed(q).0
+        }
+        fn ledger(&self) -> &qr2_webdb::QueryLedger {
+            self.inner.ledger()
+        }
+        fn search_observed(
+            &self,
+            q: &SearchQuery,
+        ) -> (qr2_webdb::TopKResponse, qr2_webdb::SearchOutcome) {
+            if let Some(resp) = self.memo.lock().get(q) {
+                return (
+                    resp.clone(),
+                    qr2_webdb::SearchOutcome {
+                        cache_hit: true,
+                        coalesced: false,
+                    },
+                );
+            }
+            let resp = self.inner.search(q);
+            self.memo.lock().insert(q.clone(), resp.clone());
+            (resp, qr2_webdb::SearchOutcome::MISS)
+        }
+    }
+
+    #[test]
+    fn cached_lookups_count_as_hits_not_queries() {
+        let inner = db();
+        let cached = Arc::new(MemoCachingDb {
+            inner,
+            memo: Mutex::new(std::collections::HashMap::new()),
+        });
+        let ctx = SearchCtx::new(cached, ExecutorKind::Sequential);
+        let q = SearchQuery::all();
+        let a = ctx.search(&q);
+        let snap = ctx.snapshot();
+        let b = ctx.search(&q); // hit
+        let c = ctx.search_batch(&[q.clone(), q.clone()]); // two hits
+        assert_eq!(a, b);
+        assert_eq!(c, vec![a.clone(), a]);
+        let stats = ctx.stats();
+        assert_eq!(stats.rounds, vec![1], "hits never open a round");
+        assert_eq!(stats.total_queries(), 1);
+        assert_eq!(stats.cache_hits, 3);
+        assert!((stats.cache_hit_fraction() - 0.75).abs() < 1e-12);
+        let delta = ctx.delta_since(&snap);
+        assert_eq!(delta.total_queries(), 0);
+        assert_eq!(delta.cache_hits, 3);
+    }
+
+    #[test]
+    fn mixed_batch_counts_only_misses_in_the_round() {
+        let inner = db();
+        let cached = Arc::new(MemoCachingDb {
+            inner,
+            memo: Mutex::new(std::collections::HashMap::new()),
+        });
+        let ctx = SearchCtx::new(cached, ExecutorKind::Sequential);
+        let qs = probes(3, ctx.schema());
+        ctx.search(&qs[0]); // warm one probe
+        ctx.search_batch(&qs); // 1 hit + 2 misses
+        let stats = ctx.stats();
+        assert_eq!(stats.rounds, vec![1, 2]);
+        assert_eq!(stats.cache_hits, 1);
     }
 
     #[test]

@@ -66,7 +66,7 @@ mod stats;
 
 pub use budget::{Budget, CancelToken, StepOutcome};
 pub use dense_index::DenseIndex;
-pub use executor::{ExecutorKind, SearchCtx};
+pub use executor::{ExecutorKind, SearchCtx, StatsSnapshot};
 pub use function::{LinearFunction, OneDimFunction, RankingFunction, SortDir};
 pub use md::{MdAlgo, MdReranker};
 pub use normalize::{discover_extremum, AttrStats, Normalizer};

@@ -211,8 +211,12 @@ impl BaselineEngine {
         let start = Instant::now();
         let crawler = Crawler::new(self.ctx.db(), CrawlerConfig::default());
         let result = crawler.crawl(&region.to_query(&self.filter));
-        self.ctx
-            .record_external_sequential(result.queries, start.elapsed());
+        self.ctx.record_external_crawl(
+            result.queries,
+            result.cache_hits,
+            result.coalesced,
+            start.elapsed(),
+        );
         for t in result.tuples {
             if self.served_ids.contains(&t.id) {
                 continue;

@@ -316,8 +316,12 @@ impl FrontierEngine {
                 let start = Instant::now();
                 let crawler = Crawler::new(self.ctx.db(), CrawlerConfig::default());
                 let result = crawler.crawl(&nbox.to_query(&self.filter));
-                self.ctx
-                    .record_external_sequential(result.queries, start.elapsed());
+                self.ctx.record_external_crawl(
+                    result.queries,
+                    result.cache_hits,
+                    result.coalesced,
+                    start.elapsed(),
+                );
                 result.tuples
             }
         };

@@ -161,8 +161,12 @@ impl ChunkParams<'_> {
                 let start = Instant::now();
                 let crawler = Crawler::new(self.ctx.db(), CrawlerConfig::default());
                 let result = crawler.crawl(&self.probe_query(r));
-                self.ctx
-                    .record_external_sequential(result.queries, start.elapsed());
+                self.ctx.record_external_crawl(
+                    result.queries,
+                    result.cache_hits,
+                    result.coalesced,
+                    start.elapsed(),
+                );
                 result.tuples
             }
         }

@@ -274,8 +274,8 @@ impl RerankSession {
     /// discoveries, so a step may overshoot it by the cost of completing
     /// the one in-flight discovery but never starts a new one past it.
     pub fn advance(&mut self, budget: Budget) -> StepOutcome {
-        let (start_rounds, start_queries, start_time) = self.ctx.stats_counters();
-        let delta = |ctx: &SearchCtx| ctx.stats_delta_since(start_rounds, start_time);
+        let start = self.ctx.snapshot();
+        let delta = |ctx: &SearchCtx| ctx.delta_since(&start);
         let mut out: Vec<Tuple> = Vec::new();
         loop {
             if self.cancel.is_cancelled() {
@@ -295,8 +295,8 @@ impl RerankSession {
             // runs — `next()`/`next_page()` pay nothing for it.)
             if let Some(cap) = budget.queries {
                 if self.buffered() == 0 {
-                    let (_, now_queries, _) = self.ctx.stats_counters();
-                    if now_queries - start_queries >= cap {
+                    let now_queries = self.ctx.snapshot().queries;
+                    if now_queries - start.queries >= cap {
                         return StepOutcome::BudgetExhausted {
                             partial: out,
                             stats: delta(&self.ctx),

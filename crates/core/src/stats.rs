@@ -13,9 +13,17 @@ use std::time::Duration;
 pub struct QueryStats {
     /// Queries per round, in execution order. A round with ≥ 2 queries was
     /// submitted in parallel (when a parallel executor is configured).
+    /// Only *real* web-DB queries count here — lookups served by the
+    /// shared answer cache are tallied in [`QueryStats::cache_hits`] /
+    /// [`QueryStats::coalesced_waits`] instead.
     pub rounds: Vec<usize>,
     /// Wall-clock time spent inside search calls.
     pub search_time: Duration,
+    /// Lookups served from the shared answer cache (zero web-DB cost).
+    pub cache_hits: usize,
+    /// Lookups coalesced onto another session's identical in-flight query
+    /// (zero web-DB cost for this session; the leader paid the one query).
+    pub coalesced_waits: usize,
 }
 
 impl QueryStats {
@@ -50,9 +58,47 @@ impl QueryStats {
         }
     }
 
+    /// Lookups that cost this session nothing: cache hits plus coalesced
+    /// waits.
+    pub fn free_lookups(&self) -> usize {
+        self.cache_hits + self.coalesced_waits
+    }
+
+    /// Fraction of search-interface lookups served without spending a
+    /// web-DB query (the cache-side analogue of
+    /// [`parallel_fraction`](QueryStats::parallel_fraction)): free lookups
+    /// over all lookups.
+    pub fn cache_hit_fraction(&self) -> f64 {
+        let free = self.free_lookups();
+        let total = free + self.total_queries();
+        if total == 0 {
+            0.0
+        } else {
+            free as f64 / total as f64
+        }
+    }
+
     /// Record one round.
     pub fn record_round(&mut self, queries: usize, elapsed: Duration) {
         self.rounds.push(queries);
+        self.search_time += elapsed;
+    }
+
+    /// Record one batch of search-interface lookups: `misses` real
+    /// queries became a round (when any were issued); cached and coalesced
+    /// lookups are tallied without consuming round or query budget.
+    pub fn record_lookups(
+        &mut self,
+        misses: usize,
+        cache_hits: usize,
+        coalesced: usize,
+        elapsed: Duration,
+    ) {
+        if misses > 0 {
+            self.rounds.push(misses);
+        }
+        self.cache_hits += cache_hits;
+        self.coalesced_waits += coalesced;
         self.search_time += elapsed;
     }
 
@@ -60,6 +106,8 @@ impl QueryStats {
     pub fn absorb(&mut self, other: &QueryStats) {
         self.rounds.extend_from_slice(&other.rounds);
         self.search_time += other.search_time;
+        self.cache_hits += other.cache_hits;
+        self.coalesced_waits += other.coalesced_waits;
     }
 }
 
@@ -92,10 +140,36 @@ mod tests {
     fn absorb_appends() {
         let mut a = QueryStats::default();
         a.record_round(2, Duration::from_millis(1));
+        a.record_lookups(0, 3, 1, Duration::from_millis(1));
         let mut b = QueryStats::default();
         b.record_round(5, Duration::from_millis(2));
+        b.record_lookups(0, 1, 0, Duration::ZERO);
         a.absorb(&b);
         assert_eq!(a.rounds, vec![2, 5]);
-        assert_eq!(a.search_time, Duration::from_millis(3));
+        assert_eq!(a.search_time, Duration::from_millis(4));
+        assert_eq!(a.cache_hits, 4);
+        assert_eq!(a.coalesced_waits, 1);
+    }
+
+    #[test]
+    fn cache_hit_fraction_counts_free_lookups() {
+        let mut s = QueryStats::default();
+        assert_eq!(s.cache_hit_fraction(), 0.0);
+        s.record_lookups(2, 0, 0, Duration::from_millis(1));
+        assert_eq!(s.cache_hit_fraction(), 0.0);
+        s.record_lookups(0, 5, 1, Duration::from_millis(1));
+        assert_eq!(s.free_lookups(), 6);
+        assert!((s.cache_hit_fraction() - 6.0 / 8.0).abs() < 1e-12);
+        // Free lookups never inflate the query metric or add rounds.
+        assert_eq!(s.total_queries(), 2);
+        assert_eq!(s.num_rounds(), 1);
+    }
+
+    #[test]
+    fn record_lookups_with_misses_is_a_round() {
+        let mut s = QueryStats::default();
+        s.record_lookups(3, 2, 0, Duration::from_millis(1));
+        assert_eq!(s.rounds, vec![3]);
+        assert_eq!(s.cache_hits, 2);
     }
 }

@@ -46,8 +46,15 @@ pub struct CrawlResult {
     /// Retrieved tuples, deduplicated, sorted by [`TupleId`] for
     /// determinism.
     pub tuples: Vec<Tuple>,
-    /// Queries issued by this crawl.
+    /// Queries this crawl actually spent against the web database. Probes
+    /// served by a caching interface for free (see
+    /// [`qr2_webdb::SearchOutcome`]) are counted separately below.
     pub queries: usize,
+    /// Probes answered from a shared answer cache (free).
+    pub cache_hits: usize,
+    /// Probes coalesced onto another caller's identical in-flight query
+    /// (free for this crawl).
+    pub coalesced: usize,
     /// Number of leaf (non-overflowing) regions.
     pub leaves: usize,
     /// Deepest recursion reached.
@@ -85,17 +92,26 @@ impl<'a, D: TopKInterface + ?Sized> Crawler<'a, D> {
         let mut found: HashMap<TupleId, Tuple> = HashMap::new();
         let mut stack: Vec<(SearchQuery, usize)> = vec![(region.clone(), 0)];
         let mut queries = 0usize;
+        let mut cache_hits = 0usize;
+        let mut coalesced = 0usize;
         let mut leaves = 0usize;
         let mut max_depth = 0usize;
         let mut outcome = CrawlOutcome::Complete;
 
         while let Some((q, depth)) = stack.pop() {
+            // The budget caps real web-DB spend; cached probes are free.
             if queries >= self.config.max_queries {
                 outcome = CrawlOutcome::BudgetExhausted;
                 break;
             }
-            let resp = self.db.search(&q);
-            queries += 1;
+            let (resp, probe) = self.db.search_observed(&q);
+            if probe.cache_hit {
+                cache_hits += 1;
+            } else if probe.coalesced {
+                coalesced += 1;
+            } else {
+                queries += 1;
+            }
             max_depth = max_depth.max(depth);
             for t in &resp.tuples {
                 found.entry(t.id).or_insert_with(|| t.clone());
@@ -134,6 +150,8 @@ impl<'a, D: TopKInterface + ?Sized> Crawler<'a, D> {
         CrawlResult {
             tuples,
             queries,
+            cache_hits,
+            coalesced,
             leaves,
             max_depth,
             outcome,

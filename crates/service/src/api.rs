@@ -51,6 +51,20 @@ fn respond<T: IntoJson>(ok_status: Status, result: Result<T, ApiError>) -> Respo
     }
 }
 
+/// When the legacy `/api/*` surface sunsets (RFC 8594 `Sunset` header).
+/// Clients should migrate to `/v1` (advertised via the `Link` successor
+/// relation) before this date.
+pub const LEGACY_SUNSET: &str = "Tue, 01 Jun 2027 00:00:00 GMT";
+
+/// Mark a legacy `/api/*` response as deprecated: `Deprecation: true`
+/// plus a `Sunset` date and a `Link` pointing clients at the `/v1`
+/// successor surface.
+fn deprecated(resp: Response) -> Response {
+    resp.with_header("Deprecation", "true")
+        .with_header("Sunset", LEGACY_SUNSET)
+        .with_header("Link", "</v1>; rel=\"successor-version\"")
+}
+
 /// Parse an optional non-negative integer query parameter.
 fn usize_param(req: &Request, name: &str) -> Result<Option<usize>, ApiError> {
     match req.query_param(name) {
@@ -299,11 +313,33 @@ impl ApiState {
         }
     }
 
+    /// `GET /v1/sources/:source/cache` — the source's shared-answer-cache
+    /// statistics (hits, misses, coalesced waits, occupancy, epoch).
+    pub fn v1_cache_stats(&self, p: &Params) -> Response {
+        respond(
+            Status::Ok,
+            p.require("source")
+                .and_then(|source| self.service.cache_stats(source)),
+        )
+    }
+
+    /// `DELETE /v1/sources/:source/cache` — flush the source's shared
+    /// answer cache; 204 on success.
+    pub fn v1_cache_flush(&self, p: &Params) -> Response {
+        match p
+            .require("source")
+            .and_then(|source| self.service.flush_cache(source))
+        {
+            Ok(()) => Response::no_content(),
+            Err(e) => e.into(),
+        }
+    }
+
     // -- legacy /api shims (deprecated; see docs/API.md) --------------------
 
     /// `GET /api/sources`
     pub fn handle_sources(&self) -> Response {
-        self.v1_sources()
+        deprecated(self.v1_sources())
     }
 
     /// `POST /api/query` — legacy create; source comes from the body.
@@ -316,10 +352,10 @@ impl ApiState {
             })?;
             self.service.create_query(&source, &dto)
         })();
-        match result {
+        deprecated(match result {
             Ok(page) => Response::ok_json(&page.to_legacy_json()),
             Err(e) => e.into(),
-        }
+        })
     }
 
     /// `POST /api/getnext` — legacy get-next; session id comes from the
@@ -329,24 +365,26 @@ impl ApiState {
             let dto: GetNextRequest = decode_body(req)?;
             self.service.next_page(&dto.session, dto.page_size)
         })();
-        match result {
+        deprecated(match result {
             Ok(page) => Response::ok_json(&page.to_legacy_json()),
             Err(e) => e.into(),
-        }
+        })
     }
 
     /// `GET /api/session/:id/stats`
     pub fn handle_stats(&self, p: &Params) -> Response {
-        self.v1_stats(p)
+        deprecated(self.v1_stats(p))
     }
 
     /// `DELETE /api/session/:id` — legacy delete (200 + body, unlike the
     /// v1 204).
     pub fn handle_delete(&self, p: &Params) -> Response {
-        match p.require("id").and_then(|id| self.service.delete(id)) {
-            Ok(()) => Response::ok_json(&Json::obj([("deleted", Json::Bool(true))])),
-            Err(e) => e.into(),
-        }
+        deprecated(
+            match p.require("id").and_then(|id| self.service.delete(id)) {
+                Ok(()) => Response::ok_json(&Json::obj([("deleted", Json::Bool(true))])),
+                Err(e) => e.into(),
+            },
+        )
     }
 }
 
@@ -545,6 +583,75 @@ mod tests {
     }
 
     #[test]
+    fn v1_cache_stats_and_flush_endpoints() {
+        let st = state();
+        // Cold cache: all zeros.
+        let resp = st.v1_cache_stats(&params(&[("source", "bluenile")]));
+        assert_eq!(resp.status, Status::Ok);
+        let v = body_json(&resp);
+        assert_eq!(v.get("source").unwrap().as_str(), Some("bluenile"));
+        assert_eq!(v.get("misses").unwrap().as_usize(), Some(0));
+        assert_eq!(v.get("persistent").unwrap().as_bool(), Some(false));
+
+        // A query warms it.
+        let req = Request::test(
+            Method::Post,
+            "/v1/sources/bluenile/queries",
+            br#"{"ranking":{"type":"1d","attr":"price"},"page_size":3}"#.to_vec(),
+        );
+        st.v1_create_query(&req, &params(&[("source", "bluenile")]));
+        let v = body_json(&st.v1_cache_stats(&params(&[("source", "bluenile")])));
+        assert!(v.get("misses").unwrap().as_usize().unwrap() > 0);
+        assert!(v.get("entries").unwrap().as_usize().unwrap() > 0);
+        assert!(v.get("hit_rate").unwrap().as_f64().is_some());
+
+        // Flush: 204, then the panel reads empty at the next epoch.
+        let resp = st.v1_cache_flush(&params(&[("source", "bluenile")]));
+        assert_eq!(resp.status, Status::NoContent);
+        let v = body_json(&st.v1_cache_stats(&params(&[("source", "bluenile")])));
+        assert_eq!(v.get("entries").unwrap().as_usize(), Some(0));
+        assert_eq!(v.get("epoch").unwrap().as_usize(), Some(1));
+
+        // Unknown source: structured 404 on both.
+        for resp in [
+            st.v1_cache_stats(&params(&[("source", "amazon")])),
+            st.v1_cache_flush(&params(&[("source", "amazon")])),
+        ] {
+            assert_eq!(resp.status, Status::NotFound);
+            assert_eq!(
+                body_json(&resp)
+                    .get("error")
+                    .unwrap()
+                    .get("code")
+                    .unwrap()
+                    .as_str(),
+                Some(codes::UNKNOWN_SOURCE)
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_responses_carry_deprecation_headers() {
+        let st = state();
+        let resp = st.handle_sources();
+        assert_eq!(resp.header("Deprecation"), Some("true"));
+        assert_eq!(resp.header("Sunset"), Some(LEGACY_SUNSET));
+        assert_eq!(
+            resp.header("Link"),
+            Some("</v1>; rel=\"successor-version\"")
+        );
+        // Errors on the legacy surface are marked too.
+        let resp = st.handle_query(&Request::test(Method::Post, "/api/query", b"{}".to_vec()));
+        assert_eq!(resp.status, Status::BadRequest);
+        assert_eq!(resp.header("Deprecation"), Some("true"));
+        assert_eq!(resp.header("Sunset"), Some(LEGACY_SUNSET));
+        // The /v1 surface is not marked.
+        let resp = st.v1_sources();
+        assert_eq!(resp.header("Deprecation"), None);
+        assert_eq!(resp.header("Sunset"), None);
+    }
+
+    #[test]
     fn legacy_query_and_getnext_flow() {
         let st = state();
         let req = Request::test(
@@ -566,6 +673,8 @@ mod tests {
             "{:?}",
             String::from_utf8_lossy(&resp.body)
         );
+        assert_eq!(resp.header("Deprecation"), Some("true"), "legacy shim");
+        assert_eq!(resp.header("Sunset"), Some(LEGACY_SUNSET));
         let v = body_json(&resp);
         let sid = v.get("session").unwrap().as_str().unwrap().to_string();
         assert_eq!(v.get("results").unwrap().as_arr().unwrap().len(), 5);

@@ -50,6 +50,13 @@ impl Qr2App {
     /// Boot procedure (paper §II-B): verify every source's dense-region
     /// cache against the live database, dropping stale regions. Returns
     /// one report per source.
+    ///
+    /// Verification runs against the **raw** interface (`Source::db`) —
+    /// freshness checks served from the answer cache would always look
+    /// fresh. When a source's database turns out to have changed (any
+    /// region dropped), the source's shared answer cache is flushed too:
+    /// its staleness epoch advances and any persistent answers are
+    /// durably invalidated.
     pub fn verify_caches(&self) -> Vec<(String, VerifyReport)> {
         self.state
             .registry
@@ -61,6 +68,11 @@ impl Qr2App {
                     .dense_index()
                     .verify(&*s.db)
                     .expect("cache verification must not fail on a healthy store");
+                if report.dropped > 0 {
+                    s.cache
+                        .flush()
+                        .expect("answer-cache flush must not fail on a healthy store");
+                }
                 (s.name.clone(), report)
             })
             .collect()
@@ -71,7 +83,7 @@ impl Qr2App {
     pub fn router(&self) -> Router {
         let st = |_: ()| Arc::clone(&self.state);
         let (s1, s2, s3, s4, s5, s6) = (st(()), st(()), st(()), st(()), st(()), st(()));
-        let (s7, s8) = (st(()), st(()));
+        let (s7, s8, s9, s10) = (st(()), st(()), st(()), st(()));
         let (l1, l2, l3, l4, l5) = (st(()), st(()), st(()), st(()), st(()));
         Router::new()
             .route(Method::Get, "/", |_, _| Response::html(INDEX_HTML))
@@ -106,6 +118,12 @@ impl Qr2App {
             })
             .route(Method::Delete, "/v1/queries/:id", move |_, p| {
                 s6.v1_delete(p)
+            })
+            .route(Method::Get, "/v1/sources/:source/cache", move |_, p| {
+                s9.v1_cache_stats(p)
+            })
+            .route(Method::Delete, "/v1/sources/:source/cache", move |_, p| {
+                s10.v1_cache_flush(p)
             })
             // -- Legacy RPC-style shims (deprecated; see docs/API.md).
             .route(Method::Get, "/api/sources", move |_, _| l1.handle_sources())
@@ -203,8 +221,11 @@ mod tests {
         let resp = http(addr, "GET /api/health HTTP/1.1\r\n\r\n");
         assert!(resp.contains("\"ok\""));
 
-        // Sources.
+        // Sources (legacy surface: marked deprecated with a sunset date).
         let resp = http(addr, "GET /api/sources HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("Deprecation: true"), "{resp}");
+        assert!(resp.contains("Sunset: "), "{resp}");
+        assert!(resp.contains("rel=\"successor-version\""), "{resp}");
         let v = parse_json(body_of(&resp)).unwrap();
         assert_eq!(v.get("sources").unwrap().as_arr().unwrap().len(), 2);
 
@@ -372,6 +393,78 @@ mod tests {
         let resp = http(addr, "GET /v1/queries/s999999/stream HTTP/1.1\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
         assert!(resp.contains("unknown_query"), "{resp}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn cache_endpoints_round_trip_and_second_user_is_free() {
+        let server = app().serve("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+
+        let run = |label: &str| -> (String, usize) {
+            let body = r#"{"ranking":{"type":"1d","attr":"price","dir":"desc"},"algorithm":"1d-binary","page_size":4}"#;
+            let raw = format!(
+                "POST /v1/sources/bluenile/queries HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            let resp = http(addr, &raw);
+            assert!(resp.starts_with("HTTP/1.1 201"), "{label}: {resp}");
+            let v = parse_json(body_of(&resp)).unwrap();
+            let ids = v
+                .get("results")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|t| t.get("id").unwrap().as_usize().unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let queries = v
+                .get("stats")
+                .unwrap()
+                .get("queries")
+                .unwrap()
+                .as_usize()
+                .unwrap();
+            (ids, queries)
+        };
+
+        let (first_ids, first_cost) = run("first user");
+        assert!(first_cost > 0);
+        let (second_ids, second_cost) = run("second user");
+        assert_eq!(second_cost, 0, "second identical query must be free");
+        assert_eq!(first_ids, second_ids, "cached answers keep the order");
+
+        // The cache panel reflects the traffic.
+        let resp = http(addr, "GET /v1/sources/bluenile/cache HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert!(v.get("hits").unwrap().as_usize().unwrap() > 0);
+        assert!(v.get("misses").unwrap().as_usize().unwrap() > 0);
+        assert!(v.get("hit_rate").unwrap().as_f64().unwrap() > 0.0);
+
+        // Session stats expose the free-lookup breakdown.
+        let resp = http(addr, "GET /v1/sources/bluenile/cache HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("\"epoch\":0"), "{resp}");
+
+        // Flush: 204; the panel resets and the epoch advances.
+        let resp = http(addr, "DELETE /v1/sources/bluenile/cache HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 204"), "{resp}");
+        let resp = http(addr, "GET /v1/sources/bluenile/cache HTTP/1.1\r\n\r\n");
+        let v = parse_json(body_of(&resp)).unwrap();
+        assert_eq!(v.get("entries").unwrap().as_usize(), Some(0));
+        assert_eq!(v.get("epoch").unwrap().as_usize(), Some(1));
+
+        // A post-flush run pays again (the answers are invalidated).
+        let (_, post_flush_cost) = run("post-flush user");
+        assert_eq!(post_flush_cost, first_cost);
+
+        // Unknown source renders the envelope.
+        let resp = http(addr, "GET /v1/sources/amazon/cache HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("unknown_source"), "{resp}");
 
         server.stop();
     }

@@ -20,6 +20,7 @@ struct Args {
     workers: usize,
     latency_ms: u64,
     session_ttl_secs: u64,
+    cache_dir: Option<String>,
 }
 
 impl Default for Args {
@@ -32,6 +33,7 @@ impl Default for Args {
             workers: 4,
             latency_ms: 0,
             session_ttl_secs: 900,
+            cache_dir: None,
         }
     }
 }
@@ -73,11 +75,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--session-ttl: {e}"))?
             }
+            "--cache-dir" => args.cache_dir = Some(take("--cache-dir")?),
             "--help" | "-h" => {
                 println!(
                     "qr2-server — the QR2 reranking service\n\n\
                      USAGE: qr2-server [--addr HOST:PORT] [--diamonds N] [--homes N]\n\
-                            [--fanout N] [--workers N] [--latency-ms MS] [--session-ttl SECS]\n"
+                            [--fanout N] [--workers N] [--latency-ms MS] [--session-ttl SECS]\n\
+                            [--cache-dir DIR]\n\n\
+                     --cache-dir persists each source's shared answer cache to\n\
+                     DIR/<source>-answers.log and warm-starts it at boot, so\n\
+                     repeated queries stay free across restarts.\n"
                 );
                 std::process::exit(0);
             }
@@ -113,11 +120,46 @@ fn main() {
     if args.latency_ms > 0 {
         eprintln!("note: --latency-ms is advisory; demo sources run without artificial latency");
     }
-    let registry = SourceRegistry::demo(args.diamonds, args.homes, executor);
+    let registry = match &args.cache_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: --cache-dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+            match SourceRegistry::demo_with_cache_dir(
+                args.diamonds,
+                args.homes,
+                executor,
+                Some(dir),
+            ) {
+                Ok(reg) => reg,
+                Err(e) => {
+                    eprintln!("error: opening answer caches under {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => SourceRegistry::demo(args.diamonds, args.homes, executor),
+    };
+    for s in registry.all() {
+        let stats = s.cache.stats();
+        eprintln!(
+            "  answer cache [{}]: {} warm entries (epoch {}, {})",
+            s.name,
+            stats.entries,
+            stats.epoch,
+            if stats.persistent {
+                "persistent"
+            } else {
+                "volatile"
+            }
+        );
+    }
     let app = Qr2App::new(registry).with_session_ttl(Duration::from_secs(args.session_ttl_secs));
     for (source, report) in app.verify_caches() {
         eprintln!(
-            "  cache [{}]: {} checked, {} dropped",
+            "  dense cache [{}]: {} checked, {} dropped",
             source, report.checked, report.dropped
         );
     }

@@ -257,10 +257,11 @@ impl IntoJson for TupleDto {
 }
 
 /// The statistics panel (paper Fig. 4): query cost + processing time, plus
-/// the parallelism breakdown behind Fig. 2.
+/// the parallelism breakdown behind Fig. 2 and the shared-answer-cache
+/// breakdown.
 #[derive(Debug, Clone)]
 pub struct StatsResponse {
-    /// Total top-k queries issued to the source.
+    /// Total top-k queries issued to the source (real web-DB spend only).
     pub queries: usize,
     /// Get-next rounds executed.
     pub rounds: usize,
@@ -270,6 +271,12 @@ pub struct StatsResponse {
     pub parallel_queries: usize,
     /// Fraction of queries parallelized.
     pub parallel_fraction: f64,
+    /// Lookups served from the shared answer cache (free).
+    pub cache_hits: usize,
+    /// Lookups coalesced onto another session's in-flight query (free).
+    pub coalesced_waits: usize,
+    /// Fraction of lookups served without spending a web-DB query.
+    pub cache_hit_fraction: f64,
     /// Wall-clock search time in milliseconds.
     pub search_time_ms: f64,
     /// Tuples served to the user so far.
@@ -285,6 +292,9 @@ impl StatsResponse {
             parallel_rounds: stats.parallel_rounds(),
             parallel_queries: stats.parallel_queries(),
             parallel_fraction: stats.parallel_fraction(),
+            cache_hits: stats.cache_hits,
+            coalesced_waits: stats.coalesced_waits,
+            cache_hit_fraction: stats.cache_hit_fraction(),
             search_time_ms: stats.search_time.as_secs_f64() * 1e3,
             served,
         }
@@ -299,8 +309,39 @@ impl IntoJson for StatsResponse {
             ("parallel_rounds", Json::from(self.parallel_rounds)),
             ("parallel_queries", Json::from(self.parallel_queries)),
             ("parallel_fraction", Json::Num(self.parallel_fraction)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("coalesced_waits", Json::from(self.coalesced_waits)),
+            ("cache_hit_fraction", Json::Num(self.cache_hit_fraction)),
             ("search_time_ms", Json::Num(self.search_time_ms)),
             ("served", Json::from(self.served)),
+        ])
+    }
+}
+
+/// One source's shared-answer-cache panel
+/// (`GET /v1/sources/:source/cache`).
+#[derive(Debug, Clone)]
+pub struct CacheStatsResponse {
+    /// The source key.
+    pub source: String,
+    /// Counter snapshot.
+    pub stats: qr2_cache::CacheStats,
+}
+
+impl IntoJson for CacheStatsResponse {
+    fn to_json(&self) -> Json {
+        let s = &self.stats;
+        Json::obj([
+            ("source", Json::from(self.source.as_str())),
+            ("entries", Json::from(s.entries)),
+            ("capacity", Json::from(s.capacity)),
+            ("hits", Json::from(s.hits as usize)),
+            ("misses", Json::from(s.misses as usize)),
+            ("coalesced", Json::from(s.coalesced as usize)),
+            ("evictions", Json::from(s.evictions as usize)),
+            ("hit_rate", Json::Num(s.hit_rate())),
+            ("epoch", Json::from(s.epoch as usize)),
+            ("persistent", Json::Bool(s.persistent)),
         ])
     }
 }
@@ -626,6 +667,9 @@ mod tests {
                 parallel_rounds: 0,
                 parallel_queries: 0,
                 parallel_fraction: 0.0,
+                cache_hits: 0,
+                coalesced_waits: 0,
+                cache_hit_fraction: 0.0,
                 search_time_ms: 1.5,
                 served: 0,
             },

@@ -18,6 +18,8 @@
 //! | `GET\|POST /v1/queries/:id/next` | next page for a query |
 //! | `GET /v1/queries/:id/stats` | the statistics panel |
 //! | `DELETE /v1/queries/:id` | drop a query (204) |
+//! | `GET /v1/sources/:source/cache` | the source's shared answer-cache statistics |
+//! | `DELETE /v1/sources/:source/cache` | flush the source's shared answer cache (204) |
 //! | `GET /` | the embedded single-page UI |
 //!
 //! The legacy RPC endpoints (`POST /api/query`, `POST /api/getnext`,
@@ -40,11 +42,11 @@ mod session;
 mod sources;
 mod ui;
 
-pub use api::ApiState;
+pub use api::{ApiState, LEGACY_SUNSET};
 pub use app::Qr2App;
 pub use dto::{
-    AlgorithmDescriptor, FilterDto, GetNextRequest, NextPageRequest, PageResponse, QueryRequest,
-    RankingDto, SourceDescriptor, StatsResponse, TupleDto,
+    AlgorithmDescriptor, CacheStatsResponse, FilterDto, GetNextRequest, NextPageRequest,
+    PageResponse, QueryRequest, RankingDto, SourceDescriptor, StatsResponse, TupleDto,
 };
 pub use remote::{RemoteWebDb, WebDbGateway};
 pub use service::{compile_filters, compile_ranking, resolve_algorithm, QueryService};

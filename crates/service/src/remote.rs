@@ -291,14 +291,19 @@ impl TopKInterface for RemoteWebDb {
     }
 
     fn search(&self, q: &SearchQuery) -> TopKResponse {
+        self.search_authoritative(q).0
+    }
+
+    /// A failed round trip is returned as an empty, non-overflowing page
+    /// — the algorithms treat it as "no matches", the conservative read
+    /// of an unreachable site — but flagged **non-authoritative** so a
+    /// caching layer never remembers the outage as the real answer.
+    fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
         let payload = query_to_json(q).to_string();
-        // A failed round trip is returned as an empty, non-overflowing
-        // page: the algorithms treat it as "no matches", which is the
-        // conservative read of an unreachable site.
-        let response =
-            http_request(self.addr, "POST", "/dbapi/search", Some(&payload)).unwrap_or_default();
-        let parsed = parse_json(&response).ok();
-        let (tuples, overflow) = match parsed {
+        let parsed = http_request(self.addr, "POST", "/dbapi/search", Some(&payload))
+            .ok()
+            .and_then(|response| parse_json(&response).ok());
+        let (tuples, overflow, authoritative) = match parsed {
             Some(v) => {
                 let tuples = v
                     .get("tuples")
@@ -310,12 +315,12 @@ impl TopKInterface for RemoteWebDb {
                     })
                     .unwrap_or_default();
                 let overflow = v.get("overflow").and_then(Json::as_bool).unwrap_or(false);
-                (tuples, overflow)
+                (tuples, overflow, true)
             }
-            None => (Vec::new(), false),
+            None => (Vec::new(), false, false),
         };
         self.ledger.record(&q.to_string(), tuples.len(), overflow);
-        TopKResponse { tuples, overflow }
+        (TopKResponse { tuples, overflow }, authoritative)
     }
 
     fn ledger(&self) -> &QueryLedger {

@@ -14,8 +14,8 @@ use qr2_http::ApiError;
 use qr2_webdb::{AttrKind, CatSet, RangePred, Schema, SearchQuery};
 
 use crate::dto::{
-    algorithm_catalog, FilterDto, PageResponse, QueryRequest, RankingDto, ResultsResponse,
-    SourceDescriptor, StatsResponse, TupleDto,
+    algorithm_catalog, CacheStatsResponse, FilterDto, PageResponse, QueryRequest, RankingDto,
+    ResultsResponse, SourceDescriptor, StatsResponse, TupleDto,
 };
 use crate::error::{budget_exceeded, codes, unknown_query, unknown_source};
 use crate::session::{SessionEntry, SessionHandle, SessionManager};
@@ -202,6 +202,34 @@ impl QueryService {
         } else {
             Err(unknown_query(id))
         }
+    }
+
+    /// `GET /v1/sources/:source/cache`: the source's shared-answer-cache
+    /// panel.
+    pub fn cache_stats(&self, source_name: &str) -> Result<CacheStatsResponse, ApiError> {
+        let source = self
+            .registry
+            .get(source_name)
+            .ok_or_else(|| unknown_source(source_name))?;
+        Ok(CacheStatsResponse {
+            source: source.name.clone(),
+            stats: source.cache.stats(),
+        })
+    }
+
+    /// `DELETE /v1/sources/:source/cache`: flush the source's shared
+    /// answer cache (drops every entry, advances the staleness epoch,
+    /// durably clears any persistent backing store).
+    pub fn flush_cache(&self, source_name: &str) -> Result<(), ApiError> {
+        let source = self
+            .registry
+            .get(source_name)
+            .ok_or_else(|| unknown_source(source_name))?;
+        source
+            .cache
+            .flush()
+            .map(|_| ())
+            .map_err(|e| ApiError::internal(format!("cache flush failed: {e}")))
     }
 
     fn source_of(&self, name: &str) -> Result<Arc<Source>, ApiError> {
@@ -574,22 +602,28 @@ mod tests {
 
     #[test]
     fn budgeted_results_resume_with_identical_order_and_cost() {
-        let svc = svc(400);
         let body = r#"{"ranking":{"type":"1d","attr":"price","dir":"desc"},
                        "algorithm":"1d-binary","page_size":5}"#;
 
-        // Reference: one unbudgeted run to 30 tuples.
-        let page = svc.create_query("bluenile", &query_req(body)).unwrap();
+        // Reference: one unbudgeted run to 30 tuples. Two *separate*
+        // services so both runs start from a cold shared answer cache —
+        // on one service the second run would be answered from cache,
+        // which is the point of the cache but not of this test.
+        let reference = svc(400);
+        let page = reference
+            .create_query("bluenile", &query_req(body))
+            .unwrap();
         let mut want: Vec<usize> = page.results.iter().map(|t| t.id).collect();
         while want.len() < 30 {
-            let r = svc
+            let r = reference
                 .results(&page.query_id, Some(30 - want.len()), None)
                 .unwrap();
             want.extend(r.results.iter().map(|t| t.id));
         }
-        let want_cost = svc.stats(&page.query_id).unwrap().queries;
+        let want_cost = reference.stats(&page.query_id).unwrap().queries;
 
         // Same run sliced into 2-query budget steps.
+        let svc = svc(400);
         let page = svc.create_query("bluenile", &query_req(body)).unwrap();
         let mut got: Vec<usize> = page.results.iter().map(|t| t.id).collect();
         let mut saw_exhaustion = false;
@@ -672,6 +706,57 @@ mod tests {
             .unwrap();
         for _ in 0..5 {
             assert!(svc.results(&page.query_id, Some(2), Some(0)).is_ok());
+        }
+    }
+
+    #[test]
+    fn second_identical_session_is_free_and_identical() {
+        let svc = svc(400);
+        let body = r#"{"ranking":{"type":"1d","attr":"price","dir":"desc"},
+                       "algorithm":"1d-binary","page_size":8}"#;
+        let a = svc.create_query("bluenile", &query_req(body)).unwrap();
+        let cost_a = svc.stats(&a.query_id).unwrap().queries;
+        assert!(cost_a > 0, "cold run pays real queries");
+
+        let b = svc.create_query("bluenile", &query_req(body)).unwrap();
+        let stats_b = svc.stats(&b.query_id).unwrap();
+        assert_eq!(
+            stats_b.queries, 0,
+            "the shared answer cache makes the second user free"
+        );
+        assert!(stats_b.cache_hits > 0);
+        assert!((stats_b.cache_hit_fraction - 1.0).abs() < 1e-12);
+        let ids_a: Vec<usize> = a.results.iter().map(|t| t.id).collect();
+        let ids_b: Vec<usize> = b.results.iter().map(|t| t.id).collect();
+        assert_eq!(ids_a, ids_b, "cached answers preserve the exact order");
+    }
+
+    #[test]
+    fn cache_stats_and_flush() {
+        let svc = svc(300);
+        let cold = svc.cache_stats("bluenile").unwrap();
+        assert_eq!(cold.source, "bluenile");
+        assert_eq!(cold.stats.misses, 0);
+        assert!(!cold.stats.persistent);
+
+        let body = r#"{"ranking":{"type":"1d","attr":"price"},"page_size":3}"#;
+        svc.create_query("bluenile", &query_req(body)).unwrap();
+        let warm = svc.cache_stats("bluenile").unwrap();
+        assert!(warm.stats.misses > 0);
+        assert!(warm.stats.entries > 0);
+        // The other source's cache is untouched.
+        assert_eq!(svc.cache_stats("zillow").unwrap().stats.misses, 0);
+
+        svc.flush_cache("bluenile").unwrap();
+        let flushed = svc.cache_stats("bluenile").unwrap();
+        assert_eq!(flushed.stats.entries, 0);
+        assert_eq!(flushed.stats.epoch, 1);
+
+        for result in [
+            svc.cache_stats("amazon").map(|_| ()),
+            svc.flush_cache("amazon"),
+        ] {
+            assert_eq!(result.unwrap_err().code, codes::UNKNOWN_SOURCE);
         }
     }
 

@@ -2,28 +2,40 @@
 
 use std::sync::Arc;
 
+use qr2_cache::{AnswerCache, CacheConfig, CachedInterface};
 use qr2_core::{DenseIndex, ExecutorKind, Reranker};
 use qr2_datagen::{bluenile_db, zillow_db, DiamondsConfig, HomesConfig};
 use qr2_http::Json;
 use qr2_webdb::{Schema, TopKInterface};
 
 /// One reranking-enabled web database.
+///
+/// Every session's query traffic funnels through the source's shared
+/// [`AnswerCache`]: repeated questions from any number of users cost the
+/// web database one query, and concurrent identical questions coalesce
+/// onto a single in-flight request.
 pub struct Source {
     /// Source key (`"bluenile"`, `"zillow"`).
     pub name: String,
     /// Human-readable title.
     pub title: String,
-    /// The reranker bound to the source (owns the shared dense index).
+    /// The reranker bound to the source (owns the shared dense index);
+    /// built over the cached interface, so every engine benefits.
     pub reranker: Arc<Reranker>,
-    /// Raw interface handle (for boot verification / stats).
+    /// Raw interface handle. Boot verification and freshness checks use
+    /// this — checks served from the cache would always look fresh.
     pub db: Arc<dyn TopKInterface>,
+    /// The shared cross-session answer cache (stats / flush endpoints,
+    /// boot invalidation).
+    pub cache: Arc<AnswerCache>,
     /// Suggested "popular functions" shown in the ranking section
     /// (paper §II-C): label → `(attr, weight)` list.
     pub popular: Vec<(String, Vec<(String, f64)>)>,
 }
 
 impl Source {
-    /// Build a source with a fresh reranker over `db`.
+    /// Build a source with a fresh reranker over `db` and a default-sized
+    /// volatile answer cache.
     pub fn new(
         name: impl Into<String>,
         title: impl Into<String>,
@@ -32,8 +44,33 @@ impl Source {
         dense: Arc<DenseIndex>,
         popular: Vec<(String, Vec<(String, f64)>)>,
     ) -> Self {
+        Self::with_cache(
+            name,
+            title,
+            db,
+            executor,
+            dense,
+            popular,
+            Arc::new(AnswerCache::new(CacheConfig::default())),
+        )
+    }
+
+    /// Build a source over an explicit answer cache — per-source capacity
+    /// config, or a persistent cache warm-started from an
+    /// [`qr2_store::AnswerStore`].
+    pub fn with_cache(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        db: Arc<dyn TopKInterface>,
+        executor: ExecutorKind,
+        dense: Arc<DenseIndex>,
+        popular: Vec<(String, Vec<(String, f64)>)>,
+        cache: Arc<AnswerCache>,
+    ) -> Self {
+        let cached: Arc<dyn TopKInterface> =
+            Arc::new(CachedInterface::new(db.clone(), Arc::clone(&cache)));
         let reranker = Arc::new(
-            Reranker::builder(db.clone())
+            Reranker::builder(cached)
                 .executor(executor)
                 .dense_index(dense)
                 .build(),
@@ -43,6 +80,7 @@ impl Source {
             title: title.into(),
             reranker,
             db,
+            cache,
             popular,
         }
     }
@@ -95,14 +133,37 @@ impl SourceRegistry {
     }
 
     /// The demo registry of the paper: simulated Blue Nile and Zillow at
-    /// the given inventory scale.
+    /// the given inventory scale, with volatile answer caches.
     pub fn demo(diamonds: usize, homes: usize, executor: ExecutorKind) -> Self {
+        Self::demo_with_cache_dir(diamonds, homes, executor, None)
+            .expect("volatile demo registry cannot fail")
+    }
+
+    /// The demo registry with **persistent** answer caches: each source's
+    /// cache is warm-started from (and written through to) an
+    /// `AnswerStore` log under `cache_dir`, so repeated queries stay free
+    /// across service restarts. Pass `None` for volatile caches.
+    pub fn demo_with_cache_dir(
+        diamonds: usize,
+        homes: usize,
+        executor: ExecutorKind,
+        cache_dir: Option<&std::path::Path>,
+    ) -> qr2_store::Result<Self> {
+        let cache_for = |name: &str| -> qr2_store::Result<Arc<AnswerCache>> {
+            Ok(Arc::new(match cache_dir {
+                Some(dir) => AnswerCache::with_store(
+                    CacheConfig::default(),
+                    qr2_store::AnswerStore::open(dir.join(format!("{name}-answers.log")))?,
+                ),
+                None => AnswerCache::new(CacheConfig::default()),
+            }))
+        };
         let mut reg = SourceRegistry::new();
         let bluenile: Arc<dyn TopKInterface> = Arc::new(bluenile_db(&DiamondsConfig {
             n: diamonds,
             ..DiamondsConfig::default()
         }));
-        reg.register(Source::new(
+        reg.register(Source::with_cache(
             "bluenile",
             "Blue Nile (diamonds, simulated)",
             bluenile,
@@ -122,12 +183,13 @@ impl SourceRegistry {
                     vec![("price".to_string(), 1.0), ("carat".to_string(), -0.5)],
                 ),
             ],
+            cache_for("bluenile")?,
         ));
         let zillow: Arc<dyn TopKInterface> = Arc::new(zillow_db(&HomesConfig {
             n: homes,
             ..HomesConfig::default()
         }));
-        reg.register(Source::new(
+        reg.register(Source::with_cache(
             "zillow",
             "Zillow (real estate, simulated)",
             zillow,
@@ -143,8 +205,9 @@ impl SourceRegistry {
                     vec![("price".to_string(), 1.0), ("sqft".to_string(), -0.3)],
                 ),
             ],
+            cache_for("zillow")?,
         ));
-        reg
+        Ok(reg)
     }
 }
 
@@ -177,6 +240,70 @@ mod tests {
         let pop = d.get("popular_functions").unwrap().as_arr().unwrap();
         assert_eq!(pop.len(), 2);
         assert!(d.get("system_k").unwrap().as_usize().unwrap() > 0);
+    }
+
+    #[test]
+    fn sources_share_one_cache_across_sessions() {
+        let reg = registry();
+        let s = reg.get("bluenile").unwrap();
+        assert_eq!(s.cache.stats().misses, 0);
+        // Two sessions over the same reranker share the answer cache.
+        let price = s.schema().expect_id("price");
+        let req = qr2_core::RerankRequest {
+            filter: qr2_webdb::SearchQuery::all(),
+            function: qr2_core::OneDimFunction::desc(price).into(),
+            algorithm: qr2_core::Algorithm::OneDBinary,
+        };
+        let mut one = s.reranker.query(req.clone());
+        one.next_page(5);
+        let ledger_after_first = s.db.ledger().total();
+        assert!(ledger_after_first > 0);
+        let mut two = s.reranker.query(req);
+        two.next_page(5);
+        assert_eq!(
+            s.db.ledger().total(),
+            ledger_after_first,
+            "the second session is fully served by the shared cache"
+        );
+    }
+
+    #[test]
+    fn demo_registry_persists_answer_caches() {
+        let dir = std::env::temp_dir().join(format!(
+            "qr2-sources-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let reg =
+                SourceRegistry::demo_with_cache_dir(300, 300, ExecutorKind::Sequential, Some(&dir))
+                    .unwrap();
+            let s = reg.get("bluenile").unwrap();
+            assert!(s.cache.stats().persistent);
+            s.db.search(&qr2_webdb::SearchQuery::all());
+            // Populate through the cached interface so it persists.
+            let price = s.schema().expect_id("price");
+            let mut session = s.reranker.query(qr2_core::RerankRequest {
+                filter: qr2_webdb::SearchQuery::all(),
+                function: qr2_core::OneDimFunction::desc(price).into(),
+                algorithm: qr2_core::Algorithm::OneDBinary,
+            });
+            session.next_page(3);
+        }
+        // "Restart": a fresh registry over the same dir warm-starts.
+        let reg =
+            SourceRegistry::demo_with_cache_dir(300, 300, ExecutorKind::Sequential, Some(&dir))
+                .unwrap();
+        let s = reg.get("bluenile").unwrap();
+        assert!(
+            s.cache.stats().entries > 0,
+            "answers survive the restart via the AnswerStore"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! The persistent query-answer store behind the shared answer cache.
+//!
+//! Where [`crate::DenseRegionStore`] persists *crawled regions* (complete
+//! tuple sets), the [`AnswerStore`] persists raw **top-k answers**: the
+//! exact `TopKResponse` the web database returned for one canonical query.
+//! `qr2-cache` uses it to warm-start its in-memory LRU at boot, so a
+//! restarted service serves repeated queries without spending a single
+//! web-DB query.
+//!
+//! ## Format
+//!
+//! Entries live in a [`KvStore`] (checksummed log, crash-recovered):
+//!
+//! * key `[0x00]` — the store's metadata record: the current **staleness
+//!   epoch** (varint);
+//! * key `[0x01] ++ caller-key` — one answer: `varint(epoch)`,
+//!   `u8(overflow)`, then the tuple list in the shared
+//!   [`crate::dense_codec`] format.
+//!
+//! ## Epochs
+//!
+//! Invalidation is epoch-based: [`AnswerStore::bump_epoch`] writes a new
+//! epoch *first* (one durable record), then deletes the now-stale answers.
+//! Every answer embeds the epoch it was written under, so a crash between
+//! the bump and the deletes cannot resurrect stale answers — records whose
+//! epoch disagrees with the metadata are dropped (and purged) at open.
+//! The boot-time verification hook (paper §II-B) bumps the epoch whenever
+//! it finds the web database changed.
+
+use std::path::Path;
+
+use qr2_webdb::TopKResponse;
+
+use crate::codec::{get_varint, put_varint};
+use crate::dense::{decode_tuples, encode_tuples};
+use crate::kv::KvStore;
+use crate::{Result, StoreError};
+
+const META_KEY: &[u8] = &[0x00];
+const ANSWER_PREFIX: u8 = 0x01;
+
+fn answer_key(key: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(key.len() + 1);
+    k.push(ANSWER_PREFIX);
+    k.extend_from_slice(key);
+    k
+}
+
+fn encode_answer(buf: &mut Vec<u8>, epoch: u64, resp: &TopKResponse) {
+    put_varint(buf, epoch);
+    buf.push(resp.overflow as u8);
+    encode_tuples(buf, &resp.tuples);
+}
+
+fn decode_answer(buf: &mut &[u8]) -> Result<(u64, TopKResponse)> {
+    let epoch = get_varint(buf)?;
+    if buf.is_empty() {
+        return Err(StoreError::Corrupt("truncated answer flags".into()));
+    }
+    let overflow = match buf[0] {
+        0 => false,
+        1 => true,
+        b => return Err(StoreError::Corrupt(format!("bad overflow byte {b}"))),
+    };
+    *buf = &buf[1..];
+    let tuples = decode_tuples(buf)?;
+    Ok((epoch, TopKResponse { tuples, overflow }))
+}
+
+/// Durable query-answer storage with epoch-based invalidation.
+///
+/// Keys are opaque bytes chosen by the caller (`qr2-cache` uses the
+/// canonical query encoding); values are complete [`TopKResponse`]s.
+pub struct AnswerStore {
+    kv: KvStore,
+    epoch: u64,
+}
+
+impl AnswerStore {
+    /// Open (or create) a store at `path`, replaying the log and purging
+    /// any answer written under a stale epoch.
+    pub fn open(path: impl AsRef<Path>) -> Result<AnswerStore> {
+        let kv = KvStore::open(path)?;
+        let epoch = match kv.get(META_KEY) {
+            Some(mut raw) => get_varint(&mut raw)?,
+            None => 0,
+        };
+        let mut store = AnswerStore { kv, epoch };
+        // Purge epoch-mismatched leftovers (crash between bump and delete).
+        let stale: Vec<Vec<u8>> = store
+            .kv
+            .iter()
+            .filter(|(k, _)| k.first() == Some(&ANSWER_PREFIX))
+            .filter_map(|(k, v)| match decode_answer(&mut &v[..]) {
+                Ok((e, _)) if e == store.epoch => None,
+                _ => Some(k.to_vec()),
+            })
+            .collect();
+        for key in stale {
+            store.kv.delete(&key)?;
+        }
+        Ok(store)
+    }
+
+    /// The current staleness epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of stored answers.
+    pub fn len(&self) -> usize {
+        self.kv.len() - usize::from(self.kv.get(META_KEY).is_some())
+    }
+
+    /// True when no answers are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Durably record `resp` as the answer for `key` under the current
+    /// epoch. Overwrites any previous answer for the same key.
+    pub fn put(&mut self, key: &[u8], resp: &TopKResponse) -> Result<()> {
+        let mut value = Vec::new();
+        encode_answer(&mut value, self.epoch, resp);
+        self.kv.put(&answer_key(key), &value)
+    }
+
+    /// Remove the stored answer for `key` (no-op if absent). Used when
+    /// the in-memory cache evicts an entry, so store size tracks cache
+    /// size.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.kv.delete(&answer_key(key))
+    }
+
+    /// Fetch the stored answer for `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Result<Option<TopKResponse>> {
+        match self.kv.get(&answer_key(key)) {
+            Some(mut raw) => decode_answer(&mut raw).map(|(_, resp)| Some(resp)),
+            None => Ok(None),
+        }
+    }
+
+    /// Every stored `(caller key, answer)` pair, for warm-starting an
+    /// in-memory cache. Order is unspecified.
+    pub fn entries(&self) -> Result<Vec<(Vec<u8>, TopKResponse)>> {
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self.kv.iter() {
+            if k.first() != Some(&ANSWER_PREFIX) {
+                continue;
+            }
+            let (_, resp) = decode_answer(&mut &v[..])?;
+            out.push((k[1..].to_vec(), resp));
+        }
+        Ok(out)
+    }
+
+    /// Invalidate everything: durably advance the epoch, then delete all
+    /// answers. Returns the new epoch. Crash-safe — see the module docs.
+    pub fn bump_epoch(&mut self) -> Result<u64> {
+        self.epoch += 1;
+        let mut meta = Vec::new();
+        put_varint(&mut meta, self.epoch);
+        self.kv.put(META_KEY, &meta)?;
+        let keys: Vec<Vec<u8>> = self
+            .kv
+            .iter()
+            .filter(|(k, _)| k.first() == Some(&ANSWER_PREFIX))
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        for key in keys {
+            self.kv.delete(&key)?;
+        }
+        self.kv.compact()?;
+        Ok(self.epoch)
+    }
+
+    /// Compact the backing log.
+    pub fn compact(&mut self) -> Result<()> {
+        self.kv.compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_webdb::{Tuple, TupleId, Value};
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "qr2-answers-test-{}-{}-{name}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ));
+        p
+    }
+
+    fn answer(overflow: bool) -> TopKResponse {
+        TopKResponse {
+            tuples: vec![
+                Tuple::new(TupleId(3), vec![Value::Num(1.5), Value::Cat(2)]),
+                Tuple::new(TupleId(7), vec![Value::Num(-0.25), Value::Cat(0)]),
+            ],
+            overflow,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_persistence() {
+        let path = temp_path("roundtrip");
+        {
+            let mut s = AnswerStore::open(&path).unwrap();
+            assert!(s.is_empty());
+            s.put(b"q1", &answer(true)).unwrap();
+            s.put(b"q2", &answer(false)).unwrap();
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.get(b"q1").unwrap(), Some(answer(true)));
+            assert_eq!(s.get(b"missing").unwrap(), None);
+        }
+        let s = AnswerStore::open(&path).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(b"q2").unwrap(), Some(answer(false)));
+        let mut entries = s.entries().unwrap();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(entries[0].0, b"q1");
+        assert_eq!(entries[1].1, answer(false));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bump_epoch_invalidates_durably() {
+        let path = temp_path("epoch");
+        {
+            let mut s = AnswerStore::open(&path).unwrap();
+            s.put(b"q1", &answer(false)).unwrap();
+            assert_eq!(s.epoch(), 0);
+            assert_eq!(s.bump_epoch().unwrap(), 1);
+            assert!(s.is_empty());
+            // New entries live under the new epoch.
+            s.put(b"q2", &answer(true)).unwrap();
+        }
+        let s = AnswerStore::open(&path).unwrap();
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(b"q2").unwrap(), Some(answer(true)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_purged_at_open() {
+        let path = temp_path("stale");
+        {
+            // Write an answer at epoch 0, then simulate a crash *after* the
+            // epoch bump but *before* the deletes: write the meta record
+            // directly through a second store handle... simplest faithful
+            // simulation: bump, then append an old-epoch record manually.
+            let mut s = AnswerStore::open(&path).unwrap();
+            s.put(b"old", &answer(false)).unwrap();
+        }
+        {
+            // Craft the crash state: bump the epoch via raw KvStore (meta
+            // only), leaving the epoch-0 answer in place.
+            let mut kv = KvStore::open(&path).unwrap();
+            let mut meta = Vec::new();
+            put_varint(&mut meta, 1);
+            kv.put(META_KEY, &meta).unwrap();
+        }
+        let s = AnswerStore::open(&path).unwrap();
+        assert_eq!(s.epoch(), 1);
+        assert!(s.is_empty(), "epoch-0 answer must not survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_response_roundtrip() {
+        let path = temp_path("empty");
+        let mut s = AnswerStore::open(&path).unwrap();
+        let empty = TopKResponse {
+            tuples: vec![],
+            overflow: false,
+        };
+        s.put(b"nothing", &empty).unwrap();
+        assert_eq!(s.get(b"nothing").unwrap(), Some(empty));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_overflow_byte_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 0); // epoch
+        buf.push(9); // bogus overflow byte
+        assert!(decode_answer(&mut &buf[..]).is_err());
+    }
+}

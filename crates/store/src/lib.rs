@@ -13,17 +13,22 @@
 //!   (a torn or corrupt tail is detected and truncated);
 //! * [`KvStore`]: a keyed store with compaction on top of the log;
 //! * [`DenseRegionStore`]: the dense-region cache itself — region
-//!   descriptor → crawled tuples — with the boot-time verification hook.
+//!   descriptor → crawled tuples — with the boot-time verification hook;
+//! * [`AnswerStore`]: persisted top-k answers keyed by canonical query,
+//!   with epoch-based invalidation — the durable half of the shared
+//!   cross-session answer cache (`qr2-cache`).
 //!
 //! No serde: the formats here are small, versioned, and fully tested,
 //! including property-based round-trips and corruption injection.
 
+mod answers;
 pub mod codec;
 pub mod crc32;
 mod dense;
 mod kv;
 mod log;
 
+pub use answers::AnswerStore;
 pub use dense::{DenseRegion, DenseRegionStore, VerifyReport};
 pub use kv::KvStore;
 pub use log::{Log, LogStats};

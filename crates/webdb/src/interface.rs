@@ -29,6 +29,36 @@ impl TopKResponse {
     }
 }
 
+/// Per-call metadata a caching decorator attaches to a search: whether the
+/// answer was served without spending a query against the web database.
+///
+/// The plain [`TopKInterface::search`] contract is "every call costs one
+/// query"; a decorator such as `qr2-cache`'s `CachedInterface` breaks that
+/// equation, and callers that do their own cost accounting (the executor's
+/// `QueryStats`, the crawler's budget) need to know which calls were free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Served from a shared answer cache; the web database saw nothing.
+    pub cache_hit: bool,
+    /// Blocked on another caller's identical in-flight request and shared
+    /// its answer (single-flight coalescing); the web database saw one
+    /// query, charged to the leader, not to this caller.
+    pub coalesced: bool,
+}
+
+impl SearchOutcome {
+    /// A plain uncached search (the default for every raw interface).
+    pub const MISS: SearchOutcome = SearchOutcome {
+        cache_hit: false,
+        coalesced: false,
+    };
+
+    /// True when this call cost the caller zero web-DB queries.
+    pub fn is_free(&self) -> bool {
+        self.cache_hit || self.coalesced
+    }
+}
+
 /// A web database's public search interface.
 ///
 /// Implementations must be thread-safe: QR2 issues verification and subspace
@@ -45,6 +75,23 @@ pub trait TopKInterface: Send + Sync {
 
     /// The shared query ledger (cost accounting).
     fn ledger(&self) -> &QueryLedger;
+
+    /// [`search`](TopKInterface::search) plus cost metadata. Raw
+    /// interfaces always report a miss (one real query); caching
+    /// decorators override this to flag free answers so cost accounting
+    /// upstream stays truthful.
+    fn search_observed(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome) {
+        (self.search(q), SearchOutcome::MISS)
+    }
+
+    /// [`search`](TopKInterface::search) plus an *authoritative* flag.
+    /// `false` marks a degraded answer — e.g. a remote gateway mapping a
+    /// failed round trip to an empty page — that callers must treat as
+    /// best-effort: a shared answer cache serves it to the waiting
+    /// request but never admits or persists it.
+    fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
+        (self.search(q), true)
+    }
 }
 
 /// Blanket impl so `Arc<Db>` and `&Db` can be used wherever a
@@ -62,6 +109,12 @@ impl<T: TopKInterface + ?Sized> TopKInterface for std::sync::Arc<T> {
     fn ledger(&self) -> &QueryLedger {
         (**self).ledger()
     }
+    fn search_observed(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome) {
+        (**self).search_observed(q)
+    }
+    fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
+        (**self).search_authoritative(q)
+    }
 }
 
 impl<T: TopKInterface + ?Sized> TopKInterface for &T {
@@ -76,6 +129,12 @@ impl<T: TopKInterface + ?Sized> TopKInterface for &T {
     }
     fn ledger(&self) -> &QueryLedger {
         (**self).ledger()
+    }
+    fn search_observed(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome) {
+        (**self).search_observed(q)
+    }
+    fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
+        (**self).search_authoritative(q)
     }
 }
 
@@ -100,5 +159,21 @@ mod tests {
         };
         assert!(!partial.is_underflow());
         assert!(!partial.is_complete());
+    }
+
+    #[test]
+    fn outcome_flags() {
+        assert!(!SearchOutcome::MISS.is_free());
+        assert!(SearchOutcome {
+            cache_hit: true,
+            coalesced: false
+        }
+        .is_free());
+        assert!(SearchOutcome {
+            cache_hit: false,
+            coalesced: true
+        }
+        .is_free());
+        assert_eq!(SearchOutcome::default(), SearchOutcome::MISS);
     }
 }

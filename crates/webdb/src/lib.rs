@@ -59,7 +59,7 @@ mod tuple;
 mod value;
 
 pub use attr::{AttrId, AttrKind, Attribute};
-pub use interface::{TopKInterface, TopKResponse};
+pub use interface::{SearchOutcome, TopKInterface, TopKResponse};
 pub use metrics::{LatencyModel, QueryLedger, QueryLogEntry};
 pub use predicate::{CatSet, Predicate, RangePred, SearchQuery};
 pub use ranking::SystemRanking;

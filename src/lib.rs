@@ -8,6 +8,8 @@
 //! downstream users can depend on a single crate:
 //!
 //! * [`webdb`] — the hidden web database abstraction and simulator,
+//! * [`cache`] — the shared cross-session answer cache (canonical keys,
+//!   sharded LRU, single-flight deduplication, persistence),
 //! * [`datagen`] — synthetic Blue Nile / Zillow data generators,
 //! * [`crawler`] — the hidden-database region crawler (Sheng et al.),
 //! * [`store`] — the embedded persistent dense-region cache store,
@@ -19,6 +21,7 @@
 //! See `README.md` for a tour and `examples/quickstart.rs` for a minimal
 //! end-to-end program.
 
+pub use qr2_cache as cache;
 pub use qr2_core as core;
 pub use qr2_crawler as crawler;
 pub use qr2_datagen as datagen;

@@ -127,3 +127,46 @@ fn reranking_service_over_a_remote_web_database() {
     qr2.stop();
     site.stop();
 }
+
+/// A site outage degrades to an empty page for the in-flight request but
+/// must never be remembered by the shared answer cache as the permanent
+/// answer (`RemoteWebDb` flags it non-authoritative).
+#[test]
+fn outage_answers_are_served_but_never_cached() {
+    use qr2::cache::{AnswerCache, CacheConfig, CachedInterface};
+    use qr2::webdb::{RangePred, SearchQuery};
+
+    let site_db = Arc::new(bluenile_db(&DiamondsConfig {
+        n: 200,
+        seed: 7,
+        ..DiamondsConfig::default()
+    }));
+    let site = WebDbGateway::serve(site_db.clone(), "127.0.0.1:0", 2).unwrap();
+    let remote: Arc<dyn TopKInterface> =
+        Arc::new(RemoteWebDb::connect(site.addr()).expect("connect"));
+    let cache = Arc::new(AnswerCache::new(CacheConfig::default()));
+    let cached = CachedInterface::new(remote.clone(), Arc::clone(&cache));
+    let price = remote.schema().expect_id("price");
+
+    // Site up: a real answer, admitted.
+    let q_live = SearchQuery::all();
+    let live = cached.search(&q_live);
+    assert!(!live.tuples.is_empty());
+    assert_eq!(cache.len(), 1);
+
+    // Site down: a different query degrades to an empty page...
+    site.stop();
+    let q_out = SearchQuery::all().and_range(price, RangePred::closed(0.0, 500.0));
+    let outage = cached.search(&q_out);
+    assert!(outage.tuples.is_empty(), "outage reads as no matches");
+    assert_eq!(
+        cache.len(),
+        1,
+        "the outage answer must not be admitted to the cache"
+    );
+    assert_eq!(cache.stats().misses, 2);
+
+    // ...while the pre-outage answer keeps serving from the cache.
+    assert_eq!(cached.search(&q_live), live);
+    assert!(cache.stats().hits >= 1);
+}

@@ -75,8 +75,14 @@ fn demonstration_flow() {
     let (code, body) = get(addr, "/");
     assert_eq!(code, 200);
     assert!(body.contains("Filtering") && body.contains("Ranking"));
-    let (code, body) = get(addr, "/api/sources");
-    assert_eq!(code, 200);
+    // The legacy surface is marked deprecated with a sunset pointing at
+    // the /v1 successor.
+    let resp = http(addr, "GET /api/sources HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200"));
+    assert!(resp.contains("Deprecation: true"), "{resp}");
+    assert!(resp.contains("Sunset: "), "{resp}");
+    assert!(resp.contains("</v1>; rel=\"successor-version\""), "{resp}");
+    let body = resp.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
     let v = parse_json(&body).unwrap();
     let sources = v.get("sources").unwrap().as_arr().unwrap();
     assert_eq!(sources.len(), 2);
@@ -464,7 +470,8 @@ fn error_behaviour() {
     let (code, _) = post(addr, "/api/query", r#"{"source":"zillow"}"#);
     assert_eq!(code, 400);
 
-    // Deleting a session twice.
+    // Deleting a session twice. Every legacy response — success or error —
+    // carries the deprecation headers.
     let (code, v) = post(
         addr,
         "/api/query",
@@ -474,8 +481,11 @@ fn error_behaviour() {
     let sid = v.get("session").unwrap().as_str().unwrap();
     let resp = http(addr, &format!("DELETE /api/session/{sid} HTTP/1.1\r\n\r\n"));
     assert!(resp.starts_with("HTTP/1.1 200"));
+    assert!(resp.contains("Deprecation: true"), "{resp}");
     let resp = http(addr, &format!("DELETE /api/session/{sid} HTTP/1.1\r\n\r\n"));
     assert!(resp.starts_with("HTTP/1.1 404"));
+    assert!(resp.contains("Deprecation: true"), "{resp}");
+    assert!(resp.contains("Sunset: "), "{resp}");
 
     server.stop();
 }

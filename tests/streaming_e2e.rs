@@ -241,7 +241,12 @@ fn budgeted_results_resume_over_http_without_respending() {
     let budgeted_cost = v.get("queries").unwrap().as_usize().unwrap();
     assert!(budgeted_cost >= spent_before_resume);
 
-    // Reference session: identical request, never budgeted.
+    // Reference session: identical request, never budgeted — on a *fresh*
+    // app instance, so the shared answer cache warmed by the budgeted
+    // session cannot make the reference free (that would be the cache
+    // working as designed, but this test pins resume cost, not caching).
+    let reference_server = Qr2App::new(registry()).serve("127.0.0.1:0", 2).unwrap();
+    let addr = reference_server.addr();
     let (_, v) = post(addr, "/v1/sources/fast/queries", body);
     let reference = v.get("query_id").unwrap().as_str().unwrap().to_string();
     let mut want: Vec<usize> = v
@@ -273,6 +278,7 @@ fn budgeted_results_resume_over_http_without_respending() {
         "resuming after budget exhaustion re-issued queries already spent"
     );
 
+    reference_server.stop();
     server.stop();
 }
 
