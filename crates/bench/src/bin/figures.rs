@@ -33,6 +33,14 @@ fn main() {
         println!("{}", qr2_bench::cache_smoke_table(&records).render());
         let path = qr2_bench::write_cache_smoke_report(&records);
         println!("wrote {}", path.display());
+        // Scan-vs-index execution engine pass at 1M rows; CI guards the
+        // deterministic fields (identical responses, equal ledgers) and
+        // the ≥10× median speedup. The warm-cache section reuses the
+        // records measured above, so both reports describe one run.
+        let report = qr2_bench::run_perf_smoke(&qr2_bench::PerfSmokeConfig::default(), records);
+        println!("{}", qr2_bench::perf_smoke_table(&report).render());
+        let path = qr2_bench::write_perf_smoke_report(&report);
+        println!("wrote {}", path.display());
         return;
     }
 

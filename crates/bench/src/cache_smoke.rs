@@ -8,6 +8,18 @@
 //! The cold pass pays real queries; the warm pass must cost the web
 //! database **zero** queries (`warm_db_queries` — CI guards this), and
 //! its per-get-next latency shows the cache-hot hot path.
+//!
+//! Both passes report **two** counters, each from one consistent source:
+//! `*_lookups` is the number of cache lookups the pass performed (hits +
+//! misses + coalesced, from the cache's own counters) and `*_db_queries`
+//! is what the web database really saw (the raw ledger). The two passes
+//! run the identical workload, so `cold_lookups == warm_lookups` — CI
+//! asserts it. `cold_db_queries` can be *smaller* than `cold_lookups`:
+//! algorithms that re-ask the same question within one run (MD-BASELINE's
+//! re-crawled probes) are deduplicated by the cache even on the cold pass.
+//! Earlier revisions reported only the ledger for the cold pass and only
+//! the hit counter for the warm pass, which made the two passes look
+//! inconsistent (8 vs 80 for MD-BASELINE).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -30,8 +42,14 @@ pub struct CacheSmokeRecord {
     pub family: &'static str,
     /// Tuples served per pass.
     pub tuples: usize,
-    /// Web-DB queries the cold pass spent (seed-deterministic).
+    /// Cache lookups the cold pass performed (hits + misses + coalesced).
+    pub cold_lookups: u64,
+    /// Web-DB queries the cold pass spent (seed-deterministic; ≤
+    /// `cold_lookups` because the cache deduplicates even intra-run).
     pub cold_db_queries: u64,
+    /// Cache lookups the warm pass performed — equals `cold_lookups`
+    /// (identical workload, same counter source).
+    pub warm_lookups: u64,
     /// Web-DB queries the warm pass spent — **must be zero**.
     pub warm_db_queries: u64,
     /// Cache hits observed during the warm pass.
@@ -47,11 +65,10 @@ impl CacheSmokeRecord {
     /// Warm-pass hit rate: free lookups over all lookups (1.0 when the
     /// warm pass was fully served by the cache).
     pub fn warm_hit_rate(&self) -> f64 {
-        let total = self.warm_hits + self.warm_db_queries;
-        if total == 0 {
+        if self.warm_lookups == 0 {
             0.0
         } else {
-            self.warm_hits as f64 / total as f64
+            self.warm_hits as f64 / self.warm_lookups as f64
         }
     }
 }
@@ -70,9 +87,13 @@ pub fn run_cache_smoke() -> Vec<CacheSmokeRecord> {
             }));
             let cached: Arc<dyn TopKInterface> =
                 Arc::new(CachedInterface::new(raw.clone(), Arc::clone(&cache)));
-            let pass = |label: &str| -> (u64, f64, u64) {
-                let before = raw.ledger().total();
-                let hits_before = cache.stats().hits;
+            // (lookups, db_queries, hits, per-get-next µs), each counter
+            // from one consistent source across both passes.
+            let pass = |label: &str| -> (u64, u64, u64, f64) {
+                let ledger_before = raw.ledger().total();
+                let stats_before = cache.stats();
+                let lookups_before =
+                    stats_before.hits + stats_before.misses + stats_before.coalesced;
                 let reranker = Reranker::builder(Arc::clone(&cached))
                     .executor(ExecutorKind::Sequential)
                     .dense_index(Arc::new(DenseIndex::in_memory()))
@@ -86,14 +107,30 @@ pub fn run_cache_smoke() -> Vec<CacheSmokeRecord> {
                 let tuples = session.next_page(SMOKE_DEPTH).len();
                 let wall = start.elapsed();
                 assert_eq!(tuples, SMOKE_DEPTH, "{label}: short page");
+                let stats_after = cache.stats();
                 (
-                    raw.ledger().total() - before,
+                    stats_after.hits + stats_after.misses + stats_after.coalesced - lookups_before,
+                    raw.ledger().total() - ledger_before,
+                    stats_after.hits - stats_before.hits,
                     wall.as_secs_f64() * 1e6 / tuples as f64,
-                    cache.stats().hits - hits_before,
                 )
             };
-            let (cold_db_queries, cold_get_next_us, _) = pass("cold");
-            let (warm_db_queries, warm_get_next_us, warm_hits) = pass("warm");
+            let (cold_lookups, cold_db_queries, _, cold_get_next_us) = pass("cold");
+            // The warm pass is replayed three times against the now-stable
+            // cache: counters must be identical replay to replay (the
+            // workload is deterministic), and the reported latency is the
+            // fastest replay — the cold pass can't be replayed, but warm
+            // timing would otherwise be dominated by scheduler noise.
+            let (warm_lookups, warm_db_queries, warm_hits, mut warm_get_next_us) = pass("warm");
+            for _ in 0..2 {
+                let (lookups, db_queries, hits, us) = pass("warm-replay");
+                assert_eq!(
+                    (lookups, db_queries, hits),
+                    (warm_lookups, warm_db_queries, warm_hits),
+                    "warm replays must be identical"
+                );
+                warm_get_next_us = warm_get_next_us.min(us);
+            }
             CacheSmokeRecord {
                 algorithm: algorithm.paper_name(),
                 family: if algorithm.is_one_dimensional() {
@@ -102,7 +139,9 @@ pub fn run_cache_smoke() -> Vec<CacheSmokeRecord> {
                     "md"
                 },
                 tuples: SMOKE_DEPTH,
+                cold_lookups,
                 cold_db_queries,
+                warm_lookups,
                 warm_db_queries,
                 warm_hits,
                 cold_get_next_us,
@@ -118,6 +157,7 @@ pub fn cache_smoke_table(records: &[CacheSmokeRecord]) -> Table {
         format!("PR4 cache smoke — cold vs warm top-{SMOKE_DEPTH} on fixed-seed diamonds"),
         &[
             "algorithm",
+            "lookups",
             "cold_q",
             "warm_q",
             "hit_rate",
@@ -128,6 +168,7 @@ pub fn cache_smoke_table(records: &[CacheSmokeRecord]) -> Table {
     for r in records {
         table.row(&[
             r.algorithm.to_string(),
+            r.cold_lookups.to_string(),
             r.cold_db_queries.to_string(),
             r.warm_db_queries.to_string(),
             format!("{:.3}", r.warm_hit_rate()),
@@ -148,12 +189,15 @@ pub fn cache_smoke_json(records: &[CacheSmokeRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"algorithm\": \"{}\", \"family\": \"{}\", \"tuples\": {}, \
-             \"cold_db_queries\": {}, \"warm_db_queries\": {}, \"warm_hits\": {}, \
-             \"warm_hit_rate\": {:.3}, \"cold_get_next_us\": {:.1}, \"warm_get_next_us\": {:.1}}}{}\n",
+             \"cold_lookups\": {}, \"cold_db_queries\": {}, \"warm_lookups\": {}, \
+             \"warm_db_queries\": {}, \"warm_hits\": {}, \"warm_hit_rate\": {:.3}, \
+             \"cold_get_next_us\": {:.1}, \"warm_get_next_us\": {:.1}}}{}\n",
             r.algorithm,
             r.family,
             r.tuples,
+            r.cold_lookups,
             r.cold_db_queries,
+            r.warm_lookups,
             r.warm_db_queries,
             r.warm_hits,
             r.warm_hit_rate(),
@@ -189,13 +233,19 @@ mod tests {
                 r.algorithm
             );
             assert!((r.warm_hit_rate() - 1.0).abs() < 1e-12, "{}", r.algorithm);
-            // The warm pass replays every lookup as a hit. It can exceed
-            // the cold pass's *real* query count: algorithms that re-ask
-            // the same question within one run (MD-BASELINE's overlapping
-            // crawl probes) are already deduplicated intra-run.
+            // The same workload measured by the same counter source must
+            // agree across passes — this is the accounting the old
+            // cold-from-ledger / warm-from-hits split got wrong.
+            assert_eq!(
+                r.cold_lookups, r.warm_lookups,
+                "{}: identical workload, identical lookup count",
+                r.algorithm
+            );
+            assert_eq!(r.warm_hits, r.warm_lookups, "{}", r.algorithm);
+            // Real web-DB spend never exceeds the lookups that caused it.
             assert!(
-                r.warm_hits >= r.cold_db_queries,
-                "{}: warm hits cover at least the cold spend",
+                r.cold_db_queries <= r.cold_lookups,
+                "{}: ledger cannot exceed lookups",
                 r.algorithm
             );
         }
@@ -207,7 +257,9 @@ mod tests {
             algorithm: "1D-BINARY",
             family: "1d",
             tuples: 10,
+            cold_lookups: 42,
             cold_db_queries: 42,
+            warm_lookups: 42,
             warm_db_queries: 0,
             warm_hits: 42,
             cold_get_next_us: 120.0,
@@ -216,6 +268,7 @@ mod tests {
         let json = cache_smoke_json(&records);
         assert!(json.contains("\"bench\": \"pr4_cache_smoke\""));
         assert!(json.contains("\"warm_db_queries\": 0"));
+        assert!(json.contains("\"cold_lookups\": 42"));
         assert!(json.contains("\"warm_hit_rate\": 1.000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

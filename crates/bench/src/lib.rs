@@ -13,6 +13,7 @@
 
 pub mod cache_smoke;
 pub mod experiments;
+pub mod perf_smoke;
 pub mod report;
 pub mod smoke;
 pub mod workloads;
@@ -22,5 +23,9 @@ pub use cache_smoke::{
     CacheSmokeRecord,
 };
 pub use experiments::*;
+pub use perf_smoke::{
+    perf_smoke_json, perf_smoke_table, run_perf_smoke, write_perf_smoke_report, PerfSmokeConfig,
+    PerfSmokeReport,
+};
 pub use report::{write_csv, Table};
 pub use smoke::{run_smoke, smoke_json, smoke_table, write_smoke_report, SmokeRecord};

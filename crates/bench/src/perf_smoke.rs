@@ -1,0 +1,368 @@
+//! PR5 CI smoke benchmark for the indexed execution engine: scan-vs-index
+//! per-query latency on a 1M-row mixed workload, plus the warm-cache
+//! get-next latency of every algorithm family, emitted as `BENCH_pr5.json`.
+//!
+//! Two databases are built over the **same** fixed-seed table and hidden
+//! ranking: one forced to the rank-order scan ([`ExecMode::ScanOnly`], the
+//! pre-index behaviour) and one on the shipped automatic engine
+//! ([`ExecMode::Auto`]: sorted-projection index with a cost-model scan
+//! fallback). Every query runs against both; responses must be identical
+//! and both ledgers must count exactly the same queries — the speedup is
+//! pure execution, never a behaviour change.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use qr2_datagen::{mixed_db, MixedConfig};
+use qr2_webdb::{CatSet, ExecMode, RangePred, SearchQuery, SimulatedWebDb, TopKInterface};
+
+use crate::cache_smoke::CacheSmokeRecord;
+use crate::report::Table;
+
+/// Sizing knobs for [`run_perf_smoke`].
+#[derive(Debug, Clone, Copy)]
+pub struct PerfSmokeConfig {
+    /// Inventory size (1M for the committed report).
+    pub rows: usize,
+    /// Queries per class.
+    pub queries_per_class: usize,
+}
+
+impl Default for PerfSmokeConfig {
+    fn default() -> Self {
+        PerfSmokeConfig {
+            rows: 1_000_000,
+            queries_per_class: 25,
+        }
+    }
+}
+
+/// One query class's scan-vs-index latency summary.
+#[derive(Debug, Clone)]
+pub struct QueryClassRecord {
+    /// Class key (`"narrow_range"`, …).
+    pub class: &'static str,
+    /// Queries measured.
+    pub queries: usize,
+    /// Median per-query wall time through the forced scan, microseconds.
+    pub scan_median_us: f64,
+    /// Median per-query wall time through the automatic engine.
+    pub index_median_us: f64,
+    /// Median speedup (`scan_median / index_median`).
+    pub speedup: f64,
+}
+
+/// The whole PR5 measurement.
+#[derive(Debug, Clone)]
+pub struct PerfSmokeReport {
+    /// Inventory size.
+    pub rows: usize,
+    /// Per-class records.
+    pub classes: Vec<QueryClassRecord>,
+    /// Median over every measured query, scan side.
+    pub overall_scan_median_us: f64,
+    /// Median over every measured query, indexed side.
+    pub overall_index_median_us: f64,
+    /// `overall_scan_median_us / overall_index_median_us`.
+    pub overall_speedup: f64,
+    /// Ledger total of the scan database after the run.
+    pub scan_ledger_queries: u64,
+    /// Ledger total of the indexed database — must equal the scan side
+    /// (the index must not change what counts as a query).
+    pub index_ledger_queries: u64,
+    /// Queries the automatic engine sent through the index.
+    pub auto_indexed: u64,
+    /// Queries the automatic engine's cost model sent to the scan.
+    pub auto_scanned: u64,
+    /// True when every response pair was identical (tuples, order,
+    /// overflow flag).
+    pub identical_responses: bool,
+    /// Warm-cache get-next latency per algorithm (the PR4 cold-vs-warm
+    /// pass re-measured on the zero-copy answer path).
+    pub warm: Vec<CacheSmokeRecord>,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(x: &mut u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The deterministic query mix: three selective classes the index should
+/// dominate, one broad class where the cost model falls back to the scan.
+fn query_classes(db: &SimulatedWebDb, per_class: usize) -> Vec<(&'static str, Vec<SearchQuery>)> {
+    let schema = db.schema();
+    let x0 = schema.expect_id("x0");
+    let x1 = schema.expect_id("x1");
+    let cat = schema.expect_id("cat");
+    let n = db.len() as f64;
+    // Widths scale with 1/n so class selectivity is size-independent.
+    let narrow = 50.0 / n;
+    let medium = 200.0 / n;
+    let mut seed = 0x9E37_0001u64;
+    let mut gen = |f: &mut dyn FnMut(&mut u64) -> SearchQuery| -> Vec<SearchQuery> {
+        (0..per_class).map(|_| f(&mut seed)).collect()
+    };
+    vec![
+        (
+            "narrow_range",
+            gen(&mut |s| {
+                let lo = unit(s) * (1.0 - narrow);
+                SearchQuery::all().and_range(x0, RangePred::half_open(lo, lo + narrow))
+            }),
+        ),
+        (
+            "conjunctive",
+            gen(&mut |s| {
+                let lo = unit(s) * (1.0 - medium);
+                let code = (splitmix64(s) % 8) as u32;
+                SearchQuery::all()
+                    .and_range(x0, RangePred::half_open(lo, lo + medium))
+                    .and_cats(cat, CatSet::single(code))
+                    .and_range(x1, RangePred::closed(0.0, 0.5))
+            }),
+        ),
+        (
+            "category_probe",
+            gen(&mut |s| {
+                let lo = unit(s) * (1.0 - medium);
+                let code = (splitmix64(s) % 8) as u32;
+                SearchQuery::all()
+                    .and_cats(cat, CatSet::new([code, (code + 1) % 8]))
+                    .and_range(x0, RangePred::closed(lo, lo + medium))
+            }),
+        ),
+        (
+            "broad_range",
+            gen(&mut |s| {
+                let lo = unit(s) * 0.2;
+                SearchQuery::all().and_range(x0, RangePred::closed(lo, lo + 0.7))
+            }),
+        ),
+    ]
+}
+
+fn median_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples[samples.len() / 2]
+}
+
+/// Run the scan-vs-index measurement. `warm` carries the cold-vs-warm
+/// cache records for the report's `warm_get_next` section — the caller
+/// passes the records it already measured (the `--smoke` runner shares
+/// one [`run_cache_smoke`](crate::cache_smoke::run_cache_smoke) pass
+/// between `BENCH_pr4.json` and `BENCH_pr5.json`) or an empty vec to
+/// skip the section. Deterministic in everything but wall time.
+pub fn run_perf_smoke(cfg: &PerfSmokeConfig, warm: Vec<CacheSmokeRecord>) -> PerfSmokeReport {
+    let mixed = MixedConfig {
+        n: cfg.rows,
+        ..MixedConfig::default()
+    };
+    let weights = [1.0, -0.5];
+    let scan_db = mixed_db(&mixed, &weights).with_exec_mode(ExecMode::ScanOnly);
+    let auto_db = mixed_db(&mixed, &weights).with_exec_mode(ExecMode::Auto);
+    // The one-time index build happens outside the timed region (it is
+    // lazy otherwise and would be charged to the first measured query).
+    auto_db.prewarm_index();
+
+    let classes = query_classes(&scan_db, cfg.queries_per_class);
+    let mut identical = true;
+    let mut class_records = Vec::new();
+    let mut all_scan = Vec::new();
+    let mut all_index = Vec::new();
+    for (class, queries) in &classes {
+        let mut scan_us = Vec::with_capacity(queries.len());
+        let mut index_us = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            // Alternate which side runs first: the first run of a query
+            // pulls the touched columns into cache, which would otherwise
+            // systematically favour whichever side runs second.
+            let (a, b) = if i % 2 == 0 {
+                let t = Instant::now();
+                let a = auto_db.search(q);
+                index_us.push(t.elapsed().as_secs_f64() * 1e6);
+                let t = Instant::now();
+                let b = scan_db.search(q);
+                scan_us.push(t.elapsed().as_secs_f64() * 1e6);
+                (a, b)
+            } else {
+                let t = Instant::now();
+                let b = scan_db.search(q);
+                scan_us.push(t.elapsed().as_secs_f64() * 1e6);
+                let t = Instant::now();
+                let a = auto_db.search(q);
+                index_us.push(t.elapsed().as_secs_f64() * 1e6);
+                (a, b)
+            };
+            identical &= a == b;
+        }
+        all_scan.extend_from_slice(&scan_us);
+        all_index.extend_from_slice(&index_us);
+        let scan_median = median_us(&mut scan_us);
+        let index_median = median_us(&mut index_us);
+        class_records.push(QueryClassRecord {
+            class,
+            queries: queries.len(),
+            scan_median_us: scan_median,
+            index_median_us: index_median,
+            speedup: scan_median / index_median.max(1e-9),
+        });
+    }
+    let overall_scan = median_us(&mut all_scan);
+    let overall_index = median_us(&mut all_index);
+    let breakdown = auto_db.ledger().exec_breakdown();
+    PerfSmokeReport {
+        rows: cfg.rows,
+        classes: class_records,
+        overall_scan_median_us: overall_scan,
+        overall_index_median_us: overall_index,
+        overall_speedup: overall_scan / overall_index.max(1e-9),
+        scan_ledger_queries: scan_db.ledger().total(),
+        index_ledger_queries: auto_db.ledger().total(),
+        auto_indexed: breakdown.indexed,
+        auto_scanned: breakdown.scanned,
+        identical_responses: identical,
+        warm,
+    }
+}
+
+/// Render the per-class latencies as a text table.
+pub fn perf_smoke_table(report: &PerfSmokeReport) -> Table {
+    let mut table = Table::new(
+        format!(
+            "PR5 index smoke — scan vs index per-query latency, {} rows",
+            report.rows
+        ),
+        &["class", "queries", "scan_us", "index_us", "speedup"],
+    );
+    for c in &report.classes {
+        table.row(&[
+            c.class.to_string(),
+            c.queries.to_string(),
+            format!("{:.1}", c.scan_median_us),
+            format!("{:.1}", c.index_median_us),
+            format!("{:.1}x", c.speedup),
+        ]);
+    }
+    table.row(&[
+        "overall".to_string(),
+        report
+            .classes
+            .iter()
+            .map(|c| c.queries)
+            .sum::<usize>()
+            .to_string(),
+        format!("{:.1}", report.overall_scan_median_us),
+        format!("{:.1}", report.overall_index_median_us),
+        format!("{:.1}x", report.overall_speedup),
+    ]);
+    table
+}
+
+/// Serialize the report as the `BENCH_pr5.json` document.
+pub fn perf_smoke_json(report: &PerfSmokeReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"pr5_index_smoke\",\n");
+    out.push_str("  \"workload\": \"mixed_uniform_2num_8cat_seed_0x5EED1DB5\",\n");
+    out.push_str(&format!("  \"rows\": {},\n", report.rows));
+    out.push_str(&format!(
+        "  \"identical_responses\": {},\n",
+        report.identical_responses
+    ));
+    out.push_str(&format!(
+        "  \"scan_ledger_queries\": {},\n  \"index_ledger_queries\": {},\n",
+        report.scan_ledger_queries, report.index_ledger_queries
+    ));
+    out.push_str(&format!(
+        "  \"auto_indexed\": {},\n  \"auto_scanned\": {},\n",
+        report.auto_indexed, report.auto_scanned
+    ));
+    out.push_str("  \"db_search\": [\n");
+    for (i, c) in report.classes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"class\": \"{}\", \"queries\": {}, \"scan_median_us\": {:.1}, \
+             \"index_median_us\": {:.1}, \"speedup\": {:.1}}}{}\n",
+            c.class,
+            c.queries,
+            c.scan_median_us,
+            c.index_median_us,
+            c.speedup,
+            if i + 1 < report.classes.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"overall\": {{\"scan_median_us\": {:.1}, \"index_median_us\": {:.1}, \"speedup\": {:.1}}},\n",
+        report.overall_scan_median_us, report.overall_index_median_us, report.overall_speedup
+    ));
+    out.push_str("  \"warm_get_next\": [\n");
+    for (i, r) in report.warm.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"family\": \"{}\", \"warm_db_queries\": {}, \
+             \"warm_get_next_us\": {:.1}}}{}\n",
+            r.algorithm,
+            r.family,
+            r.warm_db_queries,
+            r.warm_get_next_us,
+            if i + 1 < report.warm.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_pr5.json` at the workspace root; returns the path.
+pub fn write_perf_smoke_report(report: &PerfSmokeReport) -> PathBuf {
+    let path = crate::report::workspace_root().join("BENCH_pr5.json");
+    std::fs::write(&path, perf_smoke_json(report)).expect("write perf smoke report");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reduced-scale run (debug builds time nothing meaningful; this pins
+    /// the *semantics*: identical responses, identical ledgers, the cost
+    /// model actually exercising both paths).
+    #[test]
+    fn reduced_run_is_equivalent_and_well_formed() {
+        let report = run_perf_smoke(
+            &PerfSmokeConfig {
+                rows: 20_000,
+                queries_per_class: 4,
+            },
+            Vec::new(),
+        );
+        assert!(report.identical_responses, "index must not change answers");
+        assert_eq!(
+            report.scan_ledger_queries, report.index_ledger_queries,
+            "the index must not change what counts as a query"
+        );
+        assert_eq!(report.scan_ledger_queries, 16);
+        assert!(report.auto_indexed > 0, "selective classes use the index");
+        assert!(
+            report.auto_scanned > 0,
+            "the broad class falls back to the scan"
+        );
+        let json = perf_smoke_json(&report);
+        assert!(json.contains("\"bench\": \"pr5_index_smoke\""));
+        assert!(json.contains("\"identical_responses\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(perf_smoke_table(&report).len(), 5, "4 classes + overall");
+    }
+}

@@ -455,10 +455,10 @@ mod tests {
     use qr2_webdb::{Tuple, TupleId, Value};
 
     fn resp(id: u32) -> TopKResponse {
-        TopKResponse {
-            tuples: vec![Tuple::new(TupleId(id), vec![Value::Num(id as f64)])],
-            overflow: false,
-        }
+        TopKResponse::new(
+            vec![Tuple::new(TupleId(id), vec![Value::Num(id as f64)])],
+            false,
+        )
     }
 
     #[test]
@@ -472,6 +472,18 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.coalesced), (1, 1, 0));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_share_tuple_storage_instead_of_deep_cloning() {
+        let c = AnswerCache::new(CacheConfig::default());
+        let (a, _) = c.get_or_fetch(b"k", || resp(1));
+        let (b, o) = c.get_or_fetch(b"k", || panic!("cached"));
+        assert!(o.cache_hit);
+        assert!(
+            Arc::ptr_eq(&a.tuples, &b.tuples),
+            "a hit must hand out the shared page, not a deep copy"
+        );
     }
 
     #[test]

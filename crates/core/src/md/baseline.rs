@@ -113,7 +113,7 @@ impl BaselineEngine {
                 let resp = self.ctx.search(&q);
                 let overflow = resp.overflow;
                 let mut improved = false;
-                for t in resp.tuples {
+                for t in resp.tuples.iter().cloned() {
                     if self.served_ids.contains(&t.id) {
                         continue;
                     }
@@ -133,7 +133,7 @@ impl BaselineEngine {
                         // Cache it so later get-nexts are free.
                         let mut all: Vec<(f64, Tuple)> = Vec::new();
                         let again = self.ctx.search(&root.to_query(&self.filter));
-                        for t in again.tuples {
+                        for t in again.tuples.iter().cloned() {
                             all.push((self.f.score(&t, &self.norm), t));
                         }
                         all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));

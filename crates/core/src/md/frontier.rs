@@ -256,7 +256,7 @@ impl FrontierEngine {
 
         for (cell, resp) in batch.into_iter().zip(responses) {
             let overflow = resp.overflow;
-            for t in resp.tuples {
+            for t in resp.tuples.iter().cloned() {
                 self.add_tuple(t);
             }
             if !overflow {

@@ -126,7 +126,7 @@ pub fn discover_extremum<D: TopKInterface + ?Sized>(
             continue;
         }
         // Track the best value seen anywhere.
-        for t in &resp.tuples {
+        for t in resp.tuples.iter() {
             let v = t.num_at(attr);
             fallback = Some(match fallback {
                 None => v,

@@ -213,7 +213,7 @@ fn baseline_chunk(p: &ChunkParams<'_>, interval: RangePred) -> Chunk {
             }
             return Chunk {
                 complete: probe,
-                tuples: resp.tuples,
+                tuples: resp.tuples.to_vec(),
             };
         }
         bound = Some(p.best_value(&resp.tuples));
@@ -236,7 +236,7 @@ fn value_chunk(
         // More ties than system-k: the paper's tie-crawl case.
         p.enumerate_dense(point)
     } else {
-        resp.tuples
+        resp.tuples.to_vec()
     };
     Chunk {
         complete: p.join_prefix(interval, point),
@@ -259,7 +259,7 @@ fn binary_chunk(p: &ChunkParams<'_>, interval: RangePred) -> Chunk {
             }
             return Chunk {
                 complete: p.join_prefix(interval, cur),
-                tuples: resp.tuples,
+                tuples: resp.tuples.to_vec(),
             };
         }
         if p.is_dense(cur) {

@@ -113,7 +113,7 @@ impl<'a, D: TopKInterface + ?Sized> Crawler<'a, D> {
                 queries += 1;
             }
             max_depth = max_depth.max(depth);
-            for t in &resp.tuples {
+            for t in resp.tuples.iter() {
                 found.entry(t.id).or_insert_with(|| t.clone());
             }
             if resp.overflow {

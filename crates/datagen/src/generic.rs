@@ -165,6 +165,89 @@ pub fn generic_db(cfg: &SyntheticConfig, hidden_weights: &[f64]) -> SimulatedWeb
     SimulatedWebDb::new(table, ranking, cfg.system_k)
 }
 
+/// Configuration for [`mixed_table`]: a large mixed-type inventory for
+/// execution-engine benchmarks (sorted-projection index vs rank-order
+/// scan at 1M+ rows).
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    /// Number of rows.
+    pub n: usize,
+    /// Number of numeric attributes (`x0`, `x1`, …), uniform over `[0, 1]`.
+    pub numeric_dims: usize,
+    /// Label count of the trailing categorical attribute `cat`
+    /// (0 = no categorical attribute).
+    pub categories: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Result-page size when building a [`SimulatedWebDb`].
+    pub system_k: usize,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            n: 1_000_000,
+            numeric_dims: 2,
+            categories: 8,
+            seed: 0x5EED_1DB5,
+            system_k: 30,
+        }
+    }
+}
+
+/// Generate a mixed numeric + categorical table (uniform marginals,
+/// fixed-seed deterministic). Columns: `x0..x{numeric_dims-1}` in `[0, 1]`,
+/// then `cat` with `categories` labels (`c0`, `c1`, …) when requested.
+pub fn mixed_table(cfg: &MixedConfig) -> Table {
+    assert!(
+        cfg.n > 0 && cfg.numeric_dims > 0,
+        "need n >= 1 and dims >= 1"
+    );
+    let mut builder = Schema::builder();
+    for d in 0..cfg.numeric_dims {
+        builder = builder.numeric(format!("x{d}"), 0.0, 1.0);
+    }
+    if cfg.categories > 0 {
+        builder = builder.categorical("cat", (0..cfg.categories).map(|c| format!("c{c}")));
+    }
+    let schema = builder.build();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tb = TableBuilder::new(schema);
+    let arity = cfg.numeric_dims + usize::from(cfg.categories > 0);
+    for _ in 0..cfg.n {
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..cfg.numeric_dims {
+            row.push(qr2_webdb::Value::Num(rng.gen::<f64>()));
+        }
+        if cfg.categories > 0 {
+            row.push(qr2_webdb::Value::Cat(
+                (rng.gen::<u64>() % cfg.categories as u64) as u32,
+            ));
+        }
+        tb.push_values(row).expect("generated row must fit schema");
+    }
+    tb.build()
+}
+
+/// Wrap a mixed table in a simulated web database with a linear hidden
+/// ranking over the numeric attributes.
+pub fn mixed_db(cfg: &MixedConfig, hidden_weights: &[f64]) -> SimulatedWebDb {
+    assert_eq!(
+        hidden_weights.len(),
+        cfg.numeric_dims,
+        "one hidden weight per numeric dimension"
+    );
+    let table = mixed_table(cfg);
+    let names: Vec<String> = (0..cfg.numeric_dims).map(|d| format!("x{d}")).collect();
+    let spec: Vec<(&str, f64)> = names
+        .iter()
+        .map(String::as_str)
+        .zip(hidden_weights.iter().copied())
+        .collect();
+    let ranking = SystemRanking::linear(table.schema(), &spec).expect("weights validated above");
+    SimulatedWebDb::new(table, ranking, cfg.system_k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +348,39 @@ mod tests {
             let snapped = (v * 10.0).round() / 10.0;
             assert!((v - snapped).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn mixed_table_shape_and_determinism() {
+        let cfg = MixedConfig {
+            n: 1000,
+            numeric_dims: 2,
+            categories: 4,
+            seed: 9,
+            system_k: 10,
+        };
+        let t = mixed_table(&cfg);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.schema().len(), 3);
+        let cat = t.schema().expect_id("cat");
+        let mut seen = [false; 4];
+        for r in 0..t.len() {
+            seen[t.value(r, cat).as_cat() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all categories populated");
+        // Same seed, same bytes.
+        let u = mixed_table(&cfg);
+        let x0 = t.schema().expect_id("x0");
+        for r in (0..t.len()).step_by(97) {
+            assert_eq!(t.num(r, x0), u.num(r, x0));
+        }
+        // Without categories, the schema is all-numeric.
+        let plain = mixed_table(&MixedConfig {
+            categories: 0,
+            n: 10,
+            ..cfg
+        });
+        assert_eq!(plain.schema().len(), 2);
     }
 
     #[test]

@@ -23,5 +23,8 @@ mod zillow;
 
 pub use bluenile::{bluenile_db, bluenile_schema, bluenile_table, DiamondsConfig};
 pub use distributions::{lognormal, normal, quantize, uniform, zipf_rank, Clusters};
-pub use generic::{generic_db, generic_table, Correlation, Distribution, SyntheticConfig};
+pub use generic::{
+    generic_db, generic_table, mixed_db, mixed_table, Correlation, Distribution, MixedConfig,
+    SyntheticConfig,
+};
 pub use zillow::{zillow_db, zillow_schema, zillow_table, HomesConfig};

@@ -604,6 +604,15 @@ mod tests {
         assert!(v.get("misses").unwrap().as_usize().unwrap() > 0);
         assert!(v.get("entries").unwrap().as_usize().unwrap() > 0);
         assert!(v.get("hit_rate").unwrap().as_f64().is_some());
+        // The panel also reports what the web database itself executed.
+        let db_queries = v.get("db_queries").unwrap().as_usize().unwrap();
+        assert!(db_queries > 0, "misses reached the database");
+        let exec = v.get("db_exec").unwrap();
+        let by_path: usize = ["indexed", "scanned", "shortcut", "external"]
+            .iter()
+            .map(|k| exec.get(k).unwrap().as_usize().unwrap())
+            .sum();
+        assert_eq!(by_path, db_queries, "exec breakdown partitions the total");
 
         // Flush: 204, then the panel reads empty at the next epoch.
         let resp = st.v1_cache_flush(&params(&[("source", "bluenile")]));

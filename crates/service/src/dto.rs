@@ -319,18 +319,26 @@ impl IntoJson for StatsResponse {
 }
 
 /// One source's shared-answer-cache panel
-/// (`GET /v1/sources/:source/cache`).
+/// (`GET /v1/sources/:source/cache`), including what the web database
+/// itself saw and how its engine executed those queries.
 #[derive(Debug, Clone)]
 pub struct CacheStatsResponse {
     /// The source key.
     pub source: String,
     /// Counter snapshot.
     pub stats: qr2_cache::CacheStats,
+    /// Total queries the web database really executed (raw ledger —
+    /// lookups the cache absorbed never appear here).
+    pub db_queries: u64,
+    /// Per-execution-path breakdown of `db_queries` (sorted-projection
+    /// index vs rank-order scan vs trivially-empty shortcut).
+    pub db_exec: qr2_webdb::ExecBreakdown,
 }
 
 impl IntoJson for CacheStatsResponse {
     fn to_json(&self) -> Json {
         let s = &self.stats;
+        let e = &self.db_exec;
         Json::obj([
             ("source", Json::from(self.source.as_str())),
             ("entries", Json::from(s.entries)),
@@ -342,6 +350,16 @@ impl IntoJson for CacheStatsResponse {
             ("hit_rate", Json::Num(s.hit_rate())),
             ("epoch", Json::from(s.epoch as usize)),
             ("persistent", Json::Bool(s.persistent)),
+            ("db_queries", Json::from(self.db_queries as usize)),
+            (
+                "db_exec",
+                Json::obj([
+                    ("indexed", Json::from(e.indexed as usize)),
+                    ("scanned", Json::from(e.scanned as usize)),
+                    ("shortcut", Json::from(e.shortcut as usize)),
+                    ("external", Json::from(e.external as usize)),
+                ]),
+            ),
         ])
     }
 }

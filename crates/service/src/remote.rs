@@ -319,8 +319,16 @@ impl TopKInterface for RemoteWebDb {
             }
             None => (Vec::new(), false, false),
         };
-        self.ledger.record(&q.to_string(), tuples.len(), overflow);
-        (TopKResponse { tuples, overflow }, authoritative)
+        // Fingerprint-keyed ledger entry: the display form renders lazily
+        // in `recent()`, never on the per-query path.
+        self.ledger.record_executed(
+            q,
+            q.fingerprint(),
+            qr2_webdb::ExecPath::External,
+            tuples.len(),
+            overflow,
+        );
+        (TopKResponse::new(tuples, overflow), authoritative)
     }
 
     fn ledger(&self) -> &QueryLedger {

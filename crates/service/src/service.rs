@@ -211,9 +211,15 @@ impl QueryService {
             .registry
             .get(source_name)
             .ok_or_else(|| unknown_source(source_name))?;
+        // One breakdown snapshot; the reported total derives from it so
+        // `db_exec` always partitions `db_queries` exactly, even while
+        // other sessions are querying concurrently.
+        let db_exec = source.db.ledger().exec_breakdown();
         Ok(CacheStatsResponse {
             source: source.name.clone(),
             stats: source.cache.stats(),
+            db_queries: db_exec.total(),
+            db_exec,
         })
     }
 

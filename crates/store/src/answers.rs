@@ -64,7 +64,7 @@ fn decode_answer(buf: &mut &[u8]) -> Result<(u64, TopKResponse)> {
     };
     *buf = &buf[1..];
     let tuples = decode_tuples(buf)?;
-    Ok((epoch, TopKResponse { tuples, overflow }))
+    Ok((epoch, TopKResponse::new(tuples, overflow)))
 }
 
 /// Durable query-answer storage with epoch-based invalidation.
@@ -200,13 +200,13 @@ mod tests {
     }
 
     fn answer(overflow: bool) -> TopKResponse {
-        TopKResponse {
-            tuples: vec![
+        TopKResponse::new(
+            vec![
                 Tuple::new(TupleId(3), vec![Value::Num(1.5), Value::Cat(2)]),
                 Tuple::new(TupleId(7), vec![Value::Num(-0.25), Value::Cat(0)]),
             ],
             overflow,
-        }
+        )
     }
 
     #[test]
@@ -279,10 +279,7 @@ mod tests {
     fn empty_response_roundtrip() {
         let path = temp_path("empty");
         let mut s = AnswerStore::open(&path).unwrap();
-        let empty = TopKResponse {
-            tuples: vec![],
-            overflow: false,
-        };
+        let empty = TopKResponse::empty();
         s.put(b"nothing", &empty).unwrap();
         assert_eq!(s.get(b"nothing").unwrap(), Some(empty));
         std::fs::remove_file(&path).ok();

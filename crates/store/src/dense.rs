@@ -147,7 +147,7 @@ impl DenseRegionStore {
             let stale = {
                 let by_id: HashMap<TupleId, &Tuple> = cached.iter().map(|t| (t.id, t)).collect();
                 let mut stale = false;
-                for t in &resp.tuples {
+                for t in resp.tuples.iter() {
                     match by_id.get(&t.id) {
                         Some(c) if *c == t => {}
                         _ => {
@@ -447,7 +447,7 @@ mod tests {
         // Cache the true contents of the region.
         let resp = db.search(&region);
         let mut s = DenseRegionStore::in_memory();
-        s.insert(region.clone(), resp.tuples).unwrap();
+        s.insert(region.clone(), resp.tuples.to_vec()).unwrap();
 
         let report = s.verify(&db).unwrap();
         assert_eq!(report.checked, 1);
@@ -462,7 +462,7 @@ mod tests {
         let region = SearchQuery::all().and_range(x, RangePred::closed(0.0, 5.0));
         let resp = db_old.search(&region);
         let mut s = DenseRegionStore::in_memory();
-        s.insert(region.clone(), resp.tuples).unwrap();
+        s.insert(region.clone(), resp.tuples.to_vec()).unwrap();
 
         // The "site" changes: one tuple's value moves.
         let db_new = small_db(&[1.0, 2.5, 3.0], 10);
@@ -478,7 +478,7 @@ mod tests {
         let region = SearchQuery::all().and_range(x, RangePred::closed(0.0, 5.0));
         let resp = db_old.search(&region);
         let mut s = DenseRegionStore::in_memory();
-        s.insert(region.clone(), resp.tuples).unwrap();
+        s.insert(region.clone(), resp.tuples.to_vec()).unwrap();
 
         // A new tuple appears at x=4.0 (ids shift!). Underflow count check
         // catches it.

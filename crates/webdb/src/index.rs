@@ -1,0 +1,396 @@
+//! Indexed top-k query execution over a [`Table`].
+//!
+//! [`SimulatedWebDb::search`](crate::SimulatedWebDb) originally resolved
+//! every query by walking the full system-rank order and testing each row —
+//! O(n) per query, which dominates wall-clock experiments once inventories
+//! reach paper scale and beyond (1M+ tuples). This module gives the
+//! simulator the same machinery a real search backend has:
+//!
+//! * a **rank-position index** `row → position in the system-rank order`,
+//! * a **sorted projection** per numeric attribute (values ascending, each
+//!   carrying its row id), and
+//! * a **postings list** per categorical code (rows holding that code).
+//!
+//! A conjunctive query is resolved by binary-searching the *most selective*
+//! predicate's projection (the driver), testing only those candidate rows
+//! against the full conjunction, and emitting the best `k` by rank
+//! position — O(log n + candidates) instead of O(n). A tiny cost model
+//! ([`TableIndex::prefers_index`]) falls back to the rank-order scan when
+//! the driver is unselective, because the scan early-exits after `k`
+//! matches and wins when matches are plentiful.
+//!
+//! Both paths are **bit-identical** in observable behaviour: the same
+//! tuples, the same order, the same overflow flag (pinned by property tests
+//! in `tests/index_equivalence.rs`).
+
+use crate::attr::AttrId;
+use crate::predicate::{Predicate, SearchQuery};
+use crate::table::Table;
+
+/// One attribute's secondary structure.
+enum Projection {
+    /// Rows sorted by value ascending (`f64::total_cmp`, ties by row id).
+    /// Stored as parallel arrays for cache-friendly binary search.
+    Numeric { values: Vec<f64>, rows: Vec<u32> },
+    /// `postings[code]` = rows holding `code`, ascending by row id.
+    Categorical { postings: Vec<Vec<u32>> },
+}
+
+/// The driving predicate's candidate set, borrowed from a projection.
+enum Candidates<'a> {
+    /// One contiguous run of a numeric projection.
+    Run(&'a [u32]),
+    /// One postings list per selected categorical code.
+    Postings(Vec<&'a [u32]>),
+}
+
+impl Candidates<'_> {
+    fn count(&self) -> usize {
+        match self {
+            Candidates::Run(rows) => rows.len(),
+            Candidates::Postings(lists) => lists.iter().map(|l| l.len()).sum(),
+        }
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u32)) {
+        match self {
+            Candidates::Run(rows) => rows.iter().copied().for_each(&mut f),
+            Candidates::Postings(lists) => {
+                for list in lists {
+                    list.iter().copied().for_each(&mut f);
+                }
+            }
+        }
+    }
+}
+
+/// One query's execution decision: the chosen driver predicate and the
+/// cost-model verdict, produced by [`TableIndex::plan`] and consumed by
+/// [`TableIndex::execute_plan`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryPlan {
+    /// The most selective predicate's attribute (`None` = unconstrained).
+    driver: Option<AttrId>,
+    use_index: bool,
+}
+
+impl QueryPlan {
+    /// The cost model's verdict for this query.
+    pub fn prefers_index(&self) -> bool {
+        self.use_index
+    }
+}
+
+/// Per-attribute sorted projections + rank-position index over one table.
+pub struct TableIndex {
+    /// `rank_pos[row]` = position of `row` in the system-rank order
+    /// (0 = best). A permutation, so positions are unique and top-k
+    /// selection is deterministic.
+    rank_pos: Vec<u32>,
+    /// The rank order itself (best row first): unconstrained queries are
+    /// answered by slicing its prefix.
+    order: Vec<u32>,
+    projections: Vec<Projection>,
+    rows: usize,
+}
+
+impl TableIndex {
+    /// Build the index for `table` under the rank order `order` (row
+    /// indices, best first). O(attrs · n log n), paid once per database.
+    pub fn build(table: &Table, order: &[u32]) -> TableIndex {
+        let rows = table.len();
+        debug_assert_eq!(order.len(), rows, "order must be a permutation");
+        let mut rank_pos = vec![0u32; rows];
+        for (pos, &row) in order.iter().enumerate() {
+            rank_pos[row as usize] = pos as u32;
+        }
+        let projections = table
+            .schema()
+            .iter()
+            .map(|(id, attr)| {
+                if let Some(col) = table.raw_numeric(id) {
+                    let mut row_ids: Vec<u32> = (0..rows as u32).collect();
+                    row_ids.sort_unstable_by(|&a, &b| {
+                        col[a as usize].total_cmp(&col[b as usize]).then(a.cmp(&b))
+                    });
+                    let values = row_ids.iter().map(|&r| col[r as usize]).collect();
+                    Projection::Numeric {
+                        values,
+                        rows: row_ids,
+                    }
+                } else {
+                    let col = table
+                        .raw_categorical(id)
+                        .expect("attribute is numeric or categorical");
+                    let labels = match &attr.kind {
+                        crate::attr::AttrKind::Categorical { labels } => labels.len(),
+                        crate::attr::AttrKind::Numeric { .. } => unreachable!("checked above"),
+                    };
+                    let mut postings: Vec<Vec<u32>> = vec![Vec::new(); labels];
+                    for (row, &code) in col.iter().enumerate() {
+                        postings[code as usize].push(row as u32);
+                    }
+                    Projection::Categorical { postings }
+                }
+            })
+            .collect();
+        TableIndex {
+            rank_pos,
+            order: order.to_vec(),
+            projections,
+            rows,
+        }
+    }
+
+    /// Candidate set of the predicate on `attr` (exact row count for a
+    /// single predicate).
+    fn candidates(&self, attr: AttrId, pred: &Predicate) -> Candidates<'_> {
+        match (&self.projections[attr.index()], pred) {
+            (Projection::Numeric { values, rows }, Predicate::Range(r)) => {
+                // `values` ascends; both bound tests are monotone in the
+                // value, so partition_point finds the exact run.
+                let start =
+                    values.partition_point(|&v| if r.lo_inc { v < r.lo } else { v <= r.lo });
+                let end = values.partition_point(|&v| if r.hi_inc { v <= r.hi } else { v < r.hi });
+                Candidates::Run(&rows[start..end.max(start)])
+            }
+            (Projection::Categorical { postings }, Predicate::Cats(set)) => Candidates::Postings(
+                set.codes()
+                    .iter()
+                    .filter_map(|&c| postings.get(c as usize).map(Vec::as_slice))
+                    .collect(),
+            ),
+            _ => unreachable!("query validated against the schema"),
+        }
+    }
+
+    /// The most selective predicate of `q` and its exact candidate count.
+    /// `None` when the query is unconstrained.
+    fn driver(&self, q: &SearchQuery) -> Option<(AttrId, usize)> {
+        q.predicates()
+            .map(|(attr, p)| (attr, self.candidates(attr, p).count()))
+            .min_by_key(|&(_, count)| count)
+    }
+
+    /// Exact candidate count of the most selective predicate (`None` for
+    /// unconstrained queries). Exposed for cost-model introspection.
+    pub fn driver_count(&self, q: &SearchQuery) -> Option<usize> {
+        self.driver(q).map(|(_, count)| count)
+    }
+
+    /// Plan one query: the chosen driver and the cost-model decision,
+    /// computed in a single pass over the predicates so the hot path never
+    /// resolves the driver twice (see [`TableIndex::execute_plan`]).
+    ///
+    /// The cost model: the scan early-exits once `k` matches are found, so
+    /// with `m` matches it touches ≈ `n·(k+1)/(m+1)` rows in expectation
+    /// (matches spread through the rank order); the indexed path touches
+    /// exactly `driver_count` candidates. For a **single-predicate** query
+    /// the driver count *is* `m`, so the two estimates compare directly.
+    /// For a conjunctive query the driver count only upper-bounds `m` —
+    /// the scan estimate is optimistic — so the comparison carries a 4×
+    /// bias toward the index. Unconstrained queries always prefer the
+    /// index (a rank-order slice).
+    pub fn plan(&self, q: &SearchQuery, k: usize) -> QueryPlan {
+        match self.driver(q) {
+            None => QueryPlan {
+                driver: None,
+                use_index: true,
+            },
+            Some((attr, d)) => {
+                let bias: u128 = if q.num_predicates() > 1 { 4 } else { 1 };
+                QueryPlan {
+                    driver: Some(attr),
+                    // d ≤ bias · n·(k+1)/(d+1)  ⇔  d·(d+1) ≤ bias·n·(k+1)
+                    use_index: (d as u128) * (d as u128 + 1)
+                        <= bias * self.rows as u128 * (k as u128 + 1),
+                }
+            }
+        }
+    }
+
+    /// The cost model's verdict alone (see [`TableIndex::plan`]).
+    pub fn prefers_index(&self, q: &SearchQuery, k: usize) -> bool {
+        self.plan(q, k).prefers_index()
+    }
+
+    /// Execute `q` through the index: the best `k` matching rows in
+    /// system-rank order, plus the overflow flag. The caller guarantees
+    /// `q` is not trivially empty.
+    pub fn execute(&self, table: &Table, q: &SearchQuery, k: usize) -> (Vec<u32>, bool) {
+        let plan = self.plan(q, k);
+        self.execute_plan(table, q, k, &plan)
+    }
+
+    /// Execute a query under an already-computed [`QueryPlan`] (the hot
+    /// path: plan once, decide, execute without re-resolving the driver).
+    pub fn execute_plan(
+        &self,
+        table: &Table,
+        q: &SearchQuery,
+        k: usize,
+        plan: &QueryPlan,
+    ) -> (Vec<u32>, bool) {
+        let Some(driver_attr) = plan.driver else {
+            // Unconstrained: the answer is a prefix of the rank order.
+            return (self.order[..k.min(self.rows)].to_vec(), self.rows > k);
+        };
+        let pred = q.predicate(driver_attr).expect("driver comes from q");
+        let candidates = self.candidates(driver_attr, pred);
+        // Gather matching rows as (rank position, row). The driver
+        // predicate is re-checked as part of the full conjunction — cheap,
+        // and it keeps match semantics defined by exactly one code path.
+        let mut matches: Vec<(u32, u32)> = Vec::with_capacity(candidates.count().min(4096));
+        candidates.for_each(|row| {
+            if table.row_matches(row as usize, q) {
+                matches.push((self.rank_pos[row as usize], row));
+            }
+        });
+        let overflow = matches.len() > k;
+        if overflow {
+            // Rank positions are unique, so selection is deterministic.
+            matches.select_nth_unstable(k - 1);
+            matches.truncate(k);
+        }
+        matches.sort_unstable();
+        (matches.into_iter().map(|(_, row)| row).collect(), overflow)
+    }
+
+    /// Number of rows indexed.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CatSet, RangePred};
+    use crate::ranking::SystemRanking;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+
+    fn setup() -> (Table, Vec<u32>, TableIndex) {
+        let schema = Schema::builder()
+            .numeric("price", 0.0, 100.0)
+            .categorical("cut", ["Fair", "Good", "Ideal"])
+            .build();
+        let mut tb = TableBuilder::new(schema.clone());
+        // Deterministic pseudo-random fill with ties.
+        let mut x = 7u64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let price = ((x >> 33) % 101) as f64;
+            let cut = ((x >> 11) % 3) as u32;
+            tb.push_values(vec![Value::Num(price), Value::Cat(cut)])
+                .unwrap();
+        }
+        let table = tb.build();
+        let ranking = SystemRanking::linear(table.schema(), &[("price", 1.0)]).unwrap();
+        let order = ranking.rank_rows(&table);
+        let index = TableIndex::build(&table, &order);
+        (table, order, index)
+    }
+
+    /// The reference semantics: walk the rank order, early-exit at k.
+    fn scan(table: &Table, order: &[u32], q: &SearchQuery, k: usize) -> (Vec<u32>, bool) {
+        let mut rows = Vec::new();
+        let mut overflow = false;
+        for &row in order {
+            if table.row_matches(row as usize, q) {
+                if rows.len() == k {
+                    overflow = true;
+                    break;
+                }
+                rows.push(row);
+            }
+        }
+        (rows, overflow)
+    }
+
+    fn assert_equivalent(q: &SearchQuery, k: usize) {
+        let (table, order, index) = setup();
+        assert_eq!(
+            index.execute(&table, q, k),
+            scan(&table, &order, q, k),
+            "query {q}, k {k}"
+        );
+    }
+
+    #[test]
+    fn unfiltered_is_rank_prefix() {
+        for k in [1, 3, 499, 500, 501] {
+            assert_equivalent(&SearchQuery::all(), k);
+        }
+    }
+
+    #[test]
+    fn range_queries_match_scan() {
+        let price = AttrId(0);
+        for r in [
+            RangePred::closed(10.0, 30.0),
+            RangePred::half_open(0.0, 50.0),
+            RangePred::open(49.0, 51.0),
+            RangePred::open_closed(99.0, 100.0),
+            RangePred::point(42.0),
+            RangePred::closed(200.0, 300.0), // empty candidate run
+        ] {
+            for k in [1, 5, 30] {
+                assert_equivalent(&SearchQuery::all().and_range(price, r), k);
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_and_conjunctive_queries_match_scan() {
+        let price = AttrId(0);
+        let cut = AttrId(1);
+        for q in [
+            SearchQuery::all().and_cats(cut, CatSet::single(1)),
+            SearchQuery::all().and_cats(cut, CatSet::new([0, 2])),
+            SearchQuery::all()
+                .and_range(price, RangePred::closed(20.0, 80.0))
+                .and_cats(cut, CatSet::single(2)),
+            SearchQuery::all().and_cats(cut, CatSet::new([7])), // out-of-range code
+        ] {
+            for k in [1, 7, 100] {
+                assert_equivalent(&q, k);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_prefers_index_for_selective_and_scan_for_broad() {
+        let (_, _, index) = setup();
+        let price = AttrId(0);
+        let narrow = SearchQuery::all().and_range(price, RangePred::point(42.0));
+        assert!(index.prefers_index(&narrow, 10));
+        assert!(index.prefers_index(&SearchQuery::all(), 10), "rank slice");
+        // A broad driver on a (hypothetically) huge table prefers the scan:
+        // exercise the formula directly.
+        let d = 1_000_000u128;
+        let n = 1_000_000u128;
+        let k = 10u128;
+        assert!(
+            d * (d + 1) > 4 * n * (k + 1),
+            "broad driver fails the bias test"
+        );
+    }
+
+    #[test]
+    fn driver_picks_most_selective_predicate() {
+        let (_, _, index) = setup();
+        let price = AttrId(0);
+        let cut = AttrId(1);
+        let q = SearchQuery::all()
+            .and_range(price, RangePred::point(42.0)) // few rows
+            .and_cats(cut, CatSet::new([0, 1, 2])); // all rows
+        let (attr, count) = index.driver(&q).unwrap();
+        assert_eq!(attr, price);
+        assert_eq!(count, index.driver_count(&q).unwrap());
+        assert!(count < 100);
+    }
+}

@@ -1,23 +1,46 @@
 //! The public top-k search interface — the *only* channel through which a
 //! third-party service can interact with a web database.
 
+use std::sync::Arc;
+
 use crate::metrics::QueryLedger;
 use crate::predicate::SearchQuery;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 
 /// The result of one search-form submission.
+///
+/// The tuple page is `Arc`-shared: cloning a response (answer-cache hits,
+/// single-flight completions, buffered session replays) bumps a reference
+/// count instead of deep-copying the page. Build one with
+/// [`TopKResponse::new`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TopKResponse {
     /// At most `system-k` matching tuples, in system-ranking order (best
     /// first).
-    pub tuples: Vec<Tuple>,
+    pub tuples: Arc<[Tuple]>,
     /// True when the query matched more than `system-k` tuples — i.e. some
     /// matches are *invisible* to the caller.
     pub overflow: bool,
 }
 
 impl TopKResponse {
+    /// Build a response from an owned tuple page.
+    pub fn new(tuples: Vec<Tuple>, overflow: bool) -> TopKResponse {
+        TopKResponse {
+            tuples: tuples.into(),
+            overflow,
+        }
+    }
+
+    /// The empty (underflow) response.
+    pub fn empty() -> TopKResponse {
+        TopKResponse {
+            tuples: Arc::from([]),
+            overflow: false,
+        }
+    }
+
     /// `true` when zero tuples matched.
     pub fn is_underflow(&self) -> bool {
         self.tuples.is_empty() && !self.overflow
@@ -146,19 +169,24 @@ mod tests {
 
     #[test]
     fn response_flags() {
-        let empty = TopKResponse {
-            tuples: vec![],
-            overflow: false,
-        };
+        let empty = TopKResponse::empty();
         assert!(empty.is_underflow());
         assert!(empty.is_complete());
 
-        let partial = TopKResponse {
-            tuples: vec![Tuple::new(TupleId(0), vec![Value::Num(1.0)])],
-            overflow: true,
-        };
+        let partial = TopKResponse::new(vec![Tuple::new(TupleId(0), vec![Value::Num(1.0)])], true);
         assert!(!partial.is_underflow());
         assert!(!partial.is_complete());
+    }
+
+    #[test]
+    fn clone_shares_tuple_storage() {
+        let resp = TopKResponse::new(vec![Tuple::new(TupleId(1), vec![Value::Num(2.0)])], false);
+        let copy = resp.clone();
+        assert!(
+            Arc::ptr_eq(&resp.tuples, &copy.tuples),
+            "cloning a response must share the page, not deep-copy it"
+        );
+        assert_eq!(resp, copy);
     }
 
     #[test]

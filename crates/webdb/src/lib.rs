@@ -48,6 +48,7 @@
 //! ```
 
 mod attr;
+pub mod index;
 mod interface;
 mod metrics;
 mod predicate;
@@ -59,12 +60,15 @@ mod tuple;
 mod value;
 
 pub use attr::{AttrId, AttrKind, Attribute};
+pub use index::{QueryPlan, TableIndex};
 pub use interface::{SearchOutcome, TopKInterface, TopKResponse};
-pub use metrics::{LatencyModel, QueryLedger, QueryLogEntry};
+pub use metrics::{
+    ExecBreakdown, ExecPath, LatencyModel, QueryLedger, QueryLogEntry, RECENT_COPY_CAP,
+};
 pub use predicate::{CatSet, Predicate, RangePred, SearchQuery};
 pub use ranking::SystemRanking;
 pub use schema::{Schema, SchemaBuilder};
-pub use sim::SimulatedWebDb;
+pub use sim::{ExecMode, SimulatedWebDb};
 pub use table::{Table, TableBuilder};
 pub use tuple::{Tuple, TupleId};
 pub use value::Value;

@@ -5,6 +5,12 @@
 //! time, which on live sites is dominated by per-query network latency. The
 //! [`QueryLedger`] counts queries; the [`LatencyModel`] reproduces the
 //! wall-clock shape.
+//!
+//! The ledger is on the per-query hot path, so recording is allocation-
+//! light: structured queries are logged as a precomputed 64-bit
+//! [fingerprint](crate::SearchQuery::fingerprint) plus the (cheaply cloned)
+//! query itself, and the display string is rendered **on demand** when
+//! [`QueryLedger::recent`] is called — never per search.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,25 +18,112 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-/// One recorded query (for debugging and for the statistics panel).
+use crate::predicate::SearchQuery;
+
+/// Upper bound on how many entries one [`QueryLedger::recent`] call copies
+/// (and renders) out of the retained log. The retained log itself is bounded
+/// by the ledger's `log_capacity`; this caps the *copy* so a ledger
+/// configured with a large retention window still serves its debug panel in
+/// O([`RECENT_COPY_CAP`]) while holding the log lock.
+pub const RECENT_COPY_CAP: usize = 64;
+
+/// Which execution path served a recorded query (cost accounting for the
+/// simulator's engine — every path still costs the caller one query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Resolved through the per-attribute sorted projections
+    /// (`O(log n + candidates)`).
+    Indexed,
+    /// Resolved by scanning the system-rank order until `k` matches.
+    Scanned,
+    /// Trivially empty query answered without touching the data at all.
+    Shortcut,
+    /// Executed outside the local engine (remote gateways, tests).
+    External,
+}
+
+/// Per-path query counts (see [`QueryLedger::exec_breakdown`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecBreakdown {
+    /// Queries served by the sorted-projection index.
+    pub indexed: u64,
+    /// Queries served by a rank-order scan.
+    pub scanned: u64,
+    /// Trivially empty queries short-circuited before execution.
+    pub shortcut: u64,
+    /// Queries recorded by an external executor.
+    pub external: u64,
+}
+
+impl ExecBreakdown {
+    /// Sum over all paths (equals [`QueryLedger::total`]).
+    pub fn total(&self) -> u64 {
+        self.indexed + self.scanned + self.shortcut + self.external
+    }
+}
+
+/// One recorded query (for debugging and for the statistics panel),
+/// rendered for display by [`QueryLedger::recent`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryLogEntry {
     /// Sequence number (1-based).
     pub seq: u64,
     /// Display form of the query.
     pub query: String,
+    /// 64-bit structural fingerprint of the query.
+    pub fingerprint: u64,
     /// Number of tuples returned.
     pub returned: usize,
     /// Whether the query overflowed (more matches than `system-k`).
     pub overflow: bool,
 }
 
+/// Retained form of one query: either pre-rendered text (external
+/// recorders) or the structured query itself, rendered lazily.
+#[derive(Debug)]
+enum QueryRepr {
+    Text(String),
+    Query(SearchQuery),
+}
+
+impl QueryRepr {
+    fn render(&self) -> String {
+        match self {
+            QueryRepr::Text(s) => s.clone(),
+            QueryRepr::Query(q) => q.to_string(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LogSlot {
+    seq: u64,
+    fingerprint: u64,
+    repr: QueryRepr,
+    returned: usize,
+    overflow: bool,
+}
+
 /// Thread-safe ledger of queries issued against one web database.
 #[derive(Debug)]
 pub struct QueryLedger {
     total: AtomicU64,
+    indexed: AtomicU64,
+    scanned: AtomicU64,
+    shortcut: AtomicU64,
+    external: AtomicU64,
     log_capacity: usize,
-    log: Mutex<VecDeque<QueryLogEntry>>,
+    log: Mutex<VecDeque<LogSlot>>,
+}
+
+/// FNV-1a over raw bytes (fingerprints for text-recorded queries).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl QueryLedger {
@@ -38,25 +131,86 @@ impl QueryLedger {
     pub fn new(log_capacity: usize) -> Self {
         QueryLedger {
             total: AtomicU64::new(0),
+            indexed: AtomicU64::new(0),
+            scanned: AtomicU64::new(0),
+            shortcut: AtomicU64::new(0),
+            external: AtomicU64::new(0),
             log_capacity,
             log: Mutex::new(VecDeque::with_capacity(log_capacity.min(1024))),
         }
     }
 
-    /// Record one query; returns its sequence number.
+    fn bump(&self, path: ExecPath) -> u64 {
+        match path {
+            ExecPath::Indexed => &self.indexed,
+            ExecPath::Scanned => &self.scanned,
+            ExecPath::Shortcut => &self.shortcut,
+            ExecPath::External => &self.external,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn push_slot(
+        &self,
+        seq: u64,
+        fingerprint: u64,
+        repr: QueryRepr,
+        returned: usize,
+        overflow: bool,
+    ) {
+        let mut log = self.log.lock();
+        if log.len() == self.log_capacity {
+            log.pop_front();
+        }
+        log.push_back(LogSlot {
+            seq,
+            fingerprint,
+            repr,
+            returned,
+            overflow,
+        });
+    }
+
+    /// Record one query from pre-rendered text (external executors — e.g.
+    /// a remote gateway that already has the wire form); returns its
+    /// sequence number. Counts toward [`ExecPath::External`].
     pub fn record(&self, query: &str, returned: usize, overflow: bool) -> u64 {
-        let seq = self.total.fetch_add(1, Ordering::Relaxed) + 1;
+        let seq = self.bump(ExecPath::External);
         if self.log_capacity > 0 {
-            let mut log = self.log.lock();
-            if log.len() == self.log_capacity {
-                log.pop_front();
-            }
-            log.push_back(QueryLogEntry {
+            self.push_slot(
                 seq,
-                query: query.to_string(),
+                fnv1a(query.as_bytes()),
+                QueryRepr::Text(query.to_string()),
                 returned,
                 overflow,
-            });
+            );
+        }
+        seq
+    }
+
+    /// Record one locally executed query; returns its sequence number.
+    ///
+    /// The query is logged by fingerprint + structure — no string is
+    /// rendered here. Display rendering happens lazily in
+    /// [`QueryLedger::recent`].
+    pub fn record_executed(
+        &self,
+        q: &SearchQuery,
+        fingerprint: u64,
+        path: ExecPath,
+        returned: usize,
+        overflow: bool,
+    ) -> u64 {
+        let seq = self.bump(path);
+        if self.log_capacity > 0 {
+            self.push_slot(
+                seq,
+                fingerprint,
+                QueryRepr::Query(q.clone()),
+                returned,
+                overflow,
+            );
         }
         seq
     }
@@ -66,14 +220,48 @@ impl QueryLedger {
         self.total.load(Ordering::Relaxed)
     }
 
-    /// Copy of the retained query log (most recent last).
-    pub fn recent(&self) -> Vec<QueryLogEntry> {
-        self.log.lock().iter().cloned().collect()
+    /// Per-execution-path query counts.
+    pub fn exec_breakdown(&self) -> ExecBreakdown {
+        ExecBreakdown {
+            indexed: self.indexed.load(Ordering::Relaxed),
+            scanned: self.scanned.load(Ordering::Relaxed),
+            shortcut: self.shortcut.load(Ordering::Relaxed),
+            external: self.external.load(Ordering::Relaxed),
+        }
     }
 
-    /// Reset the counter and log. Experiments call this between runs.
+    /// The newest retained query log entries (most recent last), rendered
+    /// for display. The copy is bounded by [`RECENT_COPY_CAP`] regardless
+    /// of the ledger's retention capacity; use
+    /// [`recent_n`](QueryLedger::recent_n) for an explicit bound.
+    pub fn recent(&self) -> Vec<QueryLogEntry> {
+        self.recent_n(RECENT_COPY_CAP)
+    }
+
+    /// The newest `limit` retained entries (most recent last). At most
+    /// `limit` entries are cloned and rendered while the log lock is held.
+    pub fn recent_n(&self, limit: usize) -> Vec<QueryLogEntry> {
+        let log = self.log.lock();
+        let skip = log.len().saturating_sub(limit);
+        log.iter()
+            .skip(skip)
+            .map(|slot| QueryLogEntry {
+                seq: slot.seq,
+                query: slot.repr.render(),
+                fingerprint: slot.fingerprint,
+                returned: slot.returned,
+                overflow: slot.overflow,
+            })
+            .collect()
+    }
+
+    /// Reset the counters and log. Experiments call this between runs.
     pub fn reset(&self) {
         self.total.store(0, Ordering::Relaxed);
+        self.indexed.store(0, Ordering::Relaxed);
+        self.scanned.store(0, Ordering::Relaxed);
+        self.shortcut.store(0, Ordering::Relaxed);
+        self.external.store(0, Ordering::Relaxed);
         self.log.lock().clear();
     }
 }
@@ -135,6 +323,8 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attr::AttrId;
+    use crate::predicate::RangePred;
 
     #[test]
     fn ledger_counts_and_logs() {
@@ -148,6 +338,46 @@ mod tests {
         assert_eq!(recent[0].query, "q2");
         assert_eq!(recent[1].query, "q3");
         assert_eq!(recent[1].seq, 3);
+        assert_eq!(l.exec_breakdown().external, 3);
+    }
+
+    #[test]
+    fn ledger_records_structured_queries_lazily() {
+        let l = QueryLedger::new(4);
+        let q = SearchQuery::all().and_range(AttrId(0), RangePred::half_open(0.0, 1.0));
+        let fp = q.fingerprint();
+        l.record_executed(&q, fp, ExecPath::Indexed, 2, false);
+        l.record_executed(
+            &SearchQuery::all(),
+            SearchQuery::all().fingerprint(),
+            ExecPath::Scanned,
+            7,
+            true,
+        );
+        let recent = l.recent();
+        assert_eq!(recent[0].query, "A0 in [0, 1)", "rendered on demand");
+        assert_eq!(recent[0].fingerprint, fp);
+        assert_eq!(recent[1].query, "TRUE");
+        let b = l.exec_breakdown();
+        assert_eq!((b.indexed, b.scanned), (1, 1));
+        assert_eq!(b.total(), l.total());
+    }
+
+    #[test]
+    fn recent_copy_is_capped() {
+        let l = QueryLedger::new(RECENT_COPY_CAP * 2);
+        for i in 0..RECENT_COPY_CAP * 2 {
+            l.record(&format!("q{i}"), 0, false);
+        }
+        let recent = l.recent();
+        assert_eq!(
+            recent.len(),
+            RECENT_COPY_CAP,
+            "copy bounded even when retention is larger"
+        );
+        assert_eq!(recent.last().unwrap().seq, (RECENT_COPY_CAP * 2) as u64);
+        assert_eq!(l.recent_n(3).len(), 3);
+        assert_eq!(l.recent_n(0).len(), 0);
     }
 
     #[test]
@@ -157,6 +387,7 @@ mod tests {
         l.reset();
         assert_eq!(l.total(), 0);
         assert!(l.recent().is_empty());
+        assert_eq!(l.exec_breakdown(), ExecBreakdown::default());
     }
 
     #[test]

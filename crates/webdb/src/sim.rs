@@ -1,14 +1,33 @@
 //! The simulated web database: ground-truth table + hidden ranking behind a
 //! top-k interface.
 
+use std::sync::OnceLock;
 use std::time::Duration;
 
+use crate::index::TableIndex;
 use crate::interface::{TopKInterface, TopKResponse};
-use crate::metrics::{LatencyModel, QueryLedger};
+use crate::metrics::{ExecPath, LatencyModel, QueryLedger};
 use crate::predicate::SearchQuery;
 use crate::ranking::SystemRanking;
 use crate::schema::Schema;
 use crate::table::Table;
+
+/// How [`SimulatedWebDb::search`] resolves queries.
+///
+/// `Auto` (the default) picks per query via the index's cost model;
+/// the forced modes exist for equivalence tests and scan-vs-index
+/// benchmarks. All modes return **identical** responses — only the
+/// execution cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Cost-model choice between index and scan per query.
+    #[default]
+    Auto,
+    /// Always resolve through the sorted-projection index.
+    IndexOnly,
+    /// Always walk the system-rank order (the pre-index behaviour).
+    ScanOnly,
+}
 
 /// A simulated hidden web database.
 ///
@@ -17,10 +36,18 @@ use crate::table::Table;
 /// an undisclosed ranking + overflow flag, one unit of cost and optional
 /// latency per query) is identical to the abstraction the algorithms are
 /// defined against (see DESIGN.md §4).
+///
+/// Queries execute through a per-attribute sorted-projection index with an
+/// automatic scan fallback (see [`crate::index`] and [`ExecMode`]); the
+/// index is built lazily on the first query that wants it, so scan-only
+/// databases never pay for it.
 pub struct SimulatedWebDb {
     table: Table,
     /// Row indices in system-rank order (best first).
     order: Vec<u32>,
+    /// Sorted projections + rank positions, built on first use.
+    index: OnceLock<TableIndex>,
+    mode: ExecMode,
     system_k: usize,
     ledger: QueryLedger,
     latency: Option<LatencyModel>,
@@ -34,6 +61,8 @@ impl SimulatedWebDb {
         SimulatedWebDb {
             table,
             order,
+            index: OnceLock::new(),
+            mode: ExecMode::Auto,
             system_k,
             ledger: QueryLedger::new(64),
             latency: None,
@@ -45,6 +74,18 @@ impl SimulatedWebDb {
     pub fn with_latency(mut self, base: Duration, jitter: Duration, seed: u64) -> Self {
         self.latency = Some(LatencyModel::new(base, jitter, seed));
         self
+    }
+
+    /// Force an execution mode (equivalence tests, scan-vs-index benches).
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Ground-truth table. **Oracle/test use only** — the reranking service
@@ -62,6 +103,37 @@ impl SimulatedWebDb {
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
     }
+
+    fn index(&self) -> &TableIndex {
+        self.index
+            .get_or_init(|| TableIndex::build(&self.table, &self.order))
+    }
+
+    /// Build the execution index now. It is otherwise built lazily on the
+    /// first query that wants it — wall-clock benchmarks call this so the
+    /// one-time O(attrs · n log n) build is not charged to the first
+    /// measured query. No-op in [`ExecMode::ScanOnly`].
+    pub fn prewarm_index(&self) {
+        if self.mode != ExecMode::ScanOnly {
+            let _ = self.index();
+        }
+    }
+
+    /// Walk the rank order, early-exiting after `system_k` matches.
+    fn scan(&self, q: &SearchQuery) -> (Vec<u32>, bool) {
+        let mut rows = Vec::with_capacity(self.system_k.min(16));
+        let mut overflow = false;
+        for &row in &self.order {
+            if self.table.row_matches(row as usize, q) {
+                if rows.len() == self.system_k {
+                    overflow = true;
+                    break;
+                }
+                rows.push(row);
+            }
+        }
+        (rows, overflow)
+    }
 }
 
 impl TopKInterface for SimulatedWebDb {
@@ -77,21 +149,35 @@ impl TopKInterface for SimulatedWebDb {
         if let Some(lat) = &self.latency {
             std::thread::sleep(lat.sample());
         }
-        let mut tuples = Vec::with_capacity(self.system_k.min(16));
-        let mut overflow = false;
-        if !q.is_trivially_empty() {
-            for &row in &self.order {
-                if self.table.row_matches(row as usize, q) {
-                    if tuples.len() == self.system_k {
-                        overflow = true;
-                        break;
-                    }
-                    tuples.push(self.table.tuple(row as usize));
-                }
-            }
+        let fingerprint = q.fingerprint();
+        if q.is_trivially_empty() {
+            self.ledger
+                .record_executed(q, fingerprint, ExecPath::Shortcut, 0, false);
+            return TopKResponse::empty();
         }
-        self.ledger.record(&q.to_string(), tuples.len(), overflow);
-        TopKResponse { tuples, overflow }
+        // One planning pass decides the path AND resolves the driver, so
+        // the indexed branch never recomputes per-predicate selectivity.
+        let (rows, overflow, path) = if self.mode == ExecMode::ScanOnly {
+            let (rows, overflow) = self.scan(q);
+            (rows, overflow, ExecPath::Scanned)
+        } else {
+            let index = self.index();
+            let plan = index.plan(q, self.system_k);
+            if plan.prefers_index() || self.mode == ExecMode::IndexOnly {
+                let (rows, overflow) = index.execute_plan(&self.table, q, self.system_k, &plan);
+                (rows, overflow, ExecPath::Indexed)
+            } else {
+                let (rows, overflow) = self.scan(q);
+                (rows, overflow, ExecPath::Scanned)
+            }
+        };
+        let tuples: Vec<_> = rows
+            .into_iter()
+            .map(|row| self.table.tuple(row as usize))
+            .collect();
+        self.ledger
+            .record_executed(q, fingerprint, path, tuples.len(), overflow);
+        TopKResponse::new(tuples, overflow)
     }
 
     fn ledger(&self) -> &QueryLedger {
@@ -166,6 +252,7 @@ mod tests {
         let resp = db.search(&q);
         assert!(resp.is_underflow());
         assert_eq!(db.ledger().total(), 1);
+        assert_eq!(db.ledger().exec_breakdown().shortcut, 1);
     }
 
     #[test]
@@ -178,6 +265,7 @@ mod tests {
         let log = db.ledger().recent();
         assert_eq!(log.len(), 5);
         assert!(log[0].overflow);
+        assert_eq!(log[0].query, "TRUE", "rendered lazily for the panel");
     }
 
     #[test]
@@ -185,6 +273,30 @@ mod tests {
         let db = db(1);
         let resp = db.search(&SearchQuery::all());
         assert_eq!(resp.tuples[0].id, TupleId(9)); // price=100 is row 9
+    }
+
+    #[test]
+    fn all_exec_modes_agree() {
+        let a = AttrId(0);
+        let queries = [
+            SearchQuery::all(),
+            SearchQuery::all().and_range(a, RangePred::closed(0.0, 30.0)),
+            SearchQuery::all().and_range(a, RangePred::half_open(30.0, 90.0)),
+            SearchQuery::all().and_point(a, 50.0),
+            SearchQuery::all().and_range(a, RangePred::open(100.0, 200.0)),
+        ];
+        let auto = db(3);
+        let forced_index = db(3).with_exec_mode(ExecMode::IndexOnly);
+        let forced_scan = db(3).with_exec_mode(ExecMode::ScanOnly);
+        for q in &queries {
+            let r = auto.search(q);
+            assert_eq!(r, forced_index.search(q), "{q}");
+            assert_eq!(r, forced_scan.search(q), "{q}");
+        }
+        assert_eq!(auto.ledger().total(), forced_scan.ledger().total());
+        let b = forced_scan.ledger().exec_breakdown();
+        assert_eq!(b.indexed, 0, "scan-only never touches the index");
+        assert_eq!(forced_index.ledger().exec_breakdown().scanned, 0);
     }
 
     #[test]

@@ -87,6 +87,24 @@ impl Table {
         Tuple::new(TupleId(row as u32), values)
     }
 
+    /// Raw numeric column storage (index building); `None` for
+    /// categorical attributes.
+    pub(crate) fn raw_numeric(&self, attr: AttrId) -> Option<&[f64]> {
+        match &self.columns[attr.index()] {
+            Column::Numeric(v) => Some(v),
+            Column::Categorical(_) => None,
+        }
+    }
+
+    /// Raw categorical column storage (index building); `None` for
+    /// numeric attributes.
+    pub(crate) fn raw_categorical(&self, attr: AttrId) -> Option<&[u32]> {
+        match &self.columns[attr.index()] {
+            Column::Categorical(v) => Some(v),
+            Column::Numeric(_) => None,
+        }
+    }
+
     /// Count rows matching `q` (ground truth; not available through the
     /// public interface — used by tests and oracles).
     pub fn count_matches(&self, q: &SearchQuery) -> usize {

@@ -1,6 +1,7 @@
 //! Tuples returned by the search interface.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::attr::AttrId;
 use crate::value::Value;
@@ -22,11 +23,16 @@ impl fmt::Display for TupleId {
 ///
 /// Result rows on real sites show *all* attributes of an item, which is what
 /// makes Fagin-style "random access" free once a tuple has been retrieved.
+///
+/// Values are reference-counted: cloning a tuple shares the value storage
+/// instead of reallocating it, which keeps the cache-hit and buffered
+/// answer paths allocation-free (tuples flow through answer caches, dense
+/// indexes, and session buffers, and are cloned at every hop).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
     /// Stable id.
     pub id: TupleId,
-    values: Box<[Value]>,
+    values: Arc<[Value]>,
 }
 
 impl Tuple {
@@ -34,7 +40,7 @@ impl Tuple {
     pub fn new(id: TupleId, values: Vec<Value>) -> Self {
         Tuple {
             id,
-            values: values.into_boxed_slice(),
+            values: values.into(),
         }
     }
 
