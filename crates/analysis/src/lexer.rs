@@ -1,0 +1,411 @@
+//! A small hand-rolled Rust tokenizer.
+//!
+//! The workspace is offline/vendored, so the analyzer cannot lean on `syn`
+//! or `proc-macro2`; this lexer produces exactly the token stream the
+//! checkers need: identifiers, literals, punctuation, and comments, each
+//! tagged with its 1-based source line. It understands the lexical shapes
+//! that trip naive scanners — nested block comments, raw strings, byte
+//! strings, char literals vs. lifetimes, numeric literals with exponents
+//! and suffixes — but it does not attempt full parsing: structure is
+//! recovered downstream by [`crate::scope`].
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`self`, `fn`, `shard` …).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (`1`, `0x1f`, `1.0e-3f64`).
+    Num,
+    /// String or byte-string literal (raw forms included).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`.`, `{`, `!`, …).
+    Punct,
+    /// `// …` comment, text includes the slashes (doc comments too).
+    LineComment,
+    /// `/* … */` comment, nested blocks folded into one token.
+    BlockComment,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokKind,
+    /// The raw text of the lexeme.
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for `///`, `//!`, `/**`, `/*!` comments.
+    pub fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokKind::LineComment => {
+                (self.text.starts_with("///") && !self.text.starts_with("////"))
+                    || self.text.starts_with("//!")
+            }
+            TokKind::BlockComment => self.text.starts_with("/**") || self.text.starts_with("/*!"),
+            _ => false,
+        }
+    }
+
+    /// True for *outer* doc comments (`///`, `/**`) — the kind that
+    /// documents the item that follows. Inner docs (`//!`, `/*!`)
+    /// document the enclosing module and must not satisfy the
+    /// missing-docs check for the next item.
+    pub fn is_outer_doc_comment(&self) -> bool {
+        match self.kind {
+            TokKind::LineComment => self.text.starts_with("///") && !self.text.starts_with("////"),
+            TokKind::BlockComment => self.text.starts_with("/**") && !self.text.starts_with("/**/"),
+            _ => false,
+        }
+    }
+}
+
+/// Tokenize `source`. Unterminated constructs (string, block comment) are
+/// closed at end of input rather than reported — the analyzer only ever
+/// sees code `rustc` already accepted, so recovery beats diagnostics.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'r' if self.raw_string_ahead(0) => self.raw_string(start, line),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(1) => {
+                    self.raw_string(start, line)
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.string(start, line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_lit(start, line);
+                }
+                b'"' => self.string(start, line),
+                b'\'' => self.quote(start, line),
+                b'_' => self.ident(start, line),
+                c if c.is_ascii_alphabetic() => self.ident(start, line),
+                c if c.is_ascii_digit() => self.number(start, line),
+                c if c < 128 => {
+                    self.pos += 1;
+                    self.push(TokKind::Punct, start, line);
+                }
+                _ => {
+                    // Non-ASCII outside strings/comments: skip the code point.
+                    self.pos += 1;
+                    while self.pos < self.src.len() && self.src[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn bump_line_counting(&mut self, from: usize) {
+        self.line += self.src[from..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, start, line);
+        self.bump_line_counting(start);
+    }
+
+    /// Is `r` / `br` at offset `at` from `pos` the start of a raw string
+    /// (`r"`, `r#"`, `r##"` …)?
+    fn raw_string_ahead(&self, at: usize) -> bool {
+        let mut i = self.pos + at + 1;
+        while self.src.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.src.get(i) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self, start: usize, line: u32) {
+        // Skip `r` or `br`, count the hashes, then scan to `"` + hashes.
+        self.pos += 1;
+        if self.src.get(self.pos) == Some(&b'r') {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.src.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.src.get(self.pos) {
+                None => break,
+                Some(b'"') => {
+                    let mut i = self.pos + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && self.src.get(i) == Some(&b'#') {
+                        seen += 1;
+                        i += 1;
+                    }
+                    if seen == hashes {
+                        self.pos = i;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Str, start, line);
+        self.bump_line_counting(start);
+    }
+
+    fn string(&mut self, start: usize, line: u32) {
+        self.pos += 1; // opening quote
+        while let Some(c) = self.src.get(self.pos) {
+            match c {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.src.len());
+        self.push(TokKind::Str, start, line);
+        self.bump_line_counting(start);
+    }
+
+    /// A `'` is a lifetime (`'a`, `'static`) when an identifier follows and
+    /// is *not* closed by another `'`; otherwise it is a char literal.
+    fn quote(&mut self, start: usize, line: u32) {
+        let next = self.peek(1);
+        let is_ident_start = matches!(next, Some(c) if c == b'_' || c.is_ascii_alphabetic());
+        if is_ident_start {
+            let mut i = self.pos + 2;
+            while matches!(self.src.get(i), Some(c) if c == &b'_' || c.is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            if self.src.get(i) != Some(&b'\'') {
+                // Lifetime: consume `'ident`.
+                self.pos = i;
+                self.push(TokKind::Lifetime, start, line);
+                return;
+            }
+        }
+        self.char_lit(start, line);
+    }
+
+    fn char_lit(&mut self, start: usize, line: u32) {
+        self.pos += 1; // opening quote
+        while let Some(c) = self.src.get(self.pos) {
+            match c {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.src.len());
+        self.push(TokKind::Char, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while matches!(self.src.get(self.pos), Some(c) if c == &b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        // Prefix forms: 0x…, 0o…, 0b….
+        if self.src[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.pos += 2;
+            while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_alphanumeric() || c == &b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(TokKind::Num, start, line);
+            return;
+        }
+        while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_digit() || c == &b'_') {
+            self.pos += 1;
+        }
+        // Fractional part — but `1..2` is a range and `1.max()` a method.
+        if self.src.get(self.pos) == Some(&b'.')
+            && matches!(self.src.get(self.pos + 1), Some(c) if c.is_ascii_digit())
+        {
+            self.pos += 1;
+            while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_digit() || c == &b'_') {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.src.get(self.pos), Some(b'e') | Some(b'E')) {
+            let mut i = self.pos + 1;
+            if matches!(self.src.get(i), Some(b'+') | Some(b'-')) {
+                i += 1;
+            }
+            if matches!(self.src.get(i), Some(c) if c.is_ascii_digit()) {
+                self.pos = i;
+                while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_digit() || c == &b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Suffix (`u64`, `f32`, `usize`).
+        while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_alphanumeric() || c == &b'_') {
+            self.pos += 1;
+        }
+        self.push(TokKind::Num, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("self.shard.lock();");
+        let texts: Vec<&str> = ts.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(texts, ["self", ".", "shard", ".", "lock", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("<'a>('x')'\\n'");
+        assert_eq!(ts[1].0, TokKind::Lifetime);
+        assert_eq!(ts[1].1, "'a");
+        assert_eq!(ts[4].0, TokKind::Char);
+        assert_eq!(ts[6].0, TokKind::Char);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let ts = kinds(r####"r#"has "quotes""# b"bytes" br"raw""####);
+        assert!(ts.iter().all(|(k, _)| *k == TokKind::Str));
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let ts = tokenize("/* a /* b */ c */\nx");
+        assert_eq!(ts[0].kind, TokKind::BlockComment);
+        assert_eq!(ts[1].text, "x");
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = kinds("1.5e-3f64 0x1F 0..10 1.max(2)");
+        assert_eq!(ts[0], (TokKind::Num, "1.5e-3f64".into()));
+        assert_eq!(ts[1], (TokKind::Num, "0x1F".into()));
+        assert_eq!(ts[2], (TokKind::Num, "0".into()));
+        assert_eq!(ts[3].1, ".");
+        assert_eq!(ts[4].1, ".");
+        assert_eq!(ts[5], (TokKind::Num, "10".into()));
+        assert_eq!(ts[6], (TokKind::Num, "1".into()));
+        assert_eq!(ts[8].1, "max");
+    }
+
+    #[test]
+    fn doc_comments_detected() {
+        let ts = tokenize("/// doc\n//! inner\n// plain\n//// not doc");
+        assert!(ts[0].is_doc_comment());
+        assert!(ts[1].is_doc_comment());
+        assert!(!ts[2].is_doc_comment());
+        assert!(!ts[3].is_doc_comment());
+    }
+
+    #[test]
+    fn line_numbers_across_strings() {
+        let ts = tokenize("\"a\nb\"\nx");
+        assert_eq!(ts[0].kind, TokKind::Str);
+        assert_eq!(ts[1].text, "x");
+        assert_eq!(ts[1].line, 3);
+    }
+}

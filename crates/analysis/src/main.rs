@@ -1,0 +1,75 @@
+//! The `qr2-analyze` binary: run the workspace checks, print the human
+//! report, write `ANALYZE.json`, and exit nonzero under `--deny` when any
+//! unallowed finding exists.
+//!
+//! ```text
+//! cargo run -p qr2-analyze --            # report only
+//! cargo run -p qr2-analyze -- --deny     # CI gate
+//! qr2-analyze --root /path --json OUT.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut quiet = false;
+    // Default root: this crate lives at <root>/crates/analysis.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let report = match qr2_analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("qr2-analyze: cannot analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        print!("{}", report.render_text());
+    }
+    let json_path = json_path.unwrap_or_else(|| root.join("ANALYZE.json"));
+    if let Err(e) = std::fs::write(&json_path, report.render_json()) {
+        eprintln!("qr2-analyze: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    if !quiet {
+        println!("wrote {}", json_path.display());
+    }
+    let denied = report.denied_count();
+    if deny && denied > 0 {
+        eprintln!("qr2-analyze: {denied} finding(s) — failing (--deny)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("qr2-analyze: {err}");
+    }
+    eprintln!("usage: qr2-analyze [--deny] [--quiet] [--root DIR] [--json FILE]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

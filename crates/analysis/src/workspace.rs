@@ -1,0 +1,128 @@
+//! Workspace discovery: which `.rs` files to analyze, and which crate and
+//! context each belongs to.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/cache/src/cache.rs`).
+    pub rel_path: String,
+    /// Crate the file belongs to (`qr2-cache`).
+    pub krate: String,
+    /// True for files under `src/` (production code); `tests/`,
+    /// `examples/`, and `benches/` files are lexed and counted but only
+    /// production code is checked.
+    pub is_src: bool,
+}
+
+/// Crates whose request-serving code must be panic-free
+/// ([`crate::checks::check::PANIC_PATH`]).
+pub const PANIC_DENY_CRATES: [&str; 3] = ["qr2-http", "qr2-service", "qr2-cache"];
+
+/// Discover every non-vendor `.rs` file under `root`. Vendored shims
+/// (`crates/vendor/**`) and build output (`target/`) are skipped.
+pub fn discover(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    // The root package plus every crate under crates/ except vendor.
+    let mut package_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.is_dir() && path.file_name().map(|n| n != "vendor").unwrap_or(false) {
+                package_dirs.push(path);
+            }
+        }
+    }
+    for dir in package_dirs {
+        let krate = crate_name(&dir).unwrap_or_else(|| "unknown".to_string());
+        for sub in ["src", "tests", "examples", "benches"] {
+            let sub_dir = dir.join(sub);
+            if sub_dir.is_dir() {
+                collect_rs(&sub_dir, root, &krate, sub == "src", &mut out)?;
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    krate: &str,
+    is_src: bool,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, root, krate, is_src, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            let rel_path = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                rel_path,
+                krate: krate.to_string(),
+                is_src,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Read the `name = "…"` of a package's `Cargo.toml` with a minimal scan
+/// (no TOML parser in an offline workspace).
+fn crate_name(dir: &Path) -> Option<String> {
+    let manifest = fs::read_to_string(dir.join("Cargo.toml")).ok()?;
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = discover(root).expect("discover");
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/cache/src/cache.rs"));
+        assert!(files.iter().any(|f| f.krate == "qr2-analyze"));
+        assert!(
+            !files.iter().any(|f| f.rel_path.contains("vendor")),
+            "vendored shims are not ours to lint"
+        );
+        assert!(!files.iter().any(|f| f.rel_path.contains("target/")));
+        // tests/ files are discovered but flagged non-src.
+        let e2e = files
+            .iter()
+            .find(|f| f.rel_path == "tests/cache_e2e.rs")
+            .expect("root tests discovered");
+        assert!(!e2e.is_src);
+        assert_eq!(e2e.krate, "qr2");
+    }
+}

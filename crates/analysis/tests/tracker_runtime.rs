@@ -1,0 +1,94 @@
+//! Integration test for the vendored `parking_lot` shim's runtime
+//! lock-order tracker: the dynamic complement to the static `lock-order`
+//! check. Only meaningful in debug builds — the tracker compiles out
+//! under `--release` unless debug assertions are re-enabled
+//! (`RUSTFLAGS="-C debug-assertions=on"`, as CI does).
+
+#![cfg(debug_assertions)]
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic>".to_string())
+}
+
+#[test]
+fn inversion_panics_and_names_both_acquisition_sites() {
+    let alpha = Arc::new(Mutex::new(0u32));
+    let beta = Arc::new(Mutex::new(0u32));
+
+    // Establish alpha → beta.
+    {
+        let a = alpha.lock();
+        let b = beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    // Acquire in the opposite order on another thread: the tracker must
+    // panic before blocking, naming where each order was taken.
+    let (a2, b2) = (Arc::clone(&alpha), Arc::clone(&beta));
+    let err = std::thread::spawn(move || {
+        let _b = b2.lock();
+        let _a = a2.lock();
+    })
+    .join()
+    .expect_err("inverted order must panic");
+
+    let msg = panic_message(err);
+    assert!(msg.contains("lock-order inversion"), "got: {msg}");
+    // Both this file's acquisition sites appear in the message.
+    assert!(
+        msg.matches("tracker_runtime.rs").count() >= 2,
+        "both acquisition sites must be named: {msg}"
+    );
+}
+
+#[test]
+fn rwlock_participates_in_ordering() {
+    let table = Arc::new(RwLock::new(0u32));
+    let counters = Arc::new(Mutex::new(0u32));
+
+    {
+        let t = table.read();
+        let c = counters.lock();
+        drop(c);
+        drop(t);
+    }
+
+    let (t2, c2) = (Arc::clone(&table), Arc::clone(&counters));
+    let err = std::thread::spawn(move || {
+        let _c = c2.lock();
+        let _t = t2.write();
+    })
+    .join()
+    .expect_err("rwlock inversion must panic");
+    assert!(panic_message(err).contains("lock-order inversion"));
+}
+
+#[test]
+fn concurrent_single_order_workload_is_quiet() {
+    // Many threads taking the same order never trip the tracker.
+    let outer = Arc::new(Mutex::new(Vec::<u32>::new()));
+    let inner = Arc::new(Mutex::new(0u32));
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let (o, n) = (Arc::clone(&outer), Arc::clone(&inner));
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let mut v = o.lock();
+                    *n.lock() += 1;
+                    v.push(i);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("single consistent order never panics");
+    }
+    assert_eq!(*inner.lock(), 400);
+}

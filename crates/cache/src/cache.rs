@@ -88,11 +88,22 @@ impl Flight {
         }
     }
 
+    /// Lock the flight state, recovering from std mutex poisoning: the
+    /// state machine is a single enum cell, so a holder that panicked
+    /// mid-update cannot have left it half-written — the value is still
+    /// coherent and one waiter's panic must not cascade to every other
+    /// request coalesced on this flight.
+    fn state(&self) -> std::sync::MutexGuard<'_, FlightState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn wait(&self) -> Option<TopKResponse> {
-        let mut state = self.state.lock().expect("flight lock");
+        let mut state = self.state();
         loop {
             match &*state {
-                FlightState::Pending => state = self.cv.wait(state).expect("flight wait"),
+                FlightState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
                 FlightState::Done(resp) => return Some(resp.clone()),
                 FlightState::Poisoned => return None,
             }
@@ -100,12 +111,12 @@ impl Flight {
     }
 
     fn complete(&self, resp: TopKResponse) {
-        *self.state.lock().expect("flight lock") = FlightState::Done(resp);
+        *self.state() = FlightState::Done(resp);
         self.cv.notify_all();
     }
 
     fn poison(&self) {
-        let mut state = self.state.lock().expect("flight lock");
+        let mut state = self.state();
         if matches!(*state, FlightState::Pending) {
             *state = FlightState::Poisoned;
             self.cv.notify_all();
@@ -173,8 +184,15 @@ impl Shard {
         self.map.insert(key, Entry { answer, tick });
         let mut evicted = Vec::new();
         while self.map.len() > cap {
-            let (&oldest, _) = self.order.iter().next().expect("order tracks map");
-            let key = self.order.remove(&oldest).expect("key present");
+            // `order` mirrors `map`; if they ever diverge, stop evicting
+            // rather than panic a serving worker over a bookkeeping bug.
+            let Some((&oldest, _)) = self.order.iter().next() else {
+                debug_assert!(false, "LRU order empty while map over cap");
+                break;
+            };
+            let Some(key) = self.order.remove(&oldest) else {
+                break;
+            };
             self.map.remove(&key);
             evicted.push(key);
         }
@@ -218,21 +236,24 @@ impl AnswerCache {
     /// the store, keeping it the same size as the cache.
     pub fn with_store(config: CacheConfig, store: AnswerStore) -> AnswerCache {
         let cache = Self::build(config, Some(store));
-        let entries = {
-            let store = cache.store.as_ref().expect("store just set").lock();
-            cache.epoch.store(store.epoch(), Ordering::Relaxed);
-            store.entries().unwrap_or_default()
-        };
-        let mut dropped = Vec::new();
-        for (key, answer) in entries {
-            let tick = cache.next_tick();
-            let shard = &cache.shards[cache.shard_of(&key)];
-            dropped.extend(shard.lock().insert(key, answer, tick, cache.per_shard_cap));
-        }
-        if !dropped.is_empty() {
-            let mut store = cache.store.as_ref().expect("store just set").lock();
-            for key in &dropped {
-                let _ = store.delete(key);
+        if let Some(store_cell) = &cache.store {
+            let entries = {
+                let store = store_cell.lock();
+                cache.epoch.store(store.epoch(), Ordering::Relaxed);
+                store.entries().unwrap_or_default()
+            };
+            let mut dropped = Vec::new();
+            for (key, answer) in entries {
+                let tick = cache.next_tick();
+                // qr2-allow: panic-path shard_of masks with shard_mask, always in range
+                let shard = &cache.shards[cache.shard_of(&key)];
+                dropped.extend(shard.lock().insert(key, answer, tick, cache.per_shard_cap));
+            }
+            if !dropped.is_empty() {
+                let mut store = store_cell.lock();
+                for key in &dropped {
+                    let _ = store.delete(key);
+                }
             }
         }
         cache
@@ -341,13 +362,13 @@ impl AnswerCache {
         key: &[u8],
         fetch: impl FnOnce() -> (TopKResponse, bool),
     ) -> (TopKResponse, SearchOutcome) {
+        // qr2-allow: panic-path shard_of masks with shard_mask, always in range
         let shard = &self.shards[self.shard_of(key)];
         loop {
             let mut guard = shard.lock();
-            if guard.map.contains_key(key) {
+            if let Some(answer) = guard.map.get(key).map(|e| e.answer.clone()) {
                 let tick = self.next_tick();
                 guard.touch(key, tick);
-                let answer = guard.map[key].answer.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return (
                     answer,

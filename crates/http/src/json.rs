@@ -247,7 +247,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -272,7 +272,8 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
         } else {
@@ -281,7 +282,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut m = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -292,7 +293,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let val = self.value()?;
             m.insert(key, val);
             self.skip_ws();
@@ -305,7 +306,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut a = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -324,7 +325,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -374,11 +375,11 @@ impl Parser<'_> {
                     } else {
                         let start = self.pos - 1;
                         let end = start + len;
-                        if end > self.bytes.len() {
-                            return Err(self.err("truncated utf-8"));
-                        }
-                        let s = std::str::from_utf8(&self.bytes[start..end])
-                            .map_err(|_| self.err("invalid utf-8"))?;
+                        let seq = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| self.err("truncated utf-8"))?;
+                        let s = std::str::from_utf8(seq).map_err(|_| self.err("invalid utf-8"))?;
                         out.push_str(s);
                         self.pos = end;
                     }
@@ -437,11 +438,12 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
-        text.parse::<f64>()
+        self.bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .and_then(|t| t.parse::<f64>().ok())
             .map(Json::Num)
-            .map_err(|_| self.err("number out of range"))
+            .ok_or_else(|| self.err("number out of range"))
     }
 }
 

@@ -237,8 +237,8 @@ fn percent_decode(s: &str) -> Option<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'%' => {
                 let hi = (bytes.get(i + 1).copied()? as char).to_digit(16)?;
                 let lo = (bytes.get(i + 2).copied()? as char).to_digit(16)?;

@@ -69,6 +69,7 @@ impl HttpServer {
                             handle_connection(stream, handler.as_ref());
                         }
                     })
+                    // qr2-allow: panic-path thread spawn at server start, before any request is accepted
                     .expect("spawn worker"),
             );
         }
@@ -79,6 +80,7 @@ impl HttpServer {
             .spawn(move || {
                 accept_loop(listener, tx, accept_shutdown);
             })
+            // qr2-allow: panic-path thread spawn at server start, before any request is accepted
             .expect("spawn accept loop");
 
         Ok(HttpServer {

@@ -67,10 +67,12 @@ impl Qr2App {
                     .reranker
                     .dense_index()
                     .verify(&*s.db)
+                    // qr2-allow: panic-path boot-time integrity check; refusing to start beats serving stale answers
                     .expect("cache verification must not fail on a healthy store");
                 if report.dropped > 0 {
                     s.cache
                         .flush()
+                        // qr2-allow: panic-path boot-time invalidation; a store that cannot flush must not serve
                         .expect("answer-cache flush must not fail on a healthy store");
                 }
                 (s.name.clone(), report)
@@ -169,6 +171,7 @@ impl Qr2App {
                     std::thread::sleep(Duration::from_secs(30));
                 }
             })
+            // qr2-allow: panic-path thread spawn at server start; without the janitor sessions leak
             .expect("spawn janitor");
         HttpServer::start(addr, self.handler(), workers)
     }

@@ -93,16 +93,18 @@ impl FromJson for RankingDto {
         match d.field("type")?.str()? {
             "1d" => {
                 let attr = d.field("attr")?.str()?.to_string();
-                let dir = d.opt("dir");
-                let ascending = match dir.as_ref().map(|v| v.str()).transpose()? {
-                    None | Some("asc") => true,
-                    Some("desc") => false,
-                    Some(other) => {
-                        return Err(dir.unwrap().error(
-                            codes::INVALID_VALUE,
-                            format!("direction must be 'asc' or 'desc', got '{other}'"),
-                        ))
-                    }
+                let ascending = match d.opt("dir") {
+                    None => true,
+                    Some(v) => match v.str()? {
+                        "asc" => true,
+                        "desc" => false,
+                        other => {
+                            return Err(v.error(
+                                codes::INVALID_VALUE,
+                                format!("direction must be 'asc' or 'desc', got '{other}'"),
+                            ))
+                        }
+                    },
                 };
                 Ok(RankingDto::OneDim { attr, ascending })
             }
@@ -233,9 +235,10 @@ impl TupleDto {
         for (id, attr) in schema.iter() {
             let v = match (&attr.kind, t.value(id)) {
                 (AttrKind::Numeric { .. }, qr2_webdb::Value::Num(x)) => Json::Num(x),
-                (AttrKind::Categorical { labels }, qr2_webdb::Value::Cat(c)) => {
-                    Json::from(labels[c as usize].as_str())
-                }
+                (AttrKind::Categorical { labels }, qr2_webdb::Value::Cat(c)) => labels
+                    .get(c as usize)
+                    .map(|l| Json::from(l.as_str()))
+                    .unwrap_or(Json::Null),
                 _ => Json::Null,
             };
             values.insert(attr.name.clone(), v);

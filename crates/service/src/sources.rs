@@ -136,6 +136,7 @@ impl SourceRegistry {
     /// the given inventory scale, with volatile answer caches.
     pub fn demo(diamonds: usize, homes: usize, executor: ExecutorKind) -> Self {
         Self::demo_with_cache_dir(diamonds, homes, executor, None)
+            // qr2-allow: panic-path Err only comes from persistent-store IO, and cache_dir is None here
             .expect("volatile demo registry cannot fail")
     }
 

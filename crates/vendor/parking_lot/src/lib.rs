@@ -6,78 +6,206 @@
 //! `lock()` does not return a poison `Result` — is preserved by recovering
 //! from poisoning instead of propagating it: a panicking handler must not
 //! poison a session or stats mutex for every later request.
+//!
+//! In debug builds (`cfg(debug_assertions)`) every lock additionally feeds a
+//! runtime lock-order tracker (the `tracker` module): each lock's construction site is
+//! its *class*, each thread tracks the classes it holds, and a global table
+//! records every observed acquisition order. The first acquisition that
+//! inverts a previously observed order panics — before blocking — naming
+//! both acquisition sites. This catches latent deadlocks in tests even when
+//! the fatal interleaving never fires. Disable with `QR2_LOCK_TRACKER=0`.
+//! Release builds compile all of it out: no extra fields, no tracking.
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+#[cfg(debug_assertions)]
+use std::panic::Location;
 use std::sync;
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
-/// Guard type returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-/// Guard type returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[cfg(debug_assertions)]
+mod tracker;
+
+/// Guard returned by [`Mutex::lock`]. Releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _held: Option<tracker::Held>,
+}
+
+/// Guard returned by [`RwLock::read`]. Releases the shared lock on drop.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _held: Option<tracker::Held>,
+}
+
+/// Guard returned by [`RwLock::write`]. Releases the exclusive lock on drop.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _held: Option<tracker::Held>,
+}
+
+macro_rules! guard_impls {
+    ($guard:ident) => {
+        impl<T: ?Sized> Deref for $guard<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        impl<T: ?Sized + fmt::Debug> fmt::Debug for $guard<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&*self.inner, f)
+            }
+        }
+    };
+}
+
+guard_impls!(MutexGuard);
+guard_impls!(RwLockReadGuard);
+guard_impls!(RwLockWriteGuard);
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 /// A mutex whose `lock` never returns a poison error.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: &'static Location<'static>,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
-    /// Create a new mutex.
+    /// Create a new mutex. In debug builds the caller's location becomes
+    /// the lock's class for the lock-order tracker.
+    #[cfg_attr(debug_assertions, track_caller)]
     pub fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(debug_assertions)]
+            class: Location::caller(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[cfg_attr(debug_assertions, track_caller)]
+    fn default() -> Self {
+        Mutex::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, recovering from poisoning.
+    /// Acquire the lock, recovering from poisoning. In debug builds this
+    /// checks the lock-order tracker (and panics on an observed
+    /// inversion) *before* blocking.
+    #[cfg_attr(debug_assertions, track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(debug_assertions)]
+        let held = tracker::acquire(self.class, Location::caller());
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(debug_assertions)]
+            _held: held,
+        }
     }
 
-    /// Try to acquire the lock without blocking.
+    /// Try to acquire the lock without blocking. Never checks lock order
+    /// (a non-blocking attempt cannot deadlock on acquire) but the held
+    /// lock still participates in ordering for later blocking calls.
+    #[cfg_attr(debug_assertions, track_caller)]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _held: tracker::note_acquired(self.class, Location::caller()),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 /// A reader-writer lock whose accessors never return poison errors.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: &'static Location<'static>,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
-    /// Create a new rwlock.
+    /// Create a new rwlock. In debug builds the caller's location becomes
+    /// the lock's class for the lock-order tracker.
+    #[cfg_attr(debug_assertions, track_caller)]
     pub fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(debug_assertions)]
+            class: Location::caller(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[cfg_attr(debug_assertions, track_caller)]
+    fn default() -> Self {
+        RwLock::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
+    #[cfg_attr(debug_assertions, track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(debug_assertions)]
+        let held = tracker::acquire(self.class, Location::caller());
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(debug_assertions)]
+            _held: held,
+        }
     }
 
     /// Acquire an exclusive write guard.
+    #[cfg_attr(debug_assertions, track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(debug_assertions)]
+        let held = tracker::acquire(self.class, Location::caller());
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(debug_assertions)]
+            _held: held,
+        }
     }
 }
 
@@ -122,5 +250,71 @@ mod tests {
         assert_eq!(l.read().len(), 1);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn tracker_panics_on_inversion_naming_both_sites() {
+        // Two distinct classes: construct each at its own source line.
+        let a = Arc::new(Mutex::new('a'));
+        let b = Arc::new(Mutex::new('b'));
+        // Establish the order a → b on another thread (panic propagation
+        // from catch_unwind on *this* thread would poison test state).
+        {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        // Invert: b → a must panic before blocking.
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let err = std::thread::spawn(move || {
+            let _gb = b2.lock();
+            let _ga = a2.lock(); // inversion
+        })
+        .join()
+        .expect_err("inverted acquisition order must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(
+            msg.contains("lock-order inversion"),
+            "unexpected panic: {msg}"
+        );
+        // Both acquisition sites live in this file.
+        assert!(
+            msg.matches("lib.rs").count() >= 2,
+            "panic must name both acquisition sites: {msg}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn tracker_allows_consistent_order_and_try_lock() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        // try_lock against the established order must NOT panic.
+        let gb = b.lock();
+        assert!(a.try_lock().is_some());
+        drop(gb);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn tracker_ignores_same_class_pairs() {
+        // A sharded Vec<Mutex<_>> is one class; nested same-class
+        // acquisition of different instances must not trip the tracker.
+        let shards: Vec<Mutex<u32>> = (0..2).map(Mutex::new).collect();
+        let g0 = shards[0].lock();
+        let g1 = shards[1].lock();
+        drop(g1);
+        drop(g0);
     }
 }

@@ -1,0 +1,128 @@
+//! Runtime lock-order tracker (debug builds only).
+//!
+//! Every [`Mutex`](crate::Mutex)/[`RwLock`](crate::RwLock) belongs to a
+//! *class* — the `#[track_caller]` source location of its construction —
+//! so a sharded `Vec<Mutex<Shard>>` built in one loop is a single class.
+//! Each thread keeps a stack of the classes it currently holds; a global
+//! table records every observed acquisition order between two classes.
+//! Acquiring class B while holding class A when `(B, A)` was observed
+//! earlier (by any thread) is an inversion: two threads interleaving the
+//! two orders can deadlock. The tracker panics immediately — *before*
+//! blocking on the lock — naming both acquisition sites, so the bug
+//! surfaces as a failing test instead of a hung worker.
+//!
+//! Deliberate limits:
+//!
+//! * Same-class pairs are ignored: two shards of one `Vec<Mutex<_>>` are
+//!   one class, and shard-vs-shard ordering (if any code ever did it)
+//!   cannot be distinguished from reacquisition.
+//! * `try_lock` records the lock as held (later blocking acquisitions
+//!   must still see it) but neither checks nor records order: a
+//!   non-blocking attempt cannot deadlock on acquire, and try-lock is the
+//!   sanctioned way to break an ordering cycle.
+//!
+//! Set `QR2_LOCK_TRACKER=0` (or `off`/`false`) to disable at runtime.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// A lock class: the source location where the lock was created.
+pub(crate) type ClassId = &'static Location<'static>;
+
+type Site = &'static Location<'static>;
+
+/// Observed orders: `(first, then)` → the acquisition sites that
+/// established the order (where `first` was acquired, where `then` was
+/// acquired while `first` was held).
+type Edges = HashMap<(ClassId, ClassId), (Site, Site)>;
+
+fn order_table() -> &'static StdMutex<Edges> {
+    static ORDER: OnceLock<StdMutex<Edges>> = OnceLock::new();
+    ORDER.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("QR2_LOCK_TRACKER").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+thread_local! {
+    /// Classes this thread currently holds, with the site each was
+    /// acquired at.
+    static HELD: RefCell<Vec<(ClassId, Site)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A held-lock record; popping happens on drop. Stored inside the guard
+/// wrappers so its lifetime exactly matches the guard's.
+pub(crate) struct Held {
+    class: ClassId,
+}
+
+impl Drop for Held {
+    fn drop(&mut self) {
+        // try_with / try_borrow_mut: drops can run during TLS teardown or
+        // unwinding; losing one pop there is better than aborting.
+        let _ = HELD.try_with(|h| {
+            if let Ok(mut held) = h.try_borrow_mut() {
+                if let Some(i) = held.iter().rposition(|&(c, _)| c == self.class) {
+                    held.remove(i);
+                }
+            }
+        });
+    }
+}
+
+/// Record a blocking acquisition of `class` at `site`: check every held
+/// class for an inversion against the global order table, record the new
+/// orders, and push the class onto the held stack. Panics on inversion
+/// before the caller blocks on the lock.
+pub(crate) fn acquire(class: ClassId, site: Site) -> Option<Held> {
+    if !enabled() {
+        return None;
+    }
+    let inversion = HELD.with(|h| {
+        let held = h.borrow();
+        let mut table = order_table().lock().unwrap_or_else(|e| e.into_inner());
+        for &(hclass, hsite) in held.iter() {
+            if hclass == class {
+                continue;
+            }
+            if let Some(&(first_site, then_site)) = table.get(&(class, hclass)) {
+                return Some(format!(
+                    "lock-order inversion: acquiring the lock created at {class} \
+                     (acquired here: {site}) while holding the lock created at {hclass} \
+                     (acquired at {hsite}), but the opposite order was observed earlier: \
+                     {class} acquired at {first_site}, then {hclass} acquired at {then_site} \
+                     while it was held. Two threads interleaving these orders deadlock. \
+                     Set QR2_LOCK_TRACKER=0 to disable this check."
+                ));
+            }
+            table.entry((hclass, class)).or_insert((hsite, site));
+        }
+        None
+    });
+    if let Some(msg) = inversion {
+        panic!("{msg}");
+    }
+    HELD.with(|h| h.borrow_mut().push((class, site)));
+    Some(Held { class })
+}
+
+/// Record a successful *non-blocking* acquisition: the lock is marked
+/// held (so later blocking acquisitions order against it) but no order is
+/// checked or recorded — `try_lock` cannot block, so it cannot deadlock
+/// on acquire, and it is the sanctioned escape from an ordering cycle.
+pub(crate) fn note_acquired(class: ClassId, site: Site) -> Option<Held> {
+    if !enabled() {
+        return None;
+    }
+    HELD.with(|h| h.borrow_mut().push((class, site)));
+    Some(Held { class })
+}
