@@ -41,6 +41,15 @@ fn main() {
         println!("{}", qr2_bench::perf_smoke_table(&report).render());
         let path = qr2_bench::write_perf_smoke_report(&report);
         println!("wrote {}", path.display());
+        // Scheduler contention pass: cross-session coalescing must make
+        // the scheduled stack strictly cheaper than traffic shaping
+        // alone, and deficit round-robin must keep equal-demand
+        // sessions' completion times bounded. CI guards inequalities
+        // only (paid counts depend on thread interleavings).
+        let report = qr2_bench::run_sched_smoke();
+        println!("{}", qr2_bench::sched_smoke_table(&report).render());
+        let path = qr2_bench::write_sched_smoke_report(&report);
+        println!("wrote {}", path.display());
         return;
     }
 

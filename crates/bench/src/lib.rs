@@ -15,6 +15,7 @@ pub mod cache_smoke;
 pub mod experiments;
 pub mod perf_smoke;
 pub mod report;
+pub mod sched_smoke;
 pub mod smoke;
 pub mod workloads;
 
@@ -28,4 +29,8 @@ pub use perf_smoke::{
     PerfSmokeReport,
 };
 pub use report::{write_csv, Table};
+pub use sched_smoke::{
+    run_sched_smoke, sched_smoke_json, sched_smoke_table, write_sched_smoke_report,
+    SchedClassRecord, SchedSmokeReport,
+};
 pub use smoke::{run_smoke, smoke_json, smoke_table, write_smoke_report, SmokeRecord};

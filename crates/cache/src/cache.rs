@@ -362,6 +362,24 @@ impl AnswerCache {
         key: &[u8],
         fetch: impl FnOnce() -> (TopKResponse, bool),
     ) -> (TopKResponse, SearchOutcome) {
+        self.get_or_fetch_observed(key, || {
+            let (answer, authoritative) = fetch();
+            (answer, SearchOutcome::MISS, authoritative)
+        })
+    }
+
+    /// [`get_or_fetch_checked`](AnswerCache::get_or_fetch_checked) for
+    /// fetchers that report their *own* [`SearchOutcome`] — e.g. a
+    /// scheduler below the cache whose frontier coalescing answered the
+    /// fetch from another session's covering probe for free. On a miss the
+    /// single-flight leader returns the fetcher's outcome instead of
+    /// assuming a paid [`SearchOutcome::MISS`], so cost accounting above
+    /// the cache stays truthful; waiters still report a coalesced hit.
+    pub fn get_or_fetch_observed(
+        &self,
+        key: &[u8],
+        fetch: impl FnOnce() -> (TopKResponse, SearchOutcome, bool),
+    ) -> (TopKResponse, SearchOutcome) {
         // qr2-allow: panic-path shard_of masks with shard_mask, always in range
         let shard = &self.shards[self.shard_of(key)];
         loop {
@@ -410,7 +428,7 @@ impl AnswerCache {
         shard: &Mutex<Shard>,
         key: &[u8],
         flight: Arc<Flight>,
-        fetch: impl FnOnce() -> (TopKResponse, bool),
+        fetch: impl FnOnce() -> (TopKResponse, SearchOutcome, bool),
     ) -> (TopKResponse, SearchOutcome) {
         let epoch_at_start = self.epoch();
         let mut guard = FlightGuard {
@@ -419,7 +437,7 @@ impl AnswerCache {
             flight: &flight,
             disarmed: false,
         };
-        let (answer, authoritative) = fetch();
+        let (answer, fetch_outcome, authoritative) = fetch();
         guard.disarmed = true;
         drop(guard);
 
@@ -466,7 +484,7 @@ impl AnswerCache {
                 }
             }
         }
-        (answer, SearchOutcome::MISS)
+        (answer, fetch_outcome)
     }
 }
 

@@ -63,9 +63,18 @@ impl TopKInterface for CachedInterface {
         let key = cache_key(self.inner.schema(), q);
         // Degraded answers (a remote gateway mapping an outage to an
         // empty page) are served but never admitted — an outage must not
-        // be remembered as the permanent answer.
+        // be remembered as the permanent answer. The fetch reports its own
+        // outcome: when the inner interface is a scheduler whose frontier
+        // coalescing served the fetch for free, the miss is *not* charged
+        // as a paid query upstream.
         self.cache
-            .get_or_fetch_checked(&key, || self.inner.search_authoritative(q))
+            .get_or_fetch_observed(&key, || self.inner.search_observed_authoritative(q))
+    }
+
+    fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
+        // Cache hits are authoritative by construction: degraded answers
+        // are never admitted.
+        (self.search_observed(q).0, true)
     }
 }
 

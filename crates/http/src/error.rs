@@ -86,6 +86,7 @@ impl ApiError {
             Status::MethodNotAllowed => "method_not_allowed",
             Status::UnsupportedMediaType => "unsupported_media_type",
             Status::InternalError => "internal",
+            Status::ServiceUnavailable => "service_unavailable",
             _ => "error",
         }
     }

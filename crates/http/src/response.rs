@@ -27,6 +27,8 @@ pub enum Status {
     UnsupportedMediaType,
     /// 500
     InternalError,
+    /// 503 (QR2 uses it for throttled web-database sources)
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -42,6 +44,7 @@ impl Status {
             Status::MethodNotAllowed => 405,
             Status::UnsupportedMediaType => 415,
             Status::InternalError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -56,6 +59,7 @@ impl Status {
             Status::MethodNotAllowed => "Method Not Allowed",
             Status::UnsupportedMediaType => "Unsupported Media Type",
             Status::InternalError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 }
@@ -357,6 +361,7 @@ mod tests {
         assert_eq!(Status::MethodNotAllowed.code(), 405);
         assert_eq!(Status::UnsupportedMediaType.code(), 415);
         assert_eq!(Status::InternalError.code(), 500);
+        assert_eq!(Status::ServiceUnavailable.code(), 503);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Exact answer derivation for frontier coalescing.
+//!
+//! When a pending probe's query *covers* a waiter's query
+//! ([`SearchQuery::covers`]), one paid probe can answer both — but only if
+//! the waiter's page can be derived **exactly**, byte-identical to what
+//! the web database itself would have returned. The rules:
+//!
+//! * If the executed query equals the waiter's query, the page *is* the
+//!   answer.
+//! * Otherwise the derivation is exact only when the covering page is
+//!   **complete** (no overflow): then it holds *every* match of the
+//!   covering region in system-rank order, so filtering it by the
+//!   waiter's predicates yields every match of the waiter's region, still
+//!   in rank order, and necessarily within the page limit `k`.
+//! * A covering page that overflowed proves nothing about the waiter's
+//!   region — tuples matching the waiter may hide below the covering
+//!   page's cut-off — so derivation is refused and the waiter must pay
+//!   for its own probe. Correctness is never traded for savings.
+
+use qr2_webdb::{SearchQuery, TopKResponse, Tuple};
+
+/// Derive the exact answer to `q` from the completed response `resp` of
+/// the executed covering query `executed`, or `None` when the derivation
+/// would not be exact. `executed` must cover `q` (the scheduler only calls
+/// this for probes admitted by [`SearchQuery::covers`]).
+pub fn derive_answer(
+    q: &SearchQuery,
+    executed: &SearchQuery,
+    resp: &TopKResponse,
+) -> Option<TopKResponse> {
+    if executed == q {
+        return Some(resp.clone());
+    }
+    if !resp.is_complete() {
+        return None;
+    }
+    // Complete cover: resp holds every match of the covering region, in
+    // system-rank order. The waiter's matches are the subsequence that
+    // satisfies its predicates; there are at most |resp| ≤ k of them, so
+    // the derived page never overflows.
+    let tuples: Vec<Tuple> = resp
+        .tuples
+        .iter()
+        .filter(|t| q.matches_with(|attr| t.value(attr)))
+        .cloned()
+        .collect();
+    Some(TopKResponse::new(tuples, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr2_webdb::{AttrId, RangePred, TupleId, Value};
+
+    fn tuple(id: u32, x: f64) -> Tuple {
+        Tuple::new(TupleId(id), vec![Value::Num(x)])
+    }
+
+    #[test]
+    fn identical_query_reuses_the_page_even_on_overflow() {
+        let x = AttrId(0);
+        let q = SearchQuery::all().and_range(x, RangePred::closed(0.0, 10.0));
+        let resp = TopKResponse::new(vec![tuple(1, 9.0), tuple(2, 8.0)], true);
+        let derived = derive_answer(&q, &q, &resp).expect("identical");
+        assert_eq!(derived, resp);
+    }
+
+    #[test]
+    fn complete_cover_filters_in_rank_order() {
+        let x = AttrId(0);
+        let wide = SearchQuery::all().and_range(x, RangePred::closed(0.0, 100.0));
+        let narrow = SearchQuery::all().and_range(x, RangePred::closed(20.0, 60.0));
+        let resp = TopKResponse::new(
+            vec![
+                tuple(1, 90.0),
+                tuple(2, 50.0),
+                tuple(3, 30.0),
+                tuple(4, 5.0),
+            ],
+            false,
+        );
+        let derived = derive_answer(&narrow, &wide, &resp).expect("complete cover");
+        let ids: Vec<u32> = derived.tuples.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![2, 3], "filtered, rank order preserved");
+        assert!(derived.is_complete());
+    }
+
+    #[test]
+    fn overflowing_cover_refuses_derivation() {
+        let x = AttrId(0);
+        let wide = SearchQuery::all().and_range(x, RangePred::closed(0.0, 100.0));
+        let narrow = SearchQuery::all().and_range(x, RangePred::closed(0.0, 10.0));
+        let resp = TopKResponse::new(vec![tuple(1, 90.0), tuple(2, 80.0)], true);
+        assert_eq!(
+            derive_answer(&narrow, &wide, &resp),
+            None,
+            "matches of the narrow region may hide below the cut-off"
+        );
+    }
+
+    #[test]
+    fn empty_complete_cover_derives_empty() {
+        let x = AttrId(0);
+        let wide = SearchQuery::all().and_range(x, RangePred::closed(0.0, 100.0));
+        let narrow = SearchQuery::all().and_range(x, RangePred::closed(1.0, 2.0));
+        let resp = TopKResponse::empty();
+        let derived = derive_answer(&narrow, &wide, &resp).expect("complete");
+        assert!(derived.is_underflow());
+    }
+}

@@ -1,0 +1,40 @@
+//! # qr2-sched — the per-source query scheduler
+//!
+//! QR2 pays for every web-database probe, and real sources meter that
+//! traffic (rate limits, concurrency caps — see
+//! [`qr2_webdb::SourcePolicy`]). This crate sits between the shared answer
+//! cache and the traffic-shaped interface and decides **which** pending
+//! probe to spend the next admitted token on, and **how many** probes need
+//! to be paid for at all:
+//!
+//! * **Admission queue with deficit-weighted fair share** — each source
+//!   has one [`SourceScheduler`]; pending probes queue per session, and a
+//!   deficit-round-robin scan guarantees no session starves behind a hot
+//!   competitor ([`SchedConfig::quantum`]).
+//! * **Priority classes** — [`QueryClass::Interactive`] probes (a user
+//!   waiting on a page) strictly precede [`QueryClass::Background`]
+//!   (crawls, prefetch).
+//! * **Token-bucket pacing** — the scheduler only ever calls the shaped
+//!   interface's *fallible* search, so a simulated 429 never reaches the
+//!   engines: the probe is requeued and retried when the bucket refills.
+//! * **Frontier coalescing** — when one session's pending probe *covers*
+//!   another's ([`qr2_webdb::SearchQuery::covers`]), one covering query is
+//!   issued and the answer is fanned out to every waiter, each waiter's
+//!   page derived exactly from the covering page
+//!   ([`coalesce::derive_answer`]). This extends `qr2-cache`'s identical-
+//!   key single-flight to *overlapping* query frontiers.
+//!
+//! The scheduler has no threads of its own: every blocked submitter
+//! cooperatively dispatches whatever probe the fair-share scan picks next,
+//! so liveness never depends on a background worker.
+//!
+//! Sessions identify themselves with an ambient [`context::SessionCtx`]
+//! (thread-local), installed by the service around each engine step; work
+//! submitted without a context shares one anonymous best-effort session.
+
+pub mod coalesce;
+pub mod context;
+mod sched;
+
+pub use context::{QueryClass, SessionCtx};
+pub use sched::{ClassSnapshot, SchedConfig, SchedSnapshot, ScheduledInterface, SourceScheduler};

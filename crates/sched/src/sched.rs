@@ -1,0 +1,945 @@
+//! The per-source scheduler: fair-share admission queues, cooperative
+//! dispatch against the traffic policy, and frontier coalescing.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use qr2_webdb::{
+    QueryLedger, Schema, SearchOutcome, SearchQuery, Throttled, TopKInterface, TopKResponse,
+    TrafficShapedInterface,
+};
+
+use crate::coalesce::derive_answer;
+use crate::context::{self, QueryClass, SessionCtx};
+
+/// Tuning knobs of a [`SourceScheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Longest estimated backlog wait a *new session* may be admitted
+    /// into; beyond it [`SourceScheduler::admit`] returns the simulated
+    /// 429 for the service to surface as `503 + Retry-After`.
+    pub max_admission_wait: Duration,
+    /// Deficit-round-robin quantum: probes a session may dispatch per
+    /// fair-share visit before yielding to the next session.
+    pub quantum: u32,
+    /// Hard ceiling on concurrently in-flight probes (further bounded by
+    /// the source policy's own concurrency cap).
+    pub max_inflight: usize,
+    /// Queue-delay samples retained per class for the p50/p99 stats.
+    pub delay_samples: usize,
+    /// Idle back-off for a waiter when there is nothing to dispatch.
+    pub poll_interval: Duration,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            max_admission_wait: Duration::from_secs(30),
+            quantum: 1,
+            max_inflight: 64,
+            delay_samples: 512,
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Lifecycle of one pending probe.
+enum ProbeState {
+    /// Waiting in a session queue for a fair-share pick.
+    Queued,
+    /// Being executed against the shaped interface by some submitter.
+    InFlight,
+    /// Completed; waiters derive their answers from the page.
+    Done {
+        resp: TopKResponse,
+        authoritative: bool,
+    },
+    /// Withdrawn (session cancelled, or absorbed into a widened covering
+    /// probe); waiters must retry.
+    Abandoned,
+}
+
+/// One pending web-DB probe plus its rendezvous point. Multiple submitters
+/// whose queries are covered by `query` wait on the same probe.
+struct Probe {
+    /// Session that created the probe (fair-share accounting).
+    owner: u64,
+    class: QueryClass,
+    enqueued: Instant,
+    /// The query to execute. May be *widened* (replaced by a covering
+    /// superset) while still queued — never once in flight.
+    query: Mutex<SearchQuery>,
+    /// `std` mutex: paired with the condvar below.
+    state: StdMutex<ProbeState>,
+    cv: Condvar,
+}
+
+impl Probe {
+    fn new(query: SearchQuery, owner: u64, class: QueryClass) -> Probe {
+        Probe {
+            owner,
+            class,
+            enqueued: Instant::now(),
+            query: Mutex::new(query),
+            state: StdMutex::new(ProbeState::Queued),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ProbeState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn set_state(&self, next: ProbeState) {
+        *self.lock_state() = next;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-session FIFO of queued probes plus its deficit counter.
+#[derive(Default)]
+struct SessionQueue {
+    deficit: u32,
+    probes: VecDeque<Arc<Probe>>,
+}
+
+/// One priority class's sessions: a round-robin ring of session keys over
+/// their queues.
+#[derive(Default)]
+struct Lane {
+    ring: VecDeque<u64>,
+    sessions: HashMap<u64, SessionQueue>,
+}
+
+impl Lane {
+    fn queued(&self) -> usize {
+        self.sessions.values().map(|s| s.probes.len()).sum()
+    }
+
+    /// Append `probe` to its session queue, registering the session in the
+    /// ring when it was idle. `front` puts the probe (and its session) at
+    /// the head — used when requeueing a throttled pick.
+    fn push(&mut self, probe: Arc<Probe>, front: bool) {
+        let key = probe.owner;
+        let sq = self.sessions.entry(key).or_default();
+        if sq.probes.is_empty() && !self.ring.contains(&key) {
+            if front {
+                self.ring.push_front(key);
+            } else {
+                self.ring.push_back(key);
+            }
+        }
+        if front {
+            sq.probes.push_front(probe);
+        } else {
+            sq.probes.push_back(probe);
+        }
+    }
+
+    /// Remove a specific queued probe (cancellation, absorption).
+    fn remove(&mut self, probe: &Arc<Probe>) -> bool {
+        let Some(sq) = self.sessions.get_mut(&probe.owner) else {
+            return false;
+        };
+        let Some(pos) = sq.probes.iter().position(|p| Arc::ptr_eq(p, probe)) else {
+            return false;
+        };
+        sq.probes.remove(pos);
+        true
+    }
+
+    /// Deficit-round-robin pick: visit sessions in ring order, topping the
+    /// visited session's deficit up by `quantum`, and serve the head probe
+    /// of the first session whose deficit affords it.
+    fn pick(&mut self, quantum: u32) -> Option<Arc<Probe>> {
+        let visits = self.ring.len();
+        for _ in 0..visits {
+            let Some(key) = self.ring.pop_front() else {
+                break;
+            };
+            let Some(sq) = self.sessions.get_mut(&key) else {
+                continue;
+            };
+            if sq.probes.is_empty() {
+                self.sessions.remove(&key);
+                continue;
+            }
+            if sq.deficit < 1 {
+                sq.deficit += quantum.max(1);
+            }
+            if sq.deficit >= 1 {
+                sq.deficit -= 1;
+                let probe = sq.probes.pop_front();
+                if sq.probes.is_empty() {
+                    self.sessions.remove(&key);
+                } else if sq.deficit >= 1 {
+                    // Quantum not used up: keep serving this session.
+                    self.ring.push_front(key);
+                } else {
+                    self.ring.push_back(key);
+                }
+                if probe.is_some() {
+                    return probe;
+                }
+            } else {
+                self.ring.push_back(key);
+            }
+        }
+        None
+    }
+}
+
+/// Queues + in-flight set, under one lock.
+#[derive(Default)]
+struct SchedState {
+    interactive: Lane,
+    background: Lane,
+    inflight: Vec<Arc<Probe>>,
+}
+
+impl SchedState {
+    fn lane_mut(&mut self, class: QueryClass) -> &mut Lane {
+        match class {
+            QueryClass::Interactive => &mut self.interactive,
+            QueryClass::Background => &mut self.background,
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.interactive.queued() + self.background.queued()
+    }
+}
+
+/// Bounded reservoir of recent queue delays (milliseconds) for one class.
+#[derive(Default)]
+struct DelayRing {
+    samples: VecDeque<f64>,
+}
+
+impl DelayRing {
+    fn record(&mut self, delay: Duration, cap: usize) {
+        if self.samples.len() >= cap.max(1) {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(delay.as_secs_f64() * 1e3);
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted.get(idx).copied().unwrap_or(0.0)
+    }
+}
+
+/// Scheduler state of one priority class, as reported by
+/// [`SourceScheduler::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSnapshot {
+    /// The class.
+    pub class: QueryClass,
+    /// Probes currently queued in this class.
+    pub queued: usize,
+    /// Probes dispatched (paid) for this class so far.
+    pub dispatched: u64,
+    /// Median queue delay of recent dispatches, milliseconds.
+    pub delay_p50_ms: f64,
+    /// 99th-percentile queue delay of recent dispatches, milliseconds.
+    pub delay_p99_ms: f64,
+}
+
+/// A point-in-time view of a [`SourceScheduler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedSnapshot {
+    /// Probes waiting in the admission queues.
+    pub queued: usize,
+    /// Probes currently executing against the source.
+    pub inflight: usize,
+    /// Paid probes dispatched so far (all classes).
+    pub dispatched: u64,
+    /// Waiters served from another session's covering probe without
+    /// paying — the cross-frontier extension of single-flight.
+    pub coalesced_frontier_hits: u64,
+    /// Times a dispatch attempt hit the source's rate limit and backed
+    /// off (simulated 429s absorbed by pacing).
+    pub throttle_waits: u64,
+    /// Sessions refused at admission because the backlog exceeded
+    /// [`SchedConfig::max_admission_wait`].
+    pub rejected: u64,
+    /// Per-class queue state and delay percentiles
+    /// (interactive first, then background).
+    pub classes: Vec<ClassSnapshot>,
+}
+
+enum Plan {
+    /// Wait on an existing covering probe. `widened` marks that *this*
+    /// submitter widened the probe's query to its own — making it the
+    /// payer of record when the widened query is what executes.
+    Attach { probe: Arc<Probe>, widened: bool },
+    /// Wait on (and help dispatch) a freshly enqueued probe of our own.
+    Own(Arc<Probe>),
+}
+
+enum Driven {
+    Done(TopKResponse, bool),
+    Abandoned,
+    Cancelled,
+}
+
+enum Dispatch {
+    Did,
+    Throttled(Duration),
+    Idle,
+}
+
+/// Outcome of a waiter served by frontier coalescing: free, like the
+/// cache's single-flight coalescing.
+const COALESCED: SearchOutcome = SearchOutcome {
+    cache_hit: false,
+    coalesced: true,
+};
+
+/// The scheduler of one source.
+///
+/// All probe traffic for the source goes through [`submit`]
+/// (via [`ScheduledInterface`]); the scheduler paces it against the
+/// source's [`qr2_webdb::SourcePolicy`] using only the shaped interface's
+/// *fallible* search, so every simulated 429 is absorbed by requeue-and-
+/// retry instead of surfacing to the engines.
+///
+/// [`submit`]: SourceScheduler::submit
+pub struct SourceScheduler {
+    shaped: Arc<TrafficShapedInterface>,
+    cfg: SchedConfig,
+    state: Mutex<SchedState>,
+    interactive_delays: Mutex<DelayRing>,
+    background_delays: Mutex<DelayRing>,
+    dispatched_interactive: AtomicU64,
+    dispatched_background: AtomicU64,
+    frontier_hits: AtomicU64,
+    throttle_waits: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl SourceScheduler {
+    /// A scheduler over `shaped` with the given config.
+    pub fn new(shaped: Arc<TrafficShapedInterface>, cfg: SchedConfig) -> SourceScheduler {
+        SourceScheduler {
+            shaped,
+            cfg,
+            state: Mutex::new(SchedState::default()),
+            interactive_delays: Mutex::new(DelayRing::default()),
+            background_delays: Mutex::new(DelayRing::default()),
+            dispatched_interactive: AtomicU64::new(0),
+            dispatched_background: AtomicU64::new(0),
+            frontier_hits: AtomicU64::new(0),
+            throttle_waits: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The traffic-shaped interface this scheduler paces against.
+    pub fn shaped(&self) -> &Arc<TrafficShapedInterface> {
+        &self.shaped
+    }
+
+    /// Estimated wall-clock wait a new probe would face behind the
+    /// current backlog, per the source's rate limit.
+    pub fn admission_wait(&self) -> Duration {
+        let backlog = {
+            let st = self.state.lock();
+            st.queued() + st.inflight.len()
+        };
+        self.shaped.estimated_wait(backlog + 1)
+    }
+
+    /// Admission control for *new sessions*: `Err` (the simulated 429,
+    /// for the service to render as `503 + Retry-After`) when the source
+    /// is so saturated that a new session's first probe would wait longer
+    /// than [`SchedConfig::max_admission_wait`]. Existing sessions are
+    /// never refused — their probes just queue.
+    pub fn admit(&self) -> Result<(), Throttled> {
+        let wait = self.admission_wait();
+        if wait > self.cfg.max_admission_wait {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Throttled { retry_after: wait });
+        }
+        Ok(())
+    }
+
+    /// Abandon every queued probe owned by session `key` (the
+    /// `DELETE /v1/queries/:id` drain): cancelled sessions must not spend
+    /// paid probes. Waiters coalesced onto an abandoned probe retry and
+    /// re-enqueue their own. In-flight probes are left to finish — their
+    /// query cost is already committed.
+    pub fn cancel_session(&self, key: u64) {
+        let removed = {
+            let mut st = self.state.lock();
+            let mut removed = Vec::new();
+            for class in [QueryClass::Interactive, QueryClass::Background] {
+                let lane = st.lane_mut(class);
+                if let Some(sq) = lane.sessions.remove(&key) {
+                    removed.extend(sq.probes);
+                }
+                lane.ring.retain(|k| *k != key);
+            }
+            removed
+        };
+        for probe in removed {
+            probe.set_state(ProbeState::Abandoned);
+        }
+    }
+
+    /// Point-in-time scheduler state.
+    pub fn stats(&self) -> SchedSnapshot {
+        let (queued_i, queued_b, inflight) = {
+            let st = self.state.lock();
+            (
+                st.interactive.queued(),
+                st.background.queued(),
+                st.inflight.len(),
+            )
+        };
+        let (i50, i99) = {
+            let ring = self.interactive_delays.lock();
+            (ring.percentile(0.5), ring.percentile(0.99))
+        };
+        let (b50, b99) = {
+            let ring = self.background_delays.lock();
+            (ring.percentile(0.5), ring.percentile(0.99))
+        };
+        let di = self.dispatched_interactive.load(Ordering::Relaxed);
+        let db = self.dispatched_background.load(Ordering::Relaxed);
+        SchedSnapshot {
+            queued: queued_i + queued_b,
+            inflight,
+            dispatched: di + db,
+            coalesced_frontier_hits: self.frontier_hits.load(Ordering::Relaxed),
+            throttle_waits: self.throttle_waits.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            classes: vec![
+                ClassSnapshot {
+                    class: QueryClass::Interactive,
+                    queued: queued_i,
+                    dispatched: di,
+                    delay_p50_ms: i50,
+                    delay_p99_ms: i99,
+                },
+                ClassSnapshot {
+                    class: QueryClass::Background,
+                    queued: queued_b,
+                    dispatched: db,
+                    delay_p50_ms: b50,
+                    delay_p99_ms: b99,
+                },
+            ],
+        }
+    }
+
+    /// Submit one probe on behalf of the ambient session
+    /// ([`context::current`]) and block until it is answered. Returns the
+    /// response, the cost outcome (`MISS` when this submitter paid,
+    /// coalesced when served from a covering probe), and the
+    /// authoritative flag.
+    ///
+    /// A cancelled session gets the empty non-authoritative response — the
+    /// same degraded-answer convention a remote gateway uses for an
+    /// outage — with a free outcome, since no query was spent on it.
+    pub fn submit(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome, bool) {
+        let ctx = context::current();
+        if ctx.is_cancelled() {
+            return (TopKResponse::empty(), COALESCED, false);
+        }
+        let mut allow_attach = true;
+        loop {
+            match self.plan(q, &ctx, allow_attach) {
+                Plan::Attach { probe, widened } => match self.drive(&probe, &ctx, false) {
+                    Driven::Done(resp, authoritative) => {
+                        let executed = probe.query.lock().clone();
+                        if widened && executed == *q {
+                            // We widened the probe to our own query and it
+                            // executed as such: we are the payer of record.
+                            return (resp, SearchOutcome::MISS, authoritative);
+                        }
+                        match derive_answer(q, &executed, &resp) {
+                            Some(derived) => {
+                                self.frontier_hits.fetch_add(1, Ordering::Relaxed);
+                                return (derived, COALESCED, authoritative);
+                            }
+                            // The covering page overflowed: nothing exact
+                            // can be said about our region. Pay for our
+                            // own probe instead of guessing.
+                            None => {
+                                allow_attach = false;
+                                continue;
+                            }
+                        }
+                    }
+                    Driven::Abandoned => continue,
+                    Driven::Cancelled => return (TopKResponse::empty(), COALESCED, false),
+                },
+                Plan::Own(probe) => match self.drive(&probe, &ctx, true) {
+                    Driven::Done(resp, authoritative) => {
+                        let executed = probe.query.lock().clone();
+                        if executed == *q {
+                            return (resp, SearchOutcome::MISS, authoritative);
+                        }
+                        // Our probe was widened by another session, which
+                        // became the payer of record; derive our page from
+                        // the wider one.
+                        match derive_answer(q, &executed, &resp) {
+                            Some(derived) => {
+                                self.frontier_hits.fetch_add(1, Ordering::Relaxed);
+                                return (derived, COALESCED, authoritative);
+                            }
+                            None => {
+                                allow_attach = false;
+                                continue;
+                            }
+                        }
+                    }
+                    Driven::Abandoned => continue,
+                    Driven::Cancelled => return (TopKResponse::empty(), COALESCED, false),
+                },
+            }
+        }
+    }
+
+    /// Decide how to serve `q`: wait on a covering pending probe (possibly
+    /// widening a queued one to cover us), or enqueue our own.
+    fn plan(&self, q: &SearchQuery, ctx: &SessionCtx, allow_attach: bool) -> Plan {
+        let mut st = self.state.lock();
+        if allow_attach {
+            // A pending probe (queued or in flight) that covers us?
+            for probe in st.inflight.iter() {
+                if probe.query.lock().covers(q) {
+                    return Plan::Attach {
+                        probe: Arc::clone(probe),
+                        widened: false,
+                    };
+                }
+            }
+            for class in [QueryClass::Interactive, QueryClass::Background] {
+                let lane = st.lane_mut(class);
+                for sq in lane.sessions.values() {
+                    for probe in sq.probes.iter() {
+                        if probe.query.lock().covers(q) {
+                            return Plan::Attach {
+                                probe: Arc::clone(probe),
+                                widened: false,
+                            };
+                        }
+                    }
+                }
+            }
+            // Do *we* cover a queued probe? Widen it to our query (still
+            // covers its existing waiters) and absorb any other queued
+            // probes we cover — their waiters retry and attach to the
+            // widened probe, so the whole overlapping cluster costs one
+            // paid query.
+            if let Some(target) = Self::find_covered(&mut st, q) {
+                *target.query.lock() = q.clone();
+                let absorbed = Self::absorb_covered(&mut st, q, &target);
+                drop(st);
+                for probe in absorbed {
+                    probe.set_state(ProbeState::Abandoned);
+                }
+                return Plan::Attach {
+                    probe: target,
+                    widened: true,
+                };
+            }
+        }
+        let probe = Arc::new(Probe::new(q.clone(), ctx.key, ctx.class));
+        st.lane_mut(ctx.class).push(Arc::clone(&probe), false);
+        Plan::Own(probe)
+    }
+
+    /// First *queued* probe whose query `q` covers (never in-flight ones —
+    /// their query is already executing and cannot be widened).
+    fn find_covered(st: &mut SchedState, q: &SearchQuery) -> Option<Arc<Probe>> {
+        for class in [QueryClass::Interactive, QueryClass::Background] {
+            let lane = st.lane_mut(class);
+            for sq in lane.sessions.values() {
+                for probe in sq.probes.iter() {
+                    if q.covers(&probe.query.lock()) {
+                        return Some(Arc::clone(probe));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Remove every queued probe covered by `q` other than `keep` from the
+    /// lanes, returning them for abandonment (outside the state lock).
+    fn absorb_covered(st: &mut SchedState, q: &SearchQuery, keep: &Arc<Probe>) -> Vec<Arc<Probe>> {
+        let mut absorbed = Vec::new();
+        for class in [QueryClass::Interactive, QueryClass::Background] {
+            let lane = st.lane_mut(class);
+            let mut victims = Vec::new();
+            for sq in lane.sessions.values() {
+                for probe in sq.probes.iter() {
+                    if !Arc::ptr_eq(probe, keep) && q.covers(&probe.query.lock()) {
+                        victims.push(Arc::clone(probe));
+                    }
+                }
+            }
+            for victim in victims {
+                if lane.remove(&victim) {
+                    absorbed.push(victim);
+                }
+            }
+        }
+        absorbed
+    }
+
+    /// Wait for `probe` to resolve, cooperatively dispatching queued
+    /// probes (any session's) whenever the source has capacity. `owned`
+    /// marks the probe as ours to withdraw on cancellation.
+    fn drive(&self, probe: &Arc<Probe>, ctx: &SessionCtx, owned: bool) -> Driven {
+        loop {
+            {
+                let state = probe.lock_state();
+                match &*state {
+                    ProbeState::Done {
+                        resp,
+                        authoritative,
+                    } => return Driven::Done(resp.clone(), *authoritative),
+                    ProbeState::Abandoned => return Driven::Abandoned,
+                    ProbeState::Queued | ProbeState::InFlight => {}
+                }
+            }
+            if ctx.is_cancelled() {
+                if owned {
+                    self.withdraw(probe);
+                }
+                return Driven::Cancelled;
+            }
+            match self.try_dispatch() {
+                Dispatch::Did => continue,
+                Dispatch::Throttled(retry_after) => {
+                    self.throttle_waits.fetch_add(1, Ordering::Relaxed);
+                    self.wait_brief(probe, retry_after.min(Duration::from_millis(50)));
+                }
+                Dispatch::Idle => self.wait_brief(probe, self.cfg.poll_interval),
+            }
+        }
+    }
+
+    /// Sleep on the probe's condvar until it changes state or `timeout`
+    /// passes (waking early when the probe is already resolved).
+    fn wait_brief(&self, probe: &Probe, timeout: Duration) {
+        let state = probe.lock_state();
+        match &*state {
+            ProbeState::Done { .. } | ProbeState::Abandoned => {}
+            ProbeState::Queued | ProbeState::InFlight => {
+                let _ = probe
+                    .cv
+                    .wait_timeout(state, timeout.max(Duration::from_micros(100)));
+            }
+        }
+    }
+
+    /// Withdraw our still-queued probe on cancellation. An in-flight probe
+    /// is left to finish — its cost is already committed and its waiters
+    /// still want the page.
+    fn withdraw(&self, probe: &Arc<Probe>) {
+        let removed = {
+            let mut st = self.state.lock();
+            st.lane_mut(probe.class).remove(probe)
+        };
+        if removed {
+            probe.set_state(ProbeState::Abandoned);
+        }
+    }
+
+    /// One cooperative dispatch attempt: pick the fair-share-next probe if
+    /// the source has capacity, execute it via the shaped interface's
+    /// fallible search, and either complete it or requeue it on a 429.
+    fn try_dispatch(&self) -> Dispatch {
+        let probe = {
+            let mut st = self.state.lock();
+            let cap = self
+                .cfg
+                .max_inflight
+                .min(self.shaped.policy().max_concurrency.unwrap_or(usize::MAX))
+                .max(1);
+            if st.inflight.len() >= cap {
+                return Dispatch::Idle;
+            }
+            let quantum = self.cfg.quantum;
+            let picked = st
+                .interactive
+                .pick(quantum)
+                .or_else(|| st.background.pick(quantum));
+            let Some(probe) = picked else {
+                return Dispatch::Idle;
+            };
+            st.inflight.push(Arc::clone(&probe));
+            probe
+        };
+        probe.set_state(ProbeState::InFlight);
+        let query = probe.query.lock().clone();
+        let waited = probe.enqueued.elapsed();
+        match self.shaped.try_search_authoritative(&query) {
+            Ok((resp, authoritative)) => {
+                match probe.class {
+                    QueryClass::Interactive => {
+                        self.dispatched_interactive.fetch_add(1, Ordering::Relaxed);
+                        self.interactive_delays
+                            .lock()
+                            .record(waited, self.cfg.delay_samples);
+                    }
+                    QueryClass::Background => {
+                        self.dispatched_background.fetch_add(1, Ordering::Relaxed);
+                        self.background_delays
+                            .lock()
+                            .record(waited, self.cfg.delay_samples);
+                    }
+                }
+                {
+                    let mut st = self.state.lock();
+                    st.inflight.retain(|p| !Arc::ptr_eq(p, &probe));
+                }
+                probe.set_state(ProbeState::Done {
+                    resp,
+                    authoritative,
+                });
+                Dispatch::Did
+            }
+            Err(throttled) => {
+                // Source said 429: put the probe back at the head of its
+                // session's queue and let pacing retry it.
+                probe.set_state(ProbeState::Queued);
+                {
+                    let mut st = self.state.lock();
+                    st.inflight.retain(|p| !Arc::ptr_eq(p, &probe));
+                    st.lane_mut(probe.class).push(Arc::clone(&probe), true);
+                }
+                Dispatch::Throttled(throttled.retry_after)
+            }
+        }
+    }
+}
+
+/// [`TopKInterface`] adapter over a [`SourceScheduler`], so the scheduler
+/// slots into the standard decorator stack:
+/// `cache → scheduler → traffic shaping → raw db`.
+pub struct ScheduledInterface {
+    sched: Arc<SourceScheduler>,
+}
+
+impl ScheduledInterface {
+    /// Wrap `sched`.
+    pub fn new(sched: Arc<SourceScheduler>) -> ScheduledInterface {
+        ScheduledInterface { sched }
+    }
+
+    /// The scheduler behind this interface.
+    pub fn scheduler(&self) -> &Arc<SourceScheduler> {
+        &self.sched
+    }
+}
+
+impl TopKInterface for ScheduledInterface {
+    fn schema(&self) -> &Schema {
+        self.sched.shaped.schema()
+    }
+
+    fn system_k(&self) -> usize {
+        self.sched.shaped.system_k()
+    }
+
+    fn search(&self, q: &SearchQuery) -> TopKResponse {
+        self.sched.submit(q).0
+    }
+
+    fn ledger(&self) -> &QueryLedger {
+        self.sched.shaped.ledger()
+    }
+
+    fn search_observed(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome) {
+        let (resp, outcome, _) = self.sched.submit(q);
+        (resp, outcome)
+    }
+
+    fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
+        let (resp, _, authoritative) = self.sched.submit(q);
+        (resp, authoritative)
+    }
+
+    fn search_observed_authoritative(
+        &self,
+        q: &SearchQuery,
+    ) -> (TopKResponse, SearchOutcome, bool) {
+        self.sched.submit(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{next_session_key, with_session};
+    use qr2_webdb::{RangePred, SimulatedWebDb, SourcePolicy, SystemRanking, TableBuilder};
+
+    fn raw_db(n: usize, k: usize) -> Arc<dyn TopKInterface> {
+        let schema = Schema::builder().numeric("x", 0.0, 1000.0).build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for i in 0..n {
+            tb.push_row(vec![i as f64]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+        Arc::new(SimulatedWebDb::new(tb.build(), ranking, k))
+    }
+
+    fn sched_over(
+        db: Arc<dyn TopKInterface>,
+        policy: SourcePolicy,
+        cfg: SchedConfig,
+    ) -> Arc<SourceScheduler> {
+        let shaped = Arc::new(TrafficShapedInterface::new(db, policy));
+        Arc::new(SourceScheduler::new(shaped, cfg))
+    }
+
+    #[test]
+    fn unlimited_policy_serves_immediately() {
+        let db = raw_db(100, 5);
+        let sched = sched_over(
+            db.clone(),
+            SourcePolicy::unlimited(),
+            SchedConfig::default(),
+        );
+        let q = SearchQuery::all();
+        let (resp, outcome, authoritative) = sched.submit(&q);
+        assert_eq!(resp, db.search(&q));
+        assert_eq!(outcome, SearchOutcome::MISS);
+        assert!(authoritative);
+        let stats = sched.stats();
+        assert_eq!(stats.dispatched, 1);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.inflight, 0);
+    }
+
+    #[test]
+    fn identical_concurrent_probes_coalesce_or_serialize_correctly() {
+        // Not strictly single-flight at the scheduler (the cache above
+        // handles identical keys); but identical queries submitted
+        // concurrently must all return the correct answer.
+        let db = raw_db(200, 5);
+        let sched = sched_over(
+            db.clone(),
+            SourcePolicy::rate_limited(500.0, 1.0),
+            SchedConfig::default(),
+        );
+        let q = SearchQuery::all();
+        let want = db.search(&q);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let sched = Arc::clone(&sched);
+            let q = q.clone();
+            let want = want.clone();
+            handles.push(std::thread::spawn(move || {
+                let ctx = SessionCtx::new(next_session_key(), QueryClass::Interactive);
+                with_session(ctx, || {
+                    let (resp, _, authoritative) = sched.submit(&q);
+                    assert!(authoritative);
+                    assert_eq!(resp, want);
+                })
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cancelled_session_spends_nothing() {
+        let db = raw_db(100, 5);
+        let sched = sched_over(
+            db.clone(),
+            SourcePolicy::unlimited(),
+            SchedConfig::default(),
+        );
+        let token = qr2_core::CancelToken::new();
+        token.cancel();
+        let ctx = SessionCtx::new(next_session_key(), QueryClass::Interactive).with_cancel(token);
+        let before = db.ledger().total();
+        let (resp, outcome, authoritative) =
+            with_session(ctx, || sched.submit(&SearchQuery::all()));
+        assert!(resp.is_underflow());
+        assert!(outcome.is_free());
+        assert!(!authoritative, "cancelled answers are degraded");
+        assert_eq!(db.ledger().total(), before);
+    }
+
+    #[test]
+    fn drained_session_probes_are_abandoned() {
+        // Enqueue probes for a session under a starved rate limit, then
+        // cancel the session: its probes must leave the queues without
+        // ever reaching the ledger.
+        let db = raw_db(100, 5);
+        let sched = sched_over(
+            db.clone(),
+            SourcePolicy::rate_limited(0.5, 1.0),
+            SchedConfig::default(),
+        );
+        // Drain the single burst token.
+        let x = sched.shaped().schema().expect_id("x");
+        let burner = SearchQuery::all().and_range(x, RangePred::closed(990.0, 1000.0));
+        assert!(sched.shaped().try_search(&burner).is_ok());
+        let before = db.ledger().total();
+
+        let key = next_session_key();
+        let token = qr2_core::CancelToken::new();
+        let sched2 = Arc::clone(&sched);
+        let token2 = token.clone();
+        let q = SearchQuery::all().and_range(x, RangePred::closed(0.0, 10.0));
+        let waiter = std::thread::spawn(move || {
+            let ctx = SessionCtx::new(key, QueryClass::Interactive).with_cancel(token2);
+            with_session(ctx, || sched2.submit(&q))
+        });
+        // Give the waiter time to enqueue, then drain the session.
+        while sched.stats().queued == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        token.cancel();
+        sched.cancel_session(key);
+        let (resp, outcome, authoritative) = waiter.join().unwrap();
+        assert!(resp.is_underflow());
+        assert!(outcome.is_free());
+        assert!(!authoritative);
+        assert_eq!(sched.stats().queued, 0, "queue drained");
+        assert_eq!(
+            db.ledger().total(),
+            before,
+            "no paid probe for the cancelled session"
+        );
+    }
+
+    #[test]
+    fn admission_control_rejects_when_saturated() {
+        let db = raw_db(100, 5);
+        let sched = sched_over(
+            db,
+            SourcePolicy::rate_limited(0.01, 1.0),
+            SchedConfig {
+                max_admission_wait: Duration::from_secs(1),
+                ..SchedConfig::default()
+            },
+        );
+        assert!(sched.admit().is_ok(), "token available: admit");
+        // Burn the token; now a new probe waits ~100s > 1s.
+        assert!(sched.shaped().try_search(&SearchQuery::all()).is_ok());
+        let denial = sched.admit().expect_err("saturated");
+        assert!(denial.retry_after > Duration::from_secs(1));
+        assert_eq!(sched.stats().rejected, 1);
+    }
+}

@@ -138,10 +138,13 @@ fn ndjson_stream(
                 (Some(b), None) => Some(b),
                 (None, r) => r,
             };
-            let step = entry.session.advance(Budget {
-                queries: step_cap,
-                tuples: Some(1),
-            });
+            let step =
+                qr2_sched::context::with_session(crate::service::session_ctx(&handle), || {
+                    entry.session.advance(Budget {
+                        queries: step_cap,
+                        tuples: Some(1),
+                    })
+                });
             entry.done = step.is_done();
             let step_queries = step.stats_delta().total_queries();
             stream_queries += step_queries;
@@ -320,6 +323,17 @@ impl ApiState {
             Status::Ok,
             p.require("source")
                 .and_then(|source| self.service.cache_stats(source)),
+        )
+    }
+
+    /// `GET /v1/sources/:source/sched` — the source's scheduler panel
+    /// (queue depth, per-class queue-delay percentiles, coalescing and
+    /// throttling counters, traffic policy).
+    pub fn v1_sched_stats(&self, p: &Params) -> Response {
+        respond(
+            Status::Ok,
+            p.require("source")
+                .and_then(|source| self.service.sched_stats(source)),
         )
     }
 

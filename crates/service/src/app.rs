@@ -85,7 +85,7 @@ impl Qr2App {
     pub fn router(&self) -> Router {
         let st = |_: ()| Arc::clone(&self.state);
         let (s1, s2, s3, s4, s5, s6) = (st(()), st(()), st(()), st(()), st(()), st(()));
-        let (s7, s8, s9, s10) = (st(()), st(()), st(()), st(()));
+        let (s7, s8, s9, s10, s11) = (st(()), st(()), st(()), st(()), st(()));
         let (l1, l2, l3, l4, l5) = (st(()), st(()), st(()), st(()), st(()));
         Router::new()
             .route(Method::Get, "/", |_, _| Response::html(INDEX_HTML))
@@ -126,6 +126,9 @@ impl Qr2App {
             })
             .route(Method::Delete, "/v1/sources/:source/cache", move |_, p| {
                 s10.v1_cache_flush(p)
+            })
+            .route(Method::Get, "/v1/sources/:source/sched", move |_, p| {
+                s11.v1_sched_stats(p)
             })
             // -- Legacy RPC-style shims (deprecated; see docs/API.md).
             .route(Method::Get, "/api/sources", move |_, _| l1.handle_sources())

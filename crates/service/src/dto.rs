@@ -148,6 +148,10 @@ pub struct QueryRequest {
     /// Lifetime cap on web-DB queries this query may spend; once spent,
     /// further paging yields the `budget_exceeded` error (402).
     pub max_queries: Option<usize>,
+    /// Scheduler priority class: `"interactive"` (default) or
+    /// `"background"` (`"crawl"` accepted as an alias). Validated by the
+    /// service against [`qr2_sched::QueryClass`].
+    pub class: Option<String>,
 }
 
 impl FromJson for QueryRequest {
@@ -175,6 +179,10 @@ impl FromJson for QueryRequest {
                 .unwrap_or_else(|| "auto".to_string()),
             page_size: d.opt("page_size").map(|v| v.usize()).transpose()?,
             max_queries: d.opt("max_queries").map(|v| v.usize()).transpose()?,
+            class: d
+                .opt("class")
+                .map(|v| v.str().map(str::to_string))
+                .transpose()?,
         })
     }
 }
@@ -363,6 +371,86 @@ impl IntoJson for CacheStatsResponse {
                     ("external", Json::from(e.external as usize)),
                 ]),
             ),
+        ])
+    }
+}
+
+/// One source's scheduler panel (`GET /v1/sources/:source/sched`):
+/// queue/in-flight depth, fairness and coalescing counters, per-class
+/// queue-delay percentiles, what the traffic shaper saw, and the policy
+/// in force.
+#[derive(Debug, Clone)]
+pub struct SchedStatsResponse {
+    /// The source key.
+    pub source: String,
+    /// Scheduler snapshot (queues, dispatch counters, delay percentiles).
+    pub sched: qr2_sched::SchedSnapshot,
+    /// What the traffic-shaped interface admitted/throttled underneath.
+    pub traffic: qr2_webdb::TrafficStats,
+    /// The source policy in force.
+    pub policy: qr2_webdb::SourcePolicy,
+}
+
+impl IntoJson for SchedStatsResponse {
+    fn to_json(&self) -> Json {
+        let s = &self.sched;
+        let classes = s
+            .classes
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("class", Json::from(c.class.as_str())),
+                    ("queued", Json::from(c.queued)),
+                    ("dispatched", Json::from(c.dispatched as usize)),
+                    ("delay_p50_ms", Json::Num(c.delay_p50_ms)),
+                    ("delay_p99_ms", Json::Num(c.delay_p99_ms)),
+                ])
+            })
+            .collect();
+        let policy = Json::obj([
+            (
+                "rate_per_sec",
+                self.policy
+                    .rate
+                    .map(|r| Json::Num(r.per_sec))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "burst",
+                self.policy
+                    .rate
+                    .map(|r| Json::Num(r.burst))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "max_concurrency",
+                self.policy
+                    .max_concurrency
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            ),
+        ]);
+        Json::obj([
+            ("source", Json::from(self.source.as_str())),
+            ("queued", Json::from(s.queued)),
+            ("inflight", Json::from(s.inflight)),
+            ("dispatched", Json::from(s.dispatched as usize)),
+            (
+                "coalesced_frontier_hits",
+                Json::from(s.coalesced_frontier_hits as usize),
+            ),
+            ("throttle_waits", Json::from(s.throttle_waits as usize)),
+            ("rejected", Json::from(s.rejected as usize)),
+            ("classes", Json::Arr(classes)),
+            (
+                "traffic",
+                Json::obj([
+                    ("admitted", Json::from(self.traffic.admitted as usize)),
+                    ("throttled", Json::from(self.traffic.throttled as usize)),
+                    ("waited", Json::from(self.traffic.waited as usize)),
+                ]),
+            ),
+            ("policy", policy),
         ])
     }
 }

@@ -43,6 +43,10 @@ pub mod codes {
     /// The session's lifetime query budget is spent (402; carries
     /// `Retry-After`).
     pub const BUDGET_EXCEEDED: &str = "budget_exceeded";
+    /// The source's rate limit is saturated: a new query's first probe
+    /// would queue past the scheduler's admission ceiling (503; carries
+    /// `Retry-After`).
+    pub const SOURCE_THROTTLED: &str = "source_throttled";
     /// Declared `Content-Type` is not JSON.
     pub const UNSUPPORTED_MEDIA_TYPE: &str = "unsupported_media_type";
     /// No route for the path.
@@ -79,6 +83,19 @@ pub fn budget_exceeded(id: &str, cap: usize, spent: usize) -> ApiError {
     .with_retry_after(BUDGET_RETRY_AFTER_SECS)
 }
 
+/// `503`-style structured error for a source whose traffic policy is
+/// saturated (the scheduler's admission control refused a new session);
+/// carries a `Retry-After` header derived from the source's own
+/// backlog estimate.
+pub fn source_throttled(source: &str, throttled: &qr2_webdb::Throttled) -> ApiError {
+    ApiError::new(
+        qr2_http::Status::ServiceUnavailable,
+        codes::SOURCE_THROTTLED,
+        format!("source '{source}' is rate-limited; retry after {throttled}"),
+    )
+    .with_retry_after(throttled.retry_after_secs())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +110,21 @@ mod tests {
         let e = unknown_query("s999");
         assert_eq!(e.code, codes::UNKNOWN_QUERY);
         assert!(e.message.contains("s999"));
+    }
+
+    #[test]
+    fn source_throttled_is_503_with_retry_after() {
+        let t = qr2_webdb::Throttled {
+            retry_after: std::time::Duration::from_secs(12),
+        };
+        let e = source_throttled("bluenile", &t);
+        assert_eq!(e.status, Status::ServiceUnavailable);
+        assert_eq!(e.code, codes::SOURCE_THROTTLED);
+        assert!(e.message.contains("bluenile"));
+        assert!(e
+            .headers
+            .iter()
+            .any(|(n, v)| n == "Retry-After" && v == "12"));
     }
 
     #[test]

@@ -11,13 +11,14 @@ use qr2_core::{
     Algorithm, Budget, LinearFunction, OneDimFunction, RankingFunction, RerankRequest, SortDir,
 };
 use qr2_http::ApiError;
+use qr2_sched::{context as sched_context, QueryClass, SessionCtx};
 use qr2_webdb::{AttrKind, CatSet, RangePred, Schema, SearchQuery};
 
 use crate::dto::{
     algorithm_catalog, CacheStatsResponse, FilterDto, PageResponse, QueryRequest, RankingDto,
-    ResultsResponse, SourceDescriptor, StatsResponse, TupleDto,
+    ResultsResponse, SchedStatsResponse, SourceDescriptor, StatsResponse, TupleDto,
 };
-use crate::error::{budget_exceeded, codes, unknown_query, unknown_source};
+use crate::error::{budget_exceeded, codes, source_throttled, unknown_query, unknown_source};
 use crate::session::{SessionEntry, SessionHandle, SessionManager};
 use crate::sources::{Source, SourceRegistry};
 
@@ -73,16 +74,29 @@ impl QueryService {
             }
         }
         let page_size = clamp_page_size(req.page_size.unwrap_or(10));
+        let class = parse_class(req.class.as_deref())?;
+        // Admission control: when the source is so saturated that a new
+        // session's first probe would wait past the scheduler's admission
+        // ceiling, refuse with a structured 503 + Retry-After instead of
+        // letting the request hang in the queue.
+        source
+            .sched
+            .admit()
+            .map_err(|t| source_throttled(source_name, &t))?;
 
         let mut session = source.reranker.query(RerankRequest {
             filter,
             function,
             algorithm,
         });
+        let sched_key = sched_context::next_session_key();
+        let ctx = SessionCtx::new(sched_key, class).with_cancel(session.cancel_token());
         // The first page respects the lifetime budget from query zero.
-        let step = session.advance(Budget {
-            queries: req.max_queries,
-            tuples: Some(page_size),
+        let step = sched_context::with_session(ctx, || {
+            session.advance(Budget {
+                queries: req.max_queries,
+                tuples: Some(page_size),
+            })
         });
         let done = step.is_done();
         let results: Vec<TupleDto> = step
@@ -91,9 +105,14 @@ impl QueryService {
             .map(|t| TupleDto::new(&schema, t))
             .collect();
         let stats = StatsResponse::new(&session.stats(), session.served());
-        let query_id = self
-            .sessions
-            .create(session, source_name, page_size, req.max_queries);
+        let query_id = self.sessions.create(
+            session,
+            source_name,
+            page_size,
+            req.max_queries,
+            class,
+            sched_key,
+        );
         Ok(PageResponse {
             query_id,
             algorithm: Some(algorithm.paper_name()),
@@ -117,9 +136,11 @@ impl QueryService {
 
         let mut entry = handle.lock();
         let remaining = remaining_lifetime(id, &handle, &entry)?;
-        let step = entry.session.advance(Budget {
-            queries: remaining,
-            tuples: Some(page_size),
+        let step = sched_context::with_session(session_ctx(&handle), || {
+            entry.session.advance(Budget {
+                queries: remaining,
+                tuples: Some(page_size),
+            })
         });
         entry.done = step.is_done();
         let results: Vec<TupleDto> = step
@@ -163,9 +184,11 @@ impl QueryService {
             (Some(b), None) => Some(b),
             (None, r) => r,
         };
-        let step = entry.session.advance(Budget {
-            queries: step_budget,
-            tuples: Some(limit),
+        let step = sched_context::with_session(session_ctx(&handle), || {
+            entry.session.advance(Budget {
+                queries: step_budget,
+                tuples: Some(limit),
+            })
         });
         entry.done = step.is_done();
         let status = step.label();
@@ -195,9 +218,18 @@ impl QueryService {
         ))
     }
 
-    /// `DELETE /v1/queries/:id`: drop a live query.
+    /// `DELETE /v1/queries/:id`: drop a live query. Cancels the session's
+    /// token and drains its still-queued probes from the source's
+    /// scheduler, so a deleted session stops spending paid queries
+    /// immediately instead of at its next fair-share turn.
     pub fn delete(&self, id: &str) -> Result<(), ApiError> {
+        let handle = self.sessions.get(id);
         if self.sessions.remove(id) {
+            if let Some(handle) = handle {
+                if let Some(source) = self.registry.get(&handle.source) {
+                    source.sched.cancel_session(handle.sched_key);
+                }
+            }
             Ok(())
         } else {
             Err(unknown_query(id))
@@ -238,6 +270,23 @@ impl QueryService {
             .map_err(|e| ApiError::internal(format!("cache flush failed: {e}")))
     }
 
+    /// `GET /v1/sources/:source/sched`: the source's scheduler panel —
+    /// queue depth, in-flight probes, per-class queue-delay percentiles,
+    /// frontier-coalescing and throttling counters, and the traffic
+    /// policy in force.
+    pub fn sched_stats(&self, source_name: &str) -> Result<SchedStatsResponse, ApiError> {
+        let source = self
+            .registry
+            .get(source_name)
+            .ok_or_else(|| unknown_source(source_name))?;
+        Ok(SchedStatsResponse {
+            source: source.name.clone(),
+            sched: source.sched.stats(),
+            traffic: source.sched.shaped().traffic_stats(),
+            policy: source.sched.shaped().policy().clone(),
+        })
+    }
+
     fn source_of(&self, name: &str) -> Result<Arc<Source>, ApiError> {
         self.registry
             .get(name)
@@ -247,6 +296,25 @@ impl QueryService {
 
 fn clamp_page_size(requested: usize) -> usize {
     requested.clamp(PAGE_SIZE_RANGE.0, PAGE_SIZE_RANGE.1)
+}
+
+/// Parse the optional `class` request field.
+fn parse_class(raw: Option<&str>) -> Result<QueryClass, ApiError> {
+    match raw {
+        None => Ok(QueryClass::default()),
+        Some(s) => QueryClass::parse(s).ok_or_else(|| {
+            ApiError::bad_request(
+                codes::INVALID_VALUE,
+                format!("class must be 'interactive' or 'background', got '{s}'"),
+            )
+            .with_field("class")
+        }),
+    }
+}
+
+/// The ambient scheduler context for requests driving an existing session.
+pub(crate) fn session_ctx(handle: &SessionHandle) -> SessionCtx {
+    SessionCtx::new(handle.sched_key, handle.class).with_cancel(handle.cancel.clone())
 }
 
 /// The session's remaining lifetime query budget (`None` = uncapped).

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
 use qr2_core::{CancelToken, RerankSession};
+use qr2_sched::QueryClass;
 
 /// Opaque session identifier (`"s17"`).
 pub type SessionId = String;
@@ -45,6 +46,12 @@ pub struct SessionHandle {
     /// in-flight stream between discoveries (readable without the entry
     /// lock).
     pub cancel: CancelToken,
+    /// Scheduler priority class of this session's probes (immutable; set
+    /// from the create-query request's `class` field).
+    pub class: QueryClass,
+    /// Scheduler identity of this session (fair-share accounting and
+    /// `DELETE`-time queue draining).
+    pub sched_key: u64,
     created: Instant,
     last_access: Mutex<Instant>,
     entry: Mutex<SessionEntry>,
@@ -82,13 +89,17 @@ impl SessionManager {
     }
 
     /// Register a new session; returns its id. `max_queries` is the
-    /// session's lifetime query budget (`None` = uncapped).
+    /// session's lifetime query budget (`None` = uncapped); `class` and
+    /// `sched_key` are its scheduler identity (see
+    /// [`qr2_sched::context::next_session_key`]).
     pub fn create(
         &self,
         session: RerankSession,
         source: impl Into<String>,
         page_size: usize,
         max_queries: Option<usize>,
+        class: QueryClass,
+        sched_key: u64,
     ) -> SessionId {
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
         let now = Instant::now();
@@ -97,6 +108,8 @@ impl SessionManager {
             page_size,
             max_queries,
             cancel: session.cancel_token(),
+            class,
+            sched_key,
             created: now,
             last_access: Mutex::new(now),
             entry: Mutex::new(SessionEntry {
@@ -197,7 +210,14 @@ mod tests {
     #[test]
     fn create_get_remove() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let id = mgr.create(make_session(), "test", 10, None);
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         assert_eq!(mgr.len(), 1);
         assert!(mgr.get(&id).is_some());
         assert!(mgr.age(&id).is_some());
@@ -210,8 +230,22 @@ mod tests {
     #[test]
     fn ids_are_unique() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let a = mgr.create(make_session(), "test", 10, None);
-        let b = mgr.create(make_session(), "test", 10, None);
+        let a = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
+        let b = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         assert_ne!(a, b);
     }
 
@@ -220,7 +254,14 @@ mod tests {
         // A slow in-flight page request holds the entry lock; get() must
         // still return promptly (it only touches the idle timer's lock).
         let mgr = Arc::new(SessionManager::new(Duration::from_secs(60)));
-        let id = mgr.create(make_session(), "test", 10, None);
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         let handle = mgr.get(&id).unwrap();
         let guard = handle.lock();
         let (tx, rx) = std::sync::mpsc::channel();
@@ -239,7 +280,14 @@ mod tests {
     #[test]
     fn metadata_readable_without_entry_lock() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let id = mgr.create(make_session(), "bluenile", 7, None);
+        let id = mgr.create(
+            make_session(),
+            "bluenile",
+            7,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         let handle = mgr.get(&id).unwrap();
         let guard = handle.lock();
         // Source and page size stay readable while the entry is locked.
@@ -251,7 +299,14 @@ mod tests {
     #[test]
     fn sessions_drive_get_next() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let id = mgr.create(make_session(), "test", 10, None);
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         let handle = mgr.get(&id).unwrap();
         let mut guard = handle.lock();
         let page = guard.session.next_page(5);
@@ -264,7 +319,14 @@ mod tests {
     #[test]
     fn budget_cap_is_readable_without_the_entry_lock() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let id = mgr.create(make_session(), "test", 10, Some(250));
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            Some(250),
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         let handle = mgr.get(&id).unwrap();
         let guard = handle.lock();
         assert_eq!(handle.max_queries, Some(250));
@@ -274,7 +336,14 @@ mod tests {
     #[test]
     fn eviction_cancels_the_session_token() {
         let mgr = SessionManager::new(Duration::from_millis(20));
-        let id = mgr.create(make_session(), "test", 10, None);
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         let handle = mgr.get(&id).unwrap();
         std::thread::sleep(Duration::from_millis(40));
         assert_eq!(mgr.evict_idle(), 1);
@@ -287,7 +356,14 @@ mod tests {
     #[test]
     fn touch_keeps_a_session_alive() {
         let mgr = SessionManager::new(Duration::from_millis(60));
-        let id = mgr.create(make_session(), "test", 10, None);
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         let handle = mgr.get(&id).unwrap();
         for _ in 0..4 {
             std::thread::sleep(Duration::from_millis(30));
@@ -299,7 +375,14 @@ mod tests {
     #[test]
     fn remove_cancels_the_session_token() {
         let mgr = SessionManager::new(Duration::from_secs(60));
-        let id = mgr.create(make_session(), "test", 10, None);
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         let handle = mgr.get(&id).unwrap();
         assert!(!handle.cancel.is_cancelled());
         assert!(mgr.remove(&id));
@@ -312,7 +395,14 @@ mod tests {
     #[test]
     fn ttl_eviction() {
         let mgr = SessionManager::new(Duration::from_millis(20));
-        let id = mgr.create(make_session(), "test", 10, None);
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         assert_eq!(mgr.evict_idle(), 0, "fresh session survives");
         std::thread::sleep(Duration::from_millis(40));
         assert_eq!(mgr.evict_idle(), 1);
@@ -322,7 +412,14 @@ mod tests {
     #[test]
     fn access_refreshes_ttl() {
         let mgr = SessionManager::new(Duration::from_millis(60));
-        let id = mgr.create(make_session(), "test", 10, None);
+        let id = mgr.create(
+            make_session(),
+            "test",
+            10,
+            None,
+            QueryClass::Interactive,
+            qr2_sched::context::next_session_key(),
+        );
         for _ in 0..4 {
             std::thread::sleep(Duration::from_millis(30));
             assert!(mgr.get(&id).is_some(), "access keeps the session alive");

@@ -6,14 +6,18 @@ use qr2_cache::{AnswerCache, CacheConfig, CachedInterface};
 use qr2_core::{DenseIndex, ExecutorKind, Reranker};
 use qr2_datagen::{bluenile_db, zillow_db, DiamondsConfig, HomesConfig};
 use qr2_http::Json;
-use qr2_webdb::{Schema, TopKInterface};
+use qr2_sched::{SchedConfig, ScheduledInterface, SourceScheduler};
+use qr2_webdb::{Schema, SourcePolicy, TopKInterface, TrafficShapedInterface};
 
 /// One reranking-enabled web database.
 ///
-/// Every session's query traffic funnels through the source's shared
-/// [`AnswerCache`]: repeated questions from any number of users cost the
-/// web database one query, and concurrent identical questions coalesce
-/// onto a single in-flight request.
+/// Every session's query traffic funnels through the source's decorator
+/// stack `cache → scheduler → traffic shaping → raw db`: repeated
+/// questions from any number of users cost the web database one query,
+/// concurrent identical questions coalesce onto a single in-flight
+/// request, and cache misses are paced against the source's
+/// [`SourcePolicy`] by the per-source [`SourceScheduler`] (which also
+/// coalesces *overlapping* probes across sessions).
 pub struct Source {
     /// Source key (`"bluenile"`, `"zillow"`).
     pub name: String,
@@ -28,6 +32,9 @@ pub struct Source {
     /// The shared cross-session answer cache (stats / flush endpoints,
     /// boot invalidation).
     pub cache: Arc<AnswerCache>,
+    /// The per-source scheduler every cache miss is routed through
+    /// (admission control, fair share, pacing, frontier coalescing).
+    pub sched: Arc<SourceScheduler>,
     /// Suggested "popular functions" shown in the ranking section
     /// (paper §II-C): label → `(attr, weight)` list.
     pub popular: Vec<(String, Vec<(String, f64)>)>,
@@ -57,7 +64,8 @@ impl Source {
 
     /// Build a source over an explicit answer cache — per-source capacity
     /// config, or a persistent cache warm-started from an
-    /// [`qr2_store::AnswerStore`].
+    /// [`qr2_store::AnswerStore`]. The source's traffic policy defaults to
+    /// unlimited (the scheduler passes probes straight through).
     pub fn with_cache(
         name: impl Into<String>,
         title: impl Into<String>,
@@ -67,8 +75,44 @@ impl Source {
         popular: Vec<(String, Vec<(String, f64)>)>,
         cache: Arc<AnswerCache>,
     ) -> Self {
+        Self::with_scheduler(
+            name,
+            title,
+            db,
+            SourcePolicy::unlimited(),
+            SchedConfig::default(),
+            executor,
+            dense,
+            popular,
+            cache,
+        )
+    }
+
+    /// Build a source with an explicit traffic policy and scheduler
+    /// config. Every cache miss is routed through the per-source
+    /// scheduler, which paces probes against `policy` (absorbing its
+    /// simulated 429s), apportions fair share across sessions, and
+    /// coalesces overlapping probes into one covering query.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_scheduler(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        db: Arc<dyn TopKInterface>,
+        policy: SourcePolicy,
+        sched_cfg: SchedConfig,
+        executor: ExecutorKind,
+        dense: Arc<DenseIndex>,
+        popular: Vec<(String, Vec<(String, f64)>)>,
+        cache: Arc<AnswerCache>,
+    ) -> Self {
+        let shaped = Arc::new(TrafficShapedInterface::new(db.clone(), policy));
+        let sched = Arc::new(SourceScheduler::new(shaped, sched_cfg));
+        let scheduled: Arc<dyn TopKInterface> =
+            Arc::new(ScheduledInterface::new(Arc::clone(&sched)));
+        // Cache outermost: warm lookups must not queue behind the
+        // scheduler, and a throttled source never delays a cached answer.
         let cached: Arc<dyn TopKInterface> =
-            Arc::new(CachedInterface::new(db.clone(), Arc::clone(&cache)));
+            Arc::new(CachedInterface::new(scheduled, Arc::clone(&cache)));
         let reranker = Arc::new(
             Reranker::builder(cached)
                 .executor(executor)
@@ -81,6 +125,7 @@ impl Source {
             reranker,
             db,
             cache,
+            sched,
             popular,
         }
     }

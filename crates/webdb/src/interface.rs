@@ -115,6 +115,20 @@ pub trait TopKInterface: Send + Sync {
     fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
         (self.search(q), true)
     }
+
+    /// [`search_observed`](TopKInterface::search_observed) and
+    /// [`search_authoritative`](TopKInterface::search_authoritative)
+    /// combined: response, cost metadata, and the authoritative flag in
+    /// one call. Decorator stacks (scheduler under cache) override this so
+    /// a caching layer fetching through a coalescing layer can propagate
+    /// the inner outcome instead of assuming every fetch was a paid miss.
+    fn search_observed_authoritative(
+        &self,
+        q: &SearchQuery,
+    ) -> (TopKResponse, SearchOutcome, bool) {
+        let (resp, authoritative) = self.search_authoritative(q);
+        (resp, SearchOutcome::MISS, authoritative)
+    }
 }
 
 /// Blanket impl so `Arc<Db>` and `&Db` can be used wherever a
@@ -138,6 +152,12 @@ impl<T: TopKInterface + ?Sized> TopKInterface for std::sync::Arc<T> {
     fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
         (**self).search_authoritative(q)
     }
+    fn search_observed_authoritative(
+        &self,
+        q: &SearchQuery,
+    ) -> (TopKResponse, SearchOutcome, bool) {
+        (**self).search_observed_authoritative(q)
+    }
 }
 
 impl<T: TopKInterface + ?Sized> TopKInterface for &T {
@@ -158,6 +178,12 @@ impl<T: TopKInterface + ?Sized> TopKInterface for &T {
     }
     fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
         (**self).search_authoritative(q)
+    }
+    fn search_observed_authoritative(
+        &self,
+        q: &SearchQuery,
+    ) -> (TopKResponse, SearchOutcome, bool) {
+        (**self).search_observed_authoritative(q)
     }
 }
 

@@ -56,6 +56,7 @@ mod ranking;
 mod schema;
 mod sim;
 mod table;
+mod traffic;
 mod tuple;
 mod value;
 
@@ -70,5 +71,6 @@ pub use ranking::SystemRanking;
 pub use schema::{Schema, SchemaBuilder};
 pub use sim::{ExecMode, SimulatedWebDb};
 pub use table::{Table, TableBuilder};
+pub use traffic::{RateLimit, SourcePolicy, Throttled, TrafficShapedInterface, TrafficStats};
 pub use tuple::{Tuple, TupleId};
 pub use value::Value;

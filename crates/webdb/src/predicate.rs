@@ -104,6 +104,17 @@ impl RangePred {
         (self.hi - self.lo).max(0.0)
     }
 
+    /// True when every value matching `other` also matches `self`
+    /// (`other ⊆ self`). Empty `other` is covered by anything.
+    pub fn contains_range(&self, other: &RangePred) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        let lo_ok = self.lo < other.lo || (self.lo == other.lo && (self.lo_inc || !other.lo_inc));
+        let hi_ok = self.hi > other.hi || (self.hi == other.hi && (self.hi_inc || !other.hi_inc));
+        lo_ok && hi_ok
+    }
+
     /// Intersection of two ranges (possibly empty).
     pub fn intersect(&self, other: &RangePred) -> RangePred {
         let (lo, lo_inc) = if self.lo > other.lo {
@@ -197,6 +208,11 @@ impl CatSet {
         self.codes.binary_search(&code).is_ok()
     }
 
+    /// True when every code of `other` is in `self` (`other ⊆ self`).
+    pub fn is_superset(&self, other: &CatSet) -> bool {
+        other.codes.iter().all(|c| self.contains(*c))
+    }
+
     /// Set intersection.
     pub fn intersect(&self, other: &CatSet) -> CatSet {
         let codes = self
@@ -254,6 +270,17 @@ impl Predicate {
         match self {
             Predicate::Range(r) => r.is_empty(),
             Predicate::Cats(s) => s.is_empty(),
+        }
+    }
+
+    /// True when every value matching `other` also matches `self`
+    /// (`other ⊆ self`). Predicates of different kinds never cover each
+    /// other.
+    pub fn contains(&self, other: &Predicate) -> bool {
+        match (self, other) {
+            (Predicate::Range(a), Predicate::Range(b)) => a.contains_range(b),
+            (Predicate::Cats(a), Predicate::Cats(b)) => a.is_superset(b),
+            _ => false,
         }
     }
 
@@ -353,6 +380,26 @@ impl SearchQuery {
             Err(i) => out.preds.insert(i, (attr, pred)),
         }
         out
+    }
+
+    /// True when `self` *covers* `other`: every tuple matching `other` is
+    /// guaranteed to match `self` (`other`'s region ⊆ `self`'s region).
+    ///
+    /// This is the admission test for frontier coalescing (`qr2-sched`): a
+    /// pending probe for `self` can answer a waiter asking `other`, because
+    /// `self`'s result page — when complete — contains every match of
+    /// `other` in system-rank order. Per attribute: a predicate of `self`
+    /// must be a superset of `other`'s predicate on the same attribute; an
+    /// unconstrained attribute of `self` covers anything, while an
+    /// attribute `self` constrains but `other` leaves free is *not*
+    /// covered.
+    pub fn covers(&self, other: &SearchQuery) -> bool {
+        self.preds
+            .iter()
+            .all(|(attr, p)| match other.predicate(*attr) {
+                Some(q) => p.contains(q),
+                None => false,
+            })
     }
 
     /// True when some predicate is unsatisfiable (query matches nothing).
@@ -569,6 +616,54 @@ mod tests {
         for v in &variants {
             assert_ne!(base.fingerprint(), v.fingerprint(), "{v}");
         }
+    }
+
+    #[test]
+    fn range_containment_respects_bound_inclusivity() {
+        let outer = RangePred::closed(0.0, 10.0);
+        assert!(outer.contains_range(&RangePred::closed(0.0, 10.0)));
+        assert!(outer.contains_range(&RangePred::open(0.0, 10.0)));
+        assert!(outer.contains_range(&RangePred::closed(2.0, 8.0)));
+        assert!(!outer.contains_range(&RangePred::closed(-1.0, 5.0)));
+        assert!(!outer.contains_range(&RangePred::closed(5.0, 11.0)));
+        // A half-open outer bound does not cover the closed endpoint.
+        let half = RangePred::half_open(0.0, 10.0);
+        assert!(!half.contains_range(&RangePred::closed(0.0, 10.0)));
+        assert!(half.contains_range(&RangePred::half_open(0.0, 10.0)));
+        // Empty inner intervals are vacuously covered.
+        assert!(half.contains_range(&RangePred::open(3.0, 3.0)));
+    }
+
+    #[test]
+    fn catset_superset() {
+        let big = CatSet::new([1, 2, 3, 4]);
+        assert!(big.is_superset(&CatSet::new([2, 4])));
+        assert!(big.is_superset(&CatSet::new([])));
+        assert!(!big.is_superset(&CatSet::new([4, 5])));
+        assert!(!CatSet::new([]).is_superset(&CatSet::single(1)));
+    }
+
+    #[test]
+    fn query_covers_subsuming_regions() {
+        let price = AttrId(0);
+        let cut = AttrId(1);
+        let wide = SearchQuery::all().and_range(price, RangePred::closed(0.0, 100.0));
+        let narrow = SearchQuery::all().and_range(price, RangePred::closed(20.0, 30.0));
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        // Every query covers itself; the trivial query covers everything.
+        assert!(wide.covers(&wide));
+        assert!(SearchQuery::all().covers(&narrow));
+        assert!(!narrow.covers(&SearchQuery::all()));
+        // A cover constrained on an attribute the waiter leaves free does
+        // NOT cover it: the cover's page may have dropped matching tuples.
+        let wide_cut = wide.and_cats(cut, CatSet::new([0, 1, 2]));
+        assert!(!wide_cut.covers(&narrow));
+        let narrow_cut = narrow.and_cats(cut, CatSet::new([1]));
+        assert!(wide_cut.covers(&narrow_cut));
+        // Kind mismatch on the same attribute never covers.
+        let cat_price = SearchQuery::all().and_cats(price, CatSet::new([1]));
+        assert!(!wide.covers(&cat_price));
     }
 
     #[test]

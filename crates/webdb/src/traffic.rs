@@ -1,0 +1,440 @@
+//! Per-source traffic models: rate limits, concurrency caps, and simulated
+//! `429 Too Many Requests` responses.
+//!
+//! Real web databases meter third-party traffic. QR2's scheduler
+//! (`qr2-sched`) has to pace its paid probes against those limits, so the
+//! simulator needs to *enforce* them: [`SourcePolicy`] describes a source's
+//! limits (token-bucket rate limit, in-flight concurrency cap, per-query
+//! latency) and [`TrafficShapedInterface`] is a decorator that applies the
+//! policy to any [`TopKInterface`] — the local [`SimulatedWebDb`] or a
+//! remote gateway client alike.
+//!
+//! The decorator exposes two call styles:
+//!
+//! * the *fallible* `try_search*` methods return [`Throttled`] — the
+//!   in-process rendering of an HTTP 429 with a `Retry-After` hint — when
+//!   the policy denies admission, leaving backoff to the caller (the
+//!   scheduler's pacing loop);
+//! * the plain [`TopKInterface`] methods block, sleeping out each
+//!   `Retry-After` until the query is admitted, so legacy callers that
+//!   predate the scheduler keep working (just slower, as the policy
+//!   intends).
+//!
+//! [`SimulatedWebDb`]: crate::SimulatedWebDb
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::interface::{SearchOutcome, TopKInterface, TopKResponse};
+use crate::metrics::{LatencyModel, QueryLedger};
+use crate::predicate::SearchQuery;
+use crate::schema::Schema;
+
+/// A token-bucket rate limit: sustained `per_sec` queries per second with
+/// bursts of up to `burst` back-to-back queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained refill rate, tokens (= queries) per second. Must be > 0.
+    pub per_sec: f64,
+    /// Bucket capacity: how many queries may be issued back-to-back after
+    /// an idle period. At least 1.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A rate limit of `per_sec` sustained queries per second with the
+    /// given burst capacity.
+    pub fn new(per_sec: f64, burst: f64) -> RateLimit {
+        assert!(per_sec > 0.0, "rate limit must be positive");
+        RateLimit {
+            per_sec,
+            burst: burst.max(1.0),
+        }
+    }
+}
+
+/// Everything a source's terms of service impose on a third-party caller.
+///
+/// The default ([`SourcePolicy::unlimited`]) imposes nothing, so wrapping an
+/// interface with an unlimited policy is behavior-preserving.
+#[derive(Debug, Clone, Default)]
+pub struct SourcePolicy {
+    /// Token-bucket rate limit; `None` = unmetered.
+    pub rate: Option<RateLimit>,
+    /// Maximum concurrently in-flight queries; `None` = unbounded.
+    pub max_concurrency: Option<usize>,
+    /// Per-query latency `(base, jitter, seed)` simulated *after*
+    /// admission; `None` = instantaneous.
+    pub latency: Option<(Duration, Duration, u64)>,
+    /// Floor for the advertised `Retry-After` on a denial, so callers
+    /// never spin on a zero-length hint. Zero means "use the default".
+    pub min_retry_after: Duration,
+}
+
+impl SourcePolicy {
+    /// Default floor for the advertised `Retry-After` hint.
+    pub const DEFAULT_MIN_RETRY_AFTER: Duration = Duration::from_millis(5);
+
+    /// The policy that imposes no limits at all.
+    pub fn unlimited() -> SourcePolicy {
+        SourcePolicy::default()
+    }
+
+    /// A pure token-bucket rate limit.
+    pub fn rate_limited(per_sec: f64, burst: f64) -> SourcePolicy {
+        SourcePolicy {
+            rate: Some(RateLimit::new(per_sec, burst)),
+            ..SourcePolicy::default()
+        }
+    }
+
+    /// Cap concurrently in-flight queries.
+    #[must_use]
+    pub fn with_concurrency(mut self, max: usize) -> SourcePolicy {
+        self.max_concurrency = Some(max.max(1));
+        self
+    }
+
+    /// Simulate per-query latency (after admission).
+    #[must_use]
+    pub fn with_latency(mut self, base: Duration, jitter: Duration, seed: u64) -> SourcePolicy {
+        self.latency = Some((base, jitter, seed));
+        self
+    }
+
+    /// The effective `Retry-After` floor.
+    pub fn retry_after_floor(&self) -> Duration {
+        if self.min_retry_after.is_zero() {
+            Self::DEFAULT_MIN_RETRY_AFTER
+        } else {
+            self.min_retry_after
+        }
+    }
+}
+
+/// The source refused the query — the in-process form of an HTTP
+/// `429 Too Many Requests` with a `Retry-After` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Throttled {
+    /// How long the source asks the caller to back off before retrying.
+    pub retry_after: Duration,
+}
+
+impl Throttled {
+    /// `Retry-After` in whole seconds, rounded up (minimum 1), as the HTTP
+    /// header would carry it.
+    pub fn retry_after_secs(&self) -> u64 {
+        (self.retry_after.as_secs_f64().ceil() as u64).max(1)
+    }
+}
+
+impl std::fmt::Display for Throttled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "throttled; retry after {:?}", self.retry_after)
+    }
+}
+
+/// Counters describing what the policy did to the traffic that hit it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Queries admitted and executed.
+    pub admitted: u64,
+    /// Denials (simulated 429s) returned to fallible callers.
+    pub throttled: u64,
+    /// Blocking-path sleeps (a legacy caller waited a `Retry-After` out).
+    pub waited: u64,
+}
+
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl Bucket {
+    /// Refill by elapsed wall time, clamped at the burst capacity.
+    fn refill(&mut self, rate: &RateLimit) {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + dt * rate.per_sec).min(rate.burst);
+        self.last_refill = now;
+    }
+}
+
+/// Decrements the in-flight count when an admitted query finishes.
+#[derive(Debug)]
+struct AdmitGuard<'a> {
+    inflight: &'a AtomicUsize,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A [`TopKInterface`] decorator that enforces a [`SourcePolicy`].
+///
+/// Sits directly above the raw database (or remote gateway client), below
+/// the scheduler and the answer cache:
+/// `cache → scheduler → traffic shaping → raw db`.
+pub struct TrafficShapedInterface {
+    inner: Arc<dyn TopKInterface>,
+    policy: SourcePolicy,
+    bucket: Mutex<Bucket>,
+    latency: Option<LatencyModel>,
+    inflight: AtomicUsize,
+    admitted: AtomicU64,
+    throttled: AtomicU64,
+    waited: AtomicU64,
+}
+
+impl TrafficShapedInterface {
+    /// Wrap `inner` with `policy`.
+    pub fn new(inner: Arc<dyn TopKInterface>, policy: SourcePolicy) -> TrafficShapedInterface {
+        let latency = policy
+            .latency
+            .map(|(base, jitter, seed)| LatencyModel::new(base, jitter, seed));
+        let tokens = policy.rate.map(|r| r.burst).unwrap_or(0.0);
+        TrafficShapedInterface {
+            inner,
+            policy,
+            bucket: Mutex::new(Bucket {
+                tokens,
+                last_refill: Instant::now(),
+            }),
+            latency,
+            inflight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            waited: AtomicU64::new(0),
+        }
+    }
+
+    /// The policy this decorator enforces.
+    pub fn policy(&self) -> &SourcePolicy {
+        &self.policy
+    }
+
+    /// Traffic counters so far.
+    pub fn traffic_stats(&self) -> TrafficStats {
+        TrafficStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            waited: self.waited.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimated wall-clock wait until the bucket can pay for `pending`
+    /// more queries, assuming no competing traffic. Zero when unmetered.
+    pub fn estimated_wait(&self, pending: usize) -> Duration {
+        let Some(rate) = &self.policy.rate else {
+            return Duration::ZERO;
+        };
+        let mut bucket = self.bucket.lock();
+        bucket.refill(rate);
+        let need = pending as f64 - bucket.tokens;
+        if need <= 0.0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(need / rate.per_sec)
+        }
+    }
+
+    /// Try to admit one query: concurrency cap first, then the token
+    /// bucket. On denial, the simulated 429 carries a `Retry-After` hint
+    /// sized to when a token will be available.
+    fn try_admit(&self) -> Result<AdmitGuard<'_>, Throttled> {
+        if let Some(cap) = self.policy.max_concurrency {
+            let mut cur = self.inflight.load(Ordering::Acquire);
+            loop {
+                if cur >= cap {
+                    self.throttled.fetch_add(1, Ordering::Relaxed);
+                    return Err(Throttled {
+                        retry_after: self.policy.retry_after_floor(),
+                    });
+                }
+                match self.inflight.compare_exchange_weak(
+                    cur,
+                    cur + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        } else {
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+        }
+        let guard = AdmitGuard {
+            inflight: &self.inflight,
+        };
+        if let Some(rate) = &self.policy.rate {
+            let mut bucket = self.bucket.lock();
+            bucket.refill(rate);
+            if bucket.tokens >= 1.0 {
+                bucket.tokens -= 1.0;
+            } else {
+                let need = 1.0 - bucket.tokens;
+                let retry_after = Duration::from_secs_f64(need / rate.per_sec)
+                    .max(self.policy.retry_after_floor());
+                drop(bucket);
+                drop(guard);
+                self.throttled.fetch_add(1, Ordering::Relaxed);
+                return Err(Throttled { retry_after });
+            }
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(guard)
+    }
+
+    /// Fallible search: `Err` is the simulated 429.
+    pub fn try_search(&self, q: &SearchQuery) -> Result<TopKResponse, Throttled> {
+        self.try_search_authoritative(q).map(|(resp, _)| resp)
+    }
+
+    /// Fallible [`TopKInterface::search_authoritative`]: `Err` is the
+    /// simulated 429. On `Ok`, the query was admitted, charged to the
+    /// ledger by the inner interface, and (if configured) delayed by the
+    /// latency model.
+    pub fn try_search_authoritative(
+        &self,
+        q: &SearchQuery,
+    ) -> Result<(TopKResponse, bool), Throttled> {
+        let guard = self.try_admit()?;
+        if let Some(latency) = &self.latency {
+            std::thread::sleep(latency.sample());
+        }
+        let out = self.inner.search_authoritative(q);
+        drop(guard);
+        Ok(out)
+    }
+}
+
+impl TopKInterface for TrafficShapedInterface {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn system_k(&self) -> usize {
+        self.inner.system_k()
+    }
+
+    /// Blocking search: sleeps out each `Retry-After` until admitted. This
+    /// is the legacy path for callers without a scheduler; the scheduler
+    /// itself only uses the fallible methods so pacing stays under its
+    /// control.
+    fn search(&self, q: &SearchQuery) -> TopKResponse {
+        self.search_authoritative(q).0
+    }
+
+    fn ledger(&self) -> &QueryLedger {
+        self.inner.ledger()
+    }
+
+    fn search_observed(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome) {
+        (self.search(q), SearchOutcome::MISS)
+    }
+
+    fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
+        loop {
+            match self.try_search_authoritative(q) {
+                Ok(out) => return out,
+                Err(throttled) => {
+                    self.waited.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(throttled.retry_after);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::SystemRanking;
+    use crate::table::TableBuilder;
+
+    fn tiny_db() -> Arc<dyn TopKInterface> {
+        let schema = Schema::builder().numeric("price", 0.0, 100.0).build();
+        let mut tb = TableBuilder::new(schema.clone());
+        for i in 0..20 {
+            tb.push_row(vec![(i as f64) * 5.0]).unwrap();
+        }
+        let ranking = SystemRanking::linear(&schema, &[("price", 1.0)]).unwrap();
+        Arc::new(crate::SimulatedWebDb::new(tb.build(), ranking, 5))
+    }
+
+    #[test]
+    fn unlimited_policy_is_transparent() {
+        let db = tiny_db();
+        let shaped = TrafficShapedInterface::new(db.clone(), SourcePolicy::unlimited());
+        let q = SearchQuery::all();
+        assert_eq!(shaped.search(&q), db.search(&q));
+        assert_eq!(shaped.traffic_stats().throttled, 0);
+        assert_eq!(shaped.estimated_wait(1000), Duration::ZERO);
+    }
+
+    #[test]
+    fn token_bucket_throttles_after_burst() {
+        let db = tiny_db();
+        // 1 query/s sustained, burst of 2: the third back-to-back query is
+        // denied with a ~1s Retry-After.
+        let shaped = TrafficShapedInterface::new(db, SourcePolicy::rate_limited(1.0, 2.0));
+        let q = SearchQuery::all();
+        assert!(shaped.try_search(&q).is_ok());
+        assert!(shaped.try_search(&q).is_ok());
+        let denial = shaped.try_search(&q).expect_err("burst exhausted");
+        assert!(denial.retry_after > Duration::from_millis(500));
+        assert!(denial.retry_after_secs() >= 1);
+        let stats = shaped.traffic_stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.throttled, 1);
+        assert!(shaped.estimated_wait(1) > Duration::ZERO);
+    }
+
+    #[test]
+    fn blocking_search_waits_out_the_limit() {
+        let db = tiny_db();
+        // Fast refill so the test stays quick: 200/s, burst 1.
+        let shaped = TrafficShapedInterface::new(db, SourcePolicy::rate_limited(200.0, 1.0));
+        let q = SearchQuery::all();
+        shaped.search(&q);
+        shaped.search(&q); // must block ~5ms, not fail
+        let stats = shaped.traffic_stats();
+        assert_eq!(stats.admitted, 2);
+        assert!(stats.waited >= 1, "second call slept a Retry-After out");
+    }
+
+    #[test]
+    fn concurrency_cap_denies_and_releases() {
+        let db = tiny_db();
+        let shaped = Arc::new(TrafficShapedInterface::new(
+            db,
+            SourcePolicy::unlimited().with_concurrency(1),
+        ));
+        let guard = shaped.try_admit().unwrap();
+        let denial = shaped.try_admit().expect_err("cap of 1");
+        assert!(denial.retry_after >= SourcePolicy::DEFAULT_MIN_RETRY_AFTER);
+        drop(guard);
+        assert!(shaped.try_admit().is_ok(), "slot released on drop");
+    }
+
+    #[test]
+    fn ledger_only_charged_for_admitted_queries() {
+        let db = tiny_db();
+        let shaped = TrafficShapedInterface::new(db, SourcePolicy::rate_limited(0.001, 1.0));
+        let q = SearchQuery::all();
+        assert!(shaped.try_search(&q).is_ok());
+        let after_first = shaped.ledger().total();
+        assert!(shaped.try_search(&q).is_err());
+        assert_eq!(
+            shaped.ledger().total(),
+            after_first,
+            "a denied query never reaches the web database"
+        );
+    }
+}

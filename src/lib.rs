@@ -26,6 +26,7 @@ pub use qr2_core as core;
 pub use qr2_crawler as crawler;
 pub use qr2_datagen as datagen;
 pub use qr2_http as http;
+pub use qr2_sched as sched;
 pub use qr2_service as service;
 pub use qr2_store as store;
 pub use qr2_webdb as webdb;

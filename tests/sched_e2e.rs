@@ -1,0 +1,426 @@
+//! End-to-end coverage for the rate-limit-aware scheduler (`qr2-sched`):
+//! fair sharing under a hot competitor, deadline-class ordering, exact
+//! frontier coalescing, truthful cost accounting through the service,
+//! admission-control 503s, and `DELETE`-time queue draining.
+//!
+//! Scheduler-level tests drive a `SourceScheduler` directly over a
+//! traffic-shaped simulated database; service-level tests go through
+//! `QueryService` with a `Source::with_scheduler` stack (cache →
+//! scheduler → traffic shaping → web DB), exactly as the HTTP handlers
+//! do.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use qr2::cache::{AnswerCache, CacheConfig};
+use qr2::core::{DenseIndex, ExecutorKind};
+use qr2::sched::context::{next_session_key, with_session};
+use qr2::sched::{QueryClass, SchedConfig, SessionCtx, SourceScheduler};
+use qr2::service::{
+    QueryRequest, QueryService, RankingDto, SessionManager, Source, SourceRegistry,
+};
+use qr2::webdb::{
+    RangePred, SearchQuery, SimulatedWebDb, SourcePolicy, SystemRanking, TableBuilder,
+    TopKInterface, TrafficShapedInterface,
+};
+
+/// A deterministic one-attribute database: rows at integer positions,
+/// `k` large enough that responses in these tests are complete.
+fn x_db(n: usize, k: usize) -> Arc<SimulatedWebDb> {
+    let schema = qr2::webdb::Schema::builder()
+        .numeric("x", 0.0, 1000.0)
+        .build();
+    let mut tb = TableBuilder::new(schema.clone());
+    for i in 0..n {
+        tb.push_row(vec![i as f64]).unwrap();
+    }
+    let ranking = SystemRanking::linear(&schema, &[("x", 1.0)]).unwrap();
+    Arc::new(SimulatedWebDb::new(tb.build(), ranking, k))
+}
+
+/// Scheduler directly over the shaped database (no cache, no engine).
+fn sched_over(db: Arc<SimulatedWebDb>, policy: SourcePolicy) -> Arc<SourceScheduler> {
+    let shaped = Arc::new(TrafficShapedInterface::new(db, policy));
+    Arc::new(SourceScheduler::new(shaped, SchedConfig::default()))
+}
+
+/// Poll `cond` until it holds, panicking after 10 s — a regression that
+/// keeps a probe out of the queue must fail the test, not hang it.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// A range probe on the `x` attribute.
+fn range(db: &SimulatedWebDb, lo: f64, hi: f64) -> SearchQuery {
+    let x = db.schema().expect_id("x");
+    SearchQuery::all().and_range(x, RangePred::closed(lo, hi))
+}
+
+/// The full serving stack for service-level tests: one source named
+/// `"x"` wired through `Source::with_scheduler`.
+fn service_over(
+    db: Arc<SimulatedWebDb>,
+    policy: SourcePolicy,
+    cfg: SchedConfig,
+) -> (QueryService, Arc<Source>) {
+    let cache = Arc::new(AnswerCache::new(CacheConfig {
+        shards: 4,
+        capacity: 1 << 12,
+    }));
+    let mut registry = SourceRegistry::new();
+    registry.register(Source::with_scheduler(
+        "x",
+        "Contended numeric source",
+        db,
+        policy,
+        cfg,
+        ExecutorKind::Sequential,
+        Arc::new(DenseIndex::in_memory()),
+        vec![],
+        cache,
+    ));
+    let registry = Arc::new(registry);
+    let source = registry.get("x").expect("source registered");
+    let service = QueryService::new(
+        registry,
+        Arc::new(SessionManager::new(Duration::from_secs(60))),
+    );
+    (service, source)
+}
+
+/// A create-query request over the `x` source.
+fn query_request(lo: f64, hi: f64, class: Option<&str>) -> QueryRequest {
+    QueryRequest {
+        source: None,
+        filters: vec![qr2::service::FilterDto {
+            index: 0,
+            attr: "x".into(),
+            min: Some(lo),
+            max: Some(hi),
+            values: None,
+        }],
+        ranking: RankingDto::OneDim {
+            attr: "x".into(),
+            ascending: true,
+        },
+        algorithm: "auto".into(),
+        page_size: Some(5),
+        max_queries: None,
+        class: class.map(str::to_string),
+    }
+}
+
+#[test]
+fn fair_share_under_a_hot_competitor() {
+    // A hot session with 3× the demand must not starve a light one:
+    // deficit round-robin interleaves their dispatches, so the light
+    // session finishes no later than the hog, and everyone's answers
+    // stay correct.
+    let db = x_db(300, 400);
+    let reference = x_db(300, 400);
+    let sched = sched_over(db, SourcePolicy::rate_limited(300.0, 2.0));
+    let barrier = Barrier::new(2);
+    let (light_ms, hot_ms) = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let run = |probes: usize, band: f64| {
+            let sched = Arc::clone(&sched);
+            let reference = Arc::clone(&reference);
+            move || {
+                let key = next_session_key();
+                barrier.wait();
+                let start = Instant::now();
+                for p in 0..probes {
+                    let lo = band + (p % 40) as f64;
+                    let q = range(reference.as_ref(), lo, lo + 30.0);
+                    let ctx = SessionCtx::new(key, QueryClass::Interactive);
+                    let (resp, _, authoritative) = with_session(ctx, || sched.submit(&q));
+                    assert!(authoritative);
+                    assert_eq!(resp, reference.search(&q), "probe {p} answered wrong");
+                }
+                start.elapsed().as_secs_f64() * 1e3
+            }
+        };
+        let light = scope.spawn(run(6, 0.0));
+        let hot = scope.spawn(run(18, 500.0));
+        (light.join().unwrap(), hot.join().unwrap())
+    });
+    assert!(
+        light_ms <= hot_ms,
+        "light session ({light_ms:.1} ms) finished after the 3x-demand hog ({hot_ms:.1} ms)"
+    );
+}
+
+#[test]
+fn interactive_class_dispatches_before_queued_background() {
+    // Both classes queued behind an empty token bucket: when the next
+    // token arrives, the interactive lane is served first even though
+    // the background probe enqueued earlier.
+    let db = x_db(100, 200);
+    let sched = sched_over(db.clone(), SourcePolicy::rate_limited(5.0, 1.0));
+    // Drain the single burst token.
+    sched
+        .shaped()
+        .try_search(&range(db.as_ref(), 900.0, 1000.0))
+        .unwrap();
+
+    let finish_order = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let order = &finish_order;
+        let bg_sched = Arc::clone(&sched);
+        let bg_q = range(db.as_ref(), 0.0, 50.0);
+        let bg = scope.spawn(move || {
+            let ctx = SessionCtx::new(next_session_key(), QueryClass::Background);
+            with_session(ctx, || bg_sched.submit(&bg_q));
+            order.fetch_add(1, Ordering::SeqCst) // 0 if first to finish
+        });
+        // Only spawn the interactive probe once the background one is
+        // provably parked in its queue.
+        wait_until("the background probe to queue", || sched.stats().queued > 0);
+        let int_sched = Arc::clone(&sched);
+        let int_q = range(db.as_ref(), 60.0, 99.0);
+        let int = scope.spawn(move || {
+            let ctx = SessionCtx::new(next_session_key(), QueryClass::Interactive);
+            with_session(ctx, || int_sched.submit(&int_q));
+            order.fetch_add(1, Ordering::SeqCst)
+        });
+        let int_rank = int.join().unwrap();
+        let bg_rank = bg.join().unwrap();
+        assert!(
+            int_rank < bg_rank,
+            "background (rank {bg_rank}) was served before interactive (rank {int_rank})"
+        );
+    });
+}
+
+#[test]
+fn frontier_coalescing_issues_one_covering_query_with_exact_answers() {
+    // One wide probe parked in the queue; three narrow probes whose
+    // ranges it covers arrive behind it. Exactly one web-DB query may be
+    // paid, and every waiter's answer must be byte-identical to what a
+    // direct (unscheduled) search would have returned.
+    let db = x_db(350, 400);
+    let reference = x_db(350, 400);
+    let sched = sched_over(db.clone(), SourcePolicy::rate_limited(5.0, 1.0));
+    sched
+        .shaped()
+        .try_search(&range(db.as_ref(), 900.0, 1000.0))
+        .unwrap();
+    let paid_before = db.ledger().total();
+
+    std::thread::scope(|scope| {
+        let wide_sched = Arc::clone(&sched);
+        let wide_q = range(db.as_ref(), 0.0, 300.0);
+        let wide_want = reference.search(&wide_q);
+        scope.spawn(move || {
+            let ctx = SessionCtx::new(next_session_key(), QueryClass::Interactive);
+            let (resp, _, authoritative) = with_session(ctx, || wide_sched.submit(&wide_q));
+            assert!(authoritative);
+            assert_eq!(resp, wide_want, "covering probe answered wrong");
+        });
+        wait_until("the covering probe to queue", || sched.stats().queued > 0);
+        for i in 0..3 {
+            let narrow_sched = Arc::clone(&sched);
+            let lo = 100.0 * i as f64;
+            let narrow_q = range(db.as_ref(), lo, lo + 80.0);
+            let narrow_want = reference.search(&narrow_q);
+            scope.spawn(move || {
+                let ctx = SessionCtx::new(next_session_key(), QueryClass::Interactive);
+                let (resp, outcome, authoritative) =
+                    with_session(ctx, || narrow_sched.submit(&narrow_q));
+                assert!(authoritative, "derived answers are exact, not degraded");
+                assert_eq!(
+                    resp, narrow_want,
+                    "waiter {i}'s derived answer differs from a direct search"
+                );
+                assert!(!outcome.cache_hit, "frontier coalescing is not a cache hit");
+            });
+        }
+    });
+
+    assert_eq!(
+        db.ledger().total() - paid_before,
+        1,
+        "the covering probe must be the only paid web-DB query"
+    );
+    assert_eq!(sched.stats().coalesced_frontier_hits, 3);
+}
+
+#[test]
+fn saturated_source_returns_structured_503_with_retry_after() {
+    // With the bucket empty and a ~100 s refill, a new session's first
+    // probe would wait far past the admission ceiling: create-query must
+    // refuse up front with the structured 503, not hang in the queue.
+    let db = x_db(50, 60);
+    let (service, source) = service_over(
+        db,
+        SourcePolicy::rate_limited(0.01, 1.0),
+        SchedConfig::default(),
+    );
+    let burner = range(&x_db(1, 1), 0.0, 1000.0);
+    source.sched.shaped().try_search(&burner).unwrap();
+
+    let err = service
+        .create_query("x", &query_request(0.0, 40.0, None))
+        .expect_err("saturated source must refuse admission");
+    assert_eq!(err.status, qr2::http::Status::ServiceUnavailable);
+    assert_eq!(err.code, "source_throttled");
+    let retry_after = err
+        .headers
+        .iter()
+        .find(|(n, _)| n == "Retry-After")
+        .map(|(_, v)| v.parse::<u64>().unwrap())
+        .expect("503 must carry Retry-After");
+    assert!(retry_after >= 1, "Retry-After was {retry_after}");
+    assert_eq!(source.sched.stats().rejected, 1);
+}
+
+#[test]
+fn class_field_is_validated_and_aliased() {
+    let db = x_db(50, 60);
+    let (service, _) = service_over(db, SourcePolicy::unlimited(), SchedConfig::default());
+    let err = service
+        .create_query("x", &query_request(0.0, 40.0, Some("warp")))
+        .expect_err("unknown class must be rejected");
+    assert_eq!(err.code, "invalid_value");
+    assert_eq!(err.status, qr2::http::Status::BadRequest);
+    // `"crawl"` is the documented alias for the background class.
+    for class in [None, Some("interactive"), Some("background"), Some("crawl")] {
+        service
+            .create_query("x", &query_request(0.0, 40.0, class))
+            .unwrap_or_else(|e| panic!("class {class:?} refused: {}", e.message));
+    }
+}
+
+#[test]
+fn concurrent_identical_sessions_pay_once_and_warm_pass_is_free() {
+    // Truthful cost accounting through the full stack: two identical
+    // sessions racing on a paced source must together cost the web DB
+    // exactly what one session costs alone (cache single-flight +
+    // scheduler), the free waiters must be *recorded* as free
+    // (cache_hits / coalesced_waits), and a later warm pass must cost
+    // zero web-DB queries without ever touching the scheduler.
+    let solo_db = x_db(200, 250);
+    let (solo_service, _) = service_over(
+        solo_db.clone(),
+        SourcePolicy::unlimited(),
+        SchedConfig::default(),
+    );
+    let solo = solo_service
+        .create_query("x", &query_request(0.0, 150.0, None))
+        .unwrap();
+    let solo_paid = solo_db.ledger().total();
+    assert!(!solo.results.is_empty());
+    assert!(solo_paid > 0);
+
+    let db = x_db(200, 250);
+    let (service, source) = service_over(
+        db.clone(),
+        SourcePolicy::rate_limited(100.0, 1.0),
+        SchedConfig::default(),
+    );
+    let service = Arc::new(service);
+    let barrier = Barrier::new(2);
+    let (a, b) = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let spawn_same = || {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                barrier.wait();
+                service
+                    .create_query("x", &query_request(0.0, 150.0, None))
+                    .unwrap()
+            })
+        };
+        let a = spawn_same();
+        let b = spawn_same();
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    // Identical deterministic sessions: identical pages.
+    assert_eq!(a.results.len(), b.results.len());
+    assert_eq!(
+        db.ledger().total(),
+        solo_paid,
+        "two identical sessions must not pay more than one"
+    );
+    assert_eq!(
+        a.stats.queries + b.stats.queries,
+        solo_paid as usize,
+        "paid queries must be attributed, never double-counted"
+    );
+    assert!(
+        a.stats.cache_hits + a.stats.coalesced_waits + b.stats.cache_hits + b.stats.coalesced_waits
+            > 0,
+        "the follower's free lookups must be recorded"
+    );
+
+    // Warm pass: everything is in the answer cache, so the web DB sees
+    // nothing and the scheduler never runs.
+    let dispatched_before = source.sched.stats().dispatched;
+    let warm = service
+        .create_query("x", &query_request(0.0, 150.0, None))
+        .unwrap();
+    assert_eq!(warm.stats.queries, 0, "warm pass must be free");
+    assert_eq!(db.ledger().total(), solo_paid, "warm pass hit the web DB");
+    assert_eq!(
+        source.sched.stats().dispatched,
+        dispatched_before,
+        "cache sits outside the scheduler; warm lookups must not queue"
+    );
+}
+
+#[test]
+fn delete_drains_the_sessions_pending_scheduler_entries() {
+    // A session blocked in the admission queue is torn down by DELETE:
+    // the blocked request returns, the queue empties, and the web DB is
+    // never charged for the abandoned probes. The small system-k forces
+    // paging to keep probing the source (a generous k would let the
+    // session answer page two from its own state, never queueing).
+    let db = x_db(200, 10);
+    let (service, source) = service_over(
+        db.clone(),
+        SourcePolicy::rate_limited(0.2, 50.0),
+        SchedConfig::default(),
+    );
+    let service = Arc::new(service);
+    // Page size = system k: the first page consumes the first probe's
+    // whole response, so the next page cannot be served from session
+    // state and must probe (and therefore queue) again.
+    let mut req = query_request(0.0, 150.0, None);
+    req.page_size = Some(10);
+    let first = service.create_query("x", &req).unwrap();
+    assert!(!first.results.is_empty());
+    // Exhaust whatever burst the first page left behind, so the next
+    // page must park in the scheduler (~5 s per fresh token).
+    let burner = range(db.as_ref(), 900.0, 1000.0);
+    while source.sched.shaped().try_search(&burner).is_ok() {}
+
+    let id = first.query_id.clone();
+    std::thread::scope(|scope| {
+        let page_service = Arc::clone(&service);
+        let page_id = id.clone();
+        let blocked = scope.spawn(move || page_service.next_page(&page_id, None));
+        wait_until("the next page's probe to queue", || {
+            source.sched.stats().queued > 0
+        });
+        let paid_at_delete = db.ledger().total();
+        service.delete(&id).expect("delete a live query");
+        // The blocked page request must come back (any outcome — the
+        // stream is cancelled) without spending anything further.
+        let _ = blocked.join().unwrap();
+        assert_eq!(
+            db.ledger().total(),
+            paid_at_delete,
+            "abandoned probes must never reach the web DB"
+        );
+    });
+    assert_eq!(source.sched.stats().queued, 0, "queue must be drained");
+    assert!(
+        service.stats(&id).is_err(),
+        "the session is gone after DELETE"
+    );
+}
