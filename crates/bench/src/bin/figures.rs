@@ -50,6 +50,14 @@ fn main() {
         println!("{}", qr2_bench::sched_smoke_table(&report).render());
         let path = qr2_bench::write_sched_smoke_report(&report);
         println!("wrote {}", path.display());
+        // Reconstruction pass: crawl the 1M-row source offline to full
+        // coverage, then serve live vs from the reconstruction. CI
+        // guards byte-identical responses and a zero ledger delta
+        // during recon serving.
+        let report = qr2_bench::run_recon_smoke(&qr2_bench::ReconSmokeConfig::default());
+        println!("{}", qr2_bench::recon_smoke_table(&report).render());
+        let path = qr2_bench::write_recon_smoke_report(&report);
+        println!("wrote {}", path.display());
         return;
     }
 

@@ -14,6 +14,7 @@
 pub mod cache_smoke;
 pub mod experiments;
 pub mod perf_smoke;
+pub mod recon_smoke;
 pub mod report;
 pub mod sched_smoke;
 pub mod smoke;
@@ -27,6 +28,10 @@ pub use experiments::*;
 pub use perf_smoke::{
     perf_smoke_json, perf_smoke_table, run_perf_smoke, write_perf_smoke_report, PerfSmokeConfig,
     PerfSmokeReport,
+};
+pub use recon_smoke::{
+    recon_smoke_json, recon_smoke_table, run_recon_smoke, write_recon_smoke_report,
+    ReconSmokeConfig, ReconSmokeRecord, ReconSmokeReport,
 };
 pub use report::{write_csv, Table};
 pub use sched_smoke::{

@@ -261,6 +261,9 @@ impl SearchCtx {
             search_time: s.search_time.saturating_sub(from.search_time),
             cache_hits: s.cache_hits.saturating_sub(from.cache_hits),
             coalesced_waits: s.coalesced_waits.saturating_sub(from.coalesced_waits),
+            // Recon hits are recorded by the serving tier, never by the
+            // engine's search context.
+            recon_hits: 0,
         }
     }
 

@@ -24,6 +24,10 @@ pub struct QueryStats {
     /// Lookups coalesced onto another session's identical in-flight query
     /// (zero web-DB cost for this session; the leader paid the one query).
     pub coalesced_waits: usize,
+    /// Pages served straight from an offline rank reconstruction
+    /// (`qr2-recon`) without touching the reranking engine — zero web-DB
+    /// cost, zero interface lookups.
+    pub recon_hits: usize,
 }
 
 impl QueryStats {
@@ -102,12 +106,19 @@ impl QueryStats {
         self.search_time += elapsed;
     }
 
+    /// Record one page answered from an offline rank reconstruction
+    /// (no engine step, no interface lookup, no web-DB query).
+    pub fn record_recon_hit(&mut self) {
+        self.recon_hits += 1;
+    }
+
     /// Merge another stats object into this one (rounds appended).
     pub fn absorb(&mut self, other: &QueryStats) {
         self.rounds.extend_from_slice(&other.rounds);
         self.search_time += other.search_time;
         self.cache_hits += other.cache_hits;
         self.coalesced_waits += other.coalesced_waits;
+        self.recon_hits += other.recon_hits;
     }
 }
 
@@ -149,6 +160,20 @@ mod tests {
         assert_eq!(a.search_time, Duration::from_millis(4));
         assert_eq!(a.cache_hits, 4);
         assert_eq!(a.coalesced_waits, 1);
+    }
+
+    #[test]
+    fn recon_hits_absorb_and_record() {
+        let mut a = QueryStats::default();
+        a.record_recon_hit();
+        a.record_recon_hit();
+        let mut b = QueryStats::default();
+        b.record_recon_hit();
+        a.absorb(&b);
+        assert_eq!(a.recon_hits, 3);
+        // Recon hits never inflate the query metric or rounds.
+        assert_eq!(a.total_queries(), 0);
+        assert_eq!(a.num_rounds(), 0);
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub enum Status {
     Ok,
     /// 201
     Created,
+    /// 202 (QR2 uses it for accepted background reconstruction jobs)
+    Accepted,
     /// 204
     NoContent,
     /// 400
@@ -37,6 +39,7 @@ impl Status {
         match self {
             Status::Ok => 200,
             Status::Created => 201,
+            Status::Accepted => 202,
             Status::NoContent => 204,
             Status::BadRequest => 400,
             Status::PaymentRequired => 402,
@@ -52,6 +55,7 @@ impl Status {
         match self {
             Status::Ok => "OK",
             Status::Created => "Created",
+            Status::Accepted => "Accepted",
             Status::NoContent => "No Content",
             Status::BadRequest => "Bad Request",
             Status::PaymentRequired => "Payment Required",

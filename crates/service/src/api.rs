@@ -23,10 +23,10 @@ use qr2_http::{
 use qr2_webdb::Schema;
 
 use crate::dto::{
-    algorithm_catalog, GetNextRequest, NextPageRequest, QueryRequest, StatsResponse, TupleDto,
+    algorithm_catalog, GetNextRequest, NextPageRequest, QueryRequest, ReconStartRequest, TupleDto,
 };
 use crate::error::{codes, unknown_query};
-use crate::service::{remaining_lifetime, QueryService};
+use crate::service::{entry_stats, remaining_lifetime, QueryService};
 use crate::session::{SessionHandle, SessionManager};
 use crate::sources::SourceRegistry;
 
@@ -112,7 +112,7 @@ fn ndjson_stream(
             if let Some(status) = status {
                 // A stopping condition was reached: emit the summary.
                 summary_sent = true;
-                let stats = StatsResponse::new(&entry.session.stats(), entry.session.served());
+                let stats = entry_stats(&entry);
                 break Json::obj([
                     ("event", Json::from("summary")),
                     ("status", Json::from(status)),
@@ -124,6 +124,32 @@ fn ndjson_stream(
             if emitted >= limit {
                 status = Some("complete");
                 continue;
+            }
+            // Recon-served sessions stream straight from the materialized
+            // answer — every line is free, no budget applies.
+            let recon_step = entry
+                .recon
+                .as_mut()
+                .map(|s| (s.next_page(1).into_iter().next(), s.done()));
+            if let Some((tuple, done)) = recon_step {
+                entry.done = done;
+                match tuple {
+                    Some(t) => {
+                        let event = Json::obj([
+                            ("event", Json::from("tuple")),
+                            ("index", Json::from(emitted)),
+                            ("queries", Json::from(0usize)),
+                            ("total_queries", Json::from(0usize)),
+                            ("tuple", TupleDto::new(&schema, &t).to_json()),
+                        ]);
+                        emitted += 1;
+                        break event;
+                    }
+                    None => {
+                        status = Some("done");
+                        continue;
+                    }
+                }
             }
             let remaining = match remaining_lifetime(&id, &handle, &entry) {
                 Ok(r) => r,
@@ -288,9 +314,12 @@ impl ApiState {
                 .clamp(STREAM_LIMIT_RANGE.0, STREAM_LIMIT_RANGE.1);
             // Reject an already-exhausted lifetime budget as a structured
             // 402 *before* committing to a 200 streaming response.
+            // Recon-served sessions are exempt: their pages cost nothing.
             {
                 let entry = handle.lock();
-                remaining_lifetime(&id, &handle, &entry)?;
+                if entry.recon.is_none() {
+                    remaining_lifetime(&id, &handle, &entry)?;
+                }
             }
             Ok(Response::stream(
                 "application/x-ndjson; charset=utf-8",
@@ -343,6 +372,44 @@ impl ApiState {
         match p
             .require("source")
             .and_then(|source| self.service.flush_cache(source))
+        {
+            Ok(()) => Response::no_content(),
+            Err(e) => e.into(),
+        }
+    }
+
+    /// `POST /v1/sources/:source/recon` — start (or resume) an offline
+    /// reconstruction job; 202 with the job id. An empty body uses the
+    /// default job options.
+    pub fn v1_recon_start(&self, req: &Request, p: &Params) -> Response {
+        let result = (|| {
+            let source = p.require("source")?;
+            let dto: ReconStartRequest = if req.body.is_empty() {
+                ReconStartRequest::default()
+            } else {
+                decode_body(req)?
+            };
+            self.service.recon_start(source, &dto)
+        })();
+        respond(Status::Accepted, result)
+    }
+
+    /// `GET /v1/sources/:source/recon` — reconstruction coverage, epoch
+    /// and job state.
+    pub fn v1_recon_status(&self, p: &Params) -> Response {
+        respond(
+            Status::Ok,
+            p.require("source")
+                .and_then(|source| self.service.recon_status(source)),
+        )
+    }
+
+    /// `DELETE /v1/sources/:source/recon` — cancel any running job and
+    /// drop the reconstructed index; 204 on success.
+    pub fn v1_recon_drop(&self, p: &Params) -> Response {
+        match p
+            .require("source")
+            .and_then(|source| self.service.recon_drop(source))
         {
             Ok(()) => Response::no_content(),
             Err(e) => e.into(),

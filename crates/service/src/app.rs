@@ -86,6 +86,7 @@ impl Qr2App {
         let st = |_: ()| Arc::clone(&self.state);
         let (s1, s2, s3, s4, s5, s6) = (st(()), st(()), st(()), st(()), st(()), st(()));
         let (s7, s8, s9, s10, s11) = (st(()), st(()), st(()), st(()), st(()));
+        let (s12, s13, s14) = (st(()), st(()), st(()));
         let (l1, l2, l3, l4, l5) = (st(()), st(()), st(()), st(()), st(()));
         Router::new()
             .route(Method::Get, "/", |_, _| Response::html(INDEX_HTML))
@@ -129,6 +130,15 @@ impl Qr2App {
             })
             .route(Method::Get, "/v1/sources/:source/sched", move |_, p| {
                 s11.v1_sched_stats(p)
+            })
+            .route(Method::Post, "/v1/sources/:source/recon", move |req, p| {
+                s12.v1_recon_start(req, p)
+            })
+            .route(Method::Get, "/v1/sources/:source/recon", move |_, p| {
+                s13.v1_recon_status(p)
+            })
+            .route(Method::Delete, "/v1/sources/:source/recon", move |_, p| {
+                s14.v1_recon_drop(p)
             })
             // -- Legacy RPC-style shims (deprecated; see docs/API.md).
             .route(Method::Get, "/api/sources", move |_, _| l1.handle_sources())

@@ -222,6 +222,27 @@ impl FromJson for GetNextRequest {
     }
 }
 
+/// `POST /v1/sources/:source/recon` body (everything optional; an empty
+/// body starts a default-budget job).
+#[derive(Debug, Clone, Default)]
+pub struct ReconStartRequest {
+    /// Paid web-DB queries this job may spend (default 10 000). The
+    /// frontier persists, so a follow-up job resumes where this budget
+    /// ran out.
+    pub max_queries: Option<usize>,
+    /// Paid queries between incremental checkpoints (default 32).
+    pub checkpoint_every: Option<usize>,
+}
+
+impl FromJson for ReconStartRequest {
+    fn from_json(d: &Decode) -> Result<ReconStartRequest, ApiError> {
+        Ok(ReconStartRequest {
+            max_queries: d.opt("max_queries").map(|v| v.usize()).transpose()?,
+            checkpoint_every: d.opt("checkpoint_every").map(|v| v.usize()).transpose()?,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Responses
 // ---------------------------------------------------------------------------
@@ -286,6 +307,9 @@ pub struct StatsResponse {
     pub cache_hits: usize,
     /// Lookups coalesced onto another session's in-flight query (free).
     pub coalesced_waits: usize,
+    /// Pages served straight from the offline rank reconstruction —
+    /// zero web-DB cost, the engine never ran.
+    pub recon_hits: usize,
     /// Fraction of lookups served without spending a web-DB query.
     pub cache_hit_fraction: f64,
     /// Wall-clock search time in milliseconds.
@@ -305,6 +329,7 @@ impl StatsResponse {
             parallel_fraction: stats.parallel_fraction(),
             cache_hits: stats.cache_hits,
             coalesced_waits: stats.coalesced_waits,
+            recon_hits: stats.recon_hits,
             cache_hit_fraction: stats.cache_hit_fraction(),
             search_time_ms: stats.search_time.as_secs_f64() * 1e3,
             served,
@@ -322,6 +347,7 @@ impl IntoJson for StatsResponse {
             ("parallel_fraction", Json::Num(self.parallel_fraction)),
             ("cache_hits", Json::from(self.cache_hits)),
             ("coalesced_waits", Json::from(self.coalesced_waits)),
+            ("recon_hits", Json::from(self.recon_hits)),
             ("cache_hit_fraction", Json::Num(self.cache_hit_fraction)),
             ("search_time_ms", Json::Num(self.search_time_ms)),
             ("served", Json::from(self.served)),
@@ -540,6 +566,74 @@ impl IntoJson for ResultsResponse {
     }
 }
 
+/// `POST /v1/sources/:source/recon` response (202): the job now holding
+/// the source's single reconstruction slot.
+#[derive(Debug, Clone)]
+pub struct ReconJobResponse {
+    /// The source key.
+    pub source: String,
+    /// Reconstruction job id (unique per source).
+    pub job_id: u64,
+    /// `"started"` for a freshly accepted job; `"running"` when an
+    /// earlier job already holds the slot (its id is reported).
+    pub state: &'static str,
+    /// Answer-cache epoch the job reconstructs against.
+    pub epoch: u64,
+}
+
+impl IntoJson for ReconJobResponse {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("source", Json::from(self.source.as_str())),
+            ("job_id", Json::from(self.job_id as usize)),
+            ("state", Json::from(self.state)),
+            ("epoch", Json::from(self.epoch as usize)),
+        ])
+    }
+}
+
+/// `GET /v1/sources/:source/recon` response: the source's reconstruction
+/// panel.
+#[derive(Debug, Clone)]
+pub struct ReconStatusResponse {
+    /// The source key.
+    pub source: String,
+    /// Status snapshot from the index.
+    pub status: qr2_recon::ReconStatus,
+}
+
+/// Render a [`qr2_recon::ReconStatus`] (shared by the recon panel and the
+/// source listing).
+pub(crate) fn recon_status_json(s: &qr2_recon::ReconStatus) -> Json {
+    let job = match &s.job {
+        Some(j) => Json::obj([
+            ("id", Json::from(j.id as usize)),
+            ("state", Json::from(j.state)),
+        ]),
+        None => Json::Null,
+    };
+    Json::obj([
+        ("state", Json::from(s.state)),
+        ("stale", Json::Bool(s.stale)),
+        ("epoch", Json::from(s.epoch as usize)),
+        ("coverage", Json::Num(s.coverage)),
+        ("pending_regions", Json::from(s.pending_regions)),
+        ("atomic_regions", Json::from(s.atomic_regions)),
+        ("tuples", Json::from(s.tuples)),
+        ("budget_spent", Json::from(s.budget_spent as usize)),
+        ("job", job),
+    ])
+}
+
+impl IntoJson for ReconStatusResponse {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("source", Json::from(self.source.as_str())),
+            ("recon", recon_status_json(&self.status)),
+        ])
+    }
+}
+
 /// A data source as reported by `GET /v1/sources`.
 #[derive(Debug, Clone)]
 pub struct SourceDescriptor {
@@ -553,6 +647,8 @@ pub struct SourceDescriptor {
     pub attributes: Json,
     /// Suggested popular ranking functions.
     pub popular_functions: Json,
+    /// Offline-reconstruction snapshot (state, coverage, staleness).
+    pub recon: Json,
 }
 
 impl SourceDescriptor {
@@ -597,12 +693,14 @@ impl SourceDescriptor {
                 ])
             })
             .collect();
+        let recon_status = source.recon.status(source.schema(), source.cache.epoch());
         SourceDescriptor {
             name: source.name.clone(),
             title: source.title.clone(),
             system_k: source.db.system_k(),
             attributes: Json::Arr(attrs),
             popular_functions: Json::Arr(popular),
+            recon: recon_status_json(&recon_status),
         }
     }
 }
@@ -615,6 +713,7 @@ impl IntoJson for SourceDescriptor {
             ("system_k", Json::from(self.system_k)),
             ("attributes", self.attributes.clone()),
             ("popular_functions", self.popular_functions.clone()),
+            ("recon", self.recon.clone()),
         ])
     }
 }
@@ -778,6 +877,7 @@ mod tests {
                 parallel_fraction: 0.0,
                 cache_hits: 0,
                 coalesced_waits: 0,
+                recon_hits: 0,
                 cache_hit_fraction: 0.0,
                 search_time_ms: 1.5,
                 served: 0,

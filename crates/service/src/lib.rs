@@ -20,6 +20,9 @@
 //! | `DELETE /v1/queries/:id` | drop a query (204) |
 //! | `GET /v1/sources/:source/cache` | the source's shared answer-cache statistics |
 //! | `DELETE /v1/sources/:source/cache` | flush the source's shared answer cache (204) |
+//! | `POST /v1/sources/:source/recon` | start/resume an offline rank-reconstruction job (202) |
+//! | `GET /v1/sources/:source/recon` | reconstruction coverage, epoch and job state |
+//! | `DELETE /v1/sources/:source/recon` | drop the reconstructed index (204) |
 //! | `GET /` | the embedded single-page UI |
 //!
 //! The legacy RPC endpoints (`POST /api/query`, `POST /api/getnext`,
@@ -50,5 +53,5 @@ pub use dto::{
 };
 pub use remote::{RemoteWebDb, WebDbGateway};
 pub use service::{compile_filters, compile_ranking, resolve_algorithm, QueryService};
-pub use session::{SessionEntry, SessionHandle, SessionId, SessionManager};
+pub use session::{ReconServing, SessionEntry, SessionHandle, SessionId, SessionManager};
 pub use sources::{Source, SourceRegistry};

@@ -11,15 +11,17 @@ use qr2_core::{
     Algorithm, Budget, LinearFunction, OneDimFunction, RankingFunction, RerankRequest, SortDir,
 };
 use qr2_http::ApiError;
+use qr2_recon::{JobOptions, ReconJobError, ServeOrder};
 use qr2_sched::{context as sched_context, QueryClass, SessionCtx};
 use qr2_webdb::{AttrKind, CatSet, RangePred, Schema, SearchQuery};
 
 use crate::dto::{
     algorithm_catalog, CacheStatsResponse, FilterDto, PageResponse, QueryRequest, RankingDto,
-    ResultsResponse, SchedStatsResponse, SourceDescriptor, StatsResponse, TupleDto,
+    ReconJobResponse, ReconStartRequest, ReconStatusResponse, ResultsResponse, SchedStatsResponse,
+    SourceDescriptor, StatsResponse, TupleDto,
 };
 use crate::error::{budget_exceeded, codes, source_throttled, unknown_query, unknown_source};
-use crate::session::{SessionEntry, SessionHandle, SessionManager};
+use crate::session::{ReconServing, SessionEntry, SessionHandle, SessionManager};
 use crate::sources::{Source, SourceRegistry};
 
 /// Page sizes are clamped to this range.
@@ -75,14 +77,34 @@ impl QueryService {
         }
         let page_size = clamp_page_size(req.page_size.unwrap_or(10));
         let class = parse_class(req.class.as_deref())?;
-        // Admission control: when the source is so saturated that a new
-        // session's first probe would wait past the scheduler's admission
-        // ceiling, refuse with a structured 503 + Retry-After instead of
-        // letting the request hang in the queue.
-        source
-            .sched
-            .admit()
-            .map_err(|t| source_throttled(source_name, &t))?;
+
+        // Hybrid dispatch: when the offline-reconstructed index covers the
+        // filter region at the source's current staleness epoch, the whole
+        // answer is materialized here and served page by page — zero paid
+        // queries, no scheduler admission, ledger untouched. Coverage is
+        // evaluated once, at creation: the session keeps its snapshot even
+        // if the epoch moves later (exactly like a live session keeps its
+        // buffered tuples).
+        let recon_serving = ServeOrder::for_request(algorithm, &function)
+            .and_then(|order| {
+                source.recon.serve(
+                    &filter,
+                    &order,
+                    source.reranker.normalizer(),
+                    source.cache.epoch(),
+                )
+            })
+            .map(ReconServing::new);
+        if recon_serving.is_none() {
+            // Admission control: when the source is so saturated that a new
+            // session's first probe would wait past the scheduler's admission
+            // ceiling, refuse with a structured 503 + Retry-After instead of
+            // letting the request hang in the queue.
+            source
+                .sched
+                .admit()
+                .map_err(|t| source_throttled(source_name, &t))?;
+        }
 
         let mut session = source.reranker.query(RerankRequest {
             filter,
@@ -90,21 +112,33 @@ impl QueryService {
             algorithm,
         });
         let sched_key = sched_context::next_session_key();
-        let ctx = SessionCtx::new(sched_key, class).with_cancel(session.cancel_token());
-        // The first page respects the lifetime budget from query zero.
-        let step = sched_context::with_session(ctx, || {
-            session.advance(Budget {
-                queries: req.max_queries,
-                tuples: Some(page_size),
-            })
-        });
-        let done = step.is_done();
-        let results: Vec<TupleDto> = step
-            .into_tuples()
-            .iter()
-            .map(|t| TupleDto::new(&schema, t))
-            .collect();
-        let stats = StatsResponse::new(&session.stats(), session.served());
+        let (results, done, stats, recon_serving) = match recon_serving {
+            Some(mut serving) => {
+                let page = serving.next_page(page_size);
+                let results = page.iter().map(|t| TupleDto::new(&schema, t)).collect();
+                let done = serving.done();
+                let stats = StatsResponse::new(&serving.stats, serving.served());
+                (results, done, stats, Some(serving))
+            }
+            None => {
+                let ctx = SessionCtx::new(sched_key, class).with_cancel(session.cancel_token());
+                // The first page respects the lifetime budget from query zero.
+                let step = sched_context::with_session(ctx, || {
+                    session.advance(Budget {
+                        queries: req.max_queries,
+                        tuples: Some(page_size),
+                    })
+                });
+                let done = step.is_done();
+                let results = step
+                    .into_tuples()
+                    .iter()
+                    .map(|t| TupleDto::new(&schema, t))
+                    .collect();
+                let stats = StatsResponse::new(&session.stats(), session.served());
+                (results, done, stats, None)
+            }
+        };
         let query_id = self.sessions.create(
             session,
             source_name,
@@ -113,6 +147,13 @@ impl QueryService {
             class,
             sched_key,
         );
+        if let Some(serving) = recon_serving {
+            if let Some(handle) = self.sessions.get(&query_id) {
+                let mut entry = handle.lock();
+                entry.done = done;
+                entry.recon = Some(serving);
+            }
+        }
         Ok(PageResponse {
             query_id,
             algorithm: Some(algorithm.paper_name()),
@@ -135,6 +176,24 @@ impl QueryService {
         let page_size = clamp_page_size(page_size.unwrap_or(handle.page_size));
 
         let mut entry = handle.lock();
+        // Recon-served sessions page from the materialized answer: free,
+        // so the lifetime budget check does not apply.
+        let recon_step = entry.recon.as_mut().map(|serving| {
+            let page = serving.next_page(page_size);
+            let stats = StatsResponse::new(&serving.stats, serving.served());
+            (page, serving.done(), stats)
+        });
+        if let Some((page, done, stats)) = recon_step {
+            entry.done = done;
+            let results = page.iter().map(|t| TupleDto::new(&schema, t)).collect();
+            return Ok(PageResponse {
+                query_id: id.to_string(),
+                algorithm: None,
+                results,
+                done,
+                stats,
+            });
+        }
         let remaining = remaining_lifetime(id, &handle, &entry)?;
         let step = sched_context::with_session(session_ctx(&handle), || {
             entry.session.advance(Budget {
@@ -176,6 +235,22 @@ impl QueryService {
         let limit = clamp_page_size(limit.unwrap_or(handle.page_size));
 
         let mut entry = handle.lock();
+        let recon_step = entry.recon.as_mut().map(|serving| {
+            let page = serving.next_page(limit);
+            let stats = StatsResponse::new(&serving.stats, serving.served());
+            (page, serving.done(), stats)
+        });
+        if let Some((page, done, stats)) = recon_step {
+            entry.done = done;
+            let results = page.iter().map(|t| TupleDto::new(&schema, t)).collect();
+            return Ok(ResultsResponse {
+                query_id: id.to_string(),
+                results,
+                status: if done { "done" } else { "complete" },
+                step_queries: 0,
+                stats,
+            });
+        }
         let remaining = remaining_lifetime(id, &handle, &entry)?;
         // The step may spend at most min(request budget, remaining
         // lifetime budget).
@@ -212,10 +287,7 @@ impl QueryService {
     pub fn stats(&self, id: &str) -> Result<StatsResponse, ApiError> {
         let handle = self.sessions.get(id).ok_or_else(|| unknown_query(id))?;
         let entry = handle.lock();
-        Ok(StatsResponse::new(
-            &entry.session.stats(),
-            entry.session.served(),
-        ))
+        Ok(entry_stats(&entry))
     }
 
     /// `DELETE /v1/queries/:id`: drop a live query. Cancels the session's
@@ -287,6 +359,75 @@ impl QueryService {
         })
     }
 
+    /// `POST /v1/sources/:source/recon`: start (or resume) a budgeted
+    /// offline rank-reconstruction job over the source's query space.
+    /// Idempotent for concurrent callers: a job already running is
+    /// reported (`state: "running"`) instead of erroring.
+    pub fn recon_start(
+        &self,
+        source_name: &str,
+        req: &ReconStartRequest,
+    ) -> Result<ReconJobResponse, ApiError> {
+        let source = self
+            .registry
+            .get(source_name)
+            .ok_or_else(|| unknown_source(source_name))?;
+        let mut opts = JobOptions::default();
+        if let Some(m) = req.max_queries {
+            opts.max_queries = m;
+        }
+        if let Some(c) = req.checkpoint_every {
+            opts.checkpoint_every = c.max(1);
+        }
+        let epoch = source.cache.epoch();
+        // The job probes through the source's full serving stack (cache →
+        // scheduler → traffic shaping) as background-class work, so a
+        // crawl never starves interactive sessions or dodges rate limits.
+        match source
+            .recon
+            .start_job(Arc::clone(&source.probe), opts, epoch)
+        {
+            Ok(job_id) => Ok(ReconJobResponse {
+                source: source.name.clone(),
+                job_id,
+                state: "started",
+                epoch,
+            }),
+            Err(ReconJobError::Busy { job_id }) => Ok(ReconJobResponse {
+                source: source.name.clone(),
+                job_id,
+                state: "running",
+                epoch,
+            }),
+        }
+    }
+
+    /// `GET /v1/sources/:source/recon`: reconstruction coverage, epoch,
+    /// region counts, budget spent and job state.
+    pub fn recon_status(&self, source_name: &str) -> Result<ReconStatusResponse, ApiError> {
+        let source = self
+            .registry
+            .get(source_name)
+            .ok_or_else(|| unknown_source(source_name))?;
+        Ok(ReconStatusResponse {
+            source: source.name.clone(),
+            status: source.recon.status(source.schema(), source.cache.epoch()),
+        })
+    }
+
+    /// `DELETE /v1/sources/:source/recon`: cancel any running job and drop
+    /// the reconstructed index (memory and backing store).
+    pub fn recon_drop(&self, source_name: &str) -> Result<(), ApiError> {
+        let source = self
+            .registry
+            .get(source_name)
+            .ok_or_else(|| unknown_source(source_name))?;
+        source
+            .recon
+            .drop_index(source.cache.epoch())
+            .map_err(|e| ApiError::internal(format!("recon drop failed: {e}")))
+    }
+
     fn source_of(&self, name: &str) -> Result<Arc<Source>, ApiError> {
         self.registry
             .get(name)
@@ -309,6 +450,16 @@ fn parse_class(raw: Option<&str>) -> Result<QueryClass, ApiError> {
             )
             .with_field("class")
         }),
+    }
+}
+
+/// The statistics panel for a session: recon-served sessions report the
+/// serving tier's counters (`recon_hits`, zero queries), live sessions the
+/// engine's.
+pub(crate) fn entry_stats(entry: &SessionEntry) -> StatsResponse {
+    match &entry.recon {
+        Some(s) => StatsResponse::new(&s.stats, s.served()),
+        None => StatsResponse::new(&entry.session.stats(), entry.session.served()),
     }
 }
 

@@ -14,11 +14,62 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
-use qr2_core::{CancelToken, RerankSession};
+use qr2_core::{CancelToken, QueryStats, RerankSession};
 use qr2_sched::QueryClass;
+use qr2_webdb::Tuple;
 
 /// Opaque session identifier (`"s17"`).
 pub type SessionId = String;
+
+/// Zero-query serving state for a session whose filter region is covered
+/// by the source's offline rank reconstruction (`qr2-recon`): the
+/// complete, engine-ordered answer set was materialized at creation, and
+/// every page is a cursor slice over it — no engine, no scheduler, no
+/// web-DB spend. Coverage was checked against the answer-cache epoch at
+/// creation; like a live session's already-buffered tuples, the
+/// materialized order is *not* invalidated mid-session by a later epoch
+/// bump (see docs/RECON.md).
+pub struct ReconServing {
+    tuples: Arc<[Tuple]>,
+    cursor: usize,
+    /// Serving-tier statistics: `recon_hits` pages, zero queries.
+    pub stats: QueryStats,
+}
+
+impl ReconServing {
+    /// Wrap a materialized, engine-ordered answer set.
+    pub fn new(tuples: Vec<Tuple>) -> ReconServing {
+        ReconServing {
+            tuples: tuples.into(),
+            cursor: 0,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Serve the next page of up to `n` tuples and record the recon hit.
+    pub fn next_page(&mut self, n: usize) -> Vec<Tuple> {
+        let page: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .skip(self.cursor)
+            .take(n)
+            .cloned()
+            .collect();
+        self.cursor += page.len();
+        self.stats.record_recon_hit();
+        page
+    }
+
+    /// Tuples served so far.
+    pub fn served(&self) -> usize {
+        self.cursor
+    }
+
+    /// True when every tuple has been served.
+    pub fn done(&self) -> bool {
+        self.cursor >= self.tuples.len()
+    }
+}
 
 /// The mutable state of a live session (held behind [`SessionHandle`]'s
 /// lock).
@@ -27,6 +78,9 @@ pub struct SessionEntry {
     pub session: RerankSession,
     /// Whether the stream has been exhausted.
     pub done: bool,
+    /// When set, the session serves from the offline rank reconstruction
+    /// and the engine in `session` is never advanced.
+    pub recon: Option<ReconServing>,
 }
 
 /// A live session: immutable metadata plus the locked mutable state. The
@@ -115,6 +169,7 @@ impl SessionManager {
             entry: Mutex::new(SessionEntry {
                 session,
                 done: false,
+                recon: None,
             }),
         };
         self.sessions.lock().insert(id.clone(), Arc::new(handle));

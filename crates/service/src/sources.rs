@@ -6,8 +6,12 @@ use qr2_cache::{AnswerCache, CacheConfig, CachedInterface};
 use qr2_core::{DenseIndex, ExecutorKind, Reranker};
 use qr2_datagen::{bluenile_db, zillow_db, DiamondsConfig, HomesConfig};
 use qr2_http::Json;
+use qr2_recon::ReconIndex;
 use qr2_sched::{SchedConfig, ScheduledInterface, SourceScheduler};
-use qr2_webdb::{Schema, SourcePolicy, TopKInterface, TrafficShapedInterface};
+use qr2_webdb::{
+    QueryLedger, Schema, SearchOutcome, SearchQuery, SourcePolicy, TopKInterface, TopKResponse,
+    TrafficShapedInterface,
+};
 
 /// One reranking-enabled web database.
 ///
@@ -35,9 +39,73 @@ pub struct Source {
     /// The per-source scheduler every cache miss is routed through
     /// (admission control, fair share, pacing, frontier coalescing).
     pub sched: Arc<SourceScheduler>,
+    /// The source's offline rank reconstruction: covered filter regions
+    /// are served with zero web-DB queries (see `qr2-recon`).
+    pub recon: Arc<ReconIndex>,
+    /// The full decorator stack (`recon feed → cache → scheduler →
+    /// traffic shaping → raw db`): what the reranker probes through, and
+    /// what the reconstruction driver's background crawl probes through —
+    /// recon jobs pay the same pacing and enjoy the same cache as
+    /// everyone else.
+    pub probe: Arc<dyn TopKInterface>,
     /// Suggested "popular functions" shown in the ranking section
     /// (paper §II-C): label → `(attr, weight)` list.
     pub popular: Vec<(String, Vec<(String, f64)>)>,
+}
+
+/// Decorator that opportunistically feeds every observed answer into the
+/// source's reconstruction: a complete (non-overflowing) response that
+/// covers still-pending frontier regions retires them for free, growing
+/// recon coverage as a side effect of normal serving. Degraded
+/// (non-authoritative) answers are never fed.
+struct ReconFeedInterface {
+    inner: Arc<dyn TopKInterface>,
+    recon: Arc<ReconIndex>,
+    cache: Arc<AnswerCache>,
+}
+
+impl TopKInterface for ReconFeedInterface {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn system_k(&self) -> usize {
+        self.inner.system_k()
+    }
+
+    fn search(&self, q: &SearchQuery) -> TopKResponse {
+        let (resp, _) = self.search_observed(q);
+        resp
+    }
+
+    fn ledger(&self) -> &QueryLedger {
+        self.inner.ledger()
+    }
+
+    fn search_observed(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome) {
+        let (resp, outcome) = self.inner.search_observed(q);
+        self.recon.feed_observed(q, &resp, self.cache.epoch());
+        (resp, outcome)
+    }
+
+    fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {
+        let (resp, authoritative) = self.inner.search_authoritative(q);
+        if authoritative {
+            self.recon.feed_observed(q, &resp, self.cache.epoch());
+        }
+        (resp, authoritative)
+    }
+
+    fn search_observed_authoritative(
+        &self,
+        q: &SearchQuery,
+    ) -> (TopKResponse, SearchOutcome, bool) {
+        let (resp, outcome, authoritative) = self.inner.search_observed_authoritative(q);
+        if authoritative {
+            self.recon.feed_observed(q, &resp, self.cache.epoch());
+        }
+        (resp, outcome, authoritative)
+    }
 }
 
 impl Source {
@@ -59,13 +127,17 @@ impl Source {
             dense,
             popular,
             Arc::new(AnswerCache::new(CacheConfig::default())),
+            Arc::new(ReconIndex::ephemeral()),
         )
     }
 
     /// Build a source over an explicit answer cache — per-source capacity
     /// config, or a persistent cache warm-started from an
-    /// [`qr2_store::AnswerStore`]. The source's traffic policy defaults to
-    /// unlimited (the scheduler passes probes straight through).
+    /// [`qr2_store::AnswerStore`] — and an explicit reconstruction index
+    /// (persistent via [`qr2_store::RankIndex`], or ephemeral). The
+    /// source's traffic policy defaults to unlimited (the scheduler
+    /// passes probes straight through).
+    #[allow(clippy::too_many_arguments)]
     pub fn with_cache(
         name: impl Into<String>,
         title: impl Into<String>,
@@ -74,6 +146,7 @@ impl Source {
         dense: Arc<DenseIndex>,
         popular: Vec<(String, Vec<(String, f64)>)>,
         cache: Arc<AnswerCache>,
+        recon: Arc<ReconIndex>,
     ) -> Self {
         Self::with_scheduler(
             name,
@@ -85,6 +158,7 @@ impl Source {
             dense,
             popular,
             cache,
+            recon,
         )
     }
 
@@ -104,6 +178,7 @@ impl Source {
         dense: Arc<DenseIndex>,
         popular: Vec<(String, Vec<(String, f64)>)>,
         cache: Arc<AnswerCache>,
+        recon: Arc<ReconIndex>,
     ) -> Self {
         let shaped = Arc::new(TrafficShapedInterface::new(db.clone(), policy));
         let sched = Arc::new(SourceScheduler::new(shaped, sched_cfg));
@@ -113,8 +188,15 @@ impl Source {
         // scheduler, and a throttled source never delays a cached answer.
         let cached: Arc<dyn TopKInterface> =
             Arc::new(CachedInterface::new(scheduled, Arc::clone(&cache)));
+        // Feed layer over the cache: even free (cached) answers can
+        // retire reconstruction frontier regions.
+        let probe: Arc<dyn TopKInterface> = Arc::new(ReconFeedInterface {
+            inner: cached,
+            recon: Arc::clone(&recon),
+            cache: Arc::clone(&cache),
+        });
         let reranker = Arc::new(
-            Reranker::builder(cached)
+            Reranker::builder(Arc::clone(&probe))
                 .executor(executor)
                 .dense_index(dense)
                 .build(),
@@ -126,6 +208,8 @@ impl Source {
             db,
             cache,
             sched,
+            recon,
+            probe,
             popular,
         }
     }
@@ -185,10 +269,12 @@ impl SourceRegistry {
             .expect("volatile demo registry cannot fail")
     }
 
-    /// The demo registry with **persistent** answer caches: each source's
-    /// cache is warm-started from (and written through to) an
-    /// `AnswerStore` log under `cache_dir`, so repeated queries stay free
-    /// across service restarts. Pass `None` for volatile caches.
+    /// The demo registry with **persistent** answer caches and
+    /// reconstruction indexes: each source's cache is warm-started from
+    /// (and written through to) an `AnswerStore` log under `cache_dir`,
+    /// and its rank reconstruction from a `RankIndex` log next to it, so
+    /// repeated queries stay free — and reconstructed coverage keeps
+    /// serving — across service restarts. Pass `None` for volatile state.
     pub fn demo_with_cache_dir(
         diamonds: usize,
         homes: usize,
@@ -202,6 +288,12 @@ impl SourceRegistry {
                     qr2_store::AnswerStore::open(dir.join(format!("{name}-answers.log")))?,
                 ),
                 None => AnswerCache::new(CacheConfig::default()),
+            }))
+        };
+        let recon_for = |name: &str| -> qr2_store::Result<Arc<ReconIndex>> {
+            Ok(Arc::new(match cache_dir {
+                Some(dir) => ReconIndex::open(dir.join(format!("{name}-recon.log")))?,
+                None => ReconIndex::ephemeral(),
             }))
         };
         let mut reg = SourceRegistry::new();
@@ -230,6 +322,7 @@ impl SourceRegistry {
                 ),
             ],
             cache_for("bluenile")?,
+            recon_for("bluenile")?,
         ));
         let zillow: Arc<dyn TopKInterface> = Arc::new(zillow_db(&HomesConfig {
             n: homes,
@@ -252,6 +345,7 @@ impl SourceRegistry {
                 ),
             ],
             cache_for("zillow")?,
+            recon_for("zillow")?,
         ));
         Ok(reg)
     }

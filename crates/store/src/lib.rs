@@ -16,7 +16,11 @@
 //!   descriptor → crawled tuples — with the boot-time verification hook;
 //! * [`AnswerStore`]: persisted top-k answers keyed by canonical query,
 //!   with epoch-based invalidation — the durable half of the shared
-//!   cross-session answer cache (`qr2-cache`).
+//!   cross-session answer cache (`qr2-cache`);
+//! * [`RankIndex`]: the persisted offline rank reconstruction of one
+//!   source — crawled tuples plus the uncovered-region frontier — with
+//!   crash-safe incremental checkpoints and the same epoch-based
+//!   invalidation (`qr2-recon`).
 //!
 //! No serde: the formats here are small, versioned, and fully tested,
 //! including property-based round-trips and corruption injection.
@@ -27,11 +31,13 @@ pub mod crc32;
 mod dense;
 mod kv;
 mod log;
+mod recon;
 
 pub use answers::AnswerStore;
 pub use dense::{DenseRegion, DenseRegionStore, VerifyReport};
 pub use kv::KvStore;
 pub use log::{Log, LogStats};
+pub use recon::{RankIndex, RankSnapshot};
 
 /// Stable binary formats for queries, tuples and metadata records, shared
 /// by the dense-region cache and the service layer.

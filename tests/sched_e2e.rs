@@ -83,6 +83,7 @@ fn service_over(
         Arc::new(DenseIndex::in_memory()),
         vec![],
         cache,
+        Arc::new(qr2::recon::ReconIndex::ephemeral()),
     ));
     let registry = Arc::new(registry);
     let source = registry.get("x").expect("source registered");
