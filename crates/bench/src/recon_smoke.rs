@@ -178,7 +178,7 @@ pub fn run_recon_smoke(cfg: &ReconSmokeConfig) -> ReconSmokeReport {
         let ledger_before = db.ledger().total();
         let start = Instant::now();
         let served = idx
-            .serve(&SearchQuery::all(), &order, reranker.normalizer(), 0)
+            .serve(&SearchQuery::all(), &order, reranker.normalizer(), || 0)
             .expect("full coverage: the root region is covered");
         let recon = &served[..cfg.depth.min(served.len())];
         let recon_wall_ms = start.elapsed().as_secs_f64() * 1e3;

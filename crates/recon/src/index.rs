@@ -49,6 +49,19 @@ struct State {
     atomic: Vec<SearchQuery>,
     tuples: BTreeMap<TupleId, Tuple>,
     budget_spent: u64,
+    /// Bumped on every mutation; versions a [`ServeMemo`].
+    version: u64,
+}
+
+/// The most recent materialized answer set, shared across sessions: a
+/// second `serve` call with the same filter and order at an unchanged
+/// state returns the same `Arc` instead of re-cloning (and re-sorting)
+/// the whole matching tuple set per session.
+struct ServeMemo {
+    version: u64,
+    query: SearchQuery,
+    order: ServeOrder,
+    tuples: Arc<[Tuple]>,
 }
 
 /// Job bookkeeping: at most one reconstruction job per source at a time.
@@ -171,6 +184,7 @@ pub struct ReconIndex {
     state: RwLock<State>,
     store: Mutex<Option<RankIndex>>,
     jobs: Mutex<Jobs>,
+    memo: Mutex<Option<ServeMemo>>,
 }
 
 impl ReconIndex {
@@ -180,6 +194,7 @@ impl ReconIndex {
             state: RwLock::new(State::default()),
             store: Mutex::new(None),
             jobs: Mutex::new(Jobs::default()),
+            memo: Mutex::new(None),
         }
     }
 
@@ -195,11 +210,13 @@ impl ReconIndex {
             atomic: snap.atomic,
             tuples: snap.tuples.into_iter().map(|t| (t.id, t)).collect(),
             budget_spent: snap.budget_spent,
+            version: 0,
         };
         Ok(ReconIndex {
             state: RwLock::new(state),
             store: Mutex::new(Some(store)),
             jobs: Mutex::new(Jobs::default()),
+            memo: Mutex::new(None),
         })
     }
 
@@ -216,28 +233,54 @@ impl ReconIndex {
 
     /// The complete, engine-ordered answer set for a covered region:
     /// every indexed tuple matching `q`, sorted with the live engines'
-    /// exact comparators. `None` when `q` is not covered at
-    /// `current_epoch` — the caller must fall back to the live engine.
+    /// exact comparators. `None` when `q` is not covered — the caller
+    /// must fall back to the live engine.
+    ///
+    /// `epoch_at` supplies the caller's current staleness epoch and is
+    /// evaluated *while the read lock is held*, so the coverage check and
+    /// the epoch read are one atomic decision — a cache flush cannot slip
+    /// between them and let a just-invalidated reconstruction serve a
+    /// brand-new session.
+    ///
+    /// The returned set is `Arc`-shared: repeated calls with the same
+    /// filter and order against an unchanged reconstruction reuse one
+    /// materialization instead of cloning the matching tuples per caller.
     pub fn serve(
         &self,
         q: &SearchQuery,
         order: &ServeOrder,
         norm: &Normalizer,
-        current_epoch: u64,
-    ) -> Option<Vec<Tuple>> {
-        let mut out = {
+        epoch_at: impl FnOnce() -> u64,
+    ) -> Option<Arc<[Tuple]>> {
+        let (version, mut out) = {
             let st = self.state.read();
-            if !covered_locked(&st, q, current_epoch) {
+            if !covered_locked(&st, q, epoch_at()) {
                 return None;
             }
-            st.tuples
+            if let Some(m) = self.memo.lock().as_ref() {
+                if m.version == st.version && m.query == *q && m.order == *order {
+                    return Some(Arc::clone(&m.tuples));
+                }
+            }
+            let out = st
+                .tuples
                 .values()
                 .filter(|t| q.matches_with(|a| t.value(a)))
                 .cloned()
-                .collect::<Vec<Tuple>>()
+                .collect::<Vec<Tuple>>();
+            (st.version, out)
         };
         order.sort(&mut out, norm);
-        Some(out)
+        let tuples: Arc<[Tuple]> = out.into();
+        // Last write wins on a race; the version tag keeps a stale entry
+        // from ever satisfying a lookup at a newer state.
+        *self.memo.lock() = Some(ServeMemo {
+            version,
+            query: q.clone(),
+            order: order.clone(),
+            tuples: Arc::clone(&tuples),
+        });
+        Some(tuples)
     }
 
     /// Opportunistically absorb a live answer observed during fallback
@@ -267,11 +310,16 @@ impl ReconIndex {
                     added.push(t.clone());
                 }
             }
+            st.version += 1;
             (added, st.pending.clone(), st.atomic.clone())
         };
         if let Some(store) = self.store.lock().as_mut() {
-            let _ = store.append_tuples(&added);
-            let _ = store.save_frontier(&pending, &atomic);
+            // Tuples strictly before the frontier: if the batch fails to
+            // persist, the on-disk frontier must not shrink, or a
+            // reopened index would claim coverage it cannot back.
+            if store.append_tuples(&added).is_ok() {
+                let _ = store.save_frontier(&pending, &atomic);
+            }
         }
     }
 
@@ -283,8 +331,10 @@ impl ReconIndex {
         }
         {
             let mut st = self.state.write();
+            let version = st.version + 1;
             *st = State {
                 epoch: current_epoch,
+                version,
                 ..State::default()
             };
         }
@@ -352,50 +402,66 @@ impl ReconIndex {
         opts: &JobOptions,
         current_epoch: u64,
     ) -> Result<JobReport, ReconJobError> {
-        let (job_id, cancel) = {
-            let mut jobs = self.jobs.lock();
-            if let Some((id, _)) = &jobs.running {
-                return Err(ReconJobError::Busy { job_id: *id });
-            }
-            jobs.next_id += 1;
-            let cancel = CancelToken::new();
-            jobs.running = Some((jobs.next_id, cancel.clone()));
-            (jobs.next_id, cancel)
-        };
+        let (job_id, cancel) = self.reserve_job()?;
+        Ok(self.run_reserved(db, opts, current_epoch, job_id, cancel))
+    }
+
+    /// Reserve the single job slot under the lock; the returned id is
+    /// the id that runs (no predicted-id races).
+    fn reserve_job(&self) -> Result<(u64, CancelToken), ReconJobError> {
+        let mut jobs = self.jobs.lock();
+        if let Some((id, _)) = &jobs.running {
+            return Err(ReconJobError::Busy { job_id: *id });
+        }
+        jobs.next_id += 1;
+        let cancel = CancelToken::new();
+        jobs.running = Some((jobs.next_id, cancel.clone()));
+        Ok((jobs.next_id, cancel))
+    }
+
+    /// Run a job whose slot [`ReconIndex::reserve_job`] already holds,
+    /// releasing the slot when it finishes.
+    fn run_reserved<D: TopKInterface + ?Sized>(
+        &self,
+        db: &D,
+        opts: &JobOptions,
+        current_epoch: u64,
+        job_id: u64,
+        cancel: CancelToken,
+    ) -> JobReport {
         let ctx =
             SessionCtx::new(next_session_key(), QueryClass::Background).with_cancel(cancel.clone());
         let report = with_session(ctx, || self.drive(db, opts, current_epoch, job_id, &cancel));
         let mut jobs = self.jobs.lock();
         jobs.running = None;
         jobs.last = Some(report.clone());
-        Ok(report)
+        report
     }
 
-    /// Spawn [`ReconIndex::run_job`] on a background thread and return
-    /// the job id immediately (the HTTP `POST …/recon` path).
+    /// Run a reconstruction job on a background thread and return the
+    /// job id immediately (the HTTP `POST …/recon` path). The job slot
+    /// is reserved under the lock *before* spawning, so two concurrent
+    /// calls cannot both start a job, and a returned id always refers to
+    /// the job that actually runs.
     pub fn start_job(
         self: &Arc<Self>,
         db: Arc<dyn TopKInterface>,
         opts: JobOptions,
         current_epoch: u64,
     ) -> Result<u64, ReconJobError> {
-        // Reserve the job slot synchronously so two concurrent POSTs
-        // cannot both spawn.
-        let next_id = {
-            let jobs = self.jobs.lock();
-            if let Some((id, _)) = &jobs.running {
-                return Err(ReconJobError::Busy { job_id: *id });
-            }
-            jobs.next_id + 1
-        };
+        let (job_id, cancel) = self.reserve_job()?;
         let index = Arc::clone(self);
-        std::thread::Builder::new()
-            .name(format!("qr2-recon-r{next_id}"))
+        let spawned = std::thread::Builder::new()
+            .name(format!("qr2-recon-r{job_id}"))
             .spawn(move || {
-                let _ = index.run_job(&*db, &opts, current_epoch);
-            })
-            .map_err(|_| ReconJobError::Busy { job_id: next_id })?;
-        Ok(next_id)
+                index.run_reserved(&*db, &opts, current_epoch, job_id, cancel);
+            });
+        if spawned.is_err() {
+            // Could not get a thread: release the slot we reserved.
+            self.jobs.lock().running = None;
+            return Err(ReconJobError::Busy { job_id });
+        }
+        Ok(job_id)
     }
 
     /// The work loop: resumable region walk with incremental checkpoints.
@@ -412,27 +478,31 @@ impl ReconIndex {
         let mut persist_errors = 0usize;
 
         // Fresh start or resume: an epoch or root change restarts.
-        let mut worklist: Vec<(SearchQuery, usize)> = {
+        let (resume, mut worklist): (bool, Vec<(SearchQuery, usize)>) = {
             let mut st = self.state.write();
             let resume = st.epoch == epoch && st.root.as_ref() == Some(&root);
             if !resume {
+                let version = st.version + 1;
                 *st = State {
                     epoch,
                     root: Some(root.clone()),
                     pending: vec![root.clone()],
+                    version,
                     ..State::default()
                 };
             }
-            st.pending.iter().cloned().map(|q| (q, 0)).collect()
+            (resume, st.pending.iter().cloned().map(|q| (q, 0)).collect())
         };
         {
             let mut store = self.store.lock();
             if let Some(store) = store.as_mut() {
-                if store.epoch() != epoch || worklist.len() == 1 {
-                    // (Re)announce the reconstruction; harmless on resume.
-                    if store.begin(epoch, &root).is_err() {
-                        persist_errors += 1;
-                    }
+                // begin() wipes every persisted tuple batch, so it must
+                // run exactly on a restart — never on a same-epoch resume
+                // (however small its remaining work-list), where the
+                // batches on disk back coverage the frontier already
+                // claims.
+                if (!resume || store.epoch() != epoch) && store.begin(epoch, &root).is_err() {
+                    persist_errors += 1;
                 }
             }
         }
@@ -553,20 +623,27 @@ impl ReconIndex {
             st.pending = pending.clone();
             st.atomic = atomic.to_vec();
             st.budget_spent += paid_delta as u64;
+            st.version += 1;
             // Each checkpoint call accounts its own paid delta exactly
             // once: the caller resets its counter.
             (added, st.budget_spent)
         };
         let mut errors = 0usize;
         if let Some(store) = self.store.lock().as_mut() {
-            if store.append_tuples(&added).is_err() {
-                errors += 1;
-            }
-            if store.save_frontier(&pending, atomic).is_err() {
-                errors += 1;
-            }
-            if store.save_budget(budget_spent).is_err() {
-                errors += 1;
+            // Tuples strictly before the frontier: when the batch append
+            // fails, neither the frontier nor the budget may move on
+            // disk — a shrunk frontier without its backing tuples would
+            // make a reopened index over-claim coverage.
+            match store.append_tuples(&added) {
+                Ok(()) => {
+                    if store.save_frontier(&pending, atomic).is_err() {
+                        errors += 1;
+                    }
+                    if store.save_budget(budget_spent).is_err() {
+                        errors += 1;
+                    }
+                }
+                Err(_) => errors += 1,
             }
         }
         (added.len(), errors)
@@ -704,8 +781,13 @@ mod tests {
             attr: x,
             dir: qr2_core::SortDir::Asc,
         };
-        let page = idx.serve(&narrow, &order, &norm, 0).unwrap();
+        let page = idx.serve(&narrow, &order, &norm, || 0).unwrap();
         assert_eq!(page.len(), 16);
+        let again = idx.serve(&narrow, &order, &norm, || 0).unwrap();
+        assert!(
+            Arc::ptr_eq(&page, &again),
+            "unchanged state must reuse the memoized materialization"
+        );
         assert!(page.windows(2).all(|w| {
             match (w.first(), w.get(1)) {
                 (Some(a), Some(b)) => (a.num_at(x), a.id) <= (b.num_at(x), b.id),
@@ -811,6 +893,43 @@ mod tests {
         let idx = ReconIndex::open(&path).unwrap();
         assert!(!idx.covered(&SearchQuery::all(), 7));
         assert_eq!(idx.status(db.schema(), 8).state, "empty");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_pending_resume_keeps_persisted_tuples() {
+        // Regression: a same-epoch resume must never begin() the store —
+        // begin() wipes the persisted tuple batches, and a resume whose
+        // work-list happened to hold exactly one region used to trip a
+        // worklist-length heuristic and do exactly that, leaving a
+        // reopened index claiming coverage without its tuples.
+        let db = grid_db(2);
+        let path = temp_path("resume1");
+        // Crawl one paid query at a time, reopening from disk between
+        // jobs, so every possible pending-list length (including 1) is
+        // hit at job start.
+        let mut steps = 0;
+        loop {
+            let idx = ReconIndex::open(&path).unwrap();
+            if idx.status(db.schema(), 0).state == "complete" {
+                break;
+            }
+            let opts = JobOptions {
+                max_queries: 1,
+                checkpoint_every: 1,
+                ..JobOptions::default()
+            };
+            idx.run_job(&*db, &opts, 0).unwrap();
+            steps += 1;
+            assert!(steps < 1000, "reconstruction failed to converge");
+        }
+        let idx = ReconIndex::open(&path).unwrap();
+        assert!(idx.covered(&SearchQuery::all(), 0));
+        assert_eq!(
+            idx.state.read().tuples.len(),
+            64,
+            "a reopened complete index must hold every tuple it claims"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,7 +24,7 @@ use qr2_core::{Algorithm, LinearFunction, Normalizer, RankingFunction, SortDir};
 use qr2_webdb::{AttrId, Tuple};
 
 /// The client-visible order one reranking request serves tuples in.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServeOrder {
     /// 1D engines: by `attr` in `dir`, ties by ascending id.
     OneDim {

@@ -80,19 +80,20 @@ impl QueryService {
 
         // Hybrid dispatch: when the offline-reconstructed index covers the
         // filter region at the source's current staleness epoch, the whole
-        // answer is materialized here and served page by page — zero paid
-        // queries, no scheduler admission, ledger untouched. Coverage is
-        // evaluated once, at creation: the session keeps its snapshot even
-        // if the epoch moves later (exactly like a live session keeps its
-        // buffered tuples).
+        // answer is materialized (Arc-shared across sessions with the same
+        // filter and order) and served page by page — zero paid queries, no
+        // scheduler admission, ledger untouched. The epoch is sampled by
+        // serve() under its own read lock, so coverage is decided against
+        // the epoch current at check time. Coverage is evaluated once, at
+        // creation: the session keeps its snapshot even if the epoch moves
+        // later (exactly like a live session keeps its buffered tuples).
         let recon_serving = ServeOrder::for_request(algorithm, &function)
             .and_then(|order| {
-                source.recon.serve(
-                    &filter,
-                    &order,
-                    source.reranker.normalizer(),
-                    source.cache.epoch(),
-                )
+                source
+                    .recon
+                    .serve(&filter, &order, source.reranker.normalizer(), || {
+                        source.cache.epoch()
+                    })
             })
             .map(ReconServing::new);
         if recon_serving.is_none() {

@@ -37,10 +37,13 @@ pub struct ReconServing {
 }
 
 impl ReconServing {
-    /// Wrap a materialized, engine-ordered answer set.
-    pub fn new(tuples: Vec<Tuple>) -> ReconServing {
+    /// Wrap a materialized, engine-ordered answer set. The `Arc` comes
+    /// straight from `ReconIndex::serve`, so sessions over the same
+    /// covered filter share one materialization instead of each holding
+    /// a private copy.
+    pub fn new(tuples: Arc<[Tuple]>) -> ReconServing {
         ReconServing {
-            tuples: tuples.into(),
+            tuples,
             cursor: 0,
             stats: QueryStats::default(),
         }
