@@ -19,12 +19,13 @@ pub struct SourceFile {
 
 /// Crates whose request-serving code must be panic-free
 /// ([`crate::checks::check::PANIC_PATH`]).
-pub const PANIC_DENY_CRATES: [&str; 5] = [
+pub const PANIC_DENY_CRATES: [&str; 6] = [
     "qr2-http",
     "qr2-service",
     "qr2-cache",
     "qr2-sched",
     "qr2-recon",
+    "qr2-obs",
 ];
 
 /// Discover every non-vendor `.rs` file under `root`. Vendored shims

@@ -58,6 +58,13 @@ fn main() {
         println!("{}", qr2_bench::recon_smoke_table(&report).render());
         let path = qr2_bench::write_recon_smoke_report(&report);
         println!("wrote {}", path.display());
+        // Observability pass: warm get-next with span recording on vs
+        // globally off. CI bounds the overall overhead ratio at 1.05 and
+        // requires spans_recorded > 0 (the enabled side really ran).
+        let report = qr2_bench::run_obs_smoke(&qr2_bench::ObsSmokeConfig::default());
+        println!("{}", qr2_bench::obs_smoke_table(&report).render());
+        let path = qr2_bench::write_obs_smoke_report(&report);
+        println!("wrote {}", path.display());
         return;
     }
 

@@ -13,6 +13,7 @@
 
 pub mod cache_smoke;
 pub mod experiments;
+pub mod obs_smoke;
 pub mod perf_smoke;
 pub mod recon_smoke;
 pub mod report;
@@ -25,6 +26,10 @@ pub use cache_smoke::{
     CacheSmokeRecord,
 };
 pub use experiments::*;
+pub use obs_smoke::{
+    obs_smoke_json, obs_smoke_table, run_obs_smoke, write_obs_smoke_report, ObsSmokeConfig,
+    ObsSmokeRecord, ObsSmokeReport,
+};
 pub use perf_smoke::{
     perf_smoke_json, perf_smoke_table, run_perf_smoke, write_perf_smoke_report, PerfSmokeConfig,
     PerfSmokeReport,

@@ -22,12 +22,20 @@ use crate::key::cache_key;
 pub struct CachedInterface {
     inner: Arc<dyn TopKInterface>,
     cache: Arc<AnswerCache>,
+    /// Pre-resolved `cache.lookup` stage timer: lookups are the hottest
+    /// instrumentation site in the pipeline (every engine probe lands
+    /// here), so the histogram handle is resolved once at construction.
+    lookup_stage: qr2_obs::Stage,
 }
 
 impl CachedInterface {
     /// Wrap `inner` with `cache`.
     pub fn new(inner: Arc<dyn TopKInterface>, cache: Arc<AnswerCache>) -> CachedInterface {
-        CachedInterface { inner, cache }
+        CachedInterface {
+            inner,
+            cache,
+            lookup_stage: qr2_obs::Stage::new("cache.lookup"),
+        }
     }
 
     /// The shared cache (stats, flush).
@@ -67,8 +75,10 @@ impl TopKInterface for CachedInterface {
         // outcome: when the inner interface is a scheduler whose frontier
         // coalescing served the fetch for free, the miss is *not* charged
         // as a paid query upstream.
-        self.cache
-            .get_or_fetch_observed(&key, || self.inner.search_observed_authoritative(q))
+        self.lookup_stage.time(|| {
+            self.cache
+                .get_or_fetch_observed(&key, || self.inner.search_observed_authoritative(q))
+        })
     }
 
     fn search_authoritative(&self, q: &SearchQuery) -> (TopKResponse, bool) {

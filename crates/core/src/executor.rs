@@ -163,15 +163,25 @@ impl SearchCtx {
         let slots: Vec<Mutex<Option<(TopKResponse, SearchOutcome)>>> =
             (0..qs.len()).map(|_| Mutex::new(None)).collect();
         let db = &self.db;
+        // Worker threads have no ambient trace of their own: re-enter the
+        // submitting request's trace (when it is being traced) so the
+        // stage spans of a parallel round still land in it.
+        let trace = qr2_obs::current_handle();
         crossbeam::thread::scope(|scope| {
             for _ in 0..fanout {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= qs.len() {
-                        break;
+                scope.spawn(|_| {
+                    let work = || loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= qs.len() {
+                            break;
+                        }
+                        let observed = db.search_observed(&qs[i]);
+                        *slots[i].lock() = Some(observed);
+                    };
+                    match &trace {
+                        Some(t) => t.enter(work),
+                        None => work(),
                     }
-                    let observed = db.search_observed(&qs[i]);
-                    *slots[i].lock() = Some(observed);
                 });
             }
         })
@@ -490,6 +500,56 @@ mod tests {
         let stats = ctx.stats();
         assert_eq!(stats.rounds, vec![1, 2]);
         assert_eq!(stats.cache_hits, 1);
+    }
+
+    /// A decorator that records a stage span per lookup, standing in for
+    /// the instrumented interfaces (`qr2-cache`, `qr2-webdb`) that live
+    /// upstream of this crate.
+    struct SpanningDb(Arc<SimulatedWebDb>);
+
+    impl qr2_webdb::TopKInterface for SpanningDb {
+        fn schema(&self) -> &Schema {
+            self.0.schema()
+        }
+        fn system_k(&self) -> usize {
+            self.0.system_k()
+        }
+        fn search(&self, q: &SearchQuery) -> qr2_webdb::TopKResponse {
+            self.search_observed(q).0
+        }
+        fn ledger(&self) -> &qr2_webdb::QueryLedger {
+            self.0.ledger()
+        }
+        fn search_observed(
+            &self,
+            q: &SearchQuery,
+        ) -> (qr2_webdb::TopKResponse, qr2_webdb::SearchOutcome) {
+            qr2_obs::span("test.executor", || self.0.search_observed(q))
+        }
+    }
+
+    #[test]
+    fn parallel_batch_records_spans_into_the_submitting_trace() {
+        let d = db();
+        let ctx = SearchCtx::new(
+            Arc::new(SpanningDb(d.clone())),
+            ExecutorKind::Parallel { fanout: 4 },
+        );
+        let qs = probes(8, d.schema());
+        let id = format!("exec-par-{}", std::process::id());
+        qr2_obs::with_trace(&id, "test", || {
+            ctx.search_batch(&qs);
+        });
+        let trace = qr2_obs::find_trace(&id).expect("finished trace is in the recent ring");
+        let spans = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "test.executor")
+            .count();
+        assert_eq!(
+            spans, 8,
+            "every worker-thread lookup must land in the request trace"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ mod server;
 pub use error::ApiError;
 pub use extract::{decode_body, parse_body, Decode, FromJson, IntoJson};
 pub use json::{parse_json, Json, JsonError};
-pub use middleware::{AccessLog, CatchPanic, Handler, Layer, RequestId, RequireJsonBody, Stack};
+pub use middleware::{
+    AccessLog, CatchPanic, Handler, Layer, MetricsLayer, RequestId, RequireJsonBody, Stack,
+};
 pub use request::{parse_request, Method, Request, RequestError};
 pub use response::{Body, ChunkStream, Response, Status};
 pub use router::{Params, Router};

@@ -120,10 +120,12 @@ pub struct RequestId {
 }
 
 impl RequestId {
-    /// A fresh id source.
+    /// A fresh id source. The counter starts at 0 so the first generated
+    /// id of a process is always trace-sampled — a one-request smoke test
+    /// against a fresh server always yields a full trace.
     pub fn new() -> RequestId {
         RequestId {
-            counter: AtomicU64::new(1),
+            counter: AtomicU64::new(0),
         }
     }
 }
@@ -136,18 +138,38 @@ impl Default for RequestId {
 
 impl Layer for RequestId {
     fn call(&self, req: &Request, next: &dyn Handler) -> Response {
-        let id = match req.header("x-request-id") {
+        // The request id doubles as the trace id. Full span capture is
+        // head-sampled: a client-supplied id signals debug intent and is
+        // always traced, generated ids trace every `QR2_TRACE_SAMPLE`th
+        // request. Unsampled requests still record every metric and stage
+        // histogram, and still reach the slow log (root + total only)
+        // when they cross `QR2_SLOW_MS`.
+        let (id, sampled) = match req.header("x-request-id") {
             // Propagate client ids, but keep them header-safe and short.
             Some(v) if !v.is_empty() && v.len() <= 128 && v.chars().all(is_header_safe) => {
-                v.to_string()
+                (v.to_string(), true)
             }
-            _ => format!(
-                "req-{:x}-{:x}",
-                std::process::id(),
-                self.counter.fetch_add(1, Ordering::Relaxed)
-            ),
+            _ => {
+                let n = self.counter.fetch_add(1, Ordering::Relaxed);
+                let id = format!("req-{:x}-{:x}", std::process::id(), n);
+                (id, n.is_multiple_of(qr2_obs::trace_sample_every()))
+            }
         };
-        let resp = next.handle(req);
+        let resp = if !qr2_obs::enabled() {
+            next.handle(req)
+        } else if sampled {
+            let root = format!("{} {}", req.method, req.path);
+            qr2_obs::with_trace(&id, &root, || next.handle(req))
+        } else {
+            let start = Instant::now();
+            let resp = next.handle(req);
+            qr2_obs::record_slow_root(
+                &id,
+                || format!("{} {}", req.method, req.path),
+                start.elapsed(),
+            );
+            resp
+        };
         if resp.header("x-request-id").is_some() {
             resp
         } else {
@@ -160,10 +182,12 @@ fn is_header_safe(c: char) -> bool {
     c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':')
 }
 
-/// One access-log line per request: `method path → status bytes in µs
-/// [request-id]`. The sink is pluggable so servers can write stderr while
-/// tests capture lines; [`AccessLog::stderr_if_env`] keeps test output
-/// quiet unless `QR2_ACCESS_LOG=1`.
+/// One access-log line per request: `method path -> status bytes in µs
+/// rid=request-id`. Streaming (chunked) bodies log `-` for the size —
+/// their length is unknown when the line is written, and `0B` would
+/// read as an empty response. The sink is pluggable so servers can write
+/// stderr while tests capture lines; [`AccessLog::stderr_if_env`] keeps
+/// test output quiet unless `QR2_ACCESS_LOG=1`.
 pub struct AccessLog {
     sink: Arc<dyn Fn(&str) + Send + Sync>,
 }
@@ -203,15 +227,117 @@ impl Layer for AccessLog {
             .chars()
             .map(|c| if c.is_control() { '?' } else { c })
             .collect();
+        let size = if resp.body.is_stream() {
+            "-".to_string()
+        } else {
+            format!("{}B", resp.body.len())
+        };
         (self.sink)(&format!(
-            "{} {} -> {} {}B in {}us [{}]",
+            "{} {} -> {} {} in {}us rid={}",
             req.method,
             path,
             resp.status.code(),
-            resp.body.len(),
+            size,
             start.elapsed().as_micros(),
             rid,
         ));
+        resp
+    }
+}
+
+/// Records one counter and one latency sample per request into the global
+/// qr2-obs registry:
+///
+/// * `qr2_http_requests_total{method,route,status}`
+/// * `qr2_http_request_duration_us{route}`
+///
+/// The `route` label comes from a caller-supplied normalizer so dynamic
+/// path segments (session ids, source names) collapse into route
+/// templates instead of exploding label cardinality. Returning
+/// `Cow::Borrowed` from a static template table keeps the per-request
+/// path allocation-free.
+pub struct MetricsLayer {
+    normalize: RouteNormalizer,
+}
+
+/// Path-to-route-template mapper used by [`MetricsLayer`].
+type RouteNormalizer = Arc<dyn Fn(&Request) -> std::borrow::Cow<'static, str> + Send + Sync>;
+
+impl MetricsLayer {
+    /// Label routes through `normalize` (path in, route template out).
+    pub fn new(
+        normalize: impl Fn(&Request) -> std::borrow::Cow<'static, str> + Send + Sync + 'static,
+    ) -> MetricsLayer {
+        MetricsLayer {
+            normalize: Arc::new(normalize),
+        }
+    }
+
+    /// Label routes with the literal request path. Only safe when the
+    /// path space is small and fixed.
+    pub fn raw_path() -> MetricsLayer {
+        MetricsLayer::new(|req: &Request| req.path.clone().into())
+    }
+}
+
+thread_local! {
+    /// Per-thread memo of (method, status, route) → registry handles so
+    /// the hot path skips the registry lock and label-key formatting.
+    /// The key space is bounded by the route normalizer; the cap is a
+    /// backstop against a misbehaving one.
+    static METRIC_MEMO: std::cell::RefCell<Vec<MetricMemoEntry>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// One memoized (method, status, route) → registry-handle mapping.
+type MetricMemoEntry = (
+    (Method, u16, String),
+    Arc<qr2_obs::Counter>,
+    Arc<qr2_obs::Histogram>,
+);
+
+const METRIC_MEMO_CAP: usize = 512;
+
+impl Layer for MetricsLayer {
+    fn call(&self, req: &Request, next: &dyn Handler) -> Response {
+        if !qr2_obs::enabled() {
+            return next.handle(req);
+        }
+        let start = Instant::now();
+        let resp = next.handle(req);
+        let method = req.method;
+        let status = resp.status.code();
+        METRIC_MEMO.with(|memo| {
+            let mut memo = memo.borrow_mut();
+            // The normalizer must run per request (dynamic segments make
+            // raw paths unbounded); only registry access is memoized.
+            let route = (self.normalize)(req);
+            if let Some((_, counter, hist)) = memo
+                .iter()
+                .find(|((m, s, r), _, _)| *m == method && *s == status && *r == route.as_ref())
+            {
+                counter.inc();
+                hist.record(start.elapsed());
+                return;
+            }
+            let status_str = status.to_string();
+            let method_str = method.to_string();
+            let counter = qr2_obs::counter(
+                "qr2_http_requests_total",
+                &[
+                    ("method", &method_str),
+                    ("route", route.as_ref()),
+                    ("status", &status_str),
+                ],
+            );
+            let hist =
+                qr2_obs::histogram("qr2_http_request_duration_us", &[("route", route.as_ref())]);
+            counter.inc();
+            hist.record(start.elapsed());
+            if memo.len() < METRIC_MEMO_CAP {
+                memo.push(((method, status, route.into_owned()), counter, hist));
+            }
+        });
         resp
     }
 }
@@ -322,7 +448,90 @@ mod tests {
         let lines = lines.lock().unwrap();
         assert_eq!(lines.len(), 1);
         assert!(lines[0].starts_with("GET /ping -> 200"), "{}", lines[0]);
-        assert!(lines[0].contains("[req-"), "{}", lines[0]);
+        assert!(lines[0].contains("rid=req-"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn access_log_streams_log_dash_for_size() {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let lines = lines.clone();
+            move |l: &str| lines.lock().unwrap().push(l.to_string())
+        };
+        let router = Router::new().route(Method::Get, "/stream", |_, _| {
+            Response::stream(
+                "application/x-ndjson",
+                crate::response::ChunkStream::from_chunks(vec![b"{}\n".to_vec()]),
+            )
+        });
+        let app = Stack::new(router)
+            .layer(AccessLog::with_sink(sink))
+            .layer(RequestId::new());
+        app.handle(&Request::test(Method::Get, "/stream", Vec::new()));
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        // A chunked body's size is unknown at log time: `-`, not `0B`.
+        assert!(lines[0].contains("-> 200 - in"), "{}", lines[0]);
+        assert!(lines[0].contains("rid="), "{}", lines[0]);
+    }
+
+    #[test]
+    fn access_log_includes_rid_even_without_request_id_layer() {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let lines = lines.clone();
+            move |l: &str| lines.lock().unwrap().push(l.to_string())
+        };
+        let app = Stack::new(ok_router()).layer(AccessLog::with_sink(sink));
+        app.handle(&Request::test(Method::Get, "/ping", Vec::new()));
+        let lines = lines.lock().unwrap();
+        assert!(lines[0].ends_with("rid=-"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn metrics_layer_counts_requests_by_route_and_status() {
+        let app = Stack::new(ok_router()).layer(MetricsLayer::raw_path());
+        let counter = qr2_obs::counter(
+            "qr2_http_requests_total",
+            &[("method", "GET"), ("route", "/ping"), ("status", "200")],
+        );
+        let before = counter.get();
+        app.handle(&Request::test(Method::Get, "/ping", Vec::new()));
+        assert_eq!(counter.get(), before + 1);
+        let hist = qr2_obs::histogram("qr2_http_request_duration_us", &[("route", "/ping")]);
+        assert!(hist.count() >= 1);
+    }
+
+    #[test]
+    fn request_id_installs_a_trace() {
+        let app = Stack::new(ok_router()).layer(RequestId::new());
+        let id = format!("mw-trace-{:x}", std::process::id());
+        let mut req = Request::test(Method::Get, "/ping", Vec::new());
+        req.headers.insert("x-request-id".into(), id.clone());
+        app.handle(&req);
+        let t = qr2_obs::find_trace(&id).expect("request recorded a trace");
+        assert_eq!(t.root, "GET /ping");
+    }
+
+    #[test]
+    fn generated_ids_are_head_sampled() {
+        // Fresh layer: its id counter starts at 0, so the first generated
+        // id is sampled and the second (with the default 16-request
+        // period) is not. Client-supplied ids are covered by
+        // `request_id_installs_a_trace`.
+        let app = Stack::new(ok_router()).layer(RequestId::new());
+        let first = app.handle(&Request::test(Method::Get, "/ping", Vec::new()));
+        let first_id = first.header("x-request-id").unwrap().to_string();
+        let second = app.handle(&Request::test(Method::Get, "/ping", Vec::new()));
+        let second_id = second.header("x-request-id").unwrap().to_string();
+        assert!(
+            qr2_obs::find_trace(&first_id).is_some(),
+            "request 0 is sampled"
+        );
+        assert!(
+            qr2_obs::find_trace(&second_id).is_none(),
+            "request 1 is unsampled bulk traffic"
+        );
     }
 
     #[test]

@@ -1,0 +1,621 @@
+//! The process-global metrics registry: counters, gauges, and log-linear
+//! latency histograms in labeled families.
+//!
+//! Recording is lock-free (one or two atomic adds); the registry lock is
+//! only taken to *resolve* a handle (get-or-create by name + label set)
+//! and to snapshot for exposition. Hot paths resolve once at
+//! construction and hold the `Arc` handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable point-in-time value (stored as `f64` bits).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Sub-buckets per power of two. With 4, relative bucket width is ≤ 25%
+/// and values below 4 µs land in exact single-value buckets.
+const SUB: u64 = 4;
+/// Bucket count covering the full `u64` microsecond range:
+/// group 0 holds 0..SUB exactly, then (64 − 2) log₂ groups × SUB.
+const NBUCKETS: usize = (62 * SUB + SUB) as usize;
+
+/// Bucket index of a microsecond value: log-linear (HDR-style), O(1)
+/// from the leading-zero count.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // ≥ 2 because v ≥ SUB = 2²
+    let group = msb - 1;
+    let sub = (v >> (msb - 2)) & (SUB - 1);
+    ((group * SUB + sub) as usize).min(NBUCKETS - 1)
+}
+
+/// Inclusive upper bound (µs) of bucket `idx` — the value an exact-bucket
+/// quantile reports.
+fn bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let group = idx / SUB;
+    let sub = idx % SUB;
+    let msb = group + 1;
+    // Lower bound of the bucket plus its width minus one.
+    let base = (1u64 << msb) + (sub << (msb - 2));
+    base + (1u64 << (msb - 2)) - 1
+}
+
+/// A mergeable log-linear latency histogram over microseconds: O(1)
+/// record (two atomic adds), bounded error (≤ 25% bucket width), and
+/// exact-bucket quantile snapshots.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time summary of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub sum_us: u64,
+    /// Median, microseconds (exact bucket upper bound).
+    pub p50_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: u64,
+}
+
+impl Histogram {
+    /// Record a duration.
+    pub fn record(&self, d: Duration) {
+        // u64 arithmetic: `as_micros` would route through u128 division on
+        // the serving hot path.
+        let us = d
+            .as_secs()
+            .saturating_mul(1_000_000)
+            .saturating_add(u64::from(d.subsec_micros()));
+        self.record_us(us);
+    }
+
+    /// Record a raw microsecond value.
+    pub fn record_us(&self, us: u64) {
+        if let Some(b) = self.buckets.get(bucket_index(us)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact-bucket quantile: the upper bound (µs) of the bucket holding
+    /// the `q`-quantile sample. Zero when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(idx);
+            }
+        }
+        bucket_upper(NBUCKETS - 1)
+    }
+
+    /// p50/p99/p999 summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+            p999_us: self.quantile_us(0.999),
+        }
+    }
+
+    /// Fold another histogram into this one (mergeable: buckets add).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Non-empty `(upper_bound_us, cumulative_count)` pairs for Prometheus
+    /// exposition (`le` buckets are cumulative).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                out.push((bucket_upper(idx), cum));
+            }
+        }
+        out
+    }
+}
+
+/// What kind of metric a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Latency histogram.
+    Histogram,
+}
+
+impl FamilyKind {
+    /// Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    C(Arc<Counter>),
+    G(Arc<Gauge>),
+    H(Arc<Histogram>),
+}
+
+struct Family {
+    kind: FamilyKind,
+    metrics: BTreeMap<Vec<(String, String)>, Metric>,
+}
+
+/// One labeled metric's current value in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary plus its cumulative buckets.
+    Histogram {
+        /// p50/p99/p999 summary.
+        summary: HistogramSnapshot,
+        /// Non-empty `(upper_bound_us, cumulative_count)` pairs.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// One labeled metric in a [`FamilySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Sorted label set.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+/// One metric family's snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family name (`qr2_stage_duration_us`).
+    pub name: String,
+    /// Counter / gauge / histogram.
+    pub kind: FamilyKind,
+    /// Every labeled metric in the family.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+/// A registry of metric families. One process-global instance
+/// ([`global`]) serves the whole pipeline; independent instances exist
+/// only in tests.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Lock the family table, recovering from std mutex poisoning: the
+    /// table is only mutated by short get-or-create insertions, so a
+    /// panicking holder cannot leave it incoherent and one request's
+    /// panic must not take metrics down for the process.
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Family>> {
+        self.families.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        key
+    }
+
+    /// Get-or-create the counter `name{labels}`. A name registered with a
+    /// different kind yields a fresh detached metric (never panics on a
+    /// serving path); callers keep kinds consistent per name.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = Self::key(labels);
+        let mut fams = self.lock();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            kind: FamilyKind::Counter,
+            metrics: BTreeMap::new(),
+        });
+        if fam.kind != FamilyKind::Counter {
+            return Arc::new(Counter::default());
+        }
+        match fam
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Metric::C(Arc::new(Counter::default())))
+        {
+            Metric::C(c) => Arc::clone(c),
+            _ => Arc::new(Counter::default()),
+        }
+    }
+
+    /// Get-or-create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = Self::key(labels);
+        let mut fams = self.lock();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            kind: FamilyKind::Gauge,
+            metrics: BTreeMap::new(),
+        });
+        if fam.kind != FamilyKind::Gauge {
+            return Arc::new(Gauge::default());
+        }
+        match fam
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Metric::G(Arc::new(Gauge::default())))
+        {
+            Metric::G(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::default()),
+        }
+    }
+
+    /// Get-or-create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = Self::key(labels);
+        let mut fams = self.lock();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            kind: FamilyKind::Histogram,
+            metrics: BTreeMap::new(),
+        });
+        if fam.kind != FamilyKind::Histogram {
+            return Arc::new(Histogram::default());
+        }
+        match fam
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Metric::H(Arc::new(Histogram::default())))
+        {
+            Metric::H(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::default()),
+        }
+    }
+
+    /// Snapshot every family for structured exposition.
+    pub fn snapshot(&self) -> Vec<FamilySnapshot> {
+        let fams = self.lock();
+        fams.iter()
+            .map(|(name, fam)| FamilySnapshot {
+                name: name.clone(),
+                kind: fam.kind,
+                metrics: fam
+                    .metrics
+                    .iter()
+                    .map(|(labels, m)| MetricSnapshot {
+                        labels: labels.clone(),
+                        value: match m {
+                            Metric::C(c) => MetricValue::Counter(c.get()),
+                            Metric::G(g) => MetricValue::Gauge(g.get()),
+                            Metric::H(h) => MetricValue::Histogram {
+                                summary: h.snapshot(),
+                                buckets: h.cumulative_buckets(),
+                            },
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` headers, `{label="v"}` sample lines,
+    /// histogram `_bucket`/`_sum`/`_count` series with cumulative `le`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for fam in self.snapshot() {
+            render_prometheus_family(&mut out, &fam);
+        }
+        out
+    }
+}
+
+/// Append one family in Prometheus text format (shared with the
+/// scrape-time sampled families the service appends).
+pub fn render_prometheus_family(out: &mut String, fam: &FamilySnapshot) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+    for m in &fam.metrics {
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", fam.name, label_block(&m.labels, None), v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", fam.name, label_block(&m.labels, None), v);
+            }
+            MetricValue::Histogram { summary, buckets } => {
+                for (le, cum) in buckets {
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        fam.name,
+                        label_block(&m.labels, Some(&le.to_string())),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    fam.name,
+                    label_block(&m.labels, Some("+Inf")),
+                    summary.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    fam.name,
+                    label_block(&m.labels, None),
+                    summary.sum_us
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    fam.name,
+                    label_block(&m.labels, None),
+                    summary.count
+                );
+            }
+        }
+    }
+}
+
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry every serving layer records into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_land_in_exact_buckets() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_contain_their_values() {
+        for v in [0u64, 1, 5, 17, 100, 999, 4096, 1_000_000, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            assert!(bucket_upper(idx) >= v, "{v} -> idx {idx}");
+            if idx > 0 {
+                assert!(bucket_upper(idx - 1) < v, "{v} not in previous bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for v in [10u64, 100, 1000, 12_345, 987_654] {
+            let upper = bucket_upper(bucket_index(v));
+            assert!(
+                (upper - v) as f64 / v as f64 <= 0.25,
+                "{v}: upper {upper} overshoots"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_inserted_distribution() {
+        let h = Histogram::default();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        let p50 = snap.p50_us as f64;
+        assert!((450.0..=650.0).contains(&p50), "p50 {p50}");
+        let p99 = snap.p99_us as f64;
+        assert!((950.0..=1250.0).contains(&p99), "p99 {p99}");
+        assert!(snap.p999_us >= snap.p99_us);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn histograms_merge_by_bucket() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for us in [10u64, 20, 30] {
+            a.record_us(us);
+        }
+        for us in [1000u64, 2000] {
+            b.record_us(us);
+        }
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum_us, 10 + 20 + 30 + 1000 + 2000);
+        assert!(snap.p99_us >= 2000);
+    }
+
+    #[test]
+    fn registry_reuses_handles_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("source", "x")]);
+        let b = r.counter("hits", &[("source", "x")]);
+        let c = r.counter("hits", &[("source", "y")]);
+        a.inc();
+        b.inc();
+        c.inc();
+        assert_eq!(a.get(), 2, "same name+labels share state");
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_metrics() {
+        let r = Registry::new();
+        let a = r.counter("m", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let r = Registry::new();
+        r.counter("qr2_test_total", &[("source", "s1")]).add(3);
+        r.gauge("qr2_test_ratio", &[]).set(0.5);
+        let h = r.histogram("qr2_test_us", &[("stage", "cache.lookup")]);
+        h.record_us(5);
+        h.record_us(500);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE qr2_test_total counter"), "{text}");
+        assert!(text.contains("qr2_test_total{source=\"s1\"} 3"), "{text}");
+        assert!(text.contains("# TYPE qr2_test_ratio gauge"), "{text}");
+        assert!(text.contains("qr2_test_ratio 0.5"), "{text}");
+        assert!(text.contains("# TYPE qr2_test_us histogram"), "{text}");
+        assert!(
+            text.contains("qr2_test_us_bucket{stage=\"cache.lookup\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qr2_test_us_count{stage=\"cache.lookup\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qr2_test_us_sum{stage=\"cache.lookup\"} 505"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn kind_conflicts_degrade_to_detached_metrics() {
+        let r = Registry::new();
+        let c = r.counter("mixed", &[]);
+        c.inc();
+        // Asking for the same name as a gauge must not panic or corrupt
+        // the counter — it hands back a detached instance.
+        let g = r.gauge("mixed", &[]);
+        g.set(9.0);
+        assert_eq!(c.get(), 1);
+    }
+}

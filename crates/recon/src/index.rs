@@ -252,6 +252,16 @@ impl ReconIndex {
         norm: &Normalizer,
         epoch_at: impl FnOnce() -> u64,
     ) -> Option<Arc<[Tuple]>> {
+        qr2_obs::span("recon.serve", || self.serve_inner(q, order, norm, epoch_at))
+    }
+
+    fn serve_inner(
+        &self,
+        q: &SearchQuery,
+        order: &ServeOrder,
+        norm: &Normalizer,
+        epoch_at: impl FnOnce() -> u64,
+    ) -> Option<Arc<[Tuple]>> {
         let (version, mut out) = {
             let st = self.state.read();
             if !covered_locked(&st, q, epoch_at()) {

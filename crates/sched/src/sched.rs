@@ -29,7 +29,10 @@ pub struct SchedConfig {
     /// Hard ceiling on concurrently in-flight probes (further bounded by
     /// the source policy's own concurrency cap).
     pub max_inflight: usize,
-    /// Queue-delay samples retained per class for the p50/p99 stats.
+    /// Retained for config compatibility. Queue-delay percentiles now come
+    /// from the shared qr2-obs histogram (`qr2_sched_queue_delay_us`),
+    /// which keeps all samples in fixed-size log-linear buckets instead of
+    /// a bounded reservoir.
     pub delay_samples: usize,
     /// Idle back-off for a waiter when there is nothing to dispatch.
     pub poll_interval: Duration,
@@ -214,31 +217,6 @@ impl SchedState {
     }
 }
 
-/// Bounded reservoir of recent queue delays (milliseconds) for one class.
-#[derive(Default)]
-struct DelayRing {
-    samples: VecDeque<f64>,
-}
-
-impl DelayRing {
-    fn record(&mut self, delay: Duration, cap: usize) {
-        if self.samples.len() >= cap.max(1) {
-            self.samples.pop_front();
-        }
-        self.samples.push_back(delay.as_secs_f64() * 1e3);
-    }
-
-    fn percentile(&self, p: f64) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-        sorted.get(idx).copied().unwrap_or(0.0)
-    }
-}
-
 /// Scheduler state of one priority class, as reported by
 /// [`SourceScheduler::stats`].
 #[derive(Debug, Clone, PartialEq)]
@@ -319,8 +297,12 @@ pub struct SourceScheduler {
     shaped: Arc<TrafficShapedInterface>,
     cfg: SchedConfig,
     state: Mutex<SchedState>,
-    interactive_delays: Mutex<DelayRing>,
-    background_delays: Mutex<DelayRing>,
+    // Queue-delay histograms live in the shared qr2-obs registry
+    // (`qr2_sched_queue_delay_us{source,class}`): O(1) record, exact-bucket
+    // percentiles on read, and `/metrics` sees the same numbers as the
+    // sched panel.
+    interactive_delays: Arc<qr2_obs::Histogram>,
+    background_delays: Arc<qr2_obs::Histogram>,
     dispatched_interactive: AtomicU64,
     dispatched_background: AtomicU64,
     frontier_hits: AtomicU64,
@@ -329,14 +311,32 @@ pub struct SourceScheduler {
 }
 
 impl SourceScheduler {
-    /// A scheduler over `shaped` with the given config.
+    /// A scheduler over `shaped` with the given config, recording delay
+    /// metrics under the source label `default`. Prefer
+    /// [`SourceScheduler::named`] when the source has a name.
     pub fn new(shaped: Arc<TrafficShapedInterface>, cfg: SchedConfig) -> SourceScheduler {
+        SourceScheduler::named(shaped, cfg, "default")
+    }
+
+    /// A scheduler over `shaped`, with queue-delay histograms registered
+    /// under `source` in the global qr2-obs registry.
+    pub fn named(
+        shaped: Arc<TrafficShapedInterface>,
+        cfg: SchedConfig,
+        source: &str,
+    ) -> SourceScheduler {
+        let delays = |class: QueryClass| {
+            qr2_obs::histogram(
+                "qr2_sched_queue_delay_us",
+                &[("class", class.as_str()), ("source", source)],
+            )
+        };
         SourceScheduler {
             shaped,
             cfg,
             state: Mutex::new(SchedState::default()),
-            interactive_delays: Mutex::new(DelayRing::default()),
-            background_delays: Mutex::new(DelayRing::default()),
+            interactive_delays: delays(QueryClass::Interactive),
+            background_delays: delays(QueryClass::Background),
             dispatched_interactive: AtomicU64::new(0),
             dispatched_background: AtomicU64::new(0),
             frontier_hits: AtomicU64::new(0),
@@ -407,14 +407,14 @@ impl SourceScheduler {
                 st.inflight.len(),
             )
         };
-        let (i50, i99) = {
-            let ring = self.interactive_delays.lock();
-            (ring.percentile(0.5), ring.percentile(0.99))
+        let quantiles_ms = |h: &qr2_obs::Histogram| {
+            (
+                h.quantile_us(0.5) as f64 / 1e3,
+                h.quantile_us(0.99) as f64 / 1e3,
+            )
         };
-        let (b50, b99) = {
-            let ring = self.background_delays.lock();
-            (ring.percentile(0.5), ring.percentile(0.99))
-        };
+        let (i50, i99) = quantiles_ms(&self.interactive_delays);
+        let (b50, b99) = quantiles_ms(&self.background_delays);
         let di = self.dispatched_interactive.load(Ordering::Relaxed);
         let db = self.dispatched_background.load(Ordering::Relaxed);
         SchedSnapshot {
@@ -453,6 +453,10 @@ impl SourceScheduler {
     /// same degraded-answer convention a remote gateway uses for an
     /// outage — with a free outcome, since no query was spent on it.
     pub fn submit(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome, bool) {
+        qr2_obs::span("sched.queue", || self.submit_inner(q))
+    }
+
+    fn submit_inner(&self, q: &SearchQuery) -> (TopKResponse, SearchOutcome, bool) {
         let ctx = context::current();
         if ctx.is_cancelled() {
             return (TopKResponse::empty(), COALESCED, false);
@@ -627,7 +631,11 @@ impl SourceScheduler {
                 Dispatch::Did => continue,
                 Dispatch::Throttled(retry_after) => {
                     self.throttle_waits.fetch_add(1, Ordering::Relaxed);
-                    self.wait_brief(probe, retry_after.min(Duration::from_millis(50)));
+                    let backoff = retry_after.min(Duration::from_millis(50));
+                    // Accumulates on the ambient `sched.queue` span (drive
+                    // runs on the submitter's thread, inside submit).
+                    qr2_obs::annotate_add("backoff_ms", backoff.as_secs_f64() * 1e3);
+                    self.wait_brief(probe, backoff);
                 }
                 Dispatch::Idle => self.wait_brief(probe, self.cfg.poll_interval),
             }
@@ -694,15 +702,11 @@ impl SourceScheduler {
                 match probe.class {
                     QueryClass::Interactive => {
                         self.dispatched_interactive.fetch_add(1, Ordering::Relaxed);
-                        self.interactive_delays
-                            .lock()
-                            .record(waited, self.cfg.delay_samples);
+                        self.interactive_delays.record(waited);
                     }
                     QueryClass::Background => {
                         self.dispatched_background.fetch_add(1, Ordering::Relaxed);
-                        self.background_delays
-                            .lock()
-                            .record(waited, self.cfg.delay_samples);
+                        self.background_delays.record(waited);
                     }
                 }
                 {

@@ -79,6 +79,72 @@ fn usize_param(req: &Request, name: &str) -> Result<Option<usize>, ApiError> {
     }
 }
 
+/// Render one metric family as JSON for `GET /v1/observe/metrics`.
+fn family_json(fam: &qr2_obs::FamilySnapshot) -> Json {
+    use std::collections::BTreeMap;
+    let metrics: Vec<Json> = fam
+        .metrics
+        .iter()
+        .map(|m| {
+            let labels: BTreeMap<String, Json> = m
+                .labels
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                .collect();
+            let mut fields = vec![("labels", Json::Obj(labels))];
+            match &m.value {
+                qr2_obs::MetricValue::Counter(v) => fields.push(("value", Json::from(*v as f64))),
+                qr2_obs::MetricValue::Gauge(v) => fields.push(("value", Json::from(*v))),
+                qr2_obs::MetricValue::Histogram { summary, .. } => {
+                    fields.push(("count", Json::from(summary.count as f64)));
+                    fields.push(("sum_us", Json::from(summary.sum_us as f64)));
+                    fields.push(("p50_us", Json::from(summary.p50_us as f64)));
+                    fields.push(("p99_us", Json::from(summary.p99_us as f64)));
+                    fields.push(("p999_us", Json::from(summary.p999_us as f64)));
+                }
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("name", Json::from(fam.name.as_str())),
+        ("kind", Json::from(fam.kind.as_str())),
+        ("metrics", Json::Arr(metrics)),
+    ])
+}
+
+/// Render one completed trace as JSON for `GET /v1/observe/traces`.
+fn trace_json(t: &qr2_obs::TraceSnapshot) -> Json {
+    use std::collections::BTreeMap;
+    let spans: Vec<Json> = t
+        .spans
+        .iter()
+        .map(|s| {
+            let mut fields = vec![
+                ("name", Json::from(s.name)),
+                ("start_us", Json::from(s.start_us as f64)),
+                ("dur_us", Json::from(s.dur_us as f64)),
+            ];
+            if !s.attrs.is_empty() {
+                let attrs: BTreeMap<String, Json> = s
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::from(*v)))
+                    .collect();
+                fields.push(("attrs", Json::Obj(attrs)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("id", Json::from(t.id.as_str())),
+        ("root", Json::from(t.root.as_str())),
+        ("total_us", Json::from(t.total_us as f64)),
+        ("slow", Json::Bool(t.slow)),
+        ("spans", Json::Arr(spans)),
+    ])
+}
+
 /// The NDJSON producer behind `GET /v1/queries/:id/stream`.
 ///
 /// Pull-based: each call produces exactly one line — a tuple event
@@ -99,107 +165,125 @@ fn ndjson_stream(
     let mut stream_queries = 0usize;
     let mut summary_sent = false;
     let mut status: Option<&'static str> = None;
+    // The producer runs after the request's middleware chain has returned:
+    // capture the ambient trace now (the handler is still inside it) so
+    // every page records a late `stream.page` span into the same trace.
+    let trace = qr2_obs::current_handle();
+    let lines_total = qr2_obs::counter(
+        "qr2_service_stream_lines_total",
+        &[("source", &handle.source)],
+    );
     ChunkStream::new(move || {
-        if summary_sent {
-            return None;
-        }
-        let mut entry = handle.lock();
-        // The stream never re-enters SessionManager::get, so refresh the
-        // idle timer itself — an actively consumed stream must not be
-        // TTL-evicted out from under its client.
-        handle.touch();
-        let line = loop {
-            if let Some(status) = status {
-                // A stopping condition was reached: emit the summary.
-                summary_sent = true;
-                let stats = entry_stats(&entry);
-                break Json::obj([
-                    ("event", Json::from("summary")),
-                    ("status", Json::from(status)),
-                    ("count", Json::from(emitted)),
-                    ("stream_queries", Json::from(stream_queries)),
-                    ("stats", stats.to_json()),
-                ]);
+        let mut pull = || {
+            if summary_sent {
+                return None;
             }
-            if emitted >= limit {
-                status = Some("complete");
-                continue;
-            }
-            // Recon-served sessions stream straight from the materialized
-            // answer — every line is free, no budget applies.
-            let recon_step = entry
-                .recon
-                .as_mut()
-                .map(|s| (s.next_page(1).into_iter().next(), s.done()));
-            if let Some((tuple, done)) = recon_step {
-                entry.done = done;
-                match tuple {
+            let mut entry = handle.lock();
+            // The stream never re-enters SessionManager::get, so refresh the
+            // idle timer itself — an actively consumed stream must not be
+            // TTL-evicted out from under its client.
+            handle.touch();
+            let line = loop {
+                if let Some(status) = status {
+                    // A stopping condition was reached: emit the summary.
+                    summary_sent = true;
+                    let stats = entry_stats(&entry);
+                    break Json::obj([
+                        ("event", Json::from("summary")),
+                        ("status", Json::from(status)),
+                        ("count", Json::from(emitted)),
+                        ("stream_queries", Json::from(stream_queries)),
+                        ("stats", stats.to_json()),
+                    ]);
+                }
+                if emitted >= limit {
+                    status = Some("complete");
+                    continue;
+                }
+                // Recon-served sessions stream straight from the materialized
+                // answer — every line is free, no budget applies.
+                let recon_step = entry
+                    .recon
+                    .as_mut()
+                    .map(|s| (s.next_page(1).into_iter().next(), s.done()));
+                if let Some((tuple, done)) = recon_step {
+                    entry.done = done;
+                    match tuple {
+                        Some(t) => {
+                            let event = Json::obj([
+                                ("event", Json::from("tuple")),
+                                ("index", Json::from(emitted)),
+                                ("queries", Json::from(0usize)),
+                                ("total_queries", Json::from(0usize)),
+                                ("tuple", TupleDto::new(&schema, &t).to_json()),
+                            ]);
+                            emitted += 1;
+                            break event;
+                        }
+                        None => {
+                            status = Some("done");
+                            continue;
+                        }
+                    }
+                }
+                let remaining = match remaining_lifetime(&id, &handle, &entry) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // The 200 is committed; report exhaustion in-band.
+                        status = Some("budget_exhausted");
+                        continue;
+                    }
+                };
+                let step_cap = match (budget.map(|b| b.saturating_sub(stream_queries)), remaining) {
+                    (Some(b), Some(r)) => Some(b.min(r)),
+                    (Some(b), None) => Some(b),
+                    (None, r) => r,
+                };
+                let step =
+                    qr2_sched::context::with_session(crate::service::session_ctx(&handle), || {
+                        entry.session.advance(Budget {
+                            queries: step_cap,
+                            tuples: Some(1),
+                        })
+                    });
+                entry.done = step.is_done();
+                let step_queries = step.stats_delta().total_queries();
+                stream_queries += step_queries;
+                match step.tuples().first() {
                     Some(t) => {
                         let event = Json::obj([
                             ("event", Json::from("tuple")),
                             ("index", Json::from(emitted)),
-                            ("queries", Json::from(0usize)),
-                            ("total_queries", Json::from(0usize)),
-                            ("tuple", TupleDto::new(&schema, &t).to_json()),
+                            ("queries", Json::from(step_queries)),
+                            (
+                                "total_queries",
+                                Json::from(entry.session.stats().total_queries()),
+                            ),
+                            ("tuple", TupleDto::new(&schema, t).to_json()),
                         ]);
                         emitted += 1;
                         break event;
                     }
                     None => {
-                        status = Some("done");
+                        // No tuple: the step stopped for a terminal reason.
+                        status = Some(step.label());
                         continue;
                     }
                 }
-            }
-            let remaining = match remaining_lifetime(&id, &handle, &entry) {
-                Ok(r) => r,
-                Err(_) => {
-                    // The 200 is committed; report exhaustion in-band.
-                    status = Some("budget_exhausted");
-                    continue;
-                }
             };
-            let step_cap = match (budget.map(|b| b.saturating_sub(stream_queries)), remaining) {
-                (Some(b), Some(r)) => Some(b.min(r)),
-                (Some(b), None) => Some(b),
-                (None, r) => r,
-            };
-            let step =
-                qr2_sched::context::with_session(crate::service::session_ctx(&handle), || {
-                    entry.session.advance(Budget {
-                        queries: step_cap,
-                        tuples: Some(1),
-                    })
-                });
-            entry.done = step.is_done();
-            let step_queries = step.stats_delta().total_queries();
-            stream_queries += step_queries;
-            match step.tuples().first() {
-                Some(t) => {
-                    let event = Json::obj([
-                        ("event", Json::from("tuple")),
-                        ("index", Json::from(emitted)),
-                        ("queries", Json::from(step_queries)),
-                        (
-                            "total_queries",
-                            Json::from(entry.session.stats().total_queries()),
-                        ),
-                        ("tuple", TupleDto::new(&schema, t).to_json()),
-                    ]);
-                    emitted += 1;
-                    break event;
-                }
-                None => {
-                    // No tuple: the step stopped for a terminal reason.
-                    status = Some(step.label());
-                    continue;
-                }
-            }
+            drop(entry);
+            let mut bytes = line.to_string().into_bytes();
+            bytes.push(b'\n');
+            Some(bytes)
         };
-        drop(entry);
-        let mut bytes = line.to_string().into_bytes();
-        bytes.push(b'\n');
-        Some(bytes)
+        let line = match &trace {
+            Some(t) => t.enter(|| qr2_obs::span("stream.page", &mut pull)),
+            None => qr2_obs::span("stream.page", &mut pull),
+        };
+        if line.is_some() {
+            lines_total.inc();
+        }
+        line
     })
 }
 
@@ -421,6 +505,165 @@ impl ApiState {
     /// `GET /api/sources`
     pub fn handle_sources(&self) -> Response {
         deprecated(self.v1_sources())
+    }
+
+    // -- Observability -----------------------------------------------------
+
+    /// Per-source families sampled from the serving layers' own stats
+    /// structures at scrape time (ledger totals, cache counters, traffic
+    /// counters, scheduler state, reconstruction coverage, live sessions).
+    /// Sampling at scrape keeps the hot paths free of double bookkeeping:
+    /// the registry holds only metrics with no existing source of truth.
+    fn sampled_families(&self) -> Vec<qr2_obs::FamilySnapshot> {
+        use qr2_obs::{FamilyKind, FamilySnapshot, MetricSnapshot, MetricValue};
+
+        fn counter(labels: Vec<(String, String)>, v: u64) -> MetricSnapshot {
+            MetricSnapshot {
+                labels,
+                value: MetricValue::Counter(v),
+            }
+        }
+        fn gauge(labels: Vec<(String, String)>, v: f64) -> MetricSnapshot {
+            MetricSnapshot {
+                labels,
+                value: MetricValue::Gauge(v),
+            }
+        }
+        fn labels(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+            let mut out: Vec<(String, String)> = pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            out.sort();
+            out
+        }
+
+        let mut paid = Vec::new();
+        let mut exec = Vec::new();
+        let mut cache_lookups = Vec::new();
+        let mut cache_entries = Vec::new();
+        let mut traffic = Vec::new();
+        let mut sched_queued = Vec::new();
+        let mut sched_dispatched = Vec::new();
+        let mut recon_cov = Vec::new();
+        for s in self.registry.all() {
+            let name = s.name.as_str();
+            paid.push(counter(labels(&[("source", name)]), s.db.ledger().total()));
+            let b = s.db.ledger().exec_breakdown();
+            for (path, v) in [
+                ("indexed", b.indexed),
+                ("scanned", b.scanned),
+                ("shortcut", b.shortcut),
+                ("external", b.external),
+            ] {
+                exec.push(counter(labels(&[("source", name), ("path", path)]), v));
+            }
+            let cs = s.cache.stats();
+            for (outcome, v) in [
+                ("hit", cs.hits),
+                ("miss", cs.misses),
+                ("coalesced", cs.coalesced),
+            ] {
+                cache_lookups.push(counter(
+                    labels(&[("source", name), ("outcome", outcome)]),
+                    v,
+                ));
+            }
+            cache_entries.push(gauge(labels(&[("source", name)]), cs.entries as f64));
+            let ts = s.sched.shaped().traffic_stats();
+            for (event, v) in [
+                ("admitted", ts.admitted),
+                ("throttled", ts.throttled),
+                ("waited", ts.waited),
+            ] {
+                traffic.push(counter(labels(&[("source", name), ("event", event)]), v));
+            }
+            let ss = s.sched.stats();
+            sched_queued.push(gauge(labels(&[("source", name)]), ss.queued as f64));
+            sched_dispatched.push(counter(labels(&[("source", name)]), ss.dispatched));
+            recon_cov.push(gauge(
+                labels(&[("source", name)]),
+                s.recon.coverage(s.schema()),
+            ));
+        }
+        let fam = |name: &str, kind: FamilyKind, metrics: Vec<MetricSnapshot>| FamilySnapshot {
+            name: name.to_string(),
+            kind,
+            metrics,
+        };
+        vec![
+            fam("qr2_source_paid_queries_total", FamilyKind::Counter, paid),
+            fam("qr2_source_exec_queries_total", FamilyKind::Counter, exec),
+            fam(
+                "qr2_cache_lookups_total",
+                FamilyKind::Counter,
+                cache_lookups,
+            ),
+            fam("qr2_cache_entries", FamilyKind::Gauge, cache_entries),
+            fam("qr2_traffic_events_total", FamilyKind::Counter, traffic),
+            fam("qr2_sched_queued", FamilyKind::Gauge, sched_queued),
+            fam(
+                "qr2_sched_dispatched_total",
+                FamilyKind::Counter,
+                sched_dispatched,
+            ),
+            fam("qr2_recon_coverage_ratio", FamilyKind::Gauge, recon_cov),
+            fam(
+                "qr2_service_sessions_live",
+                FamilyKind::Gauge,
+                vec![gauge(Vec::new(), self.sessions.len() as f64)],
+            ),
+        ]
+    }
+
+    /// `GET /metrics` — Prometheus text exposition: every family recorded
+    /// in the global qr2-obs registry (stage/route latency histograms,
+    /// paid-path counters) plus the per-source families sampled at scrape
+    /// time.
+    pub fn metrics_prometheus(&self) -> Response {
+        let mut out = qr2_obs::global().render_prometheus();
+        for fam in self.sampled_families() {
+            qr2_obs::render_prometheus_family(&mut out, &fam);
+        }
+        Response {
+            status: Status::Ok,
+            headers: vec![(
+                "Content-Type".to_string(),
+                "text/plain; version=0.0.4; charset=utf-8".to_string(),
+            )],
+            body: qr2_http::Body::Bytes(out.into_bytes()),
+        }
+    }
+
+    /// `GET /v1/observe/metrics` — the same families as `/metrics`, as a
+    /// structured JSON snapshot (histograms summarized as
+    /// count/sum/p50/p99/p999).
+    pub fn v1_observe_metrics(&self) -> Response {
+        let mut fams = qr2_obs::global().snapshot();
+        fams.extend(self.sampled_families());
+        let list: Vec<Json> = fams.iter().map(family_json).collect();
+        Response::ok_json(&Json::obj([("families", Json::Arr(list))]))
+    }
+
+    /// `GET /v1/observe/traces?slow=1` — recent completed request traces
+    /// (slow ones only with `slow=1`), each with its recorded spans.
+    pub fn v1_observe_traces(&self, req: &Request) -> Response {
+        let slow_only = req
+            .query_param("slow")
+            .is_some_and(|v| v == "1" || v == "true");
+        let threshold = match qr2_obs::slow_threshold_ms() {
+            Some(ms) => Json::from(ms as f64),
+            None => Json::Null,
+        };
+        let list: Vec<Json> = qr2_obs::recent_traces(slow_only)
+            .iter()
+            .map(trace_json)
+            .collect();
+        Response::ok_json(&Json::obj([
+            ("slow_threshold_ms", threshold),
+            ("slow_only", Json::Bool(slow_only)),
+            ("traces", Json::Arr(list)),
+        ]))
     }
 
     /// `POST /api/query` — legacy create; source comes from the body.

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use qr2_http::{
-    AccessLog, CatchPanic, HttpServer, Json, Method, RequestId, RequireJsonBody, Response, Router,
-    Stack,
+    AccessLog, CatchPanic, HttpServer, Json, Method, MetricsLayer, RequestId, RequireJsonBody,
+    Response, Router, Stack,
 };
 use qr2_store::VerifyReport;
 
@@ -14,6 +14,58 @@ use crate::api::ApiState;
 use crate::session::SessionManager;
 use crate::sources::SourceRegistry;
 use crate::ui::INDEX_HTML;
+
+/// Collapse a request path into its route template (`/v1/queries/:id/next`)
+/// for the `route` metric label, so per-request ids and source names do not
+/// explode label cardinality. Paths that match no known route — scanners,
+/// typos — all collapse into one `other` label.
+fn route_label(path: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "/",
+        "/api/health",
+        "/v1/sources",
+        "/v1/algorithms",
+        "/v1/sources/:source/queries",
+        "/v1/sources/:source/cache",
+        "/v1/sources/:source/sched",
+        "/v1/sources/:source/recon",
+        "/v1/queries/:id/next",
+        "/v1/queries/:id/results",
+        "/v1/queries/:id/stream",
+        "/v1/queries/:id/stats",
+        "/v1/queries/:id",
+        "/metrics",
+        "/v1/observe/metrics",
+        "/v1/observe/traces",
+        "/api/sources",
+        "/api/query",
+        "/api/getnext",
+        "/api/session/:id/stats",
+        "/api/session/:id",
+    ];
+    // Segment-wise match against the templates (`:x` segments match
+    // anything) — no allocation until the matched template is returned.
+    let matches = |template: &str| -> bool {
+        let mut t = template.split('/').filter(|s| !s.is_empty());
+        let mut p = path.split('/').filter(|s| !s.is_empty());
+        loop {
+            match (t.next(), p.next()) {
+                (None, None) => return true,
+                (Some(ts), Some(ps)) => {
+                    if !ts.starts_with(':') && ts != ps {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    };
+    KNOWN
+        .iter()
+        .find(|template| matches(template))
+        .copied()
+        .unwrap_or("other")
+}
 
 /// The QR2 application.
 pub struct Qr2App {
@@ -87,6 +139,7 @@ impl Qr2App {
         let (s1, s2, s3, s4, s5, s6) = (st(()), st(()), st(()), st(()), st(()), st(()));
         let (s7, s8, s9, s10, s11) = (st(()), st(()), st(()), st(()), st(()));
         let (s12, s13, s14) = (st(()), st(()), st(()));
+        let (o1, o2, o3) = (st(()), st(()), st(()));
         let (l1, l2, l3, l4, l5) = (st(()), st(()), st(()), st(()), st(()));
         Router::new()
             .route(Method::Get, "/", |_, _| Response::html(INDEX_HTML))
@@ -140,6 +193,14 @@ impl Qr2App {
             .route(Method::Delete, "/v1/sources/:source/recon", move |_, p| {
                 s14.v1_recon_drop(p)
             })
+            // -- Observability: Prometheus exposition + JSON snapshots.
+            .route(Method::Get, "/metrics", move |_, _| o1.metrics_prometheus())
+            .route(Method::Get, "/v1/observe/metrics", move |_, _| {
+                o2.v1_observe_metrics()
+            })
+            .route(Method::Get, "/v1/observe/traces", move |req, _| {
+                o3.v1_observe_traces(req)
+            })
             // -- Legacy RPC-style shims (deprecated; see docs/API.md).
             .route(Method::Get, "/api/sources", move |_, _| l1.handle_sources())
             .route(Method::Post, "/api/query", move |req, _| {
@@ -157,12 +218,16 @@ impl Qr2App {
     }
 
     /// The full request pipeline: access logging (outermost, sees the final
-    /// response), request-id injection, panic recovery, content-type
-    /// enforcement, then the router.
+    /// response), request-id injection (which installs the request trace),
+    /// per-route metrics, panic recovery, content-type enforcement, then
+    /// the router.
     pub fn handler(&self) -> Stack {
         Stack::new(self.router())
             .layer(AccessLog::stderr_if_env())
             .layer(RequestId::new())
+            .layer(MetricsLayer::new(|req: &qr2_http::Request| {
+                route_label(&req.path).into()
+            }))
             .layer(CatchPanic)
             .layer(RequireJsonBody)
     }

@@ -140,6 +140,11 @@ impl QueryService {
                 (results, done, stats, None)
             }
         };
+        if recon_serving.is_some() {
+            source.obs_created_recon.inc();
+        } else {
+            source.obs_created_live.inc();
+        }
         let query_id = self.sessions.create(
             session,
             source_name,
@@ -303,6 +308,7 @@ impl QueryService {
                     source.sched.cancel_session(handle.sched_key);
                 }
             }
+            qr2_obs::counter("qr2_service_sessions_deleted_total", &[]).inc();
             Ok(())
         } else {
             Err(unknown_query(id))

@@ -51,6 +51,12 @@ pub struct Source {
     /// Suggested "popular functions" shown in the ranking section
     /// (paper §II-C): label → `(attr, weight)` list.
     pub popular: Vec<(String, Vec<(String, f64)>)>,
+    /// Pre-resolved `qr2_service_sessions_created_total{served_by=live}`
+    /// counter: session creation is on the request hot path and must not
+    /// pay the registry lock and label formatting per request.
+    pub(crate) obs_created_live: Arc<qr2_obs::Counter>,
+    /// Same, for `served_by=recon`.
+    pub(crate) obs_created_recon: Arc<qr2_obs::Counter>,
 }
 
 /// Decorator that opportunistically feeds every observed answer into the
@@ -180,8 +186,11 @@ impl Source {
         cache: Arc<AnswerCache>,
         recon: Arc<ReconIndex>,
     ) -> Self {
-        let shaped = Arc::new(TrafficShapedInterface::new(db.clone(), policy));
-        let sched = Arc::new(SourceScheduler::new(shaped, sched_cfg));
+        let name = name.into();
+        // Name the shaping and scheduling layers so their qr2-obs metrics
+        // (throttles, search latency, queue delays) carry a `source` label.
+        let shaped = Arc::new(TrafficShapedInterface::named(db.clone(), policy, &name));
+        let sched = Arc::new(SourceScheduler::named(shaped, sched_cfg, &name));
         let scheduled: Arc<dyn TopKInterface> =
             Arc::new(ScheduledInterface::new(Arc::clone(&sched)));
         // Cache outermost: warm lookups must not queue behind the
@@ -201,8 +210,16 @@ impl Source {
                 .dense_index(dense)
                 .build(),
         );
+        let obs_created_live = qr2_obs::counter(
+            "qr2_service_sessions_created_total",
+            &[("served_by", "live"), ("source", &name)],
+        );
+        let obs_created_recon = qr2_obs::counter(
+            "qr2_service_sessions_created_total",
+            &[("served_by", "recon"), ("source", &name)],
+        );
         Source {
-            name: name.into(),
+            name,
             title: title.into(),
             reranker,
             db,
@@ -211,6 +228,8 @@ impl Source {
             recon,
             probe,
             popular,
+            obs_created_live,
+            obs_created_recon,
         }
     }
 

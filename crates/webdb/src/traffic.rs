@@ -189,11 +189,27 @@ pub struct TrafficShapedInterface {
     admitted: AtomicU64,
     throttled: AtomicU64,
     waited: AtomicU64,
+    // Shared qr2-obs handles, labeled by source: simulated-429 counter and
+    // per-source search latency (latency model + inner search).
+    obs_throttled: Arc<qr2_obs::Counter>,
+    obs_search_us: Arc<qr2_obs::Histogram>,
 }
 
 impl TrafficShapedInterface {
-    /// Wrap `inner` with `policy`.
+    /// Wrap `inner` with `policy`, recording metrics under the source
+    /// label `default`. Prefer [`TrafficShapedInterface::named`] when the
+    /// source has a name.
     pub fn new(inner: Arc<dyn TopKInterface>, policy: SourcePolicy) -> TrafficShapedInterface {
+        TrafficShapedInterface::named(inner, policy, "default")
+    }
+
+    /// Wrap `inner` with `policy`, with metrics registered under `source`
+    /// in the global qr2-obs registry.
+    pub fn named(
+        inner: Arc<dyn TopKInterface>,
+        policy: SourcePolicy,
+        source: &str,
+    ) -> TrafficShapedInterface {
         let latency = policy
             .latency
             .map(|(base, jitter, seed)| LatencyModel::new(base, jitter, seed));
@@ -210,6 +226,11 @@ impl TrafficShapedInterface {
             admitted: AtomicU64::new(0),
             throttled: AtomicU64::new(0),
             waited: AtomicU64::new(0),
+            obs_throttled: qr2_obs::counter("qr2_webdb_throttled_total", &[("source", source)]),
+            obs_search_us: qr2_obs::histogram(
+                "qr2_webdb_search_duration_us",
+                &[("source", source)],
+            ),
         }
     }
 
@@ -252,6 +273,7 @@ impl TrafficShapedInterface {
             loop {
                 if cur >= cap {
                     self.throttled.fetch_add(1, Ordering::Relaxed);
+                    self.obs_throttled.inc();
                     return Err(Throttled {
                         retry_after: self.policy.retry_after_floor(),
                     });
@@ -284,6 +306,7 @@ impl TrafficShapedInterface {
                 drop(bucket);
                 drop(guard);
                 self.throttled.fetch_add(1, Ordering::Relaxed);
+                self.obs_throttled.inc();
                 return Err(Throttled { retry_after });
             }
         }
@@ -304,13 +327,22 @@ impl TrafficShapedInterface {
         &self,
         q: &SearchQuery,
     ) -> Result<(TopKResponse, bool), Throttled> {
-        let guard = self.try_admit()?;
-        if let Some(latency) = &self.latency {
-            std::thread::sleep(latency.sample());
-        }
-        let out = self.inner.search_authoritative(q);
-        drop(guard);
-        Ok(out)
+        qr2_obs::span("traffic.shape", || {
+            let guard = self.try_admit()?;
+            // The latency model simulates the remote source's round trip,
+            // so it counts as webdb.search time.
+            let out = qr2_obs::span("webdb.search", || {
+                let start = Instant::now();
+                if let Some(latency) = &self.latency {
+                    std::thread::sleep(latency.sample());
+                }
+                let out = self.inner.search_authoritative(q);
+                self.obs_search_us.record(start.elapsed());
+                out
+            });
+            drop(guard);
+            Ok(out)
+        })
     }
 }
 

@@ -16,6 +16,7 @@
 //! * [`core`] — the reranking algorithms (1D/MD × BASELINE/BINARY/RERANK,
 //!   MD-TA) and the get-next primitive,
 //! * [`recon`] — offline rank reconstruction and zero-query serving,
+//! * [`obs`] — unified metrics, request tracing and slow-query visibility,
 //! * [`http`] — the minimal HTTP/JSON substrate,
 //! * [`service`] — the QR2 web service itself.
 //!
@@ -27,6 +28,7 @@ pub use qr2_core as core;
 pub use qr2_crawler as crawler;
 pub use qr2_datagen as datagen;
 pub use qr2_http as http;
+pub use qr2_obs as obs;
 pub use qr2_recon as recon;
 pub use qr2_sched as sched;
 pub use qr2_service as service;
