@@ -40,7 +40,7 @@ use std::path::Path;
 
 use checks::{FileCtx, FileFindings, LockGraph};
 use report::Report;
-use workspace::{SourceFile, PANIC_DENY_CRATES};
+use workspace::{SourceFile, PANIC_DENY_CRATES, PANIC_DENY_MODULES};
 
 /// Analyze one source text as `file` belonging to `krate`. Exposed so
 /// fixture tests can drive single snippets without touching the
@@ -50,7 +50,7 @@ pub fn analyze_source(krate: &str, file: &str, source: &str) -> (FileFindings, s
     let ctx = FileCtx {
         krate,
         file,
-        deny_panics: PANIC_DENY_CRATES.contains(&krate),
+        deny_panics: PANIC_DENY_CRATES.contains(&krate) || PANIC_DENY_MODULES.contains(&file),
         check_docs: true,
     };
     let findings = checks::run_checks(&ctx, &scope);
@@ -103,7 +103,8 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
         let ctx = FileCtx {
             krate: &krate,
             file: &rel_path,
-            deny_panics: PANIC_DENY_CRATES.contains(&krate.as_str()),
+            deny_panics: PANIC_DENY_CRATES.contains(&krate.as_str())
+                || PANIC_DENY_MODULES.contains(&rel_path.as_str()),
             check_docs: true,
         };
         let findings = checks::run_checks(&ctx, &scope);

@@ -28,6 +28,13 @@ pub const PANIC_DENY_CRATES: [&str; 6] = [
     "qr2-obs",
 ];
 
+/// Individual serving-path modules held to the same panic-free standard
+/// inside crates that are otherwise simulation/test-side (qr2-webdb's
+/// simulated database may panic freely; its resilience layer sits on the
+/// live request path and may not).
+pub const PANIC_DENY_MODULES: [&str; 2] =
+    ["crates/webdb/src/fault.rs", "crates/webdb/src/resilient.rs"];
+
 /// Discover every non-vendor `.rs` file under `root`. Vendored shims
 /// (`crates/vendor/**`) and build output (`target/`) are skipped.
 pub fn discover(root: &Path) -> std::io::Result<Vec<SourceFile>> {

@@ -65,6 +65,16 @@ fn main() {
         println!("{}", qr2_bench::obs_smoke_table(&report).render());
         let path = qr2_bench::write_obs_smoke_report(&report);
         println!("wrote {}", path.display());
+        // Resilience pass: a scripted total outage with the breaker
+        // latched open must serve every recon-covered stream to
+        // completion (flagged degraded, byte-identical, zero ledger
+        // queries) while the unprotected twin drops them; on a healthy
+        // source the resilient stack may cost at most 5% steady-state
+        // overhead. CI guards those invariants from BENCH_pr10.json.
+        let report = qr2_bench::run_fault_smoke(&qr2_bench::FaultSmokeConfig::default());
+        println!("{}", qr2_bench::fault_smoke_table(&report).render());
+        let path = qr2_bench::write_fault_smoke_report(&report);
+        println!("wrote {}", path.display());
         return;
     }
 

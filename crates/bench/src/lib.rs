@@ -13,6 +13,7 @@
 
 pub mod cache_smoke;
 pub mod experiments;
+pub mod fault_smoke;
 pub mod obs_smoke;
 pub mod perf_smoke;
 pub mod recon_smoke;
@@ -26,6 +27,10 @@ pub use cache_smoke::{
     CacheSmokeRecord,
 };
 pub use experiments::*;
+pub use fault_smoke::{
+    fault_smoke_json, fault_smoke_table, run_fault_smoke, write_fault_smoke_report,
+    FaultSmokeConfig, FaultSmokeReport, FaultStreamRecord,
+};
 pub use obs_smoke::{
     obs_smoke_json, obs_smoke_table, run_obs_smoke, write_obs_smoke_report, ObsSmokeConfig,
     ObsSmokeRecord, ObsSmokeReport,

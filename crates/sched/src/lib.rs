@@ -36,5 +36,5 @@ pub mod coalesce;
 pub mod context;
 mod sched;
 
-pub use context::{QueryClass, SessionCtx};
+pub use context::{FailureSignal, QueryClass, SessionCtx};
 pub use sched::{ClassSnapshot, SchedConfig, SchedSnapshot, ScheduledInterface, SourceScheduler};

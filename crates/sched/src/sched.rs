@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use qr2_webdb::{
-    QueryLedger, Schema, SearchOutcome, SearchQuery, Throttled, TopKInterface, TopKResponse,
-    TrafficShapedInterface,
+    Admission, QueryLedger, ResilientInterface, Schema, SearchError, SearchOutcome, SearchQuery,
+    Throttled, TopKInterface, TopKResponse, TrafficShapedInterface,
 };
 
 use crate::coalesce::derive_answer;
@@ -36,6 +36,12 @@ pub struct SchedConfig {
     pub delay_samples: usize,
     /// Idle back-off for a waiter when there is nothing to dispatch.
     pub poll_interval: Duration,
+    /// How long a probe may sit parked behind an unhealthy source (open
+    /// circuit breaker, terminal dispatch failures) before the scheduler
+    /// fails it. Short outages ride through transparently — parked probes
+    /// resume when the breaker recloses; past this patience the probe
+    /// resolves `Failed` and the session surfaces a structured failure.
+    pub max_outage_park: Duration,
 }
 
 impl Default for SchedConfig {
@@ -46,6 +52,7 @@ impl Default for SchedConfig {
             max_inflight: 64,
             delay_samples: 512,
             poll_interval: Duration::from_millis(5),
+            max_outage_park: Duration::from_millis(500),
         }
     }
 }
@@ -64,6 +71,11 @@ enum ProbeState {
     /// Withdrawn (session cancelled, or absorbed into a widened covering
     /// probe); waiters must retry.
     Abandoned,
+    /// The source failed this probe terminally (retries exhausted, or it
+    /// out-waited [`SchedConfig::max_outage_park`] behind an open
+    /// breaker). Waiters get the degraded empty answer and trip their
+    /// session's failure signal.
+    Failed,
 }
 
 /// One pending web-DB probe plus its rendezvous point. Multiple submitters
@@ -248,6 +260,13 @@ pub struct SchedSnapshot {
     /// Times a dispatch attempt hit the source's rate limit and backed
     /// off (simulated 429s absorbed by pacing).
     pub throttle_waits: u64,
+    /// Times a dispatch attempt found the circuit breaker open (or a
+    /// terminal fault within parking patience) and parked the queue
+    /// instead of burning a dispatch slot.
+    pub parked_waits: u64,
+    /// Probes the scheduler failed terminally (source unhealthy past
+    /// [`SchedConfig::max_outage_park`], or retries exhausted).
+    pub failed_probes: u64,
     /// Sessions refused at admission because the backlog exceeded
     /// [`SchedConfig::max_admission_wait`].
     pub rejected: u64,
@@ -269,11 +288,16 @@ enum Driven {
     Done(TopKResponse, bool),
     Abandoned,
     Cancelled,
+    Failed,
 }
 
 enum Dispatch {
     Did,
     Throttled(Duration),
+    /// The breaker is open (or dispatch failed terminally but the probe
+    /// is within its parking patience): the probe stays queued, no slot
+    /// is burned, and the waiter naps for the hinted duration.
+    Parked(Duration),
     Idle,
 }
 
@@ -295,6 +319,7 @@ const COALESCED: SearchOutcome = SearchOutcome {
 /// [`submit`]: SourceScheduler::submit
 pub struct SourceScheduler {
     shaped: Arc<TrafficShapedInterface>,
+    resilient: Arc<ResilientInterface>,
     cfg: SchedConfig,
     state: Mutex<SchedState>,
     // Queue-delay histograms live in the shared qr2-obs registry
@@ -307,6 +332,8 @@ pub struct SourceScheduler {
     dispatched_background: AtomicU64,
     frontier_hits: AtomicU64,
     throttle_waits: AtomicU64,
+    parked_waits: AtomicU64,
+    failed_probes: AtomicU64,
     rejected: AtomicU64,
 }
 
@@ -319,9 +346,29 @@ impl SourceScheduler {
     }
 
     /// A scheduler over `shaped`, with queue-delay histograms registered
-    /// under `source` in the global qr2-obs registry.
+    /// under `source` in the global qr2-obs registry. The shaped source
+    /// gets a default resilience wrap — behavior-preserving, since the
+    /// only failure it produces is the flow-control 429, which bypasses
+    /// retries and the breaker.
     pub fn named(
         shaped: Arc<TrafficShapedInterface>,
+        cfg: SchedConfig,
+        source: &str,
+    ) -> SourceScheduler {
+        let resilient = Arc::new(ResilientInterface::new(
+            Arc::clone(&shaped),
+            shaped.clone(),
+            qr2_webdb::RetryPolicy::default(),
+            qr2_webdb::BreakerConfig::default(),
+            source,
+        ));
+        SourceScheduler::with_resilience(resilient, cfg, source)
+    }
+
+    /// A scheduler over an explicit resilience layer (retry policy,
+    /// circuit breaker, optionally a fault-injected source underneath).
+    pub fn with_resilience(
+        resilient: Arc<ResilientInterface>,
         cfg: SchedConfig,
         source: &str,
     ) -> SourceScheduler {
@@ -332,7 +379,8 @@ impl SourceScheduler {
             )
         };
         SourceScheduler {
-            shaped,
+            shaped: Arc::clone(resilient.shaped()),
+            resilient,
             cfg,
             state: Mutex::new(SchedState::default()),
             interactive_delays: delays(QueryClass::Interactive),
@@ -341,6 +389,8 @@ impl SourceScheduler {
             dispatched_background: AtomicU64::new(0),
             frontier_hits: AtomicU64::new(0),
             throttle_waits: AtomicU64::new(0),
+            parked_waits: AtomicU64::new(0),
+            failed_probes: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
     }
@@ -348,6 +398,12 @@ impl SourceScheduler {
     /// The traffic-shaped interface this scheduler paces against.
     pub fn shaped(&self) -> &Arc<TrafficShapedInterface> {
         &self.shaped
+    }
+
+    /// The resilience layer every dispatch goes through (breaker state,
+    /// error counters, health snapshots).
+    pub fn resilient(&self) -> &Arc<ResilientInterface> {
+        &self.resilient
     }
 
     /// Estimated wall-clock wait a new probe would face behind the
@@ -423,6 +479,8 @@ impl SourceScheduler {
             dispatched: di + db,
             coalesced_frontier_hits: self.frontier_hits.load(Ordering::Relaxed),
             throttle_waits: self.throttle_waits.load(Ordering::Relaxed),
+            parked_waits: self.parked_waits.load(Ordering::Relaxed),
+            failed_probes: self.failed_probes.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             classes: vec![
                 ClassSnapshot {
@@ -488,6 +546,10 @@ impl SourceScheduler {
                     }
                     Driven::Abandoned => continue,
                     Driven::Cancelled => return (TopKResponse::empty(), COALESCED, false),
+                    Driven::Failed => {
+                        ctx.trip_failure();
+                        return (TopKResponse::empty(), COALESCED, false);
+                    }
                 },
                 Plan::Own(probe) => match self.drive(&probe, &ctx, true) {
                     Driven::Done(resp, authoritative) => {
@@ -511,6 +573,10 @@ impl SourceScheduler {
                     }
                     Driven::Abandoned => continue,
                     Driven::Cancelled => return (TopKResponse::empty(), COALESCED, false),
+                    Driven::Failed => {
+                        ctx.trip_failure();
+                        return (TopKResponse::empty(), COALESCED, false);
+                    }
                 },
             }
         }
@@ -609,6 +675,10 @@ impl SourceScheduler {
     /// probes (any session's) whenever the source has capacity. `owned`
     /// marks the probe as ours to withdraw on cancellation.
     fn drive(&self, probe: &Arc<Probe>, ctx: &SessionCtx, owned: bool) -> Driven {
+        // Consecutive 429s seen by *this* waiter: drives the exponential
+        // step of the jittered backoff below. Resets whenever a dispatch
+        // succeeds.
+        let mut throttle_streak = 0u32;
         loop {
             {
                 let state = probe.lock_state();
@@ -618,6 +688,7 @@ impl SourceScheduler {
                         authoritative,
                     } => return Driven::Done(resp.clone(), *authoritative),
                     ProbeState::Abandoned => return Driven::Abandoned,
+                    ProbeState::Failed => return Driven::Failed,
                     ProbeState::Queued | ProbeState::InFlight => {}
                 }
             }
@@ -628,18 +699,54 @@ impl SourceScheduler {
                 return Driven::Cancelled;
             }
             match self.try_dispatch() {
-                Dispatch::Did => continue,
+                Dispatch::Did => throttle_streak = 0,
                 Dispatch::Throttled(retry_after) => {
                     self.throttle_waits.fetch_add(1, Ordering::Relaxed);
-                    let backoff = retry_after.min(Duration::from_millis(50));
+                    throttle_streak += 1;
+                    // Jittered exponential backoff honoring the source's
+                    // Retry-After: blocked submitters desynchronize
+                    // instead of hammering the refilling bucket in
+                    // lockstep. The hint is clamped so a waiter re-checks
+                    // its probe (and cancellation) at least once a second.
+                    let backoff = qr2_webdb::jittered_backoff(
+                        throttle_streak,
+                        Duration::from_millis(2),
+                        Duration::from_millis(200),
+                        Some(retry_after.min(Duration::from_secs(1))),
+                        ctx.key ^ u64::from(throttle_streak) << 32,
+                    );
                     // Accumulates on the ambient `sched.queue` span (drive
                     // runs on the submitter's thread, inside submit).
                     qr2_obs::annotate_add("backoff_ms", backoff.as_secs_f64() * 1e3);
                     self.wait_brief(probe, backoff);
                 }
+                Dispatch::Parked(retry_after) => {
+                    self.parked_waits.fetch_add(1, Ordering::Relaxed);
+                    if probe.enqueued.elapsed() >= self.cfg.max_outage_park {
+                        // The source has been unhealthy longer than the
+                        // probe's parking patience: fail it (and anyone
+                        // coalesced onto it) honestly.
+                        self.fail_probe(probe);
+                        continue;
+                    }
+                    qr2_obs::annotate_add("parked_ms", retry_after.as_secs_f64() * 1e3);
+                    self.wait_brief(probe, retry_after.min(self.cfg.max_outage_park));
+                }
                 Dispatch::Idle => self.wait_brief(probe, self.cfg.poll_interval),
             }
         }
+    }
+
+    /// Resolve a probe as terminally failed: out of the queues, state
+    /// `Failed`, every waiter notified.
+    fn fail_probe(&self, probe: &Arc<Probe>) {
+        {
+            let mut st = self.state.lock();
+            st.lane_mut(probe.class).remove(probe);
+            st.inflight.retain(|p| !Arc::ptr_eq(p, probe));
+        }
+        self.failed_probes.fetch_add(1, Ordering::Relaxed);
+        probe.set_state(ProbeState::Failed);
     }
 
     /// Sleep on the probe's condvar until it changes state or `timeout`
@@ -647,7 +754,7 @@ impl SourceScheduler {
     fn wait_brief(&self, probe: &Probe, timeout: Duration) {
         let state = probe.lock_state();
         match &*state {
-            ProbeState::Done { .. } | ProbeState::Abandoned => {}
+            ProbeState::Done { .. } | ProbeState::Abandoned | ProbeState::Failed => {}
             ProbeState::Queued | ProbeState::InFlight => {
                 let _ = probe
                     .cv
@@ -670,9 +777,18 @@ impl SourceScheduler {
     }
 
     /// One cooperative dispatch attempt: pick the fair-share-next probe if
-    /// the source has capacity, execute it via the shaped interface's
-    /// fallible search, and either complete it or requeue it on a 429.
+    /// the source has capacity, execute it via the resilience layer's
+    /// fallible search, and complete, requeue (429), park (open breaker /
+    /// transient fault), or fail it.
     fn try_dispatch(&self) -> Dispatch {
+        // An open breaker parks the whole queue: no probe is picked, no
+        // dispatch slot is burned on a call that would fail fast.
+        if let Admission::Rejected { retry_after } = self.resilient.breaker_admission() {
+            return Dispatch::Parked(retry_after.clamp(
+                Duration::from_millis(1),
+                self.cfg.poll_interval.max(Duration::from_millis(5)),
+            ));
+        }
         let probe = {
             let mut st = self.state.lock();
             let cap = self
@@ -697,7 +813,7 @@ impl SourceScheduler {
         probe.set_state(ProbeState::InFlight);
         let query = probe.query.lock().clone();
         let waited = probe.enqueued.elapsed();
-        match self.shaped.try_search_authoritative(&query) {
+        match self.resilient.search_resilient(&query) {
             Ok((resp, authoritative)) => {
                 match probe.class {
                     QueryClass::Interactive => {
@@ -719,7 +835,7 @@ impl SourceScheduler {
                 });
                 Dispatch::Did
             }
-            Err(throttled) => {
+            Err(SearchError::Throttled(throttled)) => {
                 // Source said 429: put the probe back at the head of its
                 // session's queue and let pacing retry it.
                 probe.set_state(ProbeState::Queued);
@@ -729,6 +845,30 @@ impl SourceScheduler {
                     st.lane_mut(probe.class).push(Arc::clone(&probe), true);
                 }
                 Dispatch::Throttled(throttled.retry_after)
+            }
+            Err(err) => {
+                // Terminal fault (retries exhausted, or the breaker
+                // opened under us). Within the probe's parking patience,
+                // requeue it — a short outage rides through and the
+                // session resumes on recovery. Past patience, fail it.
+                let retry_after = err
+                    .retry_after()
+                    .unwrap_or(self.cfg.poll_interval)
+                    .max(Duration::from_millis(1));
+                if probe.enqueued.elapsed() < self.cfg.max_outage_park {
+                    probe.set_state(ProbeState::Queued);
+                    {
+                        let mut st = self.state.lock();
+                        st.inflight.retain(|p| !Arc::ptr_eq(p, &probe));
+                        st.lane_mut(probe.class).push(Arc::clone(&probe), true);
+                    }
+                    Dispatch::Parked(
+                        retry_after.min(self.cfg.poll_interval.max(Duration::from_millis(5))),
+                    )
+                } else {
+                    self.fail_probe(&probe);
+                    Dispatch::Did
+                }
             }
         }
     }
@@ -926,6 +1066,111 @@ mod tests {
             before,
             "no paid probe for the cancelled session"
         );
+    }
+
+    fn resilient_sched(
+        script: qr2_webdb::FaultScript,
+        breaker: qr2_webdb::BreakerConfig,
+        cfg: SchedConfig,
+    ) -> (Arc<SourceScheduler>, Arc<dyn TopKInterface>) {
+        let db = raw_db(100, 5);
+        let shaped = Arc::new(TrafficShapedInterface::new(
+            db.clone(),
+            SourcePolicy::unlimited(),
+        ));
+        let faulty: Arc<dyn qr2_webdb::FallibleSearch> = Arc::new(
+            qr2_webdb::FaultInjectingInterface::new(shaped.clone(), script),
+        );
+        let retry = qr2_webdb::RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            ..qr2_webdb::RetryPolicy::default()
+        };
+        let resilient = Arc::new(ResilientInterface::new(
+            shaped,
+            faulty,
+            retry,
+            breaker,
+            "sched-test",
+        ));
+        let sched = Arc::new(SourceScheduler::with_resilience(
+            resilient,
+            cfg,
+            "sched-test",
+        ));
+        (sched, db)
+    }
+
+    #[test]
+    fn hard_outage_fails_probe_and_trips_failure_signal() {
+        let (sched, db) = resilient_sched(
+            qr2_webdb::FaultScript::healthy().with_outage(0, u64::MAX),
+            qr2_webdb::BreakerConfig {
+                failure_threshold: 2,
+                open_cooldown: Duration::from_secs(60),
+            },
+            SchedConfig {
+                max_outage_park: Duration::from_millis(30),
+                poll_interval: Duration::from_millis(1),
+                ..SchedConfig::default()
+            },
+        );
+        let signal = crate::context::FailureSignal::new();
+        let ctx = SessionCtx::new(next_session_key(), QueryClass::Interactive)
+            .with_failure(signal.clone());
+        let before = db.ledger().total();
+        let (resp, outcome, authoritative) =
+            with_session(ctx, || sched.submit(&SearchQuery::all()));
+        assert!(resp.is_underflow(), "degraded empty answer");
+        assert!(outcome.is_free());
+        assert!(!authoritative);
+        assert!(signal.is_tripped(), "terminal failure surfaced");
+        assert_eq!(db.ledger().total(), before, "outage probes are free");
+        let stats = sched.stats();
+        assert_eq!(stats.failed_probes, 1);
+        assert_eq!(stats.queued, 0, "failed probe left the queues");
+        assert_eq!(
+            sched.resilient().health().breaker,
+            "open",
+            "consecutive failures opened the breaker"
+        );
+        assert!(
+            stats.parked_waits > 0,
+            "open breaker parked instead of burning dispatch slots"
+        );
+    }
+
+    #[test]
+    fn short_outage_rides_through_and_the_session_resumes() {
+        // The first two dispatch attempts hit the outage; the breaker
+        // opens (threshold 1), recloses after a short cooldown, and the
+        // parked probe resumes within its patience window.
+        let (sched, db) = resilient_sched(
+            qr2_webdb::FaultScript::healthy().with_outage(0, 2),
+            qr2_webdb::BreakerConfig {
+                failure_threshold: 1,
+                open_cooldown: Duration::from_millis(5),
+            },
+            SchedConfig {
+                max_outage_park: Duration::from_secs(5),
+                poll_interval: Duration::from_millis(1),
+                ..SchedConfig::default()
+            },
+        );
+        let signal = crate::context::FailureSignal::new();
+        let ctx = SessionCtx::new(next_session_key(), QueryClass::Interactive)
+            .with_failure(signal.clone());
+        let q = SearchQuery::all();
+        let want = db.search(&q);
+        let (resp, outcome, authoritative) = with_session(ctx, || sched.submit(&q));
+        assert_eq!(resp, want, "the probe resumed after recovery");
+        assert_eq!(outcome, SearchOutcome::MISS);
+        assert!(authoritative);
+        assert!(!signal.is_tripped(), "no terminal failure surfaced");
+        assert_eq!(sched.stats().failed_probes, 0);
+        assert_eq!(sched.resilient().health().breaker, "closed");
+        assert!(sched.resilient().health().breaker_opens >= 1);
     }
 
     #[test]

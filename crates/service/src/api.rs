@@ -249,6 +249,17 @@ fn ndjson_stream(
                 entry.done = step.is_done();
                 let step_queries = step.stats_delta().total_queries();
                 stream_queries += step_queries;
+                // A terminally failed probe (source outage outlasting the
+                // scheduler's patience) trips the session's failure signal.
+                // The 200 is committed, so terminate in-band: drop the
+                // step's tuple (it was assembled around a failed probe) and
+                // emit a truthful summary — `failed` if nothing was
+                // delivered, `partial` if the client already has tuples.
+                if handle.failure.is_tripped() {
+                    handle.failure.clear();
+                    status = Some(if emitted == 0 { "failed" } else { "partial" });
+                    continue;
+                }
                 match step.tuples().first() {
                     Some(t) => {
                         let event = Json::obj([
@@ -276,9 +287,30 @@ fn ndjson_stream(
             bytes.push(b'\n');
             Some(bytes)
         };
-        let line = match &trace {
+        // A panicking producer would otherwise drop the connection with no
+        // terminal line; catch it and emit a one-time `failed` summary so
+        // every stream — even a crashed one — ends with a parseable status.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &trace {
             Some(t) => t.enter(|| qr2_obs::span("stream.page", &mut pull)),
             None => qr2_obs::span("stream.page", &mut pull),
+        }));
+        let line = match caught {
+            Ok(line) => line,
+            Err(_) if summary_sent => None,
+            Err(_) => {
+                summary_sent = true;
+                // The session state may be mid-step; report only what this
+                // stream knows for certain (no stats snapshot).
+                let summary = Json::obj([
+                    ("event", Json::from("summary")),
+                    ("status", Json::from("failed")),
+                    ("count", Json::from(emitted)),
+                    ("stream_queries", Json::from(stream_queries)),
+                ]);
+                let mut bytes = summary.to_string().into_bytes();
+                bytes.push(b'\n');
+                Some(bytes)
+            }
         };
         if line.is_some() {
             lines_total.inc();
@@ -450,6 +482,17 @@ impl ApiState {
         )
     }
 
+    /// `GET /v1/sources/:source/health` — the source's resilience panel
+    /// (circuit-breaker state, error counters, retries, parked/failed
+    /// probes).
+    pub fn v1_source_health(&self, p: &Params) -> Response {
+        respond(
+            Status::Ok,
+            p.require("source")
+                .and_then(|source| self.service.source_health(source)),
+        )
+    }
+
     /// `DELETE /v1/sources/:source/cache` — flush the source's shared
     /// answer cache; 204 on success.
     pub fn v1_cache_flush(&self, p: &Params) -> Response {
@@ -546,6 +589,7 @@ impl ApiState {
         let mut sched_queued = Vec::new();
         let mut sched_dispatched = Vec::new();
         let mut recon_cov = Vec::new();
+        let mut breaker_state = Vec::new();
         for s in self.registry.all() {
             let name = s.name.as_str();
             paid.push(counter(labels(&[("source", name)]), s.db.ledger().total()));
@@ -585,6 +629,12 @@ impl ApiState {
                 labels(&[("source", name)]),
                 s.recon.coverage(s.schema()),
             ));
+            // 0 = closed, 1 = half-open, 2 = open.
+            let health = s.sched.resilient().health();
+            breaker_state.push(gauge(
+                labels(&[("source", name)]),
+                health.breaker_code as f64,
+            ));
         }
         let fam = |name: &str, kind: FamilyKind, metrics: Vec<MetricSnapshot>| FamilySnapshot {
             name: name.to_string(),
@@ -608,6 +658,7 @@ impl ApiState {
                 sched_dispatched,
             ),
             fam("qr2_recon_coverage_ratio", FamilyKind::Gauge, recon_cov),
+            fam("qr2_breaker_state", FamilyKind::Gauge, breaker_state),
             fam(
                 "qr2_service_sessions_live",
                 FamilyKind::Gauge,

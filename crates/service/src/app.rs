@@ -28,6 +28,7 @@ fn route_label(path: &str) -> &'static str {
         "/v1/sources/:source/queries",
         "/v1/sources/:source/cache",
         "/v1/sources/:source/sched",
+        "/v1/sources/:source/health",
         "/v1/sources/:source/recon",
         "/v1/queries/:id/next",
         "/v1/queries/:id/results",
@@ -138,7 +139,7 @@ impl Qr2App {
         let st = |_: ()| Arc::clone(&self.state);
         let (s1, s2, s3, s4, s5, s6) = (st(()), st(()), st(()), st(()), st(()), st(()));
         let (s7, s8, s9, s10, s11) = (st(()), st(()), st(()), st(()), st(()));
-        let (s12, s13, s14) = (st(()), st(()), st(()));
+        let (s12, s13, s14, s15) = (st(()), st(()), st(()), st(()));
         let (o1, o2, o3) = (st(()), st(()), st(()));
         let (l1, l2, l3, l4, l5) = (st(()), st(()), st(()), st(()), st(()));
         Router::new()
@@ -183,6 +184,9 @@ impl Qr2App {
             })
             .route(Method::Get, "/v1/sources/:source/sched", move |_, p| {
                 s11.v1_sched_stats(p)
+            })
+            .route(Method::Get, "/v1/sources/:source/health", move |_, p| {
+                s15.v1_source_health(p)
             })
             .route(Method::Post, "/v1/sources/:source/recon", move |req, p| {
                 s12.v1_recon_start(req, p)

@@ -481,6 +481,71 @@ impl IntoJson for SchedStatsResponse {
     }
 }
 
+/// One source's resilience panel (`GET /v1/sources/:source/health`):
+/// circuit-breaker state, per-kind error counters, retries paid, and the
+/// scheduler's view of breaker-parked and terminally failed probes.
+#[derive(Debug, Clone)]
+pub struct HealthResponse {
+    /// The source key.
+    pub source: String,
+    /// Breaker/error snapshot from the resilience layer.
+    pub health: qr2_webdb::SourceHealth,
+    /// Dispatch turns the scheduler parked because the breaker was open.
+    pub parked_waits: u64,
+    /// Probes the scheduler failed terminally (outage outlasted its
+    /// patience window).
+    pub sched_failed_probes: u64,
+}
+
+impl IntoJson for HealthResponse {
+    fn to_json(&self) -> Json {
+        let h = &self.health;
+        Json::obj([
+            ("source", Json::from(self.source.as_str())),
+            ("breaker", Json::from(h.breaker)),
+            ("breaker_code", Json::from(h.breaker_code as usize)),
+            (
+                "consecutive_failures",
+                Json::from(h.consecutive_failures as usize),
+            ),
+            ("breaker_opens", Json::from(h.breaker_opens as usize)),
+            (
+                "errors",
+                Json::obj([
+                    ("timeouts", Json::from(h.timeouts as usize)),
+                    ("unavailable", Json::from(h.unavailable as usize)),
+                    ("malformed", Json::from(h.malformed as usize)),
+                ]),
+            ),
+            ("retries", Json::from(h.retries as usize)),
+            ("failed_probes", Json::from(h.failed_probes as usize)),
+            (
+                "last_error",
+                h.last_error
+                    .as_deref()
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "retry_after_ms",
+                h.retry_after
+                    .map(|d| Json::from(d.as_millis() as usize))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "sched",
+                Json::obj([
+                    ("parked_waits", Json::from(self.parked_waits as usize)),
+                    (
+                        "failed_probes",
+                        Json::from(self.sched_failed_probes as usize),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
 /// One page of reranked results (the create and get-next response).
 #[derive(Debug, Clone)]
 pub struct PageResponse {
@@ -493,6 +558,10 @@ pub struct PageResponse {
     pub results: Vec<TupleDto>,
     /// True when the stream is exhausted.
     pub done: bool,
+    /// True when the page was served under a degraded policy (source
+    /// breaker open, stale recon epoch tolerated) rather than against
+    /// the source's current state.
+    pub degraded: bool,
     /// Cumulative statistics.
     pub stats: StatsResponse,
 }
@@ -515,6 +584,7 @@ impl PageResponse {
                 Json::Arr(self.results.iter().map(IntoJson::to_json).collect()),
             ),
             ("done", Json::Bool(self.done)),
+            ("degraded", Json::Bool(self.degraded)),
             ("stats", self.stats.to_json()),
         ]
     }
@@ -546,6 +616,9 @@ pub struct ResultsResponse {
     pub status: &'static str,
     /// Web-DB queries this call spent (the step's incremental cost).
     pub step_queries: usize,
+    /// True when the step was served under a degraded policy (source
+    /// breaker open, stale recon epoch tolerated).
+    pub degraded: bool,
     /// Cumulative statistics for the whole session.
     pub stats: StatsResponse,
 }
@@ -561,6 +634,7 @@ impl IntoJson for ResultsResponse {
             ("status", Json::from(self.status)),
             ("done", Json::Bool(self.status == "done")),
             ("step_queries", Json::from(self.step_queries)),
+            ("degraded", Json::Bool(self.degraded)),
             ("stats", self.stats.to_json()),
         ])
     }
@@ -869,6 +943,7 @@ mod tests {
             algorithm: Some("MD-RERANK"),
             results: Vec::new(),
             done: true,
+            degraded: false,
             stats: StatsResponse {
                 queries: 3,
                 rounds: 1,

@@ -47,6 +47,11 @@ pub mod codes {
     /// would queue past the scheduler's admission ceiling (503; carries
     /// `Retry-After`).
     pub const SOURCE_THROTTLED: &str = "source_throttled";
+    /// The source is unhealthy (circuit breaker open / probes failing
+    /// terminally) and the query is not covered by the cache or the rank
+    /// reconstruction, so it cannot be served at all (503; carries
+    /// `Retry-After`).
+    pub const SOURCE_UNAVAILABLE: &str = "source_unavailable";
     /// Declared `Content-Type` is not JSON.
     pub const UNSUPPORTED_MEDIA_TYPE: &str = "unsupported_media_type";
     /// No route for the path.
@@ -96,6 +101,27 @@ pub fn source_throttled(source: &str, throttled: &qr2_webdb::Throttled) -> ApiEr
     .with_retry_after(throttled.retry_after_secs())
 }
 
+/// Fallback `Retry-After` for `source_unavailable` when the breaker has
+/// no cooldown estimate (e.g. the failure was detected mid-page rather
+/// than at admission).
+pub const UNAVAILABLE_RETRY_AFTER_SECS: u64 = 5;
+
+/// `503`-style structured error for a source whose circuit breaker is
+/// open (or whose probes are failing terminally) when the query is not
+/// covered by any degraded-serving tier; carries a `Retry-After` header
+/// derived from the breaker's cooldown.
+pub fn source_unavailable(source: &str, retry_after: Option<std::time::Duration>) -> ApiError {
+    let secs = retry_after
+        .map(|d| (d.as_secs_f64().ceil() as u64).max(1))
+        .unwrap_or(UNAVAILABLE_RETRY_AFTER_SECS);
+    ApiError::new(
+        qr2_http::Status::ServiceUnavailable,
+        codes::SOURCE_UNAVAILABLE,
+        format!("source '{source}' is unavailable; retry after {secs}s"),
+    )
+    .with_retry_after(secs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +151,23 @@ mod tests {
             .headers
             .iter()
             .any(|(n, v)| n == "Retry-After" && v == "12"));
+    }
+
+    #[test]
+    fn source_unavailable_is_503_with_retry_after() {
+        let e = source_unavailable("zillow", Some(std::time::Duration::from_millis(1800)));
+        assert_eq!(e.status, Status::ServiceUnavailable);
+        assert_eq!(e.code, codes::SOURCE_UNAVAILABLE);
+        assert!(e.message.contains("zillow"));
+        assert!(e
+            .headers
+            .iter()
+            .any(|(n, v)| n == "Retry-After" && v == "2"));
+        let e = source_unavailable("zillow", None);
+        assert!(e
+            .headers
+            .iter()
+            .any(|(n, v)| n == "Retry-After" && v == &UNAVAILABLE_RETRY_AFTER_SECS.to_string()));
     }
 
     #[test]

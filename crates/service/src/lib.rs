@@ -48,10 +48,11 @@ mod ui;
 pub use api::{ApiState, LEGACY_SUNSET};
 pub use app::Qr2App;
 pub use dto::{
-    AlgorithmDescriptor, CacheStatsResponse, FilterDto, GetNextRequest, NextPageRequest,
-    PageResponse, QueryRequest, RankingDto, SourceDescriptor, StatsResponse, TupleDto,
+    AlgorithmDescriptor, CacheStatsResponse, FilterDto, GetNextRequest, HealthResponse,
+    NextPageRequest, PageResponse, QueryRequest, RankingDto, ResultsResponse, SourceDescriptor,
+    StatsResponse, TupleDto,
 };
 pub use remote::{RemoteWebDb, WebDbGateway};
 pub use service::{compile_filters, compile_ranking, resolve_algorithm, QueryService};
 pub use session::{ReconServing, SessionEntry, SessionHandle, SessionId, SessionManager};
-pub use sources::{Source, SourceRegistry};
+pub use sources::{DegradedPolicy, ResilienceConfig, Source, SourceRegistry};

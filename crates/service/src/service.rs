@@ -12,15 +12,17 @@ use qr2_core::{
 };
 use qr2_http::ApiError;
 use qr2_recon::{JobOptions, ReconJobError, ServeOrder};
-use qr2_sched::{context as sched_context, QueryClass, SessionCtx};
+use qr2_sched::{context as sched_context, FailureSignal, QueryClass, SessionCtx};
 use qr2_webdb::{AttrKind, CatSet, RangePred, Schema, SearchQuery};
 
 use crate::dto::{
-    algorithm_catalog, CacheStatsResponse, FilterDto, PageResponse, QueryRequest, RankingDto,
-    ReconJobResponse, ReconStartRequest, ReconStatusResponse, ResultsResponse, SchedStatsResponse,
-    SourceDescriptor, StatsResponse, TupleDto,
+    algorithm_catalog, CacheStatsResponse, FilterDto, HealthResponse, PageResponse, QueryRequest,
+    RankingDto, ReconJobResponse, ReconStartRequest, ReconStatusResponse, ResultsResponse,
+    SchedStatsResponse, SourceDescriptor, StatsResponse, TupleDto,
 };
-use crate::error::{budget_exceeded, codes, source_throttled, unknown_query, unknown_source};
+use crate::error::{
+    budget_exceeded, codes, source_throttled, source_unavailable, unknown_query, unknown_source,
+};
 use crate::session::{ReconServing, SessionEntry, SessionHandle, SessionManager};
 use crate::sources::{Source, SourceRegistry};
 
@@ -96,7 +98,44 @@ impl QueryService {
                     })
             })
             .map(ReconServing::new);
+        // Degraded serving: when the source's circuit breaker rejects new
+        // work, a fresh-epoch recon miss gets one more chance — if the
+        // operator policy tolerates staleness, re-check coverage against
+        // the recon index's *own* epoch (sampled before the call: `serve`
+        // evaluates the closure under the index read lock, so it must not
+        // re-enter the index) and flag the answer `degraded`. Queries no
+        // tier covers are refused outright with a structured 503 instead
+        // of burning scheduler slots on a source that cannot answer. The
+        // gate is the breaker's *admission*, not its stored state: once
+        // the open cooldown elapses the next query must be allowed
+        // through as the half-open trial, or the source could never
+        // recover through this endpoint.
+        let breaker_retry_after = match source.sched.resilient().breaker_admission() {
+            qr2_webdb::Admission::Rejected { retry_after } => Some(retry_after),
+            _ => None,
+        };
+        let breaker_open = breaker_retry_after.is_some();
+        let recon_serving = match recon_serving {
+            Some(s) => Some(s),
+            None if breaker_open && source.degraded_policy.allow_stale_recon => {
+                let recon_epoch = source.recon.epoch();
+                ServeOrder::for_request(algorithm, &function)
+                    .and_then(|order| {
+                        source.recon.serve(
+                            &filter,
+                            &order,
+                            source.reranker.normalizer(),
+                            move || recon_epoch,
+                        )
+                    })
+                    .map(|tuples| ReconServing::new(tuples).degraded())
+            }
+            None => None,
+        };
         if recon_serving.is_none() {
+            if let Some(retry_after) = breaker_retry_after {
+                return Err(source_unavailable(source_name, Some(retry_after)));
+            }
             // Admission control: when the source is so saturated that a new
             // session's first probe would wait past the scheduler's admission
             // ceiling, refuse with a structured 503 + Retry-After instead of
@@ -122,7 +161,15 @@ impl QueryService {
                 (results, done, stats, Some(serving))
             }
             None => {
-                let ctx = SessionCtx::new(sched_key, class).with_cancel(session.cancel_token());
+                // The first page runs before the session table has a
+                // handle, so it carries its own failure signal: a probe
+                // failing terminally (source down past the scheduler's
+                // outage patience) trips it and the whole request becomes
+                // a structured 503 instead of a silent empty page.
+                let failure = FailureSignal::new();
+                let ctx = SessionCtx::new(sched_key, class)
+                    .with_cancel(session.cancel_token())
+                    .with_failure(failure.clone());
                 // The first page respects the lifetime budget from query zero.
                 let step = sched_context::with_session(ctx, || {
                     session.advance(Budget {
@@ -130,6 +177,10 @@ impl QueryService {
                         tuples: Some(page_size),
                     })
                 });
+                if failure.is_tripped() {
+                    let health = source.sched.resilient().health();
+                    return Err(source_unavailable(source_name, health.retry_after));
+                }
                 let done = step.is_done();
                 let results = step
                     .into_tuples()
@@ -145,6 +196,7 @@ impl QueryService {
         } else {
             source.obs_created_live.inc();
         }
+        let degraded = recon_serving.as_ref().map(|s| s.degraded).unwrap_or(false);
         let query_id = self.sessions.create(
             session,
             source_name,
@@ -165,6 +217,7 @@ impl QueryService {
             algorithm: Some(algorithm.paper_name()),
             results,
             done,
+            degraded,
             stats,
         })
     }
@@ -187,9 +240,9 @@ impl QueryService {
         let recon_step = entry.recon.as_mut().map(|serving| {
             let page = serving.next_page(page_size);
             let stats = StatsResponse::new(&serving.stats, serving.served());
-            (page, serving.done(), stats)
+            (page, serving.done(), serving.degraded, stats)
         });
-        if let Some((page, done, stats)) = recon_step {
+        if let Some((page, done, degraded, stats)) = recon_step {
             entry.done = done;
             let results = page.iter().map(|t| TupleDto::new(&schema, t)).collect();
             return Ok(PageResponse {
@@ -197,6 +250,7 @@ impl QueryService {
                 algorithm: None,
                 results,
                 done,
+                degraded,
                 stats,
             });
         }
@@ -207,6 +261,16 @@ impl QueryService {
                 tuples: Some(page_size),
             })
         });
+        // A probe that failed terminally mid-step (source down past the
+        // scheduler's outage patience) trips the session's failure signal.
+        // Discard the step — a page assembled around a failed probe may be
+        // mis-ordered — and surface the outage as a structured 503; the
+        // session stays live and resumes once the source recovers.
+        if handle.failure.is_tripped() {
+            handle.failure.clear();
+            let health = source.sched.resilient().health();
+            return Err(source_unavailable(&handle.source, health.retry_after));
+        }
         entry.done = step.is_done();
         let results: Vec<TupleDto> = step
             .into_tuples()
@@ -219,6 +283,7 @@ impl QueryService {
             algorithm: None,
             results,
             done: entry.done,
+            degraded: false,
             stats,
         })
     }
@@ -244,9 +309,9 @@ impl QueryService {
         let recon_step = entry.recon.as_mut().map(|serving| {
             let page = serving.next_page(limit);
             let stats = StatsResponse::new(&serving.stats, serving.served());
-            (page, serving.done(), stats)
+            (page, serving.done(), serving.degraded, stats)
         });
-        if let Some((page, done, stats)) = recon_step {
+        if let Some((page, done, degraded, stats)) = recon_step {
             entry.done = done;
             let results = page.iter().map(|t| TupleDto::new(&schema, t)).collect();
             return Ok(ResultsResponse {
@@ -254,6 +319,7 @@ impl QueryService {
                 results,
                 status: if done { "done" } else { "complete" },
                 step_queries: 0,
+                degraded,
                 stats,
             });
         }
@@ -271,6 +337,14 @@ impl QueryService {
                 tuples: Some(limit),
             })
         });
+        // Same terminal-failure discipline as `next_page`: a tripped
+        // signal turns the step into a structured 503 rather than a page
+        // that silently omits the failed probe's contribution.
+        if handle.failure.is_tripped() {
+            handle.failure.clear();
+            let health = source.sched.resilient().health();
+            return Err(source_unavailable(&handle.source, health.retry_after));
+        }
         entry.done = step.is_done();
         let status = step.label();
         let step_queries = step.stats_delta().total_queries();
@@ -285,6 +359,7 @@ impl QueryService {
             results,
             status,
             step_queries,
+            degraded: false,
             stats,
         })
     }
@@ -363,6 +438,24 @@ impl QueryService {
             sched: source.sched.stats(),
             traffic: source.sched.shaped().traffic_stats(),
             policy: source.sched.shaped().policy().clone(),
+        })
+    }
+
+    /// `GET /v1/sources/:source/health`: the source's resilience panel —
+    /// circuit-breaker state, consecutive terminal failures, per-kind
+    /// error counters, retries paid, and the scheduler's parked/failed
+    /// probe counts.
+    pub fn source_health(&self, source_name: &str) -> Result<HealthResponse, ApiError> {
+        let source = self
+            .registry
+            .get(source_name)
+            .ok_or_else(|| unknown_source(source_name))?;
+        let sched = source.sched.stats();
+        Ok(HealthResponse {
+            source: source.name.clone(),
+            health: source.sched.resilient().health(),
+            parked_waits: sched.parked_waits,
+            sched_failed_probes: sched.failed_probes,
         })
     }
 
@@ -472,7 +565,9 @@ pub(crate) fn entry_stats(entry: &SessionEntry) -> StatsResponse {
 
 /// The ambient scheduler context for requests driving an existing session.
 pub(crate) fn session_ctx(handle: &SessionHandle) -> SessionCtx {
-    SessionCtx::new(handle.sched_key, handle.class).with_cancel(handle.cancel.clone())
+    SessionCtx::new(handle.sched_key, handle.class)
+        .with_cancel(handle.cancel.clone())
+        .with_failure(handle.failure.clone())
 }
 
 /// The session's remaining lifetime query budget (`None` = uncapped).
@@ -1049,5 +1144,223 @@ mod tests {
         drop(guard_a);
         // A is untouched and still pageable afterwards.
         assert_eq!(svc.next_page(&a, Some(3)).unwrap().results.len(), 3);
+    }
+
+    // -- resilience / degraded serving --------------------------------------
+
+    use crate::sources::{DegradedPolicy, ResilienceConfig};
+    use qr2_cache::{AnswerCache, CacheConfig};
+    use qr2_core::DenseIndex;
+    use qr2_datagen::{bluenile_db, DiamondsConfig};
+    use qr2_sched::SchedConfig;
+    use qr2_webdb::{BreakerConfig, FaultScript, RetryPolicy, SourcePolicy, TopKInterface};
+
+    /// One-source registry over a fault-scripted diamonds db; `crawl`
+    /// reconstructs the full rank order offline (at epoch 0) first.
+    fn fault_registry(
+        script: FaultScript,
+        retry: RetryPolicy,
+        breaker: BreakerConfig,
+        degraded: DegradedPolicy,
+        sched_cfg: SchedConfig,
+        crawl: bool,
+    ) -> Arc<SourceRegistry> {
+        let db: Arc<dyn TopKInterface> = Arc::new(bluenile_db(&DiamondsConfig {
+            n: 200,
+            ..DiamondsConfig::default()
+        }));
+        let recon = Arc::new(qr2_recon::ReconIndex::ephemeral());
+        if crawl {
+            let job = recon
+                .run_job(
+                    &*db,
+                    &JobOptions {
+                        max_queries: usize::MAX,
+                        ..JobOptions::default()
+                    },
+                    0,
+                )
+                .expect("no concurrent job");
+            assert_eq!(job.state, "complete");
+        }
+        let mut reg = SourceRegistry::new();
+        reg.register(Source::with_resilience(
+            "bluenile",
+            "Blue Nile (faulted)",
+            db,
+            SourcePolicy::unlimited(),
+            sched_cfg,
+            ResilienceConfig {
+                script: Some(script),
+                retry,
+                breaker,
+                degraded,
+            },
+            ExecutorKind::Sequential,
+            Arc::new(DenseIndex::in_memory()),
+            Vec::new(),
+            Arc::new(AnswerCache::new(CacheConfig::default())),
+            recon,
+        ));
+        Arc::new(reg)
+    }
+
+    fn svc_over(reg: &Arc<SourceRegistry>) -> QueryService {
+        QueryService::new(
+            Arc::clone(reg),
+            Arc::new(SessionManager::new(Duration::from_secs(60))),
+        )
+    }
+
+    /// Open the source's breaker with `n` terminal probe failures.
+    fn open_breaker(reg: &Arc<SourceRegistry>, n: usize) {
+        let source = reg.get("bluenile").unwrap();
+        let q = SearchQuery::all();
+        for _ in 0..n {
+            assert!(source.sched.resilient().search_resilient(&q).is_err());
+        }
+        assert_eq!(source.sched.resilient().health().breaker_code, 2);
+    }
+
+    #[test]
+    fn open_breaker_serves_covered_queries_degraded_from_stale_recon() {
+        let reg = fault_registry(
+            FaultScript::healthy().with_outage(0, u64::MAX),
+            RetryPolicy::none(),
+            BreakerConfig {
+                failure_threshold: 2,
+                open_cooldown: Duration::from_secs(60),
+            },
+            DegradedPolicy {
+                allow_stale_recon: true,
+            },
+            SchedConfig::default(),
+            true,
+        );
+        let source = reg.get("bluenile").unwrap();
+        // Stale the reconstruction: the flush advances the cache epoch past
+        // the epoch the index was crawled at, so a *fresh* serve misses.
+        source.cache.flush().unwrap();
+        open_breaker(&reg, 2);
+
+        let svc = svc_over(&reg);
+        let req = query_req(r#"{"ranking":{"type":"1d","attr":"price"},"page_size":5}"#);
+        let paid_before = source.db.ledger().total();
+        let page = svc.create_query("bluenile", &req).unwrap();
+        assert!(page.degraded, "stale-recon answer must be flagged");
+        assert_eq!(page.results.len(), 5);
+        assert_eq!(page.stats.queries, 0, "degraded pages are free");
+        assert_eq!(
+            source.db.ledger().total(),
+            paid_before,
+            "no probe may reach a source behind an open breaker"
+        );
+        // Follow-up pages stay degraded and free too.
+        let next = svc.next_page(&page.query_id, Some(5)).unwrap();
+        assert!(next.degraded);
+        assert_eq!(source.db.ledger().total(), paid_before);
+    }
+
+    #[test]
+    fn open_breaker_without_stale_policy_refuses_with_structured_503() {
+        let reg = fault_registry(
+            FaultScript::healthy().with_outage(0, u64::MAX),
+            RetryPolicy::none(),
+            BreakerConfig {
+                failure_threshold: 2,
+                open_cooldown: Duration::from_secs(60),
+            },
+            DegradedPolicy {
+                allow_stale_recon: false,
+            },
+            SchedConfig::default(),
+            true,
+        );
+        reg.get("bluenile").unwrap().cache.flush().unwrap();
+        open_breaker(&reg, 2);
+
+        let svc = svc_over(&reg);
+        let req = query_req(r#"{"ranking":{"type":"1d","attr":"price"}}"#);
+        let e = svc.create_query("bluenile", &req).unwrap_err();
+        assert_eq!(e.status, qr2_http::Status::ServiceUnavailable);
+        assert_eq!(e.code, codes::SOURCE_UNAVAILABLE);
+        assert!(
+            e.headers.iter().any(|(n, _)| n == "Retry-After"),
+            "{:?}",
+            e.headers
+        );
+    }
+
+    #[test]
+    fn open_breaker_with_no_coverage_refuses_with_structured_503() {
+        let reg = fault_registry(
+            FaultScript::healthy().with_outage(0, u64::MAX),
+            RetryPolicy::none(),
+            BreakerConfig {
+                failure_threshold: 2,
+                open_cooldown: Duration::from_secs(60),
+            },
+            DegradedPolicy {
+                allow_stale_recon: true,
+            },
+            SchedConfig::default(),
+            false, // nothing reconstructed: nothing to degrade onto
+        );
+        open_breaker(&reg, 2);
+        let svc = svc_over(&reg);
+        let req = query_req(r#"{"ranking":{"type":"1d","attr":"price"}}"#);
+        let e = svc.create_query("bluenile", &req).unwrap_err();
+        assert_eq!(e.code, codes::SOURCE_UNAVAILABLE);
+    }
+
+    #[test]
+    fn terminal_outage_on_live_first_page_is_a_structured_503() {
+        // Breaker disabled: the outage is surfaced by the scheduler's
+        // per-probe patience window tripping the failure signal instead.
+        let reg = fault_registry(
+            FaultScript::healthy().with_outage(0, u64::MAX),
+            RetryPolicy::none(),
+            BreakerConfig::disabled(),
+            DegradedPolicy::default(),
+            SchedConfig {
+                max_outage_park: Duration::from_millis(40),
+                ..SchedConfig::default()
+            },
+            false,
+        );
+        let svc = svc_over(&reg);
+        let req = query_req(r#"{"ranking":{"type":"1d","attr":"price"}}"#);
+        let e = svc.create_query("bluenile", &req).unwrap_err();
+        assert_eq!(e.status, qr2_http::Status::ServiceUnavailable);
+        assert_eq!(e.code, codes::SOURCE_UNAVAILABLE);
+    }
+
+    #[test]
+    fn source_health_reports_breaker_state_and_error_counters() {
+        let reg = fault_registry(
+            FaultScript::healthy().with_outage(0, u64::MAX),
+            RetryPolicy::none(),
+            BreakerConfig {
+                failure_threshold: 2,
+                open_cooldown: Duration::from_secs(60),
+            },
+            DegradedPolicy::default(),
+            SchedConfig::default(),
+            false,
+        );
+        let svc = svc_over(&reg);
+        let before = svc.source_health("bluenile").unwrap();
+        assert_eq!(before.health.breaker, "closed");
+        assert_eq!(before.health.consecutive_failures, 0);
+
+        open_breaker(&reg, 2);
+        let after = svc.source_health("bluenile").unwrap();
+        assert_eq!(after.health.breaker, "open");
+        assert_eq!(after.health.breaker_code, 2);
+        assert!(after.health.consecutive_failures >= 2);
+        assert!(after.health.unavailable >= 2);
+        assert!(after.health.failed_probes >= 2);
+        assert!(after.health.retry_after.is_some());
+        assert!(svc.source_health("nope").is_err());
     }
 }

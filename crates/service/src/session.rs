@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
 use qr2_core::{CancelToken, QueryStats, RerankSession};
-use qr2_sched::QueryClass;
+use qr2_sched::{FailureSignal, QueryClass};
 use qr2_webdb::Tuple;
 
 /// Opaque session identifier (`"s17"`).
@@ -34,6 +34,11 @@ pub struct ReconServing {
     cursor: usize,
     /// Serving-tier statistics: `recon_hits` pages, zero queries.
     pub stats: QueryStats,
+    /// True when this answer was admitted under an operator degraded-
+    /// serving policy (source breaker open, stale epoch tolerated); the
+    /// flag is echoed on every page so clients can tell a degraded
+    /// answer from an authoritative one.
+    pub degraded: bool,
 }
 
 impl ReconServing {
@@ -46,7 +51,15 @@ impl ReconServing {
             tuples,
             cursor: 0,
             stats: QueryStats::default(),
+            degraded: false,
         }
+    }
+
+    /// Mark the answer as served under a degraded policy (stale recon
+    /// epoch tolerated while the source's circuit breaker is open).
+    pub fn degraded(mut self) -> ReconServing {
+        self.degraded = true;
+        self
     }
 
     /// Serve the next page of up to `n` tuples and record the recon hit.
@@ -109,6 +122,12 @@ pub struct SessionHandle {
     /// Scheduler identity of this session (fair-share accounting and
     /// `DELETE`-time queue draining).
     pub sched_key: u64,
+    /// Tripped by the scheduler when a probe of this session fails
+    /// terminally (source down past the parking patience): the service
+    /// turns the otherwise-empty page into a structured `503` or a
+    /// `status: "failed"` stream summary. Cleared between pages so the
+    /// session resumes cleanly once the source recovers.
+    pub failure: FailureSignal,
     created: Instant,
     last_access: Mutex<Instant>,
     entry: Mutex<SessionEntry>,
@@ -167,6 +186,7 @@ impl SessionManager {
             cancel: session.cancel_token(),
             class,
             sched_key,
+            failure: FailureSignal::new(),
             created: now,
             last_access: Mutex::new(now),
             entry: Mutex::new(SessionEntry {

@@ -9,9 +9,45 @@ use qr2_http::Json;
 use qr2_recon::ReconIndex;
 use qr2_sched::{SchedConfig, ScheduledInterface, SourceScheduler};
 use qr2_webdb::{
-    QueryLedger, Schema, SearchOutcome, SearchQuery, SourcePolicy, TopKInterface, TopKResponse,
-    TrafficShapedInterface,
+    BreakerConfig, FallibleSearch, FaultInjectingInterface, FaultScript, QueryLedger,
+    ResilientInterface, RetryPolicy, Schema, SearchOutcome, SearchQuery, SourcePolicy,
+    TopKInterface, TopKResponse, TrafficShapedInterface,
 };
+
+/// Operator policy for what a source may serve while its circuit breaker
+/// is open (see `docs/RESILIENCE.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedPolicy {
+    /// Allow a reconstruction built at an older staleness epoch to serve
+    /// covered queries while the source is down. The response is flagged
+    /// `degraded: true`; a fresh-epoch reconstruction serves without the
+    /// flag regardless of this setting.
+    pub allow_stale_recon: bool,
+}
+
+impl Default for DegradedPolicy {
+    fn default() -> DegradedPolicy {
+        DegradedPolicy {
+            allow_stale_recon: true,
+        }
+    }
+}
+
+/// Resilience wiring for one source: an optional deterministic fault
+/// script (tests, chaos benches), the retry policy and circuit breaker
+/// in front of it, and the operator's degraded-serving policy.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    /// Deterministic fault injection between the resilience layer and the
+    /// traffic shaper; `None` leaves the source fault-free.
+    pub script: Option<FaultScript>,
+    /// Retry budget and backoff shape per probe.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// What may be served while the breaker is open.
+    pub degraded: DegradedPolicy,
+}
 
 /// One reranking-enabled web database.
 ///
@@ -51,6 +87,8 @@ pub struct Source {
     /// Suggested "popular functions" shown in the ranking section
     /// (paper §II-C): label → `(attr, weight)` list.
     pub popular: Vec<(String, Vec<(String, f64)>)>,
+    /// What this source may serve while its circuit breaker is open.
+    pub degraded_policy: DegradedPolicy,
     /// Pre-resolved `qr2_service_sessions_created_total{served_by=live}`
     /// counter: session creation is on the request hot path and must not
     /// pay the registry lock and label formatting per request.
@@ -186,11 +224,63 @@ impl Source {
         cache: Arc<AnswerCache>,
         recon: Arc<ReconIndex>,
     ) -> Self {
+        Self::with_resilience(
+            name,
+            title,
+            db,
+            policy,
+            sched_cfg,
+            ResilienceConfig::default(),
+            executor,
+            dense,
+            popular,
+            cache,
+            recon,
+        )
+    }
+
+    /// Build a source with explicit resilience wiring on top of
+    /// [`Source::with_scheduler`]'s stack: the scheduler dispatches
+    /// through `resilience.retry`/`resilience.breaker`, optionally over a
+    /// deterministic [`FaultScript`] (tests and chaos benches inject
+    /// outages here), making the full stack `recon feed → cache →
+    /// scheduler → resilient → fault injection → traffic shaping → raw
+    /// db`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_resilience(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        db: Arc<dyn TopKInterface>,
+        policy: SourcePolicy,
+        sched_cfg: SchedConfig,
+        resilience: ResilienceConfig,
+        executor: ExecutorKind,
+        dense: Arc<DenseIndex>,
+        popular: Vec<(String, Vec<(String, f64)>)>,
+        cache: Arc<AnswerCache>,
+        recon: Arc<ReconIndex>,
+    ) -> Self {
         let name = name.into();
         // Name the shaping and scheduling layers so their qr2-obs metrics
         // (throttles, search latency, queue delays) carry a `source` label.
         let shaped = Arc::new(TrafficShapedInterface::named(db.clone(), policy, &name));
-        let sched = Arc::new(SourceScheduler::named(shaped, sched_cfg, &name));
+        let fallible: Arc<dyn FallibleSearch> = match resilience.script {
+            Some(script) => {
+                let inner: Arc<dyn FallibleSearch> = shaped.clone();
+                Arc::new(FaultInjectingInterface::new(inner, script))
+            }
+            None => shaped.clone(),
+        };
+        let resilient = Arc::new(ResilientInterface::new(
+            Arc::clone(&shaped),
+            fallible,
+            resilience.retry,
+            resilience.breaker,
+            &name,
+        ));
+        let sched = Arc::new(SourceScheduler::with_resilience(
+            resilient, sched_cfg, &name,
+        ));
         let scheduled: Arc<dyn TopKInterface> =
             Arc::new(ScheduledInterface::new(Arc::clone(&sched)));
         // Cache outermost: warm lookups must not queue behind the
@@ -228,6 +318,7 @@ impl Source {
             recon,
             probe,
             popular,
+            degraded_policy: resilience.degraded,
             obs_created_live,
             obs_created_recon,
         }

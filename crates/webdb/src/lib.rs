@@ -48,11 +48,13 @@
 //! ```
 
 mod attr;
+mod fault;
 pub mod index;
 mod interface;
 mod metrics;
 mod predicate;
 mod ranking;
+mod resilient;
 mod schema;
 mod sim;
 mod table;
@@ -61,6 +63,7 @@ mod tuple;
 mod value;
 
 pub use attr::{AttrId, AttrKind, Attribute};
+pub use fault::{FallibleSearch, FaultInjectingInterface, FaultScript, FaultStats, SearchError};
 pub use index::{QueryPlan, TableIndex};
 pub use interface::{SearchOutcome, TopKInterface, TopKResponse};
 pub use metrics::{
@@ -68,6 +71,9 @@ pub use metrics::{
 };
 pub use predicate::{CatSet, Predicate, RangePred, SearchQuery};
 pub use ranking::SystemRanking;
+pub use resilient::{
+    jittered_backoff, Admission, BreakerConfig, ResilientInterface, RetryPolicy, SourceHealth,
+};
 pub use schema::{Schema, SchemaBuilder};
 pub use sim::{ExecMode, SimulatedWebDb};
 pub use table::{Table, TableBuilder};
